@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench regenerates one paper figure/table: it runs the scenario(s),
+// prints the same series the figure reports (Model and Experiment columns,
+// normalized like the paper), and ends with a SHAPE line summarizing the
+// qualitative claim the figure supports. EXPERIMENTS.md records these
+// outputs against the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/aggregate.h"
+#include "scenario/scenario.h"
+
+namespace bbrmodel::bench {
+
+/// The buffer sweep of the aggregate figures (Figs. 6–10, 13–17): 1–7 BDP.
+std::vector<double> buffer_sweep();
+
+/// True if BBRM_BENCH_FAST is set: halves sweep resolution for quick runs.
+bool fast_mode();
+
+/// Metric selector for the aggregate figures.
+using MetricFn = std::function<double(const metrics::AggregateMetrics&)>;
+
+/// Run the full aggregate validation sweep of one figure: for each queuing
+/// discipline, a table with rows = buffer sizes [BDP] and columns = the
+/// seven CCA mixes of the paper's legend; one table for the fluid model and
+/// one for the packet experiment.
+///
+/// @param title        figure title, e.g. "Fig. 6 — Jain fairness".
+/// @param metric       which metric column to print.
+/// @param precision    table cell precision.
+/// @param base         base spec (capacity, RTT range, duration).
+void run_aggregate_figure(const std::string& title, const MetricFn& metric,
+                          int precision,
+                          const scenario::ExperimentSpec& base);
+
+/// Base spec of the §4.3 validation (N = 10, 100 Mbps, RTT 30–40 ms, 5 s).
+scenario::ExperimentSpec validation_spec();
+
+/// Base spec of the Appendix C short-RTT validation (RTT 10–20 ms).
+scenario::ExperimentSpec short_rtt_spec();
+
+/// A metric column of run_aggregate_figures: title + selector + precision.
+struct FigureMetric {
+  std::string title;
+  MetricFn metric;
+  int precision = 3;
+};
+
+/// Run the aggregate sweep ONCE and print one figure per metric (used by
+/// the Appendix-C bench, which reproduces five figures from one sweep).
+void run_aggregate_figures(const std::vector<FigureMetric>& figures,
+                           const scenario::ExperimentSpec& base);
+
+/// Trace figure helper: run one CCA alone (the §4.2 set-up: 100 Mbps,
+/// d_ℓ = 10 ms, d_ℓ1 = 5.6 ms, 1 BDP buffer) under a discipline with both
+/// simulators and print normalized time series rows (downsampled).
+void run_trace_figure(const std::string& title, scenario::CcaKind kind,
+                      net::Discipline discipline, double duration_s,
+                      std::size_t print_rows);
+
+/// Print a one-line qualitative takeaway (prefixed "SHAPE:").
+void shape(const std::string& line);
+
+}  // namespace bbrmodel::bench

@@ -1,0 +1,21 @@
+// Fig. 11 — Reno trace validation: one flow, 30 s, drop-tail and RED.
+//
+// Paper shape: the sawtooth; under drop-tail the rate decouples from window
+// growth once the buffer fills; under RED the rate never exceeds the
+// bottleneck and the queue stays small.
+#include "bench_util.h"
+
+int main() {
+  using namespace bbrmodel;
+  using namespace bbrmodel::bench;
+  const double duration = fast_mode() ? 12.0 : 30.0;
+  run_trace_figure("Fig. 11 — Reno trace validation",
+                   scenario::CcaKind::kReno, net::Discipline::kDropTail,
+                   duration, 20);
+  run_trace_figure("Fig. 11 — Reno trace validation",
+                   scenario::CcaKind::kReno, net::Discipline::kRed, duration,
+                   20);
+  shape("Reno saws between buffer-fill and halving under drop-tail; under "
+        "RED the queue and rate stay lower (Fig. 11).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Theorems 1, 3, 4 — the closed-form equilibria of the reduced models,
+// cross-checked against the nonlinear vector fields (residuals) and against
+// convergent simulation of the reduced dynamics.
+//
+// Paper shape: Thm 1 — BBRv1 deep-buffer equilibria need queuing delay =
+// propagation delay (q* = d·C); Thm 3 — shallow-buffer BBRv1 is perfectly
+// fair at x* = 5C/(4N+1) with loss → 20 %; Thm 4 — BBRv2's fair equilibrium
+// queue is (N−1)/(4N+1)·d·C, ≥75 % below BBRv1's.
+#include <cstdio>
+
+#include "analysis/equilibrium.h"
+#include "analysis/reduced_models.h"
+#include "analysis/stability.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "linalg/matrix.h"
+
+int main() {
+  using namespace bbrmodel;
+  using namespace bbrmodel::bench;
+  using namespace bbrmodel::analysis;
+
+  const double cap = mbps_to_pps(100.0);
+  const double d = 0.035;
+
+  std::printf("%s", banner("Theorem 1/3/4 — equilibria (C = 100 Mbps, "
+                           "d = 35 ms)").c_str());
+  Table t({"N", "Thm1 q*[pkts]", "Thm3 x*[%C]", "Thm3 loss[%]",
+           "Thm4 q*[pkts]", "Thm4 x*[%C]", "v2 queue cut[%]",
+           "max |residual|"});
+  for (std::size_t n : {1u, 2u, 3u, 5u, 10u, 20u, 50u}) {
+    const auto s = BottleneckScenario::uniform(n, cap, d);
+    const auto deep = bbrv1_deep_equilibrium(s);
+    const auto shallow = bbrv1_shallow_equilibrium(s);
+    const auto v2 = bbrv2_equilibrium(s);
+
+    // Residuals of all three reduced vector fields at their equilibria.
+    double residual = 0.0;
+    for (double r : eval_rhs(bbrv1_reduced_rhs(s),
+                             bbrv1_deep_equilibrium_state(s))) {
+      residual = std::max(residual, std::abs(r));
+    }
+    for (double r : eval_rhs(bbrv1_shallow_rhs(s),
+                             bbrv1_shallow_equilibrium_state(s))) {
+      residual = std::max(residual, std::abs(r));
+    }
+    for (double r : eval_rhs(bbrv2_reduced_rhs(s), bbrv2_equilibrium_state(s))) {
+      residual = std::max(residual, std::abs(r));
+    }
+
+    t.add_numeric_row(
+        std::to_string(n),
+        {deep.queue_pkts, 100.0 * shallow.btl_pps / cap,
+         100.0 * shallow.loss_rate, v2.queue_pkts, 100.0 * v2.rate_pps / cap,
+         100.0 * bbrv2_buffer_reduction(n), residual},
+        3);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Convergent simulation of the reduced dynamics from perturbed starts.
+  std::printf("%s", banner("Convergence probes (reduced models, RK4)").c_str());
+  Table c({"system", "N", "perturb", "t_end[s]", "dist(0)", "dist(T)",
+           "converged"});
+  {
+    const auto s = BottleneckScenario::uniform(10, cap, d);
+    const auto p = probe_convergence(bbrv1_aggregate_rhs(s), {cap, d * cap},
+                                     0.25, 6.0, 1e-4);
+    c.add_row({"BBRv1 aggregate (Thm 2)", "10", "25%", "6",
+               format_double(p.initial_distance, 1),
+               format_double(p.final_distance, 3),
+               p.converged ? "yes" : "NO"});
+  }
+  {
+    const auto s = BottleneckScenario::uniform(10, cap, d);
+    const auto p = probe_convergence(bbrv1_shallow_rhs(s),
+                                     bbrv1_shallow_equilibrium_state(s), 0.3,
+                                     300.0, 5e-3);
+    c.add_row({"BBRv1 shallow (Thm 3)", "10", "30%", "300",
+               format_double(p.initial_distance, 1),
+               format_double(p.final_distance, 3),
+               p.converged ? "yes" : "NO"});
+  }
+  {
+    const auto s = BottleneckScenario::uniform(10, cap, d);
+    const auto p = probe_convergence(bbrv2_reduced_rhs(s),
+                                     bbrv2_equilibrium_state(s), 0.2, 300.0,
+                                     5e-3);
+    c.add_row({"BBRv2 (Thm 4/5)", "10", "20%", "300",
+               format_double(p.initial_distance, 1),
+               format_double(p.final_distance, 3),
+               p.converged ? "yes" : "NO"});
+  }
+  std::printf("%s\n", c.to_string().c_str());
+
+  shape("Closed-form equilibria are fixed points (residual ≈ 0) and "
+        "attractors of the reduced dynamics; the BBRv2 queue cut is ≥75 % "
+        "(Theorems 1, 3, 4).");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Theorems 2 & 5 — asymptotic stability by the indirect Lyapunov method:
+// Jacobian spectra of the reduced systems at their equilibria.
+//
+// Paper shape: all eigenvalues have negative real parts. BBRv1 aggregate:
+// {−1, −1/(2d)} (Eq. 49); BBRv1 shallow: {−1, −1/(4N+1)×(N−1)}; BBRv2:
+// {−1, −(4N+1)/(5Nd), −1/(4N+1)×(N−1)} (Eq. 71).
+#include <cstdio>
+
+#include "analysis/jacobian.h"
+#include "analysis/stability.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+
+int main() {
+  using namespace bbrmodel;
+  using namespace bbrmodel::bench;
+  using namespace bbrmodel::analysis;
+
+  const double cap = mbps_to_pps(100.0);
+
+  std::printf("%s", banner("Theorem 2 — BBRv1 aggregate (y, q) system").c_str());
+  Table t2({"d[s]", "lambda+ (QR)", "lambda+ (Eq.49)", "stable"});
+  for (double d : {0.01, 0.035, 0.2, 0.5, 1.0, 2.0}) {
+    const auto s = BottleneckScenario::uniform(10, cap, d);
+    const auto report = analyze(bbrv1_aggregate_jacobian(s));
+    const double predicted = d <= 0.5 ? -1.0 : -1.0 / (2.0 * d);
+    t2.add_row({format_double(d, 3),
+                format_double(report.spectral_abscissa, 4),
+                format_double(predicted, 4),
+                report.asymptotically_stable ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t2.to_string().c_str());
+
+  std::printf("%s", banner("Theorem 3 — BBRv1 shallow-buffer system").c_str());
+  Table t3({"N", "lambda+ (QR)", "lambda+ = -1/(4N+1)", "stable"});
+  for (std::size_t n : {2u, 5u, 10u, 20u, 50u}) {
+    const auto s = BottleneckScenario::uniform(n, cap, 0.035);
+    const auto report = analyze(bbrv1_shallow_jacobian(s));
+    t3.add_row({std::to_string(n),
+                format_double(report.spectral_abscissa, 5),
+                format_double(-1.0 / (4.0 * double(n) + 1.0), 5),
+                report.asymptotically_stable ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t3.to_string().c_str());
+
+  std::printf("%s", banner("Theorem 5 — BBRv2 (x_1..x_N, q) system").c_str());
+  Table t5({"N", "d[s]", "lambda+ (QR)", "lambda+ (Eq.71 family)", "stable"});
+  for (std::size_t n : {2u, 5u, 10u, 20u}) {
+    for (double d : {0.01, 0.035, 0.2}) {
+      const auto s = BottleneckScenario::uniform(n, cap, d);
+      const auto report = analyze(bbrv2_jacobian(s));
+      const auto predicted = bbrv2_eigenvalues(s);
+      t5.add_row({std::to_string(n), format_double(d, 3),
+                  format_double(report.spectral_abscissa, 5),
+                  format_double(predicted.front().real(), 5),
+                  report.asymptotically_stable ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", t5.to_string().c_str());
+
+  shape("Every Jacobian spectrum is strictly in the left half-plane and "
+        "matches the paper's closed forms — BBRv1 and BBRv2 equilibria are "
+        "asymptotically stable (Theorems 2 & 5).");
+  return 0;
+}

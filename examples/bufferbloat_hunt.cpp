@@ -1,0 +1,61 @@
+// bufferbloat_hunt — explore Insight 5: how distorted start-up estimates of
+// inflight_hi make BBRv2 bloat deep drop-tail buffers.
+//
+// Sweeps the buffer size and the initial-condition distortion of the fluid
+// model's w_hi/x^btl, and shows the packet experiment (whose startup phase
+// produces the distortion natively) alongside.
+//
+// Usage: bufferbloat_hunt [num_flows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace bbrmodel;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+
+  std::printf("Insight 5 hunt: BBRv2 x%zu, drop-tail, 100 Mbps, 5 s\n", n);
+  std::printf("distortion = startup bandwidth overestimate factor "
+              "(1.0 = clean)\n\n");
+
+  Table table({"buffer[BDP]", "distortion", "model occ[%]", "model q[BDP]",
+               "model util[%]", "exp occ[%]", "exp q[BDP]"});
+  for (double buffer : {1.0, 3.0, 5.0, 7.0}) {
+    for (double distortion : {1.0, 1.5, 2.5}) {
+      scenario::ExperimentSpec spec;
+      spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv2, n);
+      spec.capacity_pps = mbps_to_pps(100.0);
+      spec.buffer_bdp = buffer;
+      spec.duration_s = 5.0;
+      if (distortion != 1.0) {
+        spec.bbr_init = [&spec, distortion](std::size_t) {
+          core::BbrInit init;
+          init.btl_estimate_pps =
+              distortion * spec.capacity_pps /
+              static_cast<double>(spec.mix.flows.size());
+          init.inflight_hi_pkts = 1e9;  // never set during "startup"
+          return init;
+        };
+      }
+      const auto model = scenario::run_fluid(spec);
+      const auto exp = scenario::run_packet(spec);
+      table.add_row({format_double(buffer, 0), format_double(distortion, 1),
+                     format_double(model.occupancy_pct, 1),
+                     format_double(model.occupancy_pct / 100.0 * buffer, 2),
+                     format_double(model.utilization_pct, 1),
+                     format_double(exp.occupancy_pct, 1),
+                     format_double(exp.occupancy_pct / 100.0 * buffer, 2)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: with a clean start the model's absolute queue stays small\n"
+      "at every buffer size; with distorted startup estimates it grows with\n"
+      "the buffer (no loss ever disciplines the bounds) — the paper's\n"
+      "Insight 5. The experiment column shows the native startup effect.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// cca_shootout — run any CCA mix through both simulators and print the
+// paper's five metrics plus per-flow rates.
+//
+// Usage:
+//   cca_shootout [mixA[/mixB]] [buffer_bdp] [droptail|red] [duration_s] [N]
+// Examples:
+//   cca_shootout BBRv1/RENO 1 droptail 5 10
+//   cca_shootout BBRv2 4 red 10 4
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace bbrmodel;
+
+scenario::CcaKind parse_kind(const std::string& s) {
+  if (s == "RENO" || s == "reno") return scenario::CcaKind::kReno;
+  if (s == "CUBIC" || s == "cubic") return scenario::CcaKind::kCubic;
+  if (s == "BBRv1" || s == "bbr1" || s == "bbrv1")
+    return scenario::CcaKind::kBbrv1;
+  if (s == "BBRv2" || s == "bbr2" || s == "bbrv2")
+    return scenario::CcaKind::kBbrv2;
+  std::fprintf(stderr, "unknown CCA '%s' (use RENO, CUBIC, BBRv1, BBRv2)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bbrmodel;
+
+  const std::string mix_arg = argc > 1 ? argv[1] : "BBRv1/RENO";
+  const double buffer = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const std::string disc_arg = argc > 3 ? argv[3] : "droptail";
+  const double duration = argc > 4 ? std::atof(argv[4]) : 5.0;
+  const std::size_t n = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 10;
+
+  scenario::ExperimentSpec spec;
+  const auto slash = mix_arg.find('/');
+  if (slash == std::string::npos) {
+    spec.mix = scenario::homogeneous(parse_kind(mix_arg), n);
+  } else {
+    spec.mix = scenario::half_half(parse_kind(mix_arg.substr(0, slash)),
+                                   parse_kind(mix_arg.substr(slash + 1)), n);
+  }
+  spec.capacity_pps = mbps_to_pps(100.0);
+  spec.buffer_bdp = buffer;
+  spec.discipline = disc_arg == "red" ? net::Discipline::kRed
+                                      : net::Discipline::kDropTail;
+  spec.duration_s = duration;
+
+  std::printf("mix=%s N=%zu buffer=%.1f BDP discipline=%s duration=%.1f s\n\n",
+              spec.mix.label.c_str(), spec.mix.flows.size(), buffer,
+              net::to_string(spec.discipline).c_str(), duration);
+
+  const auto model = scenario::run_fluid(spec);
+  const auto experiment = scenario::run_packet(spec);
+
+  Table summary({"metric", "fluid model", "packet experiment"});
+  summary.add_row({"Jain fairness", format_double(model.jain),
+                   format_double(experiment.jain)});
+  summary.add_row({"loss [%]", format_double(model.loss_pct, 2),
+                   format_double(experiment.loss_pct, 2)});
+  summary.add_row({"buffer occupancy [%]",
+                   format_double(model.occupancy_pct, 1),
+                   format_double(experiment.occupancy_pct, 1)});
+  summary.add_row({"utilization [%]", format_double(model.utilization_pct, 1),
+                   format_double(experiment.utilization_pct, 1)});
+  summary.add_row({"jitter [ms]", format_double(model.jitter_ms),
+                   format_double(experiment.jitter_ms)});
+  std::printf("%s\n", summary.to_string().c_str());
+
+  Table rates({"flow", "CCA", "model [Mbps]", "experiment [Mbps]"});
+  for (std::size_t i = 0; i < spec.mix.flows.size(); ++i) {
+    rates.add_row({std::to_string(i),
+                   scenario::to_string(spec.mix.flows[i]),
+                   format_double(pps_to_mbps(model.mean_rate_pps[i]), 1),
+                   format_double(pps_to_mbps(experiment.mean_rate_pps[i]), 1)});
+  }
+  std::printf("%s", rates.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one BBRv1 flow on a 100 Mbps dumbbell with both the
+// fluid model and the packet-level simulator, and print the paper's five
+// aggregate metrics side by side.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "scenario/scenario.h"
+
+int main() {
+  using namespace bbrmodel;
+
+  scenario::ExperimentSpec spec;
+  spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv1, 1);
+  spec.capacity_pps = mbps_to_pps(100.0);  // 100 Mbps bottleneck
+  spec.bottleneck_delay_s = 0.010;         // 10 ms one-way
+  spec.min_rtt_s = 0.0312;                 // §4.2 set-up: access delay 5.6 ms
+  spec.max_rtt_s = 0.0312;
+  spec.buffer_bdp = 1.0;                   // 1 BDP drop-tail buffer
+  spec.duration_s = 5.0;
+
+  std::printf("Simulating 1 BBRv1 flow, 100 Mbps, 31.2 ms RTT, 1 BDP "
+              "drop-tail buffer, 5 s...\n\n");
+
+  const auto model = scenario::run_fluid(spec);
+  const auto experiment = scenario::run_packet(spec);
+
+  Table table({"metric", "fluid model", "packet experiment"});
+  table.add_row({"Jain fairness", format_double(model.jain),
+                 format_double(experiment.jain)});
+  table.add_row({"loss [%]", format_double(model.loss_pct),
+                 format_double(experiment.loss_pct)});
+  table.add_row({"buffer occupancy [%]", format_double(model.occupancy_pct),
+                 format_double(experiment.occupancy_pct)});
+  table.add_row({"utilization [%]", format_double(model.utilization_pct),
+                 format_double(experiment.utilization_pct)});
+  table.add_row({"jitter [ms]", format_double(model.jitter_ms),
+                 format_double(experiment.jitter_ms)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Mean sending rate (model):      %.1f Mbps\n",
+              pps_to_mbps(model.mean_rate_pps.at(0)));
+  std::printf("Mean sending rate (experiment): %.1f Mbps\n",
+              pps_to_mbps(experiment.mean_rate_pps.at(0)));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/equilibrium.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::analysis {
+namespace {
+
+void require_uniform_delay(const BottleneckScenario& s) {
+  const double d = s.prop_delay_s.front();
+  for (double di : s.prop_delay_s) {
+    BBRM_REQUIRE_MSG(std::abs(di - d) < 1e-12,
+                     "closed-form equilibria assume a uniform delay");
+  }
+}
+
+}  // namespace
+
+Bbrv1DeepEquilibrium bbrv1_deep_equilibrium(const BottleneckScenario& s) {
+  require_uniform_delay(s);
+  const double d = s.prop_delay_s.front();
+  const auto n = static_cast<double>(s.num_senders());
+  Bbrv1DeepEquilibrium eq;
+  eq.queue_pkts = d * s.capacity_pps;  // Thm. 1: queuing delay = prop delay
+  eq.btl_pps.assign(s.num_senders(), s.capacity_pps / n);
+  eq.required_buffer_pkts = eq.queue_pkts;
+  return eq;
+}
+
+Bbrv1ShallowEquilibrium bbrv1_shallow_equilibrium(
+    const BottleneckScenario& s) {
+  const auto n = static_cast<double>(s.num_senders());
+  Bbrv1ShallowEquilibrium eq;
+  eq.btl_pps = 5.0 * s.capacity_pps / (4.0 * n + 1.0);  // Thm. 3
+  eq.aggregate_pps = n * eq.btl_pps;
+  eq.loss_rate = n > 1.0 ? (eq.aggregate_pps - s.capacity_pps) /
+                               eq.aggregate_pps
+                         : 0.0;  // (N−1)/(5N)
+  return eq;
+}
+
+Bbrv2Equilibrium bbrv2_equilibrium(const BottleneckScenario& s) {
+  require_uniform_delay(s);
+  const double d = s.prop_delay_s.front();
+  const auto n = static_cast<double>(s.num_senders());
+  Bbrv2Equilibrium eq;
+  eq.queue_pkts = (n - 1.0) / (4.0 * n + 1.0) * d * s.capacity_pps;  // Thm. 4
+  eq.rate_pps = s.capacity_pps / n;
+  eq.btl_pps = 5.0 * s.capacity_pps / (4.0 * n + 1.0);
+  eq.delta = (4.0 * n + 1.0) / (5.0 * n);
+  return eq;
+}
+
+double bbrv2_buffer_reduction(std::size_t num_senders) {
+  const auto n = static_cast<double>(num_senders);
+  return 1.0 - (n - 1.0) / (4.0 * n + 1.0);
+}
+
+std::vector<double> bbrv1_deep_equilibrium_state(const BottleneckScenario& s) {
+  const auto eq = bbrv1_deep_equilibrium(s);
+  std::vector<double> state = eq.btl_pps;
+  state.push_back(eq.queue_pkts);
+  return state;
+}
+
+std::vector<double> bbrv1_shallow_equilibrium_state(
+    const BottleneckScenario& s) {
+  const auto eq = bbrv1_shallow_equilibrium(s);
+  return std::vector<double>(s.num_senders(), eq.btl_pps);
+}
+
+std::vector<double> bbrv2_equilibrium_state(const BottleneckScenario& s) {
+  const auto eq = bbrv2_equilibrium(s);
+  std::vector<double> state(s.num_senders(), eq.rate_pps);
+  state.push_back(eq.queue_pkts);
+  return state;
+}
+
+}  // namespace bbrmodel::analysis

@@ -1,0 +1,53 @@
+// Closed-form equilibria of the reduced BBR models (paper Theorems 1, 3, 4).
+#pragma once
+
+#include <vector>
+
+#include "analysis/reduced_models.h"
+
+namespace bbrmodel::analysis {
+
+/// Theorem 1 (BBRv1, deep buffer): equilibrium requires the queuing delay to
+/// equal the propagation delay for every sender; with a single queued link
+/// and uniform delay d that means q* = d·C. Rate splits are arbitrary
+/// subject to Σ x^btl = C; this returns the canonical fair split.
+struct Bbrv1DeepEquilibrium {
+  double queue_pkts = 0.0;            ///< q* = d·C
+  std::vector<double> btl_pps;        ///< fair split C/N (one valid choice)
+  double required_buffer_pkts = 0.0;  ///< buffer needed to hold q*
+};
+Bbrv1DeepEquilibrium bbrv1_deep_equilibrium(const BottleneckScenario& s);
+
+/// Theorem 3 (BBRv1, shallow buffer): unique, perfectly fair equilibrium
+/// x^btl_i = 5C/(4N+1); the aggregate exceeds capacity, producing a loss
+/// rate of (N−1)/(5N) (→ 20 % as N → ∞).
+struct Bbrv1ShallowEquilibrium {
+  double btl_pps = 0.0;        ///< x* = 5C/(4N+1)
+  double aggregate_pps = 0.0;  ///< N·x* = 5NC/(4N+1)
+  double loss_rate = 0.0;      ///< (y − C)/y = (N−1)/(5N)
+};
+Bbrv1ShallowEquilibrium bbrv1_shallow_equilibrium(const BottleneckScenario& s);
+
+/// Theorem 4 (BBRv2): perfectly fair equilibrium with
+///   q* = (N−1)/(4N+1)·d·C,  x_i = C/N,  x^btl_i = 5C/(4N+1),
+///   δ* = (4N+1)/(5N).
+struct Bbrv2Equilibrium {
+  double queue_pkts = 0.0;   ///< q*
+  double rate_pps = 0.0;     ///< sending rate C/N
+  double btl_pps = 0.0;      ///< bandwidth estimate 5C/(4N+1)
+  double delta = 0.0;        ///< δ* = (4N+1)/(5N)
+};
+Bbrv2Equilibrium bbrv2_equilibrium(const BottleneckScenario& s);
+
+/// §5.2.2: BBRv2's equilibrium queue relative to BBRv1's, 1 − (N−1)/(4N+1).
+/// Approaches 75 % reduction from below as N → ∞ (i.e., reduction ≥ 75 %).
+double bbrv2_buffer_reduction(std::size_t num_senders);
+
+/// State vectors (matching the reduced-model layouts) at the equilibria, for
+/// convergence probes and Jacobian evaluation.
+std::vector<double> bbrv1_deep_equilibrium_state(const BottleneckScenario& s);
+std::vector<double> bbrv1_shallow_equilibrium_state(
+    const BottleneckScenario& s);
+std::vector<double> bbrv2_equilibrium_state(const BottleneckScenario& s);
+
+}  // namespace bbrmodel::analysis

@@ -1,0 +1,124 @@
+#include "analysis/jacobian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::analysis {
+namespace {
+
+double uniform_delay(const BottleneckScenario& s) {
+  const double d = s.prop_delay_s.front();
+  for (double di : s.prop_delay_s) {
+    BBRM_REQUIRE_MSG(std::abs(di - d) < 1e-12,
+                     "analytic Jacobians assume a uniform delay");
+  }
+  return d;
+}
+
+void sort_spectrum(std::vector<linalg::Complex>& eigs) {
+  std::sort(eigs.begin(), eigs.end(),
+            [](const linalg::Complex& a, const linalg::Complex& b) {
+              if (a.real() != b.real()) return a.real() > b.real();
+              return a.imag() > b.imag();
+            });
+}
+
+}  // namespace
+
+linalg::Matrix numeric_jacobian(const ode::OdeRhs& rhs,
+                                const std::vector<double>& state,
+                                double eps) {
+  const std::size_t n = state.size();
+  BBRM_REQUIRE(n > 0);
+  linalg::Matrix jac(n, n);
+  std::vector<double> plus(n), minus(n), x = state;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double h = eps * std::max(1.0, std::abs(state[k]));
+    const double saved = x[k];
+    x[k] = saved + h;
+    rhs(0.0, x, plus);
+    x[k] = saved - h;
+    rhs(0.0, x, minus);
+    x[k] = saved;
+    for (std::size_t r = 0; r < n; ++r) {
+      jac(r, k) = (plus[r] - minus[r]) / (2.0 * h);
+    }
+  }
+  return jac;
+}
+
+linalg::Matrix bbrv1_aggregate_jacobian(const BottleneckScenario& s) {
+  const double d = uniform_delay(s);
+  return linalg::Matrix{{-1.0 / (2.0 * d) - 1.0, -1.0 / (2.0 * d)},
+                        {1.0, 0.0}};
+}
+
+std::vector<linalg::Complex> bbrv1_aggregate_eigenvalues(
+    const BottleneckScenario& s) {
+  const double d = uniform_delay(s);
+  std::vector<linalg::Complex> eigs = {{-1.0, 0.0}, {-1.0 / (2.0 * d), 0.0}};
+  sort_spectrum(eigs);
+  return eigs;
+}
+
+linalg::Matrix bbrv1_shallow_jacobian(const BottleneckScenario& s) {
+  const auto n = s.num_senders();
+  const auto nd = static_cast<double>(n);
+  const double jii = -5.0 / (4.0 * nd + 1.0);
+  const double jij = -4.0 / (4.0 * nd + 1.0);
+  linalg::Matrix jac(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) jac(r, c) = r == c ? jii : jij;
+  }
+  return jac;
+}
+
+std::vector<linalg::Complex> bbrv1_shallow_eigenvalues(
+    const BottleneckScenario& s) {
+  const auto n = s.num_senders();
+  const auto nd = static_cast<double>(n);
+  std::vector<linalg::Complex> eigs;
+  eigs.emplace_back(-1.0, 0.0);  // J_ii + (N−1)·J_ij
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    eigs.emplace_back(-1.0 / (4.0 * nd + 1.0), 0.0);  // J_ii − J_ij
+  }
+  sort_spectrum(eigs);
+  return eigs;
+}
+
+linalg::Matrix bbrv2_jacobian(const BottleneckScenario& s) {
+  const double d = uniform_delay(s);
+  const auto n = s.num_senders();
+  const auto nd = static_cast<double>(n);
+  const double shared = -(4.0 * nd + 1.0) / (5.0 * nd * nd * d);
+  const double jii = shared - 5.0 / (4.0 * nd + 1.0);
+  const double jij = shared - 4.0 / (4.0 * nd + 1.0);
+  const double jiq = shared;
+  linalg::Matrix jac(n + 1, n + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) jac(r, c) = r == c ? jii : jij;
+    jac(r, n) = jiq;
+    jac(n, r) = 1.0;  // ∂q̇/∂x_i
+  }
+  jac(n, n) = 0.0;
+  return jac;
+}
+
+std::vector<linalg::Complex> bbrv2_eigenvalues(const BottleneckScenario& s) {
+  const double d = uniform_delay(s);
+  const auto n = s.num_senders();
+  const auto nd = static_cast<double>(n);
+  std::vector<linalg::Complex> eigs;
+  // Collapsed quadratic (Eq. 71): (λ + 1)(λ + (4N+1)/(5Nd)) = 0.
+  eigs.emplace_back(-1.0, 0.0);
+  eigs.emplace_back(-(4.0 * nd + 1.0) / (5.0 * nd * d), 0.0);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    eigs.emplace_back(-1.0 / (4.0 * nd + 1.0), 0.0);  // J_ii − J_ij family
+  }
+  sort_spectrum(eigs);
+  return eigs;
+}
+
+}  // namespace bbrmodel::analysis

@@ -1,0 +1,47 @@
+// Jacobians of the reduced models: numeric (central differences) and the
+// paper's analytic forms at the equilibria (Eqs. 47–48, 52–54, 61–67).
+#pragma once
+
+#include "analysis/reduced_models.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "ode/steppers.h"
+
+namespace bbrmodel::analysis {
+
+/// Central-difference Jacobian of `rhs` at `state` (step per coordinate:
+/// eps·max(1, |state_k|)).
+linalg::Matrix numeric_jacobian(const ode::OdeRhs& rhs,
+                                const std::vector<double>& state,
+                                double eps = 1e-6);
+
+/// Analytic Jacobian of the BBRv1 aggregate (y, q) system at its equilibrium
+/// (Eq. 48):  [[−1/(2d) − 1, −1/(2d)], [1, 0]].
+linalg::Matrix bbrv1_aggregate_jacobian(const BottleneckScenario& s);
+
+/// Predicted eigenvalues of Eq. (48): {−1, −1/(2d)} (Eq. 49 case split).
+std::vector<linalg::Complex> bbrv1_aggregate_eigenvalues(
+    const BottleneckScenario& s);
+
+/// Analytic Jacobian of the BBRv1 shallow-buffer system at its fair
+/// equilibrium (Eqs. 52–53): J_ii = −5/(4N+1), J_ij = −4/(4N+1).
+linalg::Matrix bbrv1_shallow_jacobian(const BottleneckScenario& s);
+
+/// Predicted spectrum of the shallow-buffer Jacobian:
+/// −1/(4N+1) with multiplicity N−1, and −1.
+std::vector<linalg::Complex> bbrv1_shallow_eigenvalues(
+    const BottleneckScenario& s);
+
+/// Analytic Jacobian of the BBRv2 (x_1..x_N, q) system at the Thm. 4
+/// equilibrium (Eqs. 65–67):
+///   J_ii = −(4N+1)/(5N²d) − 5/(4N+1),
+///   J_ij = −(4N+1)/(5N²d) − 4/(4N+1),
+///   J_iq = −(4N+1)/(5N²d),   ∂q̇/∂x_i = 1,  ∂q̇/∂q = 0.
+linalg::Matrix bbrv2_jacobian(const BottleneckScenario& s);
+
+/// Predicted spectrum of the BBRv2 Jacobian: −1/(4N+1) with multiplicity
+/// N−1, plus the roots {−1, −(4N+1)/(5Nd)} of the collapsed quadratic
+/// (Eq. 71).
+std::vector<linalg::Complex> bbrv2_eigenvalues(const BottleneckScenario& s);
+
+}  // namespace bbrmodel::analysis

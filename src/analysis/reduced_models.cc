@@ -1,0 +1,160 @@
+#include "analysis/reduced_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::analysis {
+namespace {
+
+/// Suppress outward drift at the queue boundaries: at q ≤ 0 no negative
+/// drift, at q ≥ B (if bounded) no positive drift. Keeps the ODE system
+/// well-posed without an explicit projection step.
+double bounded_queue_drift(double drift, double q, double buffer) {
+  if (q <= 0.0 && drift < 0.0) return 0.0;
+  if (buffer >= 0.0 && q >= buffer && drift > 0.0) return 0.0;
+  return drift;
+}
+
+}  // namespace
+
+BottleneckScenario BottleneckScenario::uniform(std::size_t n,
+                                               double capacity_pps,
+                                               double prop_delay_s,
+                                               double buffer_pkts) {
+  BBRM_REQUIRE(n > 0);
+  BBRM_REQUIRE(capacity_pps > 0.0);
+  BBRM_REQUIRE(prop_delay_s > 0.0);
+  BottleneckScenario s;
+  s.capacity_pps = capacity_pps;
+  s.prop_delay_s.assign(n, prop_delay_s);
+  s.buffer_pkts = buffer_pkts;
+  return s;
+}
+
+double window_factor_v1(double prop_delay_s, double queue_pkts,
+                        double capacity_pps) {
+  return 2.0 * prop_delay_s /
+         (prop_delay_s + std::max(0.0, queue_pkts) / capacity_pps);
+}
+
+double window_factor_v2(double prop_delay_s, double queue_pkts,
+                        double capacity_pps) {
+  return prop_delay_s /
+         (prop_delay_s + std::max(0.0, queue_pkts) / capacity_pps);
+}
+
+ode::OdeRhs bbrv1_reduced_rhs(const BottleneckScenario& scenario) {
+  BBRM_REQUIRE_MSG(scenario.num_senders() > 0, "need at least one sender");
+  const BottleneckScenario s = scenario;  // captured by value
+  return [s](double /*t*/, const std::vector<double>& x,
+             std::vector<double>& dxdt) {
+    const std::size_t n = s.num_senders();
+    BBRM_REQUIRE(x.size() == n + 1);
+    const double c = s.capacity_pps;
+    const double q = std::max(0.0, x[n]);
+
+    // Background rates min(1, Δ_j)·x_j and their total (Eq. 33 denominator).
+    double total_bg = 0.0;
+    std::vector<double> bg(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double delta = window_factor_v1(s.prop_delay_s[j], q, c);
+      bg[j] = std::min(1.0, delta) * std::max(0.0, x[j]);
+      total_bg += bg[j];
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = window_factor_v1(s.prop_delay_s[i], q, c);
+      const double probe = std::min(1.25, delta) * std::max(0.0, x[i]);
+      double x_max;
+      if (q > 0.0) {
+        const double denom = probe + (total_bg - bg[i]);
+        x_max = denom > 0.0 ? probe * c / denom : probe;
+      } else {
+        x_max = probe;
+      }
+      dxdt[i] = x_max - x[i];  // Eq. (34)
+    }
+    dxdt[n] = bounded_queue_drift(total_bg - c, q, s.buffer_pkts);
+  };
+}
+
+ode::OdeRhs bbrv1_shallow_rhs(const BottleneckScenario& scenario) {
+  BBRM_REQUIRE_MSG(scenario.num_senders() > 0, "need at least one sender");
+  const BottleneckScenario s = scenario;
+  return [s](double /*t*/, const std::vector<double>& x,
+             std::vector<double>& dxdt) {
+    const std::size_t n = s.num_senders();
+    BBRM_REQUIRE(x.size() == n);
+    const double c = s.capacity_pps;
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) total += std::max(0.0, x[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = std::max(0.0, x[i]);
+      const double denom = 1.25 * xi + (total - xi);
+      const double x_max = denom > 0.0 ? 1.25 * xi * c / denom : 1.25 * xi;
+      dxdt[i] = x_max - x[i];  // Eq. (50) regime
+    }
+  };
+}
+
+ode::OdeRhs bbrv1_aggregate_rhs(const BottleneckScenario& scenario) {
+  BBRM_REQUIRE_MSG(scenario.num_senders() > 0, "need at least one sender");
+  const double d = scenario.prop_delay_s.front();
+  for (double di : scenario.prop_delay_s) {
+    BBRM_REQUIRE_MSG(std::abs(di - d) < 1e-12,
+                     "aggregate model requires a uniform propagation delay");
+  }
+  const double c = scenario.capacity_pps;
+  const double buffer = scenario.buffer_pkts;
+  return [c, d, buffer](double /*t*/, const std::vector<double>& x,
+                        std::vector<double>& dxdt) {
+    BBRM_REQUIRE(x.size() == 2);
+    const double y = std::max(0.0, x[0]);
+    const double q = std::max(0.0, x[1]);
+    const double lat = d + q / c;  // d + q/C
+    const double delta = 2.0 * d / lat;
+    // Eq. (46).
+    dxdt[0] = -y * y / (c * lat) + (1.0 / lat - 1.0) * y + delta * c;
+    // Eq. (45).
+    dxdt[1] = bounded_queue_drift(y - c, q, buffer);
+  };
+}
+
+ode::OdeRhs bbrv2_reduced_rhs(const BottleneckScenario& scenario) {
+  BBRM_REQUIRE_MSG(scenario.num_senders() > 0, "need at least one sender");
+  const BottleneckScenario s = scenario;
+  return [s](double /*t*/, const std::vector<double>& x,
+             std::vector<double>& dxdt) {
+    const std::size_t n = s.num_senders();
+    BBRM_REQUIRE(x.size() == n + 1);
+    const double c = s.capacity_pps;
+    const double q = std::max(0.0, x[n]);
+
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) total += std::max(0.0, x[j]);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = std::max(0.0, x[i]);
+      const double lat = s.prop_delay_s[i] + q / c;
+      const double delta = s.prop_delay_s[i] / lat;
+      const double denom = 1.25 * xi + (total - xi);
+      const double probe_gain =
+          denom > 0.0 ? 1.25 * delta * c / denom : 1.25 * delta;
+      // Eq. (59).
+      dxdt[i] = ((c - total) / (c * lat) + probe_gain - 1.0) * xi;
+    }
+    // Eq. (60).
+    dxdt[n] = bounded_queue_drift(total - c, q, s.buffer_pkts);
+  };
+}
+
+std::vector<double> eval_rhs(const ode::OdeRhs& rhs,
+                             const std::vector<double>& state) {
+  std::vector<double> out(state.size(), 0.0);
+  rhs(0.0, state, out);
+  return out;
+}
+
+}  // namespace bbrmodel::analysis

@@ -1,0 +1,74 @@
+// Reduced BBR fluid models for theoretical analysis (paper §5.1.1, §5.2.1).
+//
+// The full fluid models (src/core) contain delays, pulses, and mode
+// variables; for stability analysis the paper condenses them into ordinary
+// differential systems:
+//
+//   BBRv1 (deep buffer, Eqs. 33–34):  states {x^btl_i}, q
+//     ẋ^btl_i = x^max_i − x^btl_i,   q̇ = Σ_j min(1, Δ_j)·x^btl_j − C,
+//     Δ_i = 2·d_i / (d_i + q/C).
+//
+//   BBRv1 (shallow buffer, Thm. 3):   states {x^btl_i}, q ≡ B (full)
+//     ẋ_i = 5/4·x_i·C / (5/4·x_i + Σ_{j≠i} x_j) − x_i.
+//
+//   BBRv1 aggregate (Thm. 2 proof, Eqs. 44–46): states y, q
+//     ẏ = −y²/(C·(d + q/C)) + (1/(d + q/C) − 1)·y + Δ(q)·C,
+//     q̇ = y − C.
+//
+//   BBRv2 (Eqs. 59–60):               states {x_i}, q
+//     ẋ_i = [ (C − Σ_k x_k)/(C·(d + q/C))
+//             + (5/4·δ·C)/(5/4·x_i + Σ_{j≠i} x_j) − 1 ]·x_i,
+//     q̇ = Σ_i x_i − C,   δ = d/(d + q/C).
+//
+// All right-hand sides are exposed as ode::OdeRhs over plain state vectors
+// so they can be integrated, probed for equilibria, and differentiated
+// numerically.
+#pragma once
+
+#include <vector>
+
+#include "ode/steppers.h"
+
+namespace bbrmodel::analysis {
+
+/// A single-bottleneck scenario: N senders, one shared link.
+struct BottleneckScenario {
+  double capacity_pps = 0.0;            ///< C_ℓ*
+  std::vector<double> prop_delay_s;     ///< d_i per sender (RTT propagation)
+  double buffer_pkts = -1.0;            ///< B_ℓ*; negative = unbounded
+
+  std::size_t num_senders() const { return prop_delay_s.size(); }
+  /// Scenario with a common propagation delay d for all senders.
+  static BottleneckScenario uniform(std::size_t n, double capacity_pps,
+                                    double prop_delay_s,
+                                    double buffer_pkts = -1.0);
+};
+
+/// Δ_i = 2 d_i / (d_i + q/C): the BBRv1 congestion-window rate factor.
+double window_factor_v1(double prop_delay_s, double queue_pkts,
+                        double capacity_pps);
+
+/// δ_i = d_i / (d_i + q/C): the BBRv2 window rate factor (= Δ_i / 2).
+double window_factor_v2(double prop_delay_s, double queue_pkts,
+                        double capacity_pps);
+
+/// BBRv1 reduced model. State layout: [x^btl_0 … x^btl_{N−1}, q].
+/// Implements Eqs. (33)–(34) with the queue clamped at 0 (and at B if
+/// bounded) through one-sided drift suppression.
+ode::OdeRhs bbrv1_reduced_rhs(const BottleneckScenario& scenario);
+
+/// BBRv1 shallow-buffer model (Thm. 3 regime). State layout: [x_0 … x_{N−1}].
+ode::OdeRhs bbrv1_shallow_rhs(const BottleneckScenario& scenario);
+
+/// BBRv1 aggregate 2-state model from the proof of Thm. 2 (Eqs. 44–46);
+/// requires a uniform propagation delay. State layout: [y, q].
+ode::OdeRhs bbrv1_aggregate_rhs(const BottleneckScenario& scenario);
+
+/// BBRv2 reduced model (Eqs. 59–60). State layout: [x_0 … x_{N−1}, q].
+ode::OdeRhs bbrv2_reduced_rhs(const BottleneckScenario& scenario);
+
+/// Evaluate a right-hand side once (convenience for equilibrium residuals).
+std::vector<double> eval_rhs(const ode::OdeRhs& rhs,
+                             const std::vector<double>& state);
+
+}  // namespace bbrmodel::analysis

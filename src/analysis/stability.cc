@@ -1,0 +1,61 @@
+#include "analysis/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "ode/steppers.h"
+
+namespace bbrmodel::analysis {
+
+StabilityReport analyze(const linalg::Matrix& jacobian) {
+  StabilityReport report;
+  const auto eig = linalg::eigenvalues(jacobian);
+  report.eigenvalues = eig.values;
+  report.spectral_abscissa = linalg::spectral_abscissa(eig.values);
+  report.asymptotically_stable =
+      eig.converged && report.spectral_abscissa < 0.0;
+  return report;
+}
+
+ConvergenceProbe probe_convergence(const ode::OdeRhs& rhs,
+                                   const std::vector<double>& equilibrium,
+                                   double perturbation_frac, double t_end,
+                                   double step, double tolerance_frac) {
+  BBRM_REQUIRE_MSG(!equilibrium.empty(), "empty equilibrium");
+  BBRM_REQUIRE(step > 0.0 && t_end > 0.0);
+
+  ConvergenceProbe probe;
+  std::vector<double> x = equilibrium;
+  // Asymmetric perturbation: alternate up/down so the disturbance is not a
+  // pure rescaling (which could hide directional instabilities).
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    x[k] *= 1.0 + sign * perturbation_frac;
+  }
+
+  auto distance = [&](const std::vector<double>& v) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      const double dd = v[k] - equilibrium[k];
+      acc += dd * dd;
+    }
+    return std::sqrt(acc);
+  };
+  probe.initial_distance = distance(x);
+
+  double t = 0.0;
+  while (t < t_end) {
+    ode::rk4_step(rhs, t, step, x);
+    for (double& v : x) v = std::max(0.0, v);  // rates/queues stay physical
+    t += step;
+  }
+
+  probe.final_state = x;
+  probe.final_distance = distance(x);
+  const double scale = linalg::norm2(equilibrium);
+  probe.converged = probe.final_distance <= tolerance_frac * std::max(1.0, scale);
+  return probe;
+}
+
+}  // namespace bbrmodel::analysis

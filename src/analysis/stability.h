@@ -1,0 +1,48 @@
+// Stability verdicts and convergence probes (paper §5, Theorems 2 & 5).
+//
+// The indirect Lyapunov method: an equilibrium of ẋ = f(x) is locally
+// asymptotically stable if every eigenvalue of ∂f/∂x at the equilibrium has
+// a negative real part. `analyze` renders the verdict for a Jacobian;
+// `probe_convergence` additionally integrates the nonlinear system from a
+// perturbed start and reports whether it returns to the equilibrium —
+// a numerical cross-check of the local result.
+#pragma once
+
+#include <vector>
+
+#include "analysis/reduced_models.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace bbrmodel::analysis {
+
+/// Lyapunov-indirect-method verdict for one Jacobian.
+struct StabilityReport {
+  std::vector<linalg::Complex> eigenvalues;  ///< sorted, descending real part
+  double spectral_abscissa = 0.0;            ///< max real part
+  bool asymptotically_stable = false;        ///< spectral abscissa < 0
+};
+
+/// Compute the spectrum of a Jacobian and render the verdict.
+StabilityReport analyze(const linalg::Matrix& jacobian);
+
+/// Result of integrating the nonlinear system from a perturbed start.
+struct ConvergenceProbe {
+  double initial_distance = 0.0;  ///< ‖x(0) − x*‖₂
+  double final_distance = 0.0;    ///< ‖x(T) − x*‖₂
+  bool converged = false;         ///< final distance < tolerance
+  std::vector<double> final_state;
+};
+
+/// Integrate `rhs` from equilibrium·(1 + perturbation) for `t_end` seconds
+/// (RK4, fixed step) and measure the remaining distance.
+///
+/// @param nonneg_indices state components clamped at ≥ 0 after each step
+///        (queues and rates).
+ConvergenceProbe probe_convergence(const ode::OdeRhs& rhs,
+                                   const std::vector<double>& equilibrium,
+                                   double perturbation_frac, double t_end,
+                                   double step,
+                                   double tolerance_frac = 0.01);
+
+}  // namespace bbrmodel::analysis

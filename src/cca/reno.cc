@@ -1,0 +1,66 @@
+#include "cca/reno.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "ode/smooth.h"
+
+namespace bbrmodel::cca {
+
+RenoFluid::RenoFluid(double initial_window_pkts)
+    : initial_window_(initial_window_pkts) {
+  BBRM_REQUIRE_MSG(initial_window_pkts >= 1.0,
+                   "initial window must be at least one segment");
+}
+
+void RenoFluid::init(const core::AgentContext& ctx) {
+  ctx_ = ctx;
+  window_ = initial_window_;
+  slow_start_ = ctx.config == nullptr || ctx.config->loss_based_slow_start;
+}
+
+double RenoFluid::sending_rate(const core::AgentInputs& in) const {
+  BBRM_REQUIRE_MSG(in.rtt > 0.0, "RTT must be positive");
+  return window_ / in.rtt;  // Eq. (8)
+}
+
+void RenoFluid::advance(const core::AgentInputs& in, double current_rate,
+                        double h) {
+  (void)current_rate;
+  const double eps =
+      ctx_.config != nullptr ? ctx_.config->loss_indicator_eps : 1e-3;
+
+  if (slow_start_) {
+    // Fluid slow start: one extra segment per ACK → ẇ = x(t−d^p)·(1−p),
+    // i.e. the window doubles every RTT (DESIGN.md §5.10).
+    if (in.loss_delayed > eps) {
+      slow_start_ = false;
+      window_ = std::max(1.0, window_ / 2.0);  // multiplicative decrease
+    } else {
+      window_ += h * in.rate_delayed * (1.0 - in.loss_delayed);
+      return;
+    }
+  }
+
+  // Eq. (39); the delayed rate/loss pair represents ACK feedback arriving now
+  // for traffic sent one RTT ago. The loss intensity x·p (lost packets per
+  // second) is capped at one congestion event per RTT (DESIGN.md §5.11):
+  // literal Eq. (39) halves per lost packet, which under burst loss
+  // collapses the window far below what a real sender (one reduction per
+  // round trip) would do.
+  double intensity = in.rate_delayed * in.loss_delayed;
+  if (ctx_.config == nullptr || ctx_.config->per_rtt_loss_events) {
+    intensity = std::min(intensity, 1.0 / std::max(in.rtt, 1e-6));
+  }
+  const double additive = in.rate_delayed * (1.0 - in.loss_delayed) / window_;
+  const double multiplicative = intensity * window_ / 2.0;
+  window_ = std::max(1.0, window_ + h * (additive - multiplicative));
+}
+
+core::CcaTelemetry RenoFluid::telemetry() const {
+  core::CcaTelemetry t;
+  t.cwnd_pkts = window_;
+  return t;
+}
+
+}  // namespace bbrmodel::cca

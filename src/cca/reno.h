@@ -1,0 +1,37 @@
+// Fluid model of TCP Reno's congestion avoidance (paper Appendix B.1,
+// following Low et al.).
+//
+// Eq. (39):  ẇ = x(t−d^p)·(1 − p(t−d^p))·1/w − x(t−d^p)·p(t−d^p)·w/2,
+// with the window-based sending rate x = w/τ (Eq. 8). The window is floored
+// at one segment (a real sender never shrinks below one outstanding
+// segment, and the 1/w additive-increase term needs w > 0).
+#pragma once
+
+#include "core/fluid_cca.h"
+
+namespace bbrmodel::cca {
+
+/// Reno fluid model.
+class RenoFluid : public core::FluidCca {
+ public:
+  /// @param initial_window_pkts w(0), default 10 segments (RFC 6928 IW10).
+  explicit RenoFluid(double initial_window_pkts = 10.0);
+
+  void init(const core::AgentContext& ctx) override;
+  double sending_rate(const core::AgentInputs& in) const override;
+  void advance(const core::AgentInputs& in, double current_rate,
+               double h) override;
+  core::CcaTelemetry telemetry() const override;
+  std::string name() const override { return "Reno"; }
+
+  double window_pkts() const { return window_; }
+  bool in_slow_start() const { return slow_start_; }
+
+ private:
+  double initial_window_;
+  double window_ = 1.0;
+  bool slow_start_ = true;
+  core::AgentContext ctx_;
+};
+
+}  // namespace bbrmodel::cca

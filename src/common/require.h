@@ -1,0 +1,64 @@
+// Precondition / invariant checking for the bbrmodel libraries.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.12), preconditions are stated
+// at the interface and violations reported by exception so that callers (and
+// tests) can observe them.  BBRM_REQUIRE is used for caller-supplied
+// arguments; BBRM_ASSERT for internal invariants (compiled in all builds —
+// the numerical kernels are cheap relative to the checks).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bbrmodel {
+
+/// Thrown when a documented precondition of a public interface is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (indicates a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace bbrmodel
+
+#define BBRM_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::bbrmodel::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define BBRM_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::bbrmodel::detail::throw_precondition(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define BBRM_ASSERT(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::bbrmodel::detail::throw_invariant(#expr, __FILE__, __LINE__);     \
+  } while (false)

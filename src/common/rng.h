@@ -1,0 +1,48 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component of the packet-level simulator draws from a
+// seeded engine owned by the simulation, so that every experiment in this
+// repository is exactly reproducible (the fluid model is deterministic by
+// construction; the paper replaces its randomness with agent-id-derived
+// choices, see Eq. (24) and §3.3).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace bbrmodel {
+
+/// A thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bbrmodel

@@ -1,0 +1,51 @@
+// Lightweight descriptive statistics used by the metrics and bench layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bbrmodel {
+
+/// Online accumulator for mean / variance / extrema (Welford's algorithm).
+///
+/// Used for aggregate metrics over traces (e.g., mean buffer occupancy) and
+/// for jitter computation; numerically stable for long traces.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²); 1 for empty input by convention.
+/// Values are clamped at zero (negative throughputs are not meaningful).
+double jain_index(const std::vector<double>& xs);
+
+}  // namespace bbrmodel

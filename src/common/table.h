@@ -1,0 +1,43 @@
+// Fixed-width console table rendering for the figure/table bench binaries.
+//
+// Every bench prints the series a paper figure reports as an aligned table
+// (rows = x-axis values, columns = scenario series), mirroring the layout of
+// the corresponding figure in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbrmodel {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row of already-formatted cells (padded/truncated to columns).
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a row with a string label and numeric cells (fixed precision).
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Render with column separators and a header underline.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision into a string.
+std::string format_double(double v, int precision = 3);
+
+/// Print a section banner (used between sub-figures of one bench binary).
+std::string banner(const std::string& title);
+
+}  // namespace bbrmodel

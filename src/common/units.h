@@ -1,0 +1,51 @@
+// Unit conventions and conversions used across the bbrmodel libraries.
+//
+// Internal convention (see DESIGN.md §5.7):
+//   * data volume   — packets (double; one packet = one MSS)
+//   * rate          — packets per second
+//   * time          — seconds
+//
+// The paper reports rates in Mbps and normalizes figures to link rate / buffer
+// size / BDP; these helpers convert at the I/O boundary only.
+#pragma once
+
+#include "common/require.h"
+
+namespace bbrmodel {
+
+/// Default maximum segment size in bytes (Ethernet MTU minus headers).
+inline constexpr double kDefaultMssBytes = 1500.0;
+
+/// Bits per packet for a given MSS.
+constexpr double bits_per_packet(double mss_bytes = kDefaultMssBytes) {
+  return mss_bytes * 8.0;
+}
+
+/// Convert a rate in Mbps to packets per second.
+constexpr double mbps_to_pps(double mbps, double mss_bytes = kDefaultMssBytes) {
+  return mbps * 1e6 / bits_per_packet(mss_bytes);
+}
+
+/// Convert a rate in packets per second to Mbps.
+constexpr double pps_to_mbps(double pps, double mss_bytes = kDefaultMssBytes) {
+  return pps * bits_per_packet(mss_bytes) / 1e6;
+}
+
+/// Convert a volume in bytes to packets.
+constexpr double bytes_to_packets(double bytes,
+                                  double mss_bytes = kDefaultMssBytes) {
+  return bytes / mss_bytes;
+}
+
+/// Convert a volume in packets to bytes.
+constexpr double packets_to_bytes(double packets,
+                                  double mss_bytes = kDefaultMssBytes) {
+  return packets * mss_bytes;
+}
+
+/// Bandwidth-delay product in packets for a rate (packets/s) and an RTT (s).
+constexpr double bdp_packets(double rate_pps, double rtt_s) {
+  return rate_pps * rtt_s;
+}
+
+}  // namespace bbrmodel

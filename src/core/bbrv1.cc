@@ -1,0 +1,157 @@
+#include "core/bbrv1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "ode/smooth.h"
+
+namespace bbrmodel::core {
+
+Bbrv1Fluid::Bbrv1Fluid(BbrInit init) : init_(init) {}
+
+void Bbrv1Fluid::init(const AgentContext& ctx) {
+  BBRM_REQUIRE_MSG(ctx.config != nullptr, "agent context needs a config");
+  BBRM_REQUIRE_MSG(ctx.bottleneck_capacity_pps > 0.0,
+                   "bottleneck capacity must be positive");
+  ctx_ = ctx;
+  min_rtt_ = ctx.delays.rtt_prop_s;  // first RTT sample of an empty network
+  if (ctx.config->model_startup) {
+    // Startup extension: begin from a small initial window's worth of rate
+    // and let STARTUP discover the capacity (DESIGN.md §8).
+    phase_ = Phase::kStartup;
+    btl_estimate_ = init_.btl_estimate_pps > 0.0
+                        ? init_.btl_estimate_pps
+                        : ctx.config->startup_initial_window_pkts / min_rtt_;
+  } else {
+    phase_ = Phase::kProbeBw;
+    btl_estimate_ = init_.btl_estimate_pps > 0.0
+                        ? init_.btl_estimate_pps
+                        : ctx.bottleneck_capacity_pps /
+                              static_cast<double>(ctx.num_agents);
+  }
+  full_bw_ = 0.0;
+  full_bw_count_ = 0;
+  round_clock_ = 0.0;
+  max_delivery_ = 0.0;
+  inflight_ = std::max(0.0, init_.inflight_pkts);
+  // §3.3: φ_i = i mod 6 desynchronizes probing across equal-RTT agents.
+  probe_phase_ = static_cast<int>(ctx.id % 6);
+}
+
+double Bbrv1Fluid::pacing_rate() const {
+  // Eq. (22): x^pcg = x^btl · (1 + 1/4·Φ(t, φ) − 1/4·Φ(t, φ+1)).
+  const double k = ctx_.config->k_time;
+  const double up = ode::phase_pulse(cycle_clock_, probe_phase_, min_rtt_, k);
+  const double down =
+      ode::phase_pulse(cycle_clock_, probe_phase_ + 1, min_rtt_, k);
+  return btl_estimate_ * (1.0 + 0.25 * up - 0.25 * down);
+}
+
+double Bbrv1Fluid::cwnd_pkts() const {
+  // Eq. (23): w^pbw = 2·ŵ with ŵ = x^btl·τ^min (the estimated BDP).
+  return 2.0 * btl_estimate_ * min_rtt_;
+}
+
+double Bbrv1Fluid::sending_rate(const AgentInputs& in) const {
+  BBRM_REQUIRE_MSG(in.rtt > 0.0, "RTT must be positive");
+  if (probe_rtt_mode_) {
+    // Eq. (14)/(23): inflight capped at 4 segments in ProbeRTT.
+    return kProbeRttCwndPkts / in.rtt;
+  }
+  const double gain = ctx_.config->startup_gain;
+  if (phase_ == Phase::kStartup) {
+    // High-gain exponential discovery: pacing and window gain 2/ln 2.
+    return std::min(gain * btl_estimate_ * min_rtt_ / in.rtt,
+                    gain * btl_estimate_);
+  }
+  if (phase_ == Phase::kDrain) {
+    return std::min(cwnd_pkts() / in.rtt, btl_estimate_ / gain);
+  }
+  // Eq. (15): the tighter of window and pacing constraints.
+  return std::min(cwnd_pkts() / in.rtt, pacing_rate());
+}
+
+void Bbrv1Fluid::advance(const AgentInputs& in, double current_rate,
+                         double h) {
+  const FluidConfig& cfg = *ctx_.config;
+
+  // --- min-RTT tracking and the ProbeRTT timer (Eqs. 9, 11–13) -------------
+  // A strictly smaller RTT observation restarts the staleness timer
+  // (update-rule semantics of the σ(τ^min − τ)·t^prt term in Eq. 13).
+  if (in.rtt_delayed < min_rtt_ - 1e-9) probe_rtt_timer_ = 0.0;
+  min_rtt_ = std::min(min_rtt_, in.rtt_delayed);
+
+  probe_rtt_timer_ += h;
+  const double deadline = probe_rtt_mode_ ? cfg.probe_rtt_duration_s
+                                          : cfg.probe_rtt_interval_s;
+  if (probe_rtt_timer_ >= deadline) {
+    probe_rtt_mode_ = !probe_rtt_mode_;  // Eq. (11): toggle on timeout
+    probe_rtt_timer_ = 0.0;
+  }
+
+  // --- startup extension: STARTUP/DRAIN before ProbeBW ----------------------
+  if (phase_ != Phase::kProbeBw) {
+    if (!probe_rtt_mode_) advance_startup(in, h);
+  } else if (!probe_rtt_mode_) {
+    // --- bandwidth probing period (Eqs. 16, 18, 20) -------------------------
+    // Frozen during ProbeRTT (round counting stalls; DESIGN.md).
+    cycle_clock_ += h;
+    const double measurement =
+        cfg.literal_eq18 ? current_rate : in.delivery_rate;
+    max_delivery_ = std::max(max_delivery_, measurement);  // Eq. (18)
+    if (cycle_clock_ >= period_s()) {
+      btl_estimate_ = max_delivery_;  // Eq. (20): snap at period end
+      max_delivery_ = 0.0;            // Eq. (18): reset at period start
+      cycle_clock_ = 0.0;             // Eq. (16)
+    }
+  }
+
+  // --- inflight (Eq. 19 / DESIGN.md §5.12) ----------------------------------
+  if (cfg.literal_eq19) {
+    inflight_ =
+        std::max(0.0, inflight_ + h * (current_rate - in.delivery_rate));
+  } else {
+    inflight_ = in.inflight_window_pkts;
+  }
+}
+
+void Bbrv1Fluid::advance_startup(const AgentInputs& in, double h) {
+  const FluidConfig& cfg = *ctx_.config;
+  if (phase_ == Phase::kStartup) {
+    // The estimate continuously tracks the maximum delivery rate; once per
+    // round (τ^min) the plateau detector checks for <25 % growth.
+    max_delivery_ = std::max(max_delivery_, in.delivery_rate);
+    btl_estimate_ = std::max(btl_estimate_, max_delivery_);
+    round_clock_ += h;
+    if (round_clock_ >= min_rtt_) {
+      round_clock_ = 0.0;
+      if (btl_estimate_ > 1.25 * full_bw_) {
+        full_bw_ = btl_estimate_;
+        full_bw_count_ = 0;
+      } else if (++full_bw_count_ >= cfg.startup_full_bw_rounds) {
+        phase_ = Phase::kDrain;
+      }
+    }
+    return;
+  }
+  // DRAIN: leave once the self-inflicted queue is gone (inflight ≤ BDP).
+  if (inflight_ <= btl_estimate_ * min_rtt_ + 1.0) {
+    phase_ = Phase::kProbeBw;
+    cycle_clock_ = 0.0;
+    max_delivery_ = 0.0;
+  }
+}
+
+CcaTelemetry Bbrv1Fluid::telemetry() const {
+  CcaTelemetry t;
+  t.btl_estimate_pps = btl_estimate_;
+  t.max_measurement_pps = max_delivery_;
+  t.cwnd_pkts = probe_rtt_mode_ ? kProbeRttCwndPkts : cwnd_pkts();
+  t.inflight_pkts = inflight_;
+  t.min_rtt_estimate_s = min_rtt_;
+  t.probe_rtt = probe_rtt_mode_;
+  return t;
+}
+
+}  // namespace bbrmodel::core

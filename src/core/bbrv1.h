@@ -1,0 +1,87 @@
+// Fluid model of BBRv1 (paper §3.2–§3.3).
+//
+// State variables (paper notation in parentheses):
+//   min_rtt_            τ^min_i   — running minimum RTT estimate (Eq. 9)
+//   probe_rtt_timer_    t^prt_i   — ProbeRTT timer (Eq. 13)
+//   probe_rtt_mode_     m^prt_i   — ProbeRTT mode variable (Eq. 11)
+//   cycle_clock_        t^pbw_i   — position in the 8-phase probing period (Eq. 16)
+//   max_delivery_       x^max_i   — per-period maximum delivery rate (Eq. 18)
+//   btl_estimate_       x^btl_i   — bottleneck-bandwidth estimate (Eq. 20)
+//   inflight_           v_i       — inflight volume (Eq. 19)
+//
+// The probing pulses follow Eqs. (21)–(22) with the agent-deterministic
+// probe phase φ_i = i mod 6 (§3.3). Timer resets, the running maximum, and
+// the period-end estimate snap use the paper's declared update-rule
+// semantics (DESIGN.md §5.3). The per-period bandwidth filter and the period
+// clock freeze while ProbeRTT is active, mirroring the round-count stall of
+// the implementation (DESIGN.md; prevents ProbeRTT's tiny delivery rates
+// from polluting x^max on short-RTT paths).
+#pragma once
+
+#include "core/fluid_cca.h"
+
+namespace bbrmodel::core {
+
+/// Initial conditions of a BBR fluid agent. Negative values auto-derive:
+/// btl_estimate from C/N, inflight_hi (BBRv2) from 5/4·BDP estimate.
+struct BbrInit {
+  double btl_estimate_pps = -1.0;
+  double inflight_pkts = 0.0;
+  double inflight_hi_pkts = -1.0;  ///< BBRv2 only (Fig. 8 / Insight 5 knob)
+};
+
+/// BBRv1 fluid model.
+class Bbrv1Fluid : public FluidCca {
+ public:
+  explicit Bbrv1Fluid(BbrInit init = {});
+
+  void init(const AgentContext& ctx) override;
+  double sending_rate(const AgentInputs& in) const override;
+  void advance(const AgentInputs& in, double current_rate, double h) override;
+  CcaTelemetry telemetry() const override;
+  std::string name() const override { return "BBRv1"; }
+
+  /// Lifecycle of a fluid BBR agent. Without the startup extension
+  /// (FluidConfig::model_startup) agents begin directly in kProbeBw.
+  enum class Phase { kStartup, kDrain, kProbeBw };
+
+  // Introspection for tests.
+  double btl_estimate_pps() const { return btl_estimate_; }
+  double max_delivery_pps() const { return max_delivery_; }
+  double min_rtt_s() const { return min_rtt_; }
+  double inflight_pkts() const { return inflight_; }
+  bool in_probe_rtt() const { return probe_rtt_mode_; }
+  int probe_phase() const { return probe_phase_; }
+  double cycle_clock_s() const { return cycle_clock_; }
+  Phase phase() const { return phase_; }
+
+  /// ProbeRTT inflight limit: 4 segments (Eq. 23).
+  static constexpr double kProbeRttCwndPkts = 4.0;
+
+ private:
+  double period_s() const { return 8.0 * min_rtt_; }  // T^pbw = 8·τ^min
+  double pacing_rate() const;                          // Eq. (22)
+  double cwnd_pkts() const;                            // Eq. (23): 2·BDP
+  /// STARTUP/DRAIN progression (extension; DESIGN.md §8).
+  void advance_startup(const AgentInputs& in, double h);
+
+  BbrInit init_;
+  AgentContext ctx_;
+
+  double min_rtt_ = 0.0;
+  double probe_rtt_timer_ = 0.0;
+  bool probe_rtt_mode_ = false;
+  double cycle_clock_ = 0.0;
+  double max_delivery_ = 0.0;
+  double btl_estimate_ = 0.0;
+  double inflight_ = 0.0;
+  int probe_phase_ = 0;
+
+  // STARTUP extension state.
+  Phase phase_ = Phase::kProbeBw;
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  double round_clock_ = 0.0;
+};
+
+}  // namespace bbrmodel::core

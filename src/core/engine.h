@@ -1,0 +1,99 @@
+// The fluid-model simulation engine (the paper's "model-based computations").
+//
+// Couples the network fluid model of §2 (delayed arrival rates, queue ODEs,
+// loss laws, latencies) with one FluidCca per agent (§3, Appendix B) and
+// integrates the resulting delay-differential system with the method of
+// steps (§4.1.1). Delayed signals are served from fixed-step histories.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fluid_cca.h"
+#include "core/fluid_config.h"
+#include "core/trace.h"
+#include "net/queue_law.h"
+#include "net/topology.h"
+#include "ode/history.h"
+
+namespace bbrmodel::core {
+
+/// Cumulative per-link accounting (for utilization/loss/occupancy metrics).
+struct LinkAccounting {
+  double arrived_pkts = 0.0;  ///< ∫ y dt
+  double lost_pkts = 0.0;     ///< ∫ p·y dt
+  double served_pkts = 0.0;   ///< ∫ service dt
+  double queue_time_pkts_s = 0.0;  ///< ∫ q dt (time-average queue = this / T)
+};
+
+/// Coupled network + CCA fluid simulation.
+class FluidSimulation {
+ public:
+  /// One CCA per agent; agents_.size() must equal topology.num_agents().
+  FluidSimulation(net::Topology topology,
+                  std::vector<std::unique_ptr<FluidCca>> agents,
+                  FluidConfig config = {});
+
+  /// Advance the simulation by `duration` seconds.
+  void run(double duration);
+
+  double now() const { return static_cast<double>(step_count_) * config_.step_s; }
+
+  const net::Topology& topology() const { return topology_; }
+  const FluidConfig& config() const { return config_; }
+  std::size_t num_agents() const { return agents_.size(); }
+
+  /// Current queue length of a link (packets).
+  double queue_pkts(std::size_t link) const;
+
+  /// Cumulative volume sent / delivered per agent (packets).
+  double sent_pkts(std::size_t agent) const;
+  double delivered_pkts(std::size_t agent) const;
+
+  const LinkAccounting& link_accounting(std::size_t link) const;
+
+  /// The recorded trace (sampled every config.record_interval_s).
+  const FluidTrace& trace() const { return trace_; }
+
+  /// The CCA driving an agent (for test inspection).
+  const FluidCca& cca(std::size_t agent) const;
+
+ private:
+  void step();
+  void record_sample(double t,
+                     const std::vector<AgentInputs>& inputs,
+                     const std::vector<double>& rates,
+                     const std::vector<double>& arrivals,
+                     const std::vector<double>& losses);
+
+  net::Topology topology_;
+  std::vector<std::unique_ptr<FluidCca>> agents_;
+  FluidConfig config_;
+
+  // Precomputed per-agent structure.
+  std::vector<AgentContext> contexts_;
+  std::vector<std::size_t> bottleneck_;
+
+  // Dynamic link state.
+  std::vector<double> queue_;  // q_ℓ(t)
+
+  // Histories (method of steps).
+  std::vector<ode::DelayHistory> rate_hist_;   // x_i
+  std::vector<ode::DelayHistory> rtt_hist_;    // τ_i
+  std::vector<ode::DelayHistory> sent_hist_;   // ∫x_i (cumulative volume)
+  std::vector<ode::DelayHistory> arrival_hist_;  // y_ℓ
+  std::vector<ode::DelayHistory> queue_hist_;    // q_ℓ
+  std::vector<ode::DelayHistory> loss_hist_;     // p_ℓ
+
+  // Accounting.
+  std::vector<double> sent_;
+  std::vector<double> delivered_;
+  std::vector<LinkAccounting> link_acct_;
+
+  FluidTrace trace_;
+  std::size_t step_count_ = 0;
+  std::size_t steps_per_sample_ = 1;
+  net::LossLawParams loss_params_;
+};
+
+}  // namespace bbrmodel::core

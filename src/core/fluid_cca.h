@@ -1,0 +1,81 @@
+// Agent interface of the fluid-model engine.
+//
+// Each agent runs one congestion-control fluid model. The engine evaluates
+// the network equations (arrival rates, queues, losses, latencies — paper
+// §2) and hands every agent a per-step view of the delayed signals its
+// differential equations reference; the agent returns its current sending
+// rate x_i(t) and integrates its internal state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/fluid_config.h"
+#include "net/topology.h"
+
+namespace bbrmodel::core {
+
+/// Static, per-agent context fixed at simulation start.
+struct AgentContext {
+  std::size_t id = 0;                    ///< agent index i (drives Eq. 24 and φ_i)
+  std::size_t num_agents = 1;            ///< N
+  net::PathDelays delays;                ///< forward/backward/RTT propagation delays
+  double bottleneck_capacity_pps = 0.0;  ///< C of the agent's bottleneck link
+  const FluidConfig* config = nullptr;   ///< owned by the engine
+};
+
+/// Per-step view of the (delayed) network signals an agent may use.
+struct AgentInputs {
+  double t = 0.0;             ///< current simulation time
+  double rtt = 0.0;           ///< τ_i(t) (Eq. 3, both directions + queueing)
+  double rtt_delayed = 0.0;   ///< τ_i(t − d^p_i), the RTT the sender observes now
+  double delivery_rate = 0.0; ///< x^dlv_i(t) (Eq. 17)
+  double loss_delayed = 0.0;  ///< p_{π_i}(t − d^p_i) (Eq. 7, delayed to the sender)
+  double rate_delayed = 0.0;  ///< x_i(t − d^p_i)
+  /// Drift-free inflight estimate: ∫ x over the trailing RTT (the volume
+  /// sent in the last round trip). Eq. (19)'s pure integral accumulates
+  /// unbounded error across loss transients because its delivery term is an
+  /// approximation; BBR's mode triggers compare v against window bounds and
+  /// need an anchored value (DESIGN.md §5.12).
+  double inflight_window_pkts = 0.0;
+};
+
+/// Observable internals recorded into traces (what Fig. 2 plots).
+struct CcaTelemetry {
+  double btl_estimate_pps = 0.0;   ///< x^btl (BtlBw estimate); 0 if N/A
+  double max_measurement_pps = 0.0;///< x^max; 0 if N/A
+  double cwnd_pkts = 0.0;          ///< current effective window
+  double inflight_pkts = 0.0;      ///< v_i; 0 if N/A
+  double min_rtt_estimate_s = 0.0; ///< τ^min_i; 0 if N/A
+  double inflight_hi_pkts = 0.0;   ///< w^hi (BBRv2); 0 if N/A
+  double inflight_lo_pkts = 0.0;   ///< w^lo (BBRv2); 0 if N/A
+  bool probe_rtt = false;          ///< m^prt
+  bool probe_down = false;         ///< m^dwn (BBRv2)
+  bool cruising = false;           ///< m^crs (BBRv2)
+};
+
+/// One congestion-control algorithm in fluid form.
+class FluidCca {
+ public:
+  virtual ~FluidCca() = default;
+
+  /// Called once before the first step.
+  virtual void init(const AgentContext& ctx) = 0;
+
+  /// Current sending rate x_i(t); must be a pure function of the stored
+  /// state and the inputs (the engine may call it repeatedly per step).
+  virtual double sending_rate(const AgentInputs& in) const = 0;
+
+  /// Advance the internal state by one step h. `current_rate` is the value
+  /// sending_rate(in) returned this step (after engine clamping).
+  virtual void advance(const AgentInputs& in, double current_rate,
+                       double h) = 0;
+
+  /// Snapshot of internals for tracing.
+  virtual CcaTelemetry telemetry() const = 0;
+
+  /// Display name ("BBRv1", "Reno", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bbrmodel::core

@@ -1,0 +1,87 @@
+// Configuration of the fluid-model engine and the BBR fluid models.
+#pragma once
+
+#include "common/units.h"
+
+namespace bbrmodel::core {
+
+/// Tunable parameters of the fluid simulation (paper §3–§4; DESIGN.md §6).
+///
+/// Sharpness constants are per-dimension because the model compares
+/// quantities of very different scales (paper: "K ≫ 1"); each K is chosen so
+/// that the sigmoid transition width is small against the quantity's natural
+/// scale (e.g., k_time = 2000 ⇒ ≈0.5 ms transition for timers).
+struct FluidConfig {
+  /// Integration step of the method of steps (paper uses 10 µs; 50 µs is
+  /// indistinguishable for the aggregate sweeps and 5× faster).
+  double step_s = 50e-6;
+
+  /// Trace sampling interval.
+  double record_interval_s = 1e-3;
+
+  // --- sigmoid sharpness per dimension -------------------------------------
+  double k_time = 2000.0;  ///< arguments in seconds
+  double k_rate = 1.0;     ///< arguments in packets/s
+  double k_vol = 10.0;     ///< arguments in packets
+  double k_prob = 500.0;   ///< arguments in probability units
+
+  /// Exponent L ≫ 1 of the drop-tail fullness factor (Eq. 4).
+  double droptail_exponent = 20.0;
+
+  /// ε in σ(p − ε) making Eq. (30)'s loss term a true "loss occurred"
+  /// indicator (DESIGN.md §5.4).
+  double loss_indicator_eps = 1e-3;
+
+  /// If true, Eq. (18) tracks the sending rate literally instead of the
+  /// delivery rate (DESIGN.md §5.2).
+  bool literal_eq18 = false;
+
+  /// Fluid slow start for Reno/CUBIC: the window doubles per RTT until the
+  /// first loss (DESIGN.md §5.10). Disable to recover the paper's literal
+  /// Appendix-B dynamics.
+  bool loss_based_slow_start = true;
+
+  /// Cap the loss intensity x·p of the Reno/CUBIC multiplicative-decrease
+  /// terms at one congestion event per RTT (DESIGN.md §5.11). The literal
+  /// Eqs. (39)/(40) are per-lost-packet and collapse the window to nothing
+  /// under burst loss; real TCP reduces at most once per round trip.
+  bool per_rtt_loss_events = true;
+
+  /// Use Eq. (19)'s literal inflight integral v̇ = x − x^dlv for the BBR
+  /// models instead of the drift-free trailing-RTT send integral
+  /// (DESIGN.md §5.12).
+  bool literal_eq19 = false;
+
+  // --- ProbeRTT (both BBR versions, §3.1) ----------------------------------
+  double probe_rtt_interval_s = 10.0;  ///< min-RTT staleness before ProbeRTT
+  double probe_rtt_duration_s = 0.2;   ///< dwell time in ProbeRTT
+
+  // --- BBRv2 specifics ------------------------------------------------------
+  double bbr2_loss_thresh = 0.02;     ///< excessive-loss threshold (2 %)
+  double bbr2_beta = 0.3;             ///< multiplicative decrease of w_hi/w_lo
+  double bbr2_headroom = 0.15;        ///< erased share of w_hi in cruise
+  /// Unit scale (packets/s) of the 2^{t/τ} growth term in Eq. (29)
+  /// (DESIGN.md §5.5).
+  double inflight_hi_growth_pps = 1.0;
+
+  double mss_bytes = kDefaultMssBytes;
+
+  /// Safety cap on any sending rate, as a multiple of the agent's bottleneck
+  /// capacity (guards the integrator against parameter-abuse blowups).
+  double max_rate_factor = 100.0;
+
+  // --- fluid STARTUP extension (DESIGN.md §8) --------------------------------
+  /// Model BBR's STARTUP/DRAIN phases in the fluid BBR agents. The paper
+  /// deliberately omits startup (§4.3.3/Insight 9); enabling this lets the
+  /// model grow its estimates from a small initial window like the
+  /// implementation does, instead of starting at a configured x^btl(0).
+  bool model_startup = false;
+  /// STARTUP pacing/window gain (2/ln 2, as in the implementation).
+  double startup_gain = 2.885;
+  /// STARTUP initial window (packets) for deriving x^btl(0) = IW/τ.
+  double startup_initial_window_pkts = 10.0;
+  /// STARTUP ends after this many consecutive estimate-plateau rounds.
+  int startup_full_bw_rounds = 3;
+};
+
+}  // namespace bbrmodel::core

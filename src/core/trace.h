@@ -1,0 +1,46 @@
+// Trace recording for fluid simulations.
+//
+// The engine samples agent and link state on a fixed interval; the metrics
+// module and the figure benches consume these traces (normalized exactly as
+// the paper's figures: % of link rate, % of buffer, % of traffic, relative
+// excess delay, % of path BDP).
+#pragma once
+
+#include <vector>
+
+#include "core/fluid_cca.h"
+
+namespace bbrmodel::core {
+
+/// Per-agent trace record.
+struct AgentSample {
+  double rate_pps = 0.0;           ///< x_i(t)
+  double delivery_rate_pps = 0.0;  ///< x^dlv_i(t)
+  double rtt_s = 0.0;              ///< τ_i(t)
+  CcaTelemetry cca;                ///< internal CCA variables
+};
+
+/// Per-link trace record.
+struct LinkSample {
+  double queue_pkts = 0.0;    ///< q_ℓ(t)
+  double loss_prob = 0.0;     ///< p_ℓ(t)
+  double arrival_pps = 0.0;   ///< y_ℓ(t)
+};
+
+/// One trace row.
+struct FluidSample {
+  double t = 0.0;
+  std::vector<AgentSample> agents;
+  std::vector<LinkSample> links;
+};
+
+/// A full simulation trace.
+struct FluidTrace {
+  double sample_interval_s = 0.0;
+  std::vector<FluidSample> samples;
+
+  bool empty() const { return samples.empty(); }
+  std::size_t size() const { return samples.size(); }
+};
+
+}  // namespace bbrmodel::core

@@ -1,0 +1,241 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::linalg {
+namespace {
+
+constexpr double kEps = 1e-14;
+
+/// Dense complex matrix stored row-major (internal helper).
+class CMatrix {
+ public:
+  explicit CMatrix(std::size_t n) : n_(n), data_(n * n) {}
+  Complex& operator()(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * n_ + c];
+  }
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<Complex> data_;
+};
+
+/// Complex Givens rotation G = [[c, s], [-conj(s), c]] with c real such that
+/// G * [a; b] = [r; 0].
+struct Givens {
+  double c = 1.0;
+  Complex s{0.0, 0.0};
+  Complex r{0.0, 0.0};
+};
+
+Givens make_givens(Complex a, Complex b) {
+  Givens g;
+  const double abs_a = std::abs(a);
+  const double abs_b = std::abs(b);
+  if (abs_b == 0.0) {
+    g.c = 1.0;
+    g.s = 0.0;
+    g.r = a;
+    return g;
+  }
+  if (abs_a == 0.0) {
+    g.c = 0.0;
+    g.s = std::conj(b) / abs_b;
+    g.r = abs_b;
+    return g;
+  }
+  const double t = std::hypot(abs_a, abs_b);
+  const Complex phase = a / abs_a;
+  g.c = abs_a / t;
+  g.s = phase * std::conj(b) / t;
+  g.r = phase * t;
+  return g;
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 block closest to the
+/// bottom-right entry.
+Complex wilkinson_shift(const CMatrix& h, std::size_t m) {
+  const Complex a = h(m - 1, m - 1);
+  const Complex b = h(m - 1, m);
+  const Complex c = h(m, m - 1);
+  const Complex d = h(m, m);
+  const Complex tr2 = (a + d) * 0.5;
+  const Complex det = a * d - b * c;
+  const Complex disc = std::sqrt(tr2 * tr2 - det);
+  const Complex l1 = tr2 + disc;
+  const Complex l2 = tr2 - disc;
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+}  // namespace
+
+Matrix hessenberg(const Matrix& a) {
+  BBRM_REQUIRE_MSG(a.square(), "Hessenberg reduction requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  if (n < 3) return h;
+
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating column k below the subdiagonal.
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += h(i, k) * h(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha < 1e-300) continue;
+    if (h(k + 1, k) > 0.0) alpha = -alpha;
+
+    std::vector<double> v(n, 0.0);
+    v[k + 1] = h(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 < 1e-300) continue;
+
+    // H <- (I - 2 v v^T / v^T v) H
+    for (std::size_t c = 0; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += v[i] * h(i, c);
+      const double f = 2.0 * dot / vnorm2;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, c) -= f * v[i];
+    }
+    // H <- H (I - 2 v v^T / v^T v)
+    for (std::size_t r = 0; r < n; ++r) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += h(r, i) * v[i];
+      const double f = 2.0 * dot / vnorm2;
+      for (std::size_t i = k + 1; i < n; ++i) h(r, i) -= f * v[i];
+    }
+    // Zero out the now-negligible entries explicitly.
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+  return h;
+}
+
+EigenResult eigenvalues(const Matrix& a) {
+  BBRM_REQUIRE_MSG(a.square(), "eigenvalues require a square matrix");
+  const std::size_t n = a.rows();
+  EigenResult result;
+  if (n == 1) {
+    result.values = {Complex(a(0, 0), 0.0)};
+    return result;
+  }
+  if (n == 2) {
+    result.values = eigenvalues_2x2(a(0, 0), a(0, 1), a(1, 0), a(1, 1));
+    return result;
+  }
+
+  const Matrix hr = hessenberg(a);
+  CMatrix h(n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) h(r, c) = Complex(hr(r, c), 0.0);
+
+  const double scale = std::max(1e-300, hr.max_abs());
+  std::size_t hi = n - 1;
+  int iter_since_deflation = 0;
+  const int max_total_iters = 200 * static_cast<int>(n);
+
+  while (hi > 0) {
+    if (result.iterations > max_total_iters) {
+      result.converged = false;
+      break;
+    }
+    // Deflate tiny subdiagonal entries.
+    bool deflated = false;
+    for (std::size_t k = hi; k > 0; --k) {
+      const double sub = std::abs(h(k, k - 1));
+      const double local =
+          std::abs(h(k - 1, k - 1)) + std::abs(h(k, k));
+      if (sub <= kEps * std::max(local, scale)) {
+        h(k, k - 1) = 0.0;
+        if (k == hi) {
+          --hi;
+          iter_since_deflation = 0;
+          deflated = true;
+        }
+        break;
+      }
+    }
+    if (deflated) continue;
+    if (hi == 0) break;
+
+    // Find the start of the active unreduced block [lo, hi].
+    std::size_t lo = hi;
+    while (lo > 0 && std::abs(h(lo, lo - 1)) != 0.0) --lo;
+
+    // Shift: Wilkinson, with an occasional exceptional shift against
+    // stagnation on symmetric-cycle cases.
+    Complex mu = wilkinson_shift(h, hi);
+    ++iter_since_deflation;
+    ++result.iterations;
+    if (iter_since_deflation % 12 == 0) {
+      mu = h(hi, hi) + Complex(0.75 * std::abs(h(hi, hi - 1)), 0.0);
+    }
+
+    // One implicit QR sweep on the active window via explicit Givens chain.
+    for (std::size_t i = lo; i <= hi; ++i) h(i, i) -= mu;
+    std::vector<Givens> rotations(hi);  // indexed by k, valid for [lo, hi)
+    for (std::size_t k = lo; k < hi; ++k) {
+      Givens g = make_givens(h(k, k), h(k + 1, k));
+      rotations[k] = g;
+      // Apply G to rows k, k+1 on columns k..hi.
+      for (std::size_t c = k; c <= hi; ++c) {
+        const Complex x = h(k, c);
+        const Complex y = h(k + 1, c);
+        h(k, c) = g.c * x + g.s * y;
+        h(k + 1, c) = -std::conj(g.s) * x + g.c * y;
+      }
+    }
+    // H <- R Q: apply conjugate rotations on the right.
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Givens& g = rotations[k];
+      const std::size_t row_end = std::min(hi, k + 1);
+      for (std::size_t r = lo; r <= row_end; ++r) {
+        const Complex x = h(r, k);
+        const Complex y = h(r, k + 1);
+        h(r, k) = g.c * x + std::conj(g.s) * y;
+        h(r, k + 1) = -g.s * x + g.c * y;
+      }
+    }
+    for (std::size_t i = lo; i <= hi; ++i) h(i, i) += mu;
+  }
+
+  result.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) result.values.push_back(h(i, i));
+  // Real input: force conjugate symmetry on negligible imaginary parts.
+  for (auto& v : result.values) {
+    if (std::abs(v.imag()) < 1e-9 * std::max(1.0, std::abs(v.real()))) {
+      v = Complex(v.real(), 0.0);
+    }
+  }
+  std::sort(result.values.begin(), result.values.end(),
+            [](const Complex& x, const Complex& y) {
+              if (x.real() != y.real()) return x.real() > y.real();
+              return x.imag() > y.imag();
+            });
+  return result;
+}
+
+std::vector<Complex> eigenvalues_2x2(double a, double b, double c, double d) {
+  const Complex tr2((a + d) * 0.5, 0.0);
+  const Complex det(a * d - b * c, 0.0);
+  const Complex disc = std::sqrt(tr2 * tr2 - det);
+  std::vector<Complex> out = {tr2 + disc, tr2 - disc};
+  std::sort(out.begin(), out.end(), [](const Complex& x, const Complex& y) {
+    if (x.real() != y.real()) return x.real() > y.real();
+    return x.imag() > y.imag();
+  });
+  return out;
+}
+
+double spectral_abscissa(const std::vector<Complex>& eigs) {
+  BBRM_REQUIRE_MSG(!eigs.empty(), "empty spectrum");
+  double m = eigs.front().real();
+  for (const auto& e : eigs) m = std::max(m, e.real());
+  return m;
+}
+
+}  // namespace bbrmodel::linalg

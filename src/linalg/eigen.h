@@ -1,0 +1,46 @@
+// Eigenvalues of small dense real matrices.
+//
+// The indirect Lyapunov method (paper §5, Appendix D) requires the spectrum
+// of Jacobians evaluated at equilibria. We reduce to upper Hessenberg form
+// with Householder reflections and then run a Wilkinson-shifted QR iteration
+// in complex arithmetic, which handles complex-conjugate pairs without the
+// bookkeeping of the real Francis double-shift. Matrices here are tiny
+// (N+1 states), so clarity wins over peak FLOPs.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bbrmodel::linalg {
+
+using Complex = std::complex<double>;
+
+/// Result of an eigenvalue computation.
+struct EigenResult {
+  /// Eigenvalues sorted by descending real part (ties: descending imag).
+  std::vector<Complex> values;
+  /// True if the QR iteration converged for every eigenvalue.
+  bool converged = true;
+  /// Number of QR iterations used (diagnostic).
+  int iterations = 0;
+};
+
+/// Reduce a square real matrix to upper Hessenberg form (similarity
+/// transform; eigenvalues preserved). Exposed for testing.
+Matrix hessenberg(const Matrix& a);
+
+/// Compute all eigenvalues of a square real matrix.
+EigenResult eigenvalues(const Matrix& a);
+
+/// Closed-form eigenvalues of a 2x2 matrix (used for validation and for the
+/// paper's Theorem 2 system, Eq. (48)).
+std::vector<Complex> eigenvalues_2x2(double a, double b, double c, double d);
+
+/// Largest real part over the spectrum ("spectral abscissa"); the system is
+/// locally asymptotically stable iff this is negative (Lyapunov indirect
+/// method).
+double spectral_abscissa(const std::vector<Complex>& eigs);
+
+}  // namespace bbrmodel::linalg

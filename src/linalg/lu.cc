@@ -1,0 +1,75 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  BBRM_REQUIRE_MSG(a.square(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest |entry| in column k at/below row k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      singular_ = true;
+      return;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      lu_(r, k) /= lu_(k, k);
+      const double f = lu_(r, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  BBRM_REQUIRE_MSG(!singular_, "cannot solve with a singular matrix");
+  const std::size_t n = lu_.rows();
+  BBRM_REQUIRE(b.size() == n);
+  std::vector<double> x(n);
+  // Forward substitution on the permuted right-hand side (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_(r, c) * x[c];
+    x[r] = s;
+  }
+  // Backward substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= lu_(ri, c) * x[c];
+    x[ri] = s / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace bbrmodel::linalg

@@ -1,0 +1,39 @@
+// LU decomposition with partial pivoting; linear solves and determinants.
+//
+// Used by the analysis module for Newton refinement of equilibria and by the
+// eigen solver tests.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bbrmodel::linalg {
+
+/// LU factorization (Doolittle, partial pivoting) of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factorizes a copy of `a`. Singular (to machine precision) matrices are
+  /// flagged rather than throwing, so callers can test solvability.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True if a pivot collapsed to (near) zero.
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b. Throws PreconditionError if singular.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Determinant (0 if flagged singular).
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience one-shot solve of A x = b.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace bbrmodel::linalg

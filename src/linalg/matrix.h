@@ -1,0 +1,76 @@
+// Small dense real matrices for the stability-analysis module.
+//
+// The Jacobians analyzed in the paper have N+1 or 2 states (N senders plus a
+// bottleneck queue), so this module favours clarity and exactness over BLAS
+// performance. Row-major storage, bounds-checked access.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bbrmodel::linalg {
+
+/// Dense real matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows×cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n×n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  /// Bounds-checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked element access for inner loops.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Matrix–vector product (vector length must equal cols()).
+  std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max absolute element.
+  double max_abs() const;
+
+  /// Human-readable rendering (for diagnostics).
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& v);
+
+/// Infinity norm of a vector.
+double norm_inf(const std::vector<double>& v);
+
+}  // namespace bbrmodel::linalg

@@ -1,0 +1,92 @@
+#include "metrics/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace bbrmodel::metrics {
+namespace {
+
+/// Linear interpolation of an agent's RTT from the recorded trace.
+double rtt_at(const core::FluidTrace& trace, std::size_t agent, double t) {
+  const double dt = trace.sample_interval_s;
+  const double pos = t / dt;
+  const auto lo = static_cast<std::size_t>(
+      std::clamp(std::floor(pos), 0.0,
+                 static_cast<double>(trace.samples.size() - 1)));
+  const std::size_t hi = std::min(lo + 1, trace.samples.size() - 1);
+  const double frac = std::clamp(pos - static_cast<double>(lo), 0.0, 1.0);
+  const double a = trace.samples[lo].agents[agent].rtt_s;
+  const double b = trace.samples[hi].agents[agent].rtt_s;
+  return a + (b - a) * frac;
+}
+
+}  // namespace
+
+double jitter_of_series_ms(const std::vector<double>& rtt_s) {
+  if (rtt_s.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 1; k < rtt_s.size(); ++k) {
+    acc += std::abs(rtt_s[k] - rtt_s[k - 1]);
+  }
+  return acc / static_cast<double>(rtt_s.size() - 1) * 1e3;
+}
+
+AggregateMetrics evaluate_fluid(const core::FluidSimulation& sim,
+                                std::size_t bottleneck_link,
+                                double virtual_packet_pkts) {
+  const double duration = sim.now();
+  BBRM_REQUIRE_MSG(duration > 0.0, "simulation has not run");
+  AggregateMetrics out;
+
+  // Per-flow mean sending rates and Jain fairness.
+  out.mean_rate_pps.resize(sim.num_agents());
+  for (std::size_t i = 0; i < sim.num_agents(); ++i) {
+    out.mean_rate_pps[i] = sim.sent_pkts(i) / duration;
+  }
+  out.jain = jain_index(out.mean_rate_pps);
+
+  // Loss: all dropped volume over all sent volume.
+  double lost = 0.0;
+  double sent = 0.0;
+  for (std::size_t l = 0; l < sim.topology().num_links(); ++l) {
+    lost += sim.link_accounting(l).lost_pkts;
+  }
+  for (std::size_t i = 0; i < sim.num_agents(); ++i) {
+    sent += sim.sent_pkts(i);
+  }
+  out.loss_pct = sent > 0.0 ? 100.0 * lost / sent : 0.0;
+
+  // Occupancy and utilization at the bottleneck.
+  const auto& acct = sim.link_accounting(bottleneck_link);
+  const auto& link = sim.topology().link(bottleneck_link);
+  if (link.buffer_pkts > 0.0) {
+    out.occupancy_pct =
+        100.0 * (acct.queue_time_pkts_s / duration) / link.buffer_pkts;
+  }
+  out.utilization_pct =
+      100.0 * acct.served_pkts / (link.capacity_pps * duration);
+
+  // Jitter (§4.3.5): sample each agent's RTT at the virtual packet rate
+  // g·N/C and average the per-agent jitters.
+  const auto& trace = sim.trace();
+  if (trace.samples.size() >= 2) {
+    const double spacing = virtual_packet_pkts *
+                           static_cast<double>(sim.num_agents()) /
+                           link.capacity_pps;
+    RunningStats per_agent;
+    for (std::size_t i = 0; i < sim.num_agents(); ++i) {
+      std::vector<double> series;
+      for (double t = 0.0; t <= duration; t += spacing) {
+        series.push_back(rtt_at(trace, i, t));
+      }
+      per_agent.add(jitter_of_series_ms(series));
+    }
+    out.jitter_ms = per_agent.mean();
+  }
+  return out;
+}
+
+}  // namespace bbrmodel::metrics

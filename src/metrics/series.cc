@@ -1,0 +1,122 @@
+#include "metrics/series.h"
+
+#include "common/require.h"
+
+namespace bbrmodel::metrics {
+namespace {
+
+template <typename Get>
+NamedSeries extract(const core::FluidTrace& trace, std::string name,
+                    Get&& get) {
+  NamedSeries s;
+  s.name = std::move(name);
+  s.values.reserve(trace.samples.size());
+  for (const auto& sample : trace.samples) s.values.push_back(get(sample));
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> trace_times(const core::FluidTrace& trace) {
+  std::vector<double> t;
+  t.reserve(trace.samples.size());
+  for (const auto& s : trace.samples) t.push_back(s.t);
+  return t;
+}
+
+NamedSeries rate_percent(const core::FluidTrace& trace, std::size_t agent,
+                         double capacity_pps) {
+  BBRM_REQUIRE(capacity_pps > 0.0);
+  return extract(trace, "rate%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).rate_pps / capacity_pps;
+  });
+}
+
+NamedSeries delivery_percent(const core::FluidTrace& trace, std::size_t agent,
+                             double capacity_pps) {
+  BBRM_REQUIRE(capacity_pps > 0.0);
+  return extract(trace, "dlv%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).delivery_rate_pps / capacity_pps;
+  });
+}
+
+NamedSeries btl_estimate_percent(const core::FluidTrace& trace,
+                                 std::size_t agent, double capacity_pps) {
+  BBRM_REQUIRE(capacity_pps > 0.0);
+  return extract(trace, "btl%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).cca.btl_estimate_pps / capacity_pps;
+  });
+}
+
+NamedSeries max_measurement_percent(const core::FluidTrace& trace,
+                                    std::size_t agent, double capacity_pps) {
+  BBRM_REQUIRE(capacity_pps > 0.0);
+  return extract(trace, "max%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).cca.max_measurement_pps / capacity_pps;
+  });
+}
+
+NamedSeries queue_percent(const core::FluidTrace& trace, std::size_t link,
+                          double buffer_pkts) {
+  BBRM_REQUIRE(buffer_pkts > 0.0);
+  return extract(trace, "queue%", [&](const core::FluidSample& s) {
+    return 100.0 * s.links.at(link).queue_pkts / buffer_pkts;
+  });
+}
+
+NamedSeries loss_percent(const core::FluidTrace& trace, std::size_t link) {
+  return extract(trace, "loss%", [&](const core::FluidSample& s) {
+    return 100.0 * s.links.at(link).loss_prob;
+  });
+}
+
+NamedSeries rtt_excess_percent(const core::FluidTrace& trace,
+                               std::size_t agent, double rtt_prop_s) {
+  BBRM_REQUIRE(rtt_prop_s > 0.0);
+  return extract(trace, "rtt%", [&](const core::FluidSample& s) {
+    return 100.0 * (s.agents.at(agent).rtt_s / rtt_prop_s - 1.0);
+  });
+}
+
+NamedSeries cwnd_percent(const core::FluidTrace& trace, std::size_t agent,
+                         double bdp_pkts) {
+  BBRM_REQUIRE(bdp_pkts > 0.0);
+  return extract(trace, "cwnd%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).cca.cwnd_pkts / bdp_pkts;
+  });
+}
+
+NamedSeries inflight_percent(const core::FluidTrace& trace, std::size_t agent,
+                             double bdp_pkts) {
+  BBRM_REQUIRE(bdp_pkts > 0.0);
+  return extract(trace, "inflight%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).cca.inflight_pkts / bdp_pkts;
+  });
+}
+
+NamedSeries inflight_hi_percent(const core::FluidTrace& trace,
+                                std::size_t agent, double bdp_pkts) {
+  BBRM_REQUIRE(bdp_pkts > 0.0);
+  return extract(trace, "whi%", [&](const core::FluidSample& s) {
+    return 100.0 * s.agents.at(agent).cca.inflight_hi_pkts / bdp_pkts;
+  });
+}
+
+std::vector<double> downsample(const std::vector<double>& xs,
+                               std::size_t factor) {
+  BBRM_REQUIRE(factor > 0);
+  std::vector<double> out;
+  out.reserve(xs.size() / factor + 1);
+  for (std::size_t i = 0; i < xs.size(); i += factor) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = i; k < std::min(xs.size(), i + factor); ++k) {
+      acc += xs[k];
+      ++n;
+    }
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace bbrmodel::metrics

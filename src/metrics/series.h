@@ -1,0 +1,70 @@
+// Figure-normalized time series extracted from fluid traces.
+//
+// The paper's trace figures (Figs. 1, 2, 4, 5, 11, 12) normalize every curve:
+// sending rate in % of bottleneck rate, queue in % of buffer, loss in % of
+// traffic, RTT as relative excess delay, windows in % of path BDP. These
+// helpers produce exactly those series so trace benches (and users) can
+// print or export them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace bbrmodel::metrics {
+
+/// One named, already-normalized series (paired with the trace timestamps).
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Timestamps of a trace.
+std::vector<double> trace_times(const core::FluidTrace& trace);
+
+/// Sending rate of one agent in % of a reference capacity.
+NamedSeries rate_percent(const core::FluidTrace& trace, std::size_t agent,
+                         double capacity_pps);
+
+/// Delivery rate of one agent in % of a reference capacity.
+NamedSeries delivery_percent(const core::FluidTrace& trace, std::size_t agent,
+                             double capacity_pps);
+
+/// Bottleneck-bandwidth estimate x^btl in % of capacity.
+NamedSeries btl_estimate_percent(const core::FluidTrace& trace,
+                                 std::size_t agent, double capacity_pps);
+
+/// Max delivery measurement x^max in % of capacity.
+NamedSeries max_measurement_percent(const core::FluidTrace& trace,
+                                    std::size_t agent, double capacity_pps);
+
+/// Queue length of a link in % of its buffer.
+NamedSeries queue_percent(const core::FluidTrace& trace, std::size_t link,
+                          double buffer_pkts);
+
+/// Loss probability of a link in %.
+NamedSeries loss_percent(const core::FluidTrace& trace, std::size_t link);
+
+/// RTT of one agent as relative excess delay in %: (τ/d − 1)·100.
+NamedSeries rtt_excess_percent(const core::FluidTrace& trace,
+                               std::size_t agent, double rtt_prop_s);
+
+/// Congestion window of one agent in % of a reference BDP.
+NamedSeries cwnd_percent(const core::FluidTrace& trace, std::size_t agent,
+                         double bdp_pkts);
+
+/// Inflight volume of one agent in % of a reference BDP.
+NamedSeries inflight_percent(const core::FluidTrace& trace, std::size_t agent,
+                             double bdp_pkts);
+
+/// inflight_hi bound (BBRv2) in % of a reference BDP.
+NamedSeries inflight_hi_percent(const core::FluidTrace& trace,
+                                std::size_t agent, double bdp_pkts);
+
+/// Downsample a series by averaging consecutive buckets of `factor` samples
+/// (for compact table printing).
+std::vector<double> downsample(const std::vector<double>& xs,
+                               std::size_t factor);
+
+}  // namespace bbrmodel::metrics

@@ -1,0 +1,69 @@
+#include "net/queue_law.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ode/smooth.h"
+
+namespace bbrmodel::net {
+
+double droptail_loss(double arrival_pps, double capacity_pps,
+                     double queue_pkts, double buffer_pkts,
+                     const LossLawParams& params) {
+  if (arrival_pps <= 0.0) return 0.0;
+  const double excess = 1.0 - capacity_pps / arrival_pps;
+  if (excess <= 0.0) return 0.0;
+  double fullness = 1.0;
+  if (buffer_pkts > 0.0) {
+    const double ratio =
+        std::clamp(queue_pkts / buffer_pkts, 0.0, 1.0);
+    fullness = std::pow(ratio, params.fullness_exponent);
+  }
+  const double gate = ode::sigmoid(arrival_pps - capacity_pps,
+                                   params.rate_sharpness);
+  return std::clamp(gate * excess * fullness, 0.0, 1.0);
+}
+
+double red_loss(double queue_pkts, double buffer_pkts) {
+  if (buffer_pkts <= 0.0) return 1.0;
+  return std::clamp(queue_pkts / buffer_pkts, 0.0, 1.0);
+}
+
+double link_loss(const Link& link, double arrival_pps, double queue_pkts,
+                 const LossLawParams& params) {
+  switch (link.discipline) {
+    case Discipline::kDropTail:
+      return droptail_loss(arrival_pps, link.capacity_pps, queue_pkts,
+                           link.buffer_pkts, params);
+    case Discipline::kRed:
+      return red_loss(queue_pkts, link.buffer_pkts);
+  }
+  return 0.0;
+}
+
+double queue_drift(double arrival_pps, double capacity_pps, double loss_prob) {
+  return (1.0 - loss_prob) * arrival_pps - capacity_pps;
+}
+
+double step_queue(double queue_pkts, double arrival_pps, double capacity_pps,
+                  double loss_prob, double buffer_pkts, double dt) {
+  const double next =
+      queue_pkts + dt * queue_drift(arrival_pps, capacity_pps, loss_prob);
+  const double cap = buffer_pkts > 0.0
+                         ? buffer_pkts
+                         : std::numeric_limits<double>::infinity();
+  return std::clamp(next, 0.0, cap);
+}
+
+double link_latency(const Link& link, double queue_pkts) {
+  return link.prop_delay_s + queue_pkts / link.capacity_pps;
+}
+
+double service_rate(double arrival_pps, double capacity_pps, double loss_prob,
+                    double queue_pkts) {
+  if (queue_pkts > 1e-9) return capacity_pps;
+  return std::min(capacity_pps, (1.0 - loss_prob) * arrival_pps);
+}
+
+}  // namespace bbrmodel::net

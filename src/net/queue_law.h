@@ -1,0 +1,49 @@
+// Queue and loss laws of the network fluid model (paper §2).
+//
+// Pure functions so that both the fluid engine and the analysis module can
+// reuse them, and so they are trivially unit-testable.
+#pragma once
+
+#include "net/topology.h"
+
+namespace bbrmodel::net {
+
+/// Smoothing parameters of the loss laws (paper Eqs. 4–5; DESIGN.md §6).
+struct LossLawParams {
+  /// Sigmoid sharpness K for rate comparisons (argument in packets/s).
+  double rate_sharpness = 1.0;
+  /// Exponent L ≫ 1 of the (q/B)^L fullness factor.
+  double fullness_exponent = 20.0;
+};
+
+/// Drop-tail loss probability (Eq. 4):
+///   p = σ(y − C) · (1 − C/y) · (q/B)^L.
+/// Zero when the buffer is unbounded (B = 0 means "no buffer": always full,
+/// excess dropped). y ≤ 0 yields 0.
+double droptail_loss(double arrival_pps, double capacity_pps, double queue_pkts,
+                     double buffer_pkts, const LossLawParams& params = {});
+
+/// Idealized RED loss probability (Eq. 6): p = q / B ∈ [0, 1].
+double red_loss(double queue_pkts, double buffer_pkts);
+
+/// Link loss probability under the link's configured discipline.
+double link_loss(const Link& link, double arrival_pps, double queue_pkts,
+                 const LossLawParams& params = {});
+
+/// Queue drift (Eq. 2): q̇ = (1 − p)·y − C, with reflecting boundaries at 0
+/// and B applied by the integrator (returns the unconstrained drift).
+double queue_drift(double arrival_pps, double capacity_pps, double loss_prob);
+
+/// One explicit-Euler queue update with boundary clamping to [0, B].
+double step_queue(double queue_pkts, double arrival_pps, double capacity_pps,
+                  double loss_prob, double buffer_pkts, double dt);
+
+/// Link latency (Eq. 3 contribution): d + q/C.
+double link_latency(const Link& link, double queue_pkts);
+
+/// Service rate actually leaving the link: C when backlogged, otherwise the
+/// admitted arrival rate (used for utilization accounting).
+double service_rate(double arrival_pps, double capacity_pps, double loss_prob,
+                    double queue_pkts);
+
+}  // namespace bbrmodel::net

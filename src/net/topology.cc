@@ -1,0 +1,195 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bbrmodel::net {
+
+std::string to_string(Discipline d) {
+  switch (d) {
+    case Discipline::kDropTail:
+      return "drop-tail";
+    case Discipline::kRed:
+      return "RED";
+  }
+  return "unknown";
+}
+
+std::size_t Topology::add_link(const Link& link) {
+  BBRM_REQUIRE_MSG(link.capacity_pps > 0.0, "link capacity must be positive");
+  BBRM_REQUIRE_MSG(link.buffer_pkts >= 0.0, "buffer must be non-negative");
+  BBRM_REQUIRE_MSG(link.prop_delay_s >= 0.0, "delay must be non-negative");
+  links_.push_back(link);
+  return links_.size() - 1;
+}
+
+std::size_t Topology::add_path(std::vector<std::size_t> links) {
+  BBRM_REQUIRE_MSG(!links.empty(), "a path needs at least one link");
+  for (std::size_t l : links) {
+    BBRM_REQUIRE_MSG(l < links_.size(), "path references unknown link");
+  }
+  paths_.push_back(std::move(links));
+  return paths_.size() - 1;
+}
+
+const Link& Topology::link(std::size_t l) const {
+  BBRM_REQUIRE(l < links_.size());
+  return links_[l];
+}
+
+Link& Topology::mutable_link(std::size_t l) {
+  BBRM_REQUIRE(l < links_.size());
+  return links_[l];
+}
+
+const std::vector<std::size_t>& Topology::path(std::size_t agent) const {
+  BBRM_REQUIRE(agent < paths_.size());
+  return paths_[agent];
+}
+
+std::vector<std::size_t> Topology::agents_on_link(std::size_t l) const {
+  BBRM_REQUIRE(l < links_.size());
+  std::vector<std::size_t> out;
+  for (std::size_t a = 0; a < paths_.size(); ++a) {
+    if (std::find(paths_[a].begin(), paths_[a].end(), l) != paths_[a].end()) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+PathDelays Topology::path_delays(std::size_t agent) const {
+  const auto& p = path(agent);
+  PathDelays d;
+  d.forward_to_link_s.resize(p.size());
+  d.backward_from_link_s.resize(p.size());
+  double one_way = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    d.forward_to_link_s[k] = one_way;
+    one_way += links_[p[k]].prop_delay_s;
+  }
+  d.rtt_prop_s = 2.0 * one_way;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    d.backward_from_link_s[k] = d.rtt_prop_s - d.forward_to_link_s[k];
+  }
+  return d;
+}
+
+std::size_t Topology::bottleneck_of(std::size_t agent) const {
+  const auto& p = path(agent);
+  std::size_t best = p.front();
+  for (std::size_t l : p) {
+    if (links_[l].capacity_pps <= links_[best].capacity_pps) best = l;
+  }
+  return best;
+}
+
+double Topology::max_rtt_prop_s() const {
+  double m = 0.0;
+  for (std::size_t a = 0; a < paths_.size(); ++a) {
+    m = std::max(m, path_delays(a).rtt_prop_s);
+  }
+  return m;
+}
+
+Dumbbell make_dumbbell(const DumbbellSpec& spec) {
+  BBRM_REQUIRE_MSG(spec.num_senders > 0, "need at least one sender");
+  BBRM_REQUIRE_MSG(spec.access_delays_s.size() == spec.num_senders,
+                   "one access delay per sender required");
+  BBRM_REQUIRE_MSG(spec.bottleneck_capacity_pps > 0.0,
+                   "bottleneck capacity must be positive");
+
+  Dumbbell out;
+  double mean_access = 0.0;
+  for (double d : spec.access_delays_s) mean_access += d;
+  mean_access /= static_cast<double>(spec.num_senders);
+
+  const double mean_rtt = 2.0 * (spec.bottleneck_delay_s + mean_access);
+  out.bottleneck_bdp_pkts = spec.bottleneck_capacity_pps * mean_rtt;
+
+  Link bottleneck;
+  bottleneck.capacity_pps = spec.bottleneck_capacity_pps;
+  bottleneck.prop_delay_s = spec.bottleneck_delay_s;
+  bottleneck.buffer_pkts = spec.buffer_bdp * out.bottleneck_bdp_pkts;
+  bottleneck.discipline = spec.discipline;
+  out.bottleneck_link = out.topology.add_link(bottleneck);
+
+  for (std::size_t i = 0; i < spec.num_senders; ++i) {
+    Link access;
+    access.capacity_pps =
+        spec.access_capacity_factor * spec.bottleneck_capacity_pps;
+    access.prop_delay_s = spec.access_delays_s[i];
+    // Deep enough that the access queue never fills (it never saturates).
+    access.buffer_pkts = 100.0 * out.bottleneck_bdp_pkts + 1000.0;
+    access.discipline = Discipline::kDropTail;
+    const std::size_t access_id = out.topology.add_link(access);
+    out.topology.add_path({access_id, out.bottleneck_link});
+  }
+  return out;
+}
+
+ParkingLot make_parking_lot(const ParkingLotSpec& spec) {
+  BBRM_REQUIRE_MSG(spec.num_hops >= 1, "need at least one hop");
+  BBRM_REQUIRE_MSG(spec.hop_capacity_pps > 0.0,
+                   "hop capacity must be positive");
+  ParkingLot out;
+
+  // The long flow's propagation RTT sizes the per-hop buffers.
+  const double long_rtt =
+      2.0 * (spec.access_delay_s +
+             static_cast<double>(spec.num_hops) * spec.hop_delay_s);
+  out.hop_buffer_pkts =
+      spec.buffer_bdp * spec.hop_capacity_pps * long_rtt;
+
+  for (std::size_t h = 0; h < spec.num_hops; ++h) {
+    Link hop;
+    hop.capacity_pps = spec.hop_capacity_pps;
+    hop.prop_delay_s = spec.hop_delay_s;
+    hop.buffer_pkts = out.hop_buffer_pkts;
+    hop.discipline = spec.discipline;
+    out.hop_links.push_back(out.topology.add_link(hop));
+  }
+
+  auto add_access = [&]() {
+    Link access;
+    access.capacity_pps =
+        spec.access_capacity_factor * spec.hop_capacity_pps;
+    access.prop_delay_s = spec.access_delay_s;
+    access.buffer_pkts = 100.0 * out.hop_buffer_pkts + 1000.0;
+    access.discipline = Discipline::kDropTail;
+    return out.topology.add_link(access);
+  };
+
+  // Long flow over the entire chain.
+  std::vector<std::size_t> long_path = {add_access()};
+  long_path.insert(long_path.end(), out.hop_links.begin(),
+                   out.hop_links.end());
+  out.long_flow = out.topology.add_path(std::move(long_path));
+
+  // Cross traffic: per hop, flows that traverse exactly that hop.
+  for (std::size_t h = 0; h < spec.num_hops; ++h) {
+    for (std::size_t c = 0; c < spec.cross_flows_per_hop; ++c) {
+      out.topology.add_path({add_access(), out.hop_links[h]});
+    }
+  }
+  return out;
+}
+
+std::vector<double> spread_access_delays(std::size_t n, double min_rtt_s,
+                                         double max_rtt_s,
+                                         double bottleneck_delay_s) {
+  BBRM_REQUIRE(n > 0);
+  BBRM_REQUIRE(max_rtt_s >= min_rtt_s);
+  BBRM_REQUIRE_MSG(min_rtt_s / 2.0 >= bottleneck_delay_s,
+                   "RTT too small for the bottleneck delay");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac =
+        n == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const double rtt = min_rtt_s + frac * (max_rtt_s - min_rtt_s);
+    out[i] = rtt / 2.0 - bottleneck_delay_s;
+  }
+  return out;
+}
+
+}  // namespace bbrmodel::net

@@ -1,0 +1,53 @@
+// Fixed-step signal histories for delay-differential equations.
+//
+// The network fluid model needs delayed lookups such as x_i(t − d^f_{i,ℓ})
+// (Eq. 1), q_ℓ(t − d^b_{i,ℓ}) and y_ℓ(t − d^b_{i,ℓ}) (Eq. 17), and
+// τ_i(t − d^p_i) (Eq. 9). DelayHistory keeps a ring of samples on the solver
+// grid and serves linearly interpolated reads. Reads before the first sample
+// return the initial value (constant pre-history, the standard
+// method-of-steps initialization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bbrmodel::ode {
+
+/// Ring buffer of uniformly spaced samples of a scalar signal.
+class DelayHistory {
+ public:
+  /// @param step     sample spacing in seconds (solver step), > 0.
+  /// @param horizon  maximum lookback in seconds (largest delay), ≥ 0.
+  /// @param initial  value reported for all t ≤ 0 (pre-history).
+  DelayHistory(double step, double horizon, double initial);
+
+  /// Append the sample for the next grid time (t = count()·step for the
+  /// first push at t = 0, etc.).
+  void push(double value);
+
+  /// Latest pushed value (the initial value if nothing was pushed).
+  double latest() const;
+
+  /// Time of the most recent sample (−step if nothing was pushed yet).
+  double now() const;
+
+  /// Linearly interpolated read at absolute time t. Clamped: t before the
+  /// recorded window returns the oldest retained sample (or the initial
+  /// value), t beyond now() returns latest().
+  double at(double t) const;
+
+  /// Number of samples pushed so far.
+  std::size_t count() const { return total_; }
+
+  /// Maximum lookback supported.
+  double horizon() const;
+
+ private:
+  double step_;
+  double initial_;
+  std::vector<double> ring_;
+  std::size_t capacity_;
+  std::size_t total_ = 0;  // samples pushed; sample k is at time k*step_
+};
+
+}  // namespace bbrmodel::ode

@@ -1,0 +1,45 @@
+// Smooth approximators used throughout the fluid models.
+//
+// The paper builds every discrete mechanism of BBR out of three ingredients
+// (Eqs. 5, 10, 21):
+//   σ_K(v)      — a sharp sigmoid approximating the unit step at v = 0,
+//   Γ_K(v)      — v·σ_K(v), a smooth ReLU,
+//   Φ(t, φ, τ)  — a probing-pulse indicator built from two sigmoids.
+//
+// The sharpness K is quantity-specific because the model mixes quantities of
+// very different magnitude (seconds, packets, packets/s, probabilities); see
+// FluidConfig for the per-dimension defaults.
+#pragma once
+
+#include <cmath>
+
+namespace bbrmodel::ode {
+
+/// Sharp sigmoid σ(v) = 1 / (1 + e^{-K v})  (paper Eq. (5)).
+/// For large |K·v| the exponential is clamped to avoid overflow.
+inline double sigmoid(double v, double sharpness) {
+  const double a = sharpness * v;
+  if (a > 40.0) return 1.0;
+  if (a < -40.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-a));
+}
+
+/// Smooth ReLU Γ(v) = v · σ(v)  (paper Eq. (10)); approximates max(0, v).
+inline double smooth_relu(double v, double sharpness) {
+  return v * sigmoid(v, sharpness);
+}
+
+/// Probing-pulse indicator (paper Eq. (21)):
+///   Φ(t_pbw, φ) = σ(t_pbw − φ·τ) · σ((φ+1)·τ − t_pbw),
+/// which is ≈1 while t_pbw lies inside phase φ of duration τ and ≈0 outside.
+inline double phase_pulse(double t_pbw, double phase, double phase_duration,
+                          double sharpness) {
+  return sigmoid(t_pbw - phase * phase_duration, sharpness) *
+         sigmoid((phase + 1.0) * phase_duration - t_pbw, sharpness);
+}
+
+/// Hard unit step (the K→∞ limit of σ); used where the paper declares the
+/// sigmoid form an "update rule for simulations" (see DESIGN.md §5.3).
+inline double step_indicator(double v) { return v > 0.0 ? 1.0 : 0.0; }
+
+}  // namespace bbrmodel::ode

@@ -1,0 +1,56 @@
+#include "ode/steppers.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::ode {
+
+void euler_step(const OdeRhs& f, double t, double h, std::vector<double>& x) {
+  static thread_local std::vector<double> k;
+  k.assign(x.size(), 0.0);
+  f(t, x, k);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += h * k[i];
+}
+
+void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& x) {
+  const std::size_t n = x.size();
+  static thread_local std::vector<double> k1, k2, k3, k4, tmp;
+  k1.assign(n, 0.0);
+  k2.assign(n, 0.0);
+  k3.assign(n, 0.0);
+  k4.assign(n, 0.0);
+  tmp.assign(n, 0.0);
+
+  f(t, x, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k1[i];
+  f(t + 0.5 * h, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k2[i];
+  f(t + 0.5 * h, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * k3[i];
+  f(t + h, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+std::vector<double> integrate(const OdeRhs& f, std::vector<double> x0,
+                              double t0, double t1, double h,
+                              StepMethod method, const OdeObserver& observer) {
+  BBRM_REQUIRE_MSG(h > 0.0, "step size must be positive");
+  BBRM_REQUIRE_MSG(t1 >= t0, "integration interval must be forward in time");
+  double t = t0;
+  while (t < t1 - 1e-15) {
+    const double step = std::min(h, t1 - t);
+    if (method == StepMethod::kEuler) {
+      euler_step(f, t, step, x0);
+    } else {
+      rk4_step(f, t, step, x0);
+    }
+    t += step;
+    if (observer) observer(t, x0);
+  }
+  return x0;
+}
+
+}  // namespace bbrmodel::ode

@@ -1,0 +1,40 @@
+// Generic fixed-step ODE steppers.
+//
+// The reduced models in the analysis module (paper §5) are ordinary — not
+// delayed — differential systems, so a classic explicit Euler / RK4 pair is
+// all they need. The full fluid engine (src/core) does its own stepping
+// because of delayed terms and discrete mode updates, but shares the Euler
+// discipline ("method of steps", paper §4.1.1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace bbrmodel::ode {
+
+/// Right-hand side f(t, x) -> dx/dt of an autonomous-or-not ODE system.
+using OdeRhs =
+    std::function<void(double t, const std::vector<double>& x,
+                       std::vector<double>& dxdt)>;
+
+/// Observer invoked after each accepted step with (t, x).
+using OdeObserver =
+    std::function<void(double t, const std::vector<double>& x)>;
+
+/// One explicit Euler step: x ← x + h·f(t, x).
+void euler_step(const OdeRhs& f, double t, double h, std::vector<double>& x);
+
+/// One classic fourth-order Runge–Kutta step.
+void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& x);
+
+enum class StepMethod { kEuler, kRk4 };
+
+/// Integrate from t0 to t1 with fixed step h (the final step is shortened to
+/// land exactly on t1). Returns the state at t1. The observer, if given, is
+/// called after every step.
+std::vector<double> integrate(const OdeRhs& f, std::vector<double> x0,
+                              double t0, double t1, double h,
+                              StepMethod method = StepMethod::kRk4,
+                              const OdeObserver& observer = nullptr);
+
+}  // namespace bbrmodel::ode

@@ -1,0 +1,179 @@
+#include "packetsim/bbr1_cca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::packetsim {
+
+namespace {
+constexpr double kGainCycle[Bbr1Cca::kCycleLength] = {1.25, 0.75, 1.0, 1.0,
+                                                      1.0,  1.0,  1.0, 1.0};
+}
+
+Bbr1Cca::Bbr1Cca(std::uint64_t seed, double initial_window_pkts)
+    : rng_(seed),
+      initial_window_(initial_window_pkts),
+      bw_filter_(kBwFilterRounds) {
+  BBRM_REQUIRE_MSG(initial_window_pkts >= 4.0,
+                   "BBR needs an initial window of at least 4 packets");
+}
+
+void Bbr1Cca::on_start(double now) {
+  min_rtt_stamp_ = now;
+  // Random initial phase from the non-drain slots (the implementation picks
+  // a random phase other than the 3/4 drain phase).
+  do {
+    cycle_index_ = rng_.uniform_int(0, kCycleLength - 1);
+  } while (cycle_index_ == 1);
+  cycle_stamp_ = now;
+}
+
+double Bbr1Cca::bdp_pkts() const {
+  const double bw = bw_filter_.best();
+  if (bw <= 0.0 || min_rtt_ <= 0.0) return initial_window_;
+  return bw * min_rtt_;
+}
+
+double Bbr1Cca::pacing_gain() const {
+  switch (mode_) {
+    case Mode::kStartup:
+      return kHighGain;
+    case Mode::kDrain:
+      return 1.0 / kHighGain;
+    case Mode::kProbeBw:
+      return kGainCycle[cycle_index_];
+    case Mode::kProbeRtt:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double Bbr1Cca::cwnd_pkts() const {
+  if (mode_ == Mode::kProbeRtt) return kProbeRttCwnd;
+  const double gain = mode_ == Mode::kStartup || mode_ == Mode::kDrain
+                          ? kHighGain
+                          : kCwndGain;
+  return std::max(kProbeRttCwnd, gain * bdp_pkts());
+}
+
+double Bbr1Cca::pacing_pps() const {
+  const double bw = bw_filter_.best();
+  if (bw <= 0.0) {
+    // No bandwidth sample yet: pace the initial window over the handshake
+    // RTT (Linux derives the initial pacing rate the same way).
+    if (min_rtt_ > 0.0) return kHighGain * initial_window_ / min_rtt_;
+    return 0.0;
+  }
+  return pacing_gain() * bw;
+}
+
+void Bbr1Cca::check_full_pipe() {
+  if (filled_pipe_ || !round_start_) return;
+  const double bw = bw_filter_.best();
+  if (bw > full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= 3) filled_pipe_ = true;
+}
+
+void Bbr1Cca::advance_cycle(const AckEvent& ack) {
+  const double gain = kGainCycle[cycle_index_];
+  bool advance = ack.now - cycle_stamp_ > min_rtt_;
+  // Leave the drain phase as soon as the self-inflicted queue is gone.
+  if (gain < 1.0 && ack.inflight_pkts <= bdp_pkts()) advance = true;
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % kCycleLength;
+    cycle_stamp_ = ack.now;
+  }
+}
+
+void Bbr1Cca::maybe_enter_probe_rtt(const AckEvent& ack) {
+  if (mode_ == Mode::kProbeRtt) return;
+  if (ack.now - min_rtt_stamp_ > kMinRttExpiry) {
+    mode_ = Mode::kProbeRtt;
+    probe_rtt_done_stamp_ = -1.0;
+  }
+}
+
+void Bbr1Cca::handle_probe_rtt(const AckEvent& ack) {
+  if (probe_rtt_done_stamp_ < 0.0 && ack.inflight_pkts <= kProbeRttCwnd) {
+    probe_rtt_done_stamp_ = ack.now + kProbeRttDuration;
+  }
+  if (probe_rtt_done_stamp_ >= 0.0 && ack.now >= probe_rtt_done_stamp_) {
+    min_rtt_stamp_ = ack.now;  // the estimate is fresh again
+    if (filled_pipe_) {
+      mode_ = Mode::kProbeBw;
+      cycle_stamp_ = ack.now;
+      do {
+        cycle_index_ = rng_.uniform_int(0, kCycleLength - 1);
+      } while (cycle_index_ == 1);
+    } else {
+      mode_ = Mode::kStartup;
+    }
+  }
+}
+
+void Bbr1Cca::on_ack(const AckEvent& ack) {
+  // Packet-timed round detection.
+  round_start_ = false;
+  if (ack.newly_acked > 0 &&
+      ack.acked_delivered_at_send >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total;
+    ++round_count_;
+    round_start_ = true;
+  }
+
+  // BtlBw filter (round-timed window).
+  if (ack.delivery_rate_pps > 0.0) {
+    bw_filter_.update(static_cast<double>(round_count_),
+                      ack.delivery_rate_pps);
+  }
+
+  // RTprop filter. Strictly-smaller samples refresh the staleness stamp:
+  // in a noiseless simulation, refreshing on ties would keep the estimate
+  // perpetually "fresh" and suppress ProbeRTT entirely (kernels see µs
+  // noise that breaks such ties).
+  if (ack.rtt_s > 0.0 &&
+      (min_rtt_ == 0.0 || ack.rtt_s < min_rtt_ - 1e-9)) {
+    min_rtt_ = ack.rtt_s;
+    min_rtt_stamp_ = ack.now;
+  }
+
+  switch (mode_) {
+    case Mode::kStartup:
+      check_full_pipe();
+      if (filled_pipe_) mode_ = Mode::kDrain;
+      break;
+    case Mode::kDrain:
+      if (ack.inflight_pkts <= bdp_pkts()) {
+        mode_ = Mode::kProbeBw;
+        cycle_stamp_ = ack.now;
+      }
+      break;
+    case Mode::kProbeBw:
+      advance_cycle(ack);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    handle_probe_rtt(ack);
+  } else {
+    maybe_enter_probe_rtt(ack);
+  }
+}
+
+void Bbr1Cca::on_loss(const LossEvent& loss) {
+  (void)loss;  // BBRv1 does not react to loss — its defining property.
+}
+
+void Bbr1Cca::on_rto(double now) {
+  (void)now;  // conservative: keep estimates; the filters age out naturally
+}
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,87 @@
+// Packet-level BBRv1 (Cardwell et al. 2016; paper §3.1).
+//
+// Full state machine:
+//   STARTUP  — pacing/cwnd gain 2/ln2 ≈ 2.885 until the bandwidth estimate
+//              plateaus for three rounds,
+//   DRAIN    — inverse gain until the estimated queue is drained,
+//   PROBE_BW — eight-phase gain cycle [5/4, 3/4, 1, 1, 1, 1, 1, 1], one
+//              phase per RTprop, randomized starting phase,
+//   PROBE_RTT— cwnd of four segments for 200 ms whenever the RTprop
+//              estimate goes 10 s without a new minimum.
+//
+// BtlBw is a windowed maximum of delivery-rate samples over ten packet-timed
+// rounds; RTprop a windowed minimum with a 10 s validity. cwnd = 2·BDP in
+// PROBE_BW (the paper's Eq. 23). Loss is ignored (BBRv1's defining trait).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "packetsim/cca_api.h"
+#include "packetsim/windowed_filter.h"
+
+namespace bbrmodel::packetsim {
+
+class Bbr1Cca : public PacketCca {
+ public:
+  explicit Bbr1Cca(std::uint64_t seed = 1, double initial_window_pkts = 10.0);
+
+  void on_start(double now) override;
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_rto(double now) override;
+
+  double cwnd_pkts() const override;
+  double pacing_pps() const override;
+  std::string name() const override { return "BBRv1"; }
+
+  // Introspection.
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  Mode mode() const { return mode_; }
+  double btlbw_pps() const { return bw_filter_.best(); }
+  double rtprop_s() const { return min_rtt_; }
+  int cycle_index() const { return cycle_index_; }
+
+  static constexpr double kHighGain = 2.885;  // 2/ln 2
+  static constexpr double kCwndGain = 2.0;
+  static constexpr int kCycleLength = 8;
+  static constexpr int kBwFilterRounds = 10;
+  static constexpr double kProbeRttDuration = 0.2;
+  static constexpr double kMinRttExpiry = 10.0;
+  static constexpr double kProbeRttCwnd = 4.0;
+
+ private:
+  double bdp_pkts() const;
+  double pacing_gain() const;
+  void advance_cycle(const AckEvent& ack);
+  void check_full_pipe();
+  void maybe_enter_probe_rtt(const AckEvent& ack);
+  void handle_probe_rtt(const AckEvent& ack);
+
+  Rng rng_;
+  double initial_window_;
+
+  Mode mode_ = Mode::kStartup;
+  WindowedMax bw_filter_;
+  double min_rtt_ = 0.0;
+  double min_rtt_stamp_ = 0.0;
+
+  // Round tracking (packet-timed rounds via delivered-counter snapshots).
+  double next_round_delivered_ = 0.0;
+  std::int64_t round_count_ = 0;
+  bool round_start_ = false;
+
+  // Full-pipe detection.
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  bool filled_pipe_ = false;
+
+  // PROBE_BW cycling.
+  int cycle_index_ = 0;
+  double cycle_stamp_ = 0.0;
+
+  // PROBE_RTT.
+  double probe_rtt_done_stamp_ = -1.0;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,296 @@
+#include "packetsim/bbr2_cca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::packetsim {
+
+Bbr2Cca::Bbr2Cca(std::uint64_t seed, double initial_window_pkts)
+    : rng_(seed),
+      initial_window_(initial_window_pkts),
+      startup_bw_filter_(10.0) {
+  BBRM_REQUIRE_MSG(initial_window_pkts >= 4.0,
+                   "BBR needs an initial window of at least 4 packets");
+}
+
+void Bbr2Cca::on_start(double now) {
+  min_rtt_stamp_ = now;
+  cycle_start_time_ = now;
+  probe_wall_gate_s_ = rng_.uniform(2.0, 3.0);
+}
+
+double Bbr2Cca::bw_pps() const {
+  if (in_probe_bw_) return std::max(cycle_max_bw_, prev_cycle_max_bw_);
+  return startup_bw_filter_.best();
+}
+
+double Bbr2Cca::bdp_pkts() const {
+  const double bw = bw_pps();
+  if (bw <= 0.0 || min_rtt_ <= 0.0) return initial_window_;
+  return bw * min_rtt_;
+}
+
+double Bbr2Cca::drain_target_pkts() const {
+  return std::min(bdp_pkts(), (1.0 - kHeadroom) * inflight_hi_);
+}
+
+double Bbr2Cca::pacing_gain() const {
+  switch (mode_) {
+    case Mode::kStartup:
+      return kHighGain;
+    case Mode::kDrain:
+      return 1.0 / kHighGain;
+    case Mode::kProbeBwDown:
+      return kDownGain;
+    case Mode::kProbeBwCruise:
+    case Mode::kProbeBwRefill:
+      return 1.0;
+    case Mode::kProbeBwUp:
+      return kUpGain;
+    case Mode::kProbeRtt:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double Bbr2Cca::cwnd_pkts() const {
+  const double bdp = bdp_pkts();
+  const double generic = 2.0 * bdp;  // the BBR safeguard window (Eq. 31)
+  double bound = generic;
+  switch (mode_) {
+    case Mode::kStartup:
+    case Mode::kDrain:
+      bound = std::max(kHighGain * bdp, initial_window_);
+      break;
+    case Mode::kProbeBwDown:
+    case Mode::kProbeBwCruise:
+      // Cruise/down honor headroom on hi and the short-term lo bound.
+      bound = std::min({generic, (1.0 - kHeadroom) * inflight_hi_,
+                        inflight_lo_});
+      break;
+    case Mode::kProbeBwRefill:
+      bound = std::min(generic, inflight_hi_);
+      break;
+    case Mode::kProbeBwUp: {
+      // inflight_hi plus a per-round doubling allowance (probe growth).
+      const double rounds_in_up =
+          static_cast<double>(std::max<std::int64_t>(0, round_count_ -
+                                                            up_start_round_));
+      const double allowance = std::exp2(std::min(rounds_in_up, 20.0));
+      bound = std::min(generic, inflight_hi_ + allowance);
+      break;
+    }
+    case Mode::kProbeRtt:
+      bound = std::max(4.0, 0.5 * bdp);  // Eq. (32): half the estimated BDP
+      break;
+  }
+  return std::max(4.0, bound);
+}
+
+double Bbr2Cca::pacing_pps() const {
+  const double bw = bw_pps();
+  if (bw <= 0.0) {
+    // No bandwidth sample yet: pace the initial window over the handshake
+    // RTT (Linux derives the initial pacing rate the same way).
+    if (min_rtt_ > 0.0) return kHighGain * initial_window_ / min_rtt_;
+    return 0.0;
+  }
+  return pacing_gain() * bw;
+}
+
+void Bbr2Cca::check_full_pipe() {
+  if (filled_pipe_ || !round_start_) return;
+  const double bw = bw_pps();
+  if (bw > full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= 3) filled_pipe_ = true;
+}
+
+void Bbr2Cca::update_round(const AckEvent& ack) {
+  round_start_ = false;
+  if (ack.newly_acked > 0 &&
+      ack.acked_delivered_at_send >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total;
+    ++round_count_;
+    round_start_ = true;
+    round_loss_bookkeeping();
+  }
+  delivered_in_round_ += ack.newly_acked;
+}
+
+void Bbr2Cca::round_loss_bookkeeping() {
+  const double total =
+      static_cast<double>(losses_in_round_ + delivered_in_round_);
+  loss_rate_round_ =
+      total > 0.0 ? static_cast<double>(losses_in_round_) / total : 0.0;
+  losses_in_round_ = 0;
+  delivered_in_round_ = 0;
+}
+
+void Bbr2Cca::start_down(double now) {
+  mode_ = Mode::kProbeBwDown;
+  cycle_start_time_ = now;
+  cycle_start_round_ = round_count_;
+  probe_wall_gate_s_ = rng_.uniform(2.0, 3.0);
+  prev_cycle_max_bw_ = cycle_max_bw_;
+  cycle_max_bw_ = 0.0;
+}
+
+void Bbr2Cca::maybe_enter_probe_rtt(const AckEvent& ack) {
+  if (mode_ == Mode::kProbeRtt) return;
+  if (ack.now - min_rtt_stamp_ > kMinRttExpiry) {
+    mode_ = Mode::kProbeRtt;
+    probe_rtt_done_stamp_ = -1.0;
+  }
+}
+
+void Bbr2Cca::handle_probe_rtt(const AckEvent& ack) {
+  const double target = std::max(4.0, 0.5 * bdp_pkts());
+  if (probe_rtt_done_stamp_ < 0.0 && ack.inflight_pkts <= target) {
+    probe_rtt_done_stamp_ = ack.now + kProbeRttDuration;
+  }
+  if (probe_rtt_done_stamp_ >= 0.0 && ack.now >= probe_rtt_done_stamp_) {
+    min_rtt_stamp_ = ack.now;
+    if (filled_pipe_) {
+      start_down(ack.now);
+      mode_ = Mode::kProbeBwCruise;  // no self-inflicted queue to drain
+    } else {
+      mode_ = Mode::kStartup;
+    }
+  }
+}
+
+void Bbr2Cca::on_ack(const AckEvent& ack) {
+  update_round(ack);
+
+  // ECN (paper §3.1: BBRv2 reacts to "loss and ECN signals"): CE marks feed
+  // the per-round signal rate and the cruise-time short-term bound exactly
+  // like losses, without any retransmission.
+  if (ack.ecn_ce) {
+    ++losses_in_round_;
+    if (mode_ == Mode::kProbeBwCruise &&
+        round_count_ != last_lo_reduction_round_) {
+      last_lo_reduction_round_ = round_count_;
+      const double base =
+          inflight_lo_ < std::numeric_limits<double>::infinity()
+              ? inflight_lo_
+              : cwnd_pkts();
+      inflight_lo_ = std::max(4.0, (1.0 - kBeta) * base);
+    }
+  }
+
+  if (ack.delivery_rate_pps > 0.0) {
+    startup_bw_filter_.update(static_cast<double>(round_count_),
+                              ack.delivery_rate_pps);
+    cycle_max_bw_ = std::max(cycle_max_bw_, ack.delivery_rate_pps);
+  }
+
+  // Strictly-smaller samples only (see Bbr1Cca: tie-refresh would suppress
+  // ProbeRTT in a noiseless simulation).
+  if (ack.rtt_s > 0.0 && (min_rtt_ == 0.0 || ack.rtt_s < min_rtt_ - 1e-9)) {
+    min_rtt_ = ack.rtt_s;
+    min_rtt_stamp_ = ack.now;
+  }
+
+  const double bdp = bdp_pkts();
+  switch (mode_) {
+    case Mode::kStartup: {
+      check_full_pipe();
+      // Loss-aware exit: persistent heavy loss ends STARTUP (v2 change).
+      const bool loss_exit =
+          round_start_ && loss_rate_round_ > kLossThresh &&
+          ack.delivered_total > 10.0;
+      if (loss_exit && !filled_pipe_) {
+        filled_pipe_ = true;
+        inflight_hi_ = std::max(4.0, ack.inflight_pkts);
+      }
+      if (filled_pipe_) mode_ = Mode::kDrain;
+      break;
+    }
+    case Mode::kDrain:
+      if (ack.inflight_pkts <= bdp) {
+        in_probe_bw_ = true;
+        prev_cycle_max_bw_ = startup_bw_filter_.best();
+        cycle_max_bw_ = startup_bw_filter_.best();
+        start_down(ack.now);
+        mode_ = Mode::kProbeBwCruise;  // pipe is already drained
+      }
+      break;
+    case Mode::kProbeBwDown:
+      if (ack.inflight_pkts <= drain_target_pkts()) {
+        mode_ = Mode::kProbeBwCruise;
+      }
+      break;
+    case Mode::kProbeBwCruise: {
+      const bool round_gate =
+          round_count_ - cycle_start_round_ >= kProbeWaitRounds;
+      const bool wall_gate =
+          ack.now - cycle_start_time_ >= probe_wall_gate_s_;
+      if (round_gate || wall_gate) {
+        mode_ = Mode::kProbeBwRefill;
+        refill_start_round_ = round_count_;
+        inflight_lo_ = std::numeric_limits<double>::infinity();  // reset lo
+      }
+      break;
+    }
+    case Mode::kProbeBwRefill:
+      if (round_count_ > refill_start_round_) {  // one full round of refill
+        mode_ = Mode::kProbeBwUp;
+        up_start_round_ = round_count_;
+      }
+      break;
+    case Mode::kProbeBwUp: {
+      // Raise the long-term bound to what the network demonstrably held.
+      if (ack.inflight_pkts > inflight_hi_ &&
+          loss_rate_round_ <= kLossThresh) {
+        inflight_hi_ = ack.inflight_pkts;
+      }
+      const bool reached_target = ack.inflight_pkts >= 1.25 * bdp;
+      const bool too_lossy = loss_rate_round_ > kLossThresh;
+      if (reached_target || too_lossy) {
+        if (too_lossy) {
+          const double base = inflight_hi_set()
+                                  ? inflight_hi_
+                                  : std::max(4.0, ack.inflight_pkts);
+          inflight_hi_ = std::max(4.0, (1.0 - kBeta) * base);
+        }
+        start_down(ack.now);
+      }
+      break;
+    }
+    case Mode::kProbeRtt:
+      break;
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    handle_probe_rtt(ack);
+  } else {
+    maybe_enter_probe_rtt(ack);
+  }
+}
+
+void Bbr2Cca::on_loss(const LossEvent& loss) {
+  ++losses_in_round_;
+  // Short-term bound while cruising (at most one decrease per round).
+  if (mode_ == Mode::kProbeBwCruise &&
+      round_count_ != last_lo_reduction_round_) {
+    last_lo_reduction_round_ = round_count_;
+    const double base = inflight_lo_ < std::numeric_limits<double>::infinity()
+                            ? inflight_lo_
+                            : cwnd_pkts();
+    inflight_lo_ = std::max(4.0, (1.0 - kBeta) * base);
+  }
+}
+
+void Bbr2Cca::on_rto(double now) {
+  (void)now;
+  // Conservative restart: collapse the short-term bound.
+  inflight_lo_ = std::max(4.0, 0.5 * bdp_pkts());
+}
+
+}  // namespace bbrmodel::packetsim

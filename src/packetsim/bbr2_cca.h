@@ -1,0 +1,124 @@
+// Packet-level BBRv2 (alpha, per the paper's §3.1 description and the IETF
+// 104/106 presentations).
+//
+// Differences from BBRv1 implemented here:
+//  * ProbeBW is a DOWN → CRUISE → REFILL → UP cycle. A new probe starts only
+//    after min(62 RTTs, uniform 2–3 s wall time) spent cruising.
+//  * Loss awareness: a per-round loss rate above 2 % ends the UP phase and
+//    multiplicatively decreases inflight_hi by β = 0.3; losses while
+//    cruising arm/decrease the short-term bound inflight_lo.
+//  * inflight_hi (long-term) starts unset (∞): with deep buffers STARTUP
+//    exits without loss and the window falls back to the generic 2·BDP cap —
+//    exactly the Insight-5 bufferbloat mechanism the paper reports.
+//  * Cruising keeps inflight at min(BDP, 0.85·inflight_hi) (15 % headroom).
+//  * ProbeRTT restricts the window to BDP/2 (not 4 packets).
+//  * The bandwidth estimate is the maximum delivery rate over the last two
+//    probe cycles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+#include "packetsim/cca_api.h"
+#include "packetsim/windowed_filter.h"
+
+namespace bbrmodel::packetsim {
+
+class Bbr2Cca : public PacketCca {
+ public:
+  explicit Bbr2Cca(std::uint64_t seed = 1, double initial_window_pkts = 10.0);
+
+  void on_start(double now) override;
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_rto(double now) override;
+
+  double cwnd_pkts() const override;
+  double pacing_pps() const override;
+  std::string name() const override { return "BBRv2"; }
+
+  enum class Mode {
+    kStartup,
+    kDrain,
+    kProbeBwDown,
+    kProbeBwCruise,
+    kProbeBwRefill,
+    kProbeBwUp,
+    kProbeRtt,
+  };
+  Mode mode() const { return mode_; }
+  double bw_pps() const;
+  double rtprop_s() const { return min_rtt_; }
+  double inflight_hi_pkts() const { return inflight_hi_; }
+  double inflight_lo_pkts() const { return inflight_lo_; }
+  bool inflight_hi_set() const {
+    return inflight_hi_ < std::numeric_limits<double>::infinity();
+  }
+
+  static constexpr double kHighGain = 2.885;
+  static constexpr double kUpGain = 1.25;
+  static constexpr double kDownGain = 0.75;
+  static constexpr double kBeta = 0.3;       ///< MD factor: hi ← (1−β)·hi
+  static constexpr double kHeadroom = 0.15;  ///< cruise backs off 15 % of hi
+  static constexpr double kLossThresh = 0.02;
+  static constexpr double kProbeRttDuration = 0.2;
+  static constexpr double kMinRttExpiry = 10.0;
+  static constexpr int kProbeWaitRounds = 62;
+
+ private:
+  double bdp_pkts() const;
+  double pacing_gain() const;
+  /// min(BDP, (1 − headroom)·inflight_hi): DOWN target and cruise bound.
+  double drain_target_pkts() const;
+  void start_down(double now);
+  void check_full_pipe();
+  void update_round(const AckEvent& ack);
+  void round_loss_bookkeeping();
+  void maybe_enter_probe_rtt(const AckEvent& ack);
+  void handle_probe_rtt(const AckEvent& ack);
+
+  Rng rng_;
+  double initial_window_;
+
+  Mode mode_ = Mode::kStartup;
+  WindowedMax startup_bw_filter_;
+  double cycle_max_bw_ = 0.0;
+  double prev_cycle_max_bw_ = 0.0;
+  bool in_probe_bw_ = false;
+
+  double min_rtt_ = 0.0;
+  double min_rtt_stamp_ = 0.0;
+
+  // Rounds.
+  double next_round_delivered_ = 0.0;
+  std::int64_t round_count_ = 0;
+  bool round_start_ = false;
+
+  // Full pipe (STARTUP exit).
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  bool filled_pipe_ = false;
+
+  // Loss accounting per round.
+  std::int64_t losses_in_round_ = 0;
+  std::int64_t delivered_in_round_ = 0;
+  double loss_rate_round_ = 0.0;
+  std::int64_t last_lo_reduction_round_ = -1;
+
+  // Probe cycle bookkeeping.
+  double cycle_start_time_ = 0.0;
+  std::int64_t cycle_start_round_ = 0;
+  double probe_wall_gate_s_ = 2.5;
+  std::int64_t refill_start_round_ = 0;
+  std::int64_t up_start_round_ = 0;
+
+  // Inflight bounds.
+  double inflight_hi_ = std::numeric_limits<double>::infinity();
+  double inflight_lo_ = std::numeric_limits<double>::infinity();
+
+  // PROBE_RTT.
+  double probe_rtt_done_stamp_ = -1.0;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,58 @@
+// Congestion-control interface of the packet-level simulator.
+//
+// Mirrors the hooks a kernel CCA sees: ACK processing with RTT and
+// delivery-rate samples (Linux-style rate sampling), loss marks from the
+// SACK scoreboard, and retransmission timeouts. The transport reads back a
+// congestion window and an optional pacing rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbrmodel::packetsim {
+
+/// Per-ACK information handed to the CCA.
+struct AckEvent {
+  double now = 0.0;                ///< simulation time
+  double rtt_s = 0.0;              ///< RTT sample (0 when unavailable)
+  double delivery_rate_pps = 0.0;  ///< delivery-rate sample (0 if invalid)
+  int newly_acked = 0;             ///< packets cumulatively/selectively acked
+  double delivered_total = 0.0;    ///< flow's delivered counter (packets)
+  double acked_delivered_at_send = 0.0;  ///< delivered counter when the
+                                         ///< acked packet left (round detect)
+  double inflight_pkts = 0.0;      ///< outstanding data after this ACK
+  bool ecn_ce = false;             ///< the acked packet carried a CE mark
+};
+
+/// A packet declared lost by the scoreboard.
+struct LossEvent {
+  double now = 0.0;
+  std::int64_t seq = -1;
+  double inflight_pkts = 0.0;
+  double delivered_total = 0.0;
+};
+
+/// Congestion-control algorithm, packet level.
+class PacketCca {
+ public:
+  virtual ~PacketCca() = default;
+
+  /// Called once when the flow starts.
+  virtual void on_start(double now) { (void)now; }
+
+  virtual void on_ack(const AckEvent& ack) = 0;
+  virtual void on_loss(const LossEvent& loss) = 0;
+
+  /// Retransmission timeout (all inflight data is presumed lost).
+  virtual void on_rto(double now) { (void)now; }
+
+  /// Current congestion window in packets (≥ 1).
+  virtual double cwnd_pkts() const = 0;
+
+  /// Pacing rate in packets/s; 0 disables pacing (ACK-clocked bursts).
+  virtual double pacing_pps() const { return 0.0; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,83 @@
+#include "packetsim/cubic_cca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace bbrmodel::packetsim {
+
+CubicCca::CubicCca(double initial_window_pkts) : cwnd_(initial_window_pkts) {
+  BBRM_REQUIRE_MSG(initial_window_pkts >= 1.0,
+                   "initial window must be at least one segment");
+}
+
+double CubicCca::cubic_k() const {
+  return std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+}
+
+void CubicCca::on_ack(const AckEvent& ack) {
+  if (ack.rtt_s > 0.0) last_rtt_ = ack.rtt_s;
+  if (ack.ecn_ce) {
+    // RFC 3168: CE echo triggers the loss response (once per round trip).
+    LossEvent ce;
+    ce.now = ack.now;
+    on_loss(ce);
+  }
+  if (ack.newly_acked <= 0) return;
+  const double acked = static_cast<double>(ack.newly_acked);
+
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked;  // slow start
+    return;
+  }
+
+  if (epoch_start_ < 0.0) {
+    epoch_start_ = ack.now;
+    if (w_max_ < cwnd_) w_max_ = cwnd_;  // no prior loss reference
+    w_est_ = cwnd_;
+  }
+  const double rtt = std::max(last_rtt_, 1e-4);
+  const double t = ack.now - epoch_start_;
+
+  // Target one RTT ahead (RFC 8312 §4.1).
+  const double d = t + rtt - cubic_k();
+  const double target = kC * d * d * d + w_max_;
+
+  // TCP-friendly region (RFC 8312 §4.2): emulated Reno growth.
+  w_est_ += acked * (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) / cwnd_;
+
+  double next = cwnd_;
+  if (target > cwnd_) {
+    next = cwnd_ + (target - cwnd_) / cwnd_ * acked;
+  } else {
+    next = cwnd_ + 0.01 * acked / cwnd_;  // minimal growth near the plateau
+  }
+  cwnd_ = std::max(next, w_est_);
+}
+
+void CubicCca::on_loss(const LossEvent& loss) {
+  if (loss.now < recovery_until_) return;
+  // Fast convergence (RFC 8312 §4.6).
+  if (cwnd_ < w_max_) {
+    w_max_ = cwnd_ * (1.0 + kBeta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  cwnd_ = std::max(cwnd_ * kBeta, 2.0);
+  ssthresh_ = cwnd_;
+  epoch_start_ = -1.0;
+  w_est_ = cwnd_;
+  recovery_until_ = loss.now + std::max(last_rtt_, 1e-3);
+}
+
+void CubicCca::on_rto(double now) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+  cwnd_ = 1.0;
+  epoch_start_ = -1.0;
+  w_est_ = cwnd_;
+  recovery_until_ = now + std::max(last_rtt_, 1e-3);
+}
+
+}  // namespace bbrmodel::packetsim

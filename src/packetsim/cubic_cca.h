@@ -1,0 +1,42 @@
+// Packet-level TCP CUBIC (RFC 8312).
+//
+// Window growth follows W_cubic(t) = C·(t − K)³ + W_max with
+// K = ∛(W_max·(1 − β)/C), C = 0.4, β = 0.7, including the TCP-friendly
+// region (W_est) and fast convergence. Unpaced, like the kernel default.
+#pragma once
+
+#include "packetsim/cca_api.h"
+
+namespace bbrmodel::packetsim {
+
+class CubicCca : public PacketCca {
+ public:
+  explicit CubicCca(double initial_window_pkts = 10.0);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_rto(double now) override;
+
+  double cwnd_pkts() const override { return cwnd_; }
+  std::string name() const override { return "CUBIC"; }
+
+  double w_max_pkts() const { return w_max_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+
+ private:
+  double cubic_k() const;
+
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double w_max_ = 0.0;
+  double epoch_start_ = -1.0;  ///< start of the current cubic epoch
+  double last_rtt_ = 0.0;
+  double recovery_until_ = -1.0;
+  // TCP-friendly (Reno-tracking) estimate.
+  double w_est_ = 0.0;
+};
+
+}  // namespace bbrmodel::packetsim

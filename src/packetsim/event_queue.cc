@@ -1,0 +1,24 @@
+#include "packetsim/event_queue.h"
+
+#include <utility>
+
+namespace bbrmodel::packetsim {
+
+void EventQueue::schedule_at(double t, Action action) {
+  BBRM_REQUIRE_MSG(t >= now_ - 1e-12, "cannot schedule into the past");
+  queue_.push(Entry{std::max(t, now_), next_seq_++, std::move(action)});
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // Copy out before pop: the action may schedule further events.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.action();
+  }
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace bbrmodel::packetsim

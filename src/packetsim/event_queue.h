@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// A time-ordered queue of closures with FIFO tie-breaking for equal
+// timestamps (deterministic replay — the whole packet simulator is seeded
+// and reproducible, see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/require.h"
+
+namespace bbrmodel::packetsim {
+
+/// Event-driven simulation clock and scheduler.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time (seconds).
+  double now() const { return now_; }
+
+  /// Schedule `action` at absolute time `t` (must not be in the past).
+  void schedule_at(double t, Action action);
+
+  /// Schedule `action` after `delay` seconds.
+  void schedule_in(double delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run events until the queue is empty or the clock passes `t_end`.
+  /// Events scheduled exactly at t_end are executed.
+  void run_until(double t_end);
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;  // insertion order for stable ties
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,100 @@
+#include "packetsim/multihop.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace bbrmodel::packetsim {
+
+MultiHopNet::MultiHopNet(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t MultiHopNet::add_link(double capacity_pps, double prop_delay_s,
+                                  double buffer_pkts, AqmKind aqm) {
+  BBRM_REQUIRE_MSG(!started_, "cannot add links after run()");
+  const std::size_t idx = links_.size();
+  links_.push_back(std::make_unique<BottleneckLink>(
+      events_, capacity_pps, prop_delay_s, make_aqm(aqm, buffer_pkts), rng_,
+      [this, idx](const Packet& pkt) { forward(pkt, idx); }, buffer_pkts));
+  return idx;
+}
+
+std::size_t MultiHopNet::add_flow(double access_delay_s,
+                                  std::vector<std::size_t> path,
+                                  std::unique_ptr<PacketCca> cca,
+                                  double start_time_s) {
+  BBRM_REQUIRE_MSG(!started_, "cannot add flows after run()");
+  BBRM_REQUIRE_MSG(!path.empty(), "a flow needs at least one link");
+  for (std::size_t l : path) {
+    BBRM_REQUIRE_MSG(l < links_.size(), "path references unknown link");
+  }
+  const auto id = static_cast<int>(flows_.size());
+  double path_prop = 0.0;
+  for (std::size_t l : path) path_prop += links_[l]->prop_delay_s();
+
+  BottleneckLink* first = links_[path.front()].get();
+  flows_.push_back(std::make_unique<Flow>(
+      events_, id, access_delay_s,
+      [first](const Packet& pkt) { first->offer(pkt); }, path_prop,
+      std::move(cca), start_time_s));
+  routes_.push_back(Route{std::move(path)});
+  access_delay_.push_back(access_delay_s);
+  return flows_.size() - 1;
+}
+
+void MultiHopNet::forward(const Packet& packet, std::size_t arrived_link) {
+  BBRM_ASSERT(packet.flow >= 0 &&
+              static_cast<std::size_t>(packet.flow) < flows_.size());
+  const auto& route = routes_[static_cast<std::size_t>(packet.flow)];
+  // Position of the link the packet just left.
+  std::size_t pos = route.links.size();
+  for (std::size_t k = 0; k < route.links.size(); ++k) {
+    if (route.links[k] == arrived_link) {
+      pos = k;
+      break;
+    }
+  }
+  BBRM_ASSERT(pos < route.links.size());
+  if (pos + 1 < route.links.size()) {
+    // Propagation already applied by the link; hand to the next hop now.
+    links_[route.links[pos + 1]]->offer(packet);
+  } else {
+    flows_[static_cast<std::size_t>(packet.flow)]->deliver_to_receiver(packet);
+  }
+}
+
+void MultiHopNet::run(double duration_s) {
+  BBRM_REQUIRE_MSG(!flows_.empty(), "need at least one flow");
+  BBRM_REQUIRE_MSG(duration_s > 0.0, "duration must be positive");
+  if (!started_) {
+    started_ = true;
+    for (auto& f : flows_) f->start();
+  }
+  duration_s_ += duration_s;
+  events_.run_until(duration_s_);
+  for (auto& l : links_) l->flush_accounting();
+}
+
+const Flow& MultiHopNet::flow(std::size_t i) const {
+  BBRM_REQUIRE(i < flows_.size());
+  return *flows_[i];
+}
+
+const BottleneckLink& MultiHopNet::link(std::size_t l) const {
+  BBRM_REQUIRE(l < links_.size());
+  return *links_[l];
+}
+
+std::vector<double> MultiHopNet::mean_rates_pps() const {
+  BBRM_REQUIRE_MSG(duration_s_ > 0.0, "experiment has not run");
+  std::vector<double> rates(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    rates[i] =
+        static_cast<double>(flows_[i]->stats().data_sent) / duration_s_;
+  }
+  return rates;
+}
+
+double MultiHopNet::jain() const { return jain_index(mean_rates_pps()); }
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,65 @@
+// Multi-bottleneck packet experiments (the paper's §8 future-work scenario).
+//
+// Generalizes DumbbellNet to an arbitrary set of bottleneck links and
+// per-flow paths across them: data traverses the links of its path in
+// order (each an AQM buffer + serializing server + propagation), ACKs
+// return over an uncongested fixed-delay path, exactly as in the dumbbell.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/aggregate.h"
+#include "packetsim/event_queue.h"
+#include "packetsim/flow.h"
+#include "packetsim/link.h"
+#include "packetsim/network.h"
+
+namespace bbrmodel::packetsim {
+
+/// A network of chained bottleneck links with per-flow routing.
+class MultiHopNet {
+ public:
+  explicit MultiHopNet(std::uint64_t seed = 42);
+
+  /// Add a bottleneck link; returns its index.
+  std::size_t add_link(double capacity_pps, double prop_delay_s,
+                       double buffer_pkts, AqmKind aqm);
+
+  /// Add a flow traversing `path` (ordered link indices) after a one-way
+  /// access delay. Call before run().
+  std::size_t add_flow(double access_delay_s, std::vector<std::size_t> path,
+                       std::unique_ptr<PacketCca> cca,
+                       double start_time_s = 0.0);
+
+  void run(double duration_s);
+
+  std::size_t num_flows() const { return flows_.size(); }
+  const Flow& flow(std::size_t i) const;
+  const BottleneckLink& link(std::size_t l) const;
+  double duration_s() const { return duration_s_; }
+
+  /// Mean sending rate per flow (packets/s) plus the Jain index over them.
+  std::vector<double> mean_rates_pps() const;
+  double jain() const;
+
+ private:
+  // Routing adapter: one per (flow, hop) wiring data onward.
+  struct Route {
+    std::vector<std::size_t> links;
+  };
+
+  void forward(const Packet& packet, std::size_t arrived_link);
+
+  EventQueue events_;
+  Rng rng_;
+  std::vector<std::unique_ptr<BottleneckLink>> links_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::vector<Route> routes_;
+  std::vector<double> access_delay_;
+  double duration_s_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,155 @@
+#include "packetsim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace bbrmodel::packetsim {
+
+std::unique_ptr<Aqm> make_aqm(AqmKind kind, double buffer_pkts,
+                              RedThresholds red) {
+  const double min_th = red.min_pkts > 0.0
+                            ? std::min(red.min_pkts, 0.9 * buffer_pkts)
+                            : std::max(1.0, 0.10 * buffer_pkts);
+  const double max_th = red.max_pkts > min_th
+                            ? std::min(red.max_pkts, buffer_pkts)
+                            : std::max(min_th + 1.0, 0.5 * buffer_pkts);
+  switch (kind) {
+    case AqmKind::kDropTail:
+      return std::make_unique<DropTailAqm>(buffer_pkts);
+    case AqmKind::kRed:
+      // Classic thresholded RED, as a real tc-red deployment would be
+      // configured (the paper's experiments use mininet/tc RED; the fluid
+      // model's idealized p = q/B is intentionally different — §4.2).
+      return std::make_unique<FloydRedAqm>(buffer_pkts, min_th, max_th, 0.1);
+    case AqmKind::kFloydRed:
+      return std::make_unique<FloydRedAqm>(buffer_pkts, min_th, max_th, 0.1);
+    case AqmKind::kRedEcn:
+      // Faster queue average than the drop-based RED: marking must engage
+      // before slow-start bursts overrun the physical buffer.
+      return std::make_unique<FloydRedAqm>(buffer_pkts, min_th, max_th, 0.1,
+                                           0.02, /*ecn=*/true);
+  }
+  return nullptr;
+}
+
+std::string to_string(AqmKind kind) {
+  switch (kind) {
+    case AqmKind::kDropTail:
+      return "drop-tail";
+    case AqmKind::kRed:
+      return "RED";
+    case AqmKind::kFloydRed:
+      return "RED(Floyd)";
+    case AqmKind::kRedEcn:
+      return "RED+ECN";
+  }
+  return "unknown";
+}
+
+DumbbellNet::DumbbellNet(double capacity_pps, double bottleneck_delay_s,
+                         double buffer_pkts, AqmKind aqm, std::uint64_t seed,
+                         double sample_interval_s, RedThresholds red)
+    : rng_(seed),
+      buffer_pkts_(buffer_pkts),
+      sample_interval_s_(sample_interval_s) {
+  BBRM_REQUIRE_MSG(buffer_pkts >= 1.0, "buffer must hold at least one packet");
+  BBRM_REQUIRE_MSG(sample_interval_s > 0.0, "sample interval must be positive");
+  link_ = std::make_unique<BottleneckLink>(
+      events_, capacity_pps, bottleneck_delay_s,
+      make_aqm(aqm, buffer_pkts, red), rng_,
+      [this](const Packet& pkt) {
+        BBRM_ASSERT(pkt.flow >= 0 &&
+                    static_cast<std::size_t>(pkt.flow) < flows_.size());
+        flows_[static_cast<std::size_t>(pkt.flow)]->deliver_to_receiver(pkt);
+      },
+      buffer_pkts);
+  trace_.sample_interval_s = sample_interval_s;
+}
+
+std::size_t DumbbellNet::add_flow(double access_delay_s,
+                                  std::unique_ptr<PacketCca> cca,
+                                  double start_time_s) {
+  BBRM_REQUIRE_MSG(!started_, "cannot add flows after run()");
+  const auto id = static_cast<int>(flows_.size());
+  flows_.push_back(std::make_unique<Flow>(events_, id, access_delay_s, *link_,
+                                          std::move(cca), start_time_s));
+  return flows_.size() - 1;
+}
+
+void DumbbellNet::run(double duration_s) {
+  BBRM_REQUIRE_MSG(!flows_.empty(), "need at least one flow");
+  BBRM_REQUIRE_MSG(duration_s > 0.0, "duration must be positive");
+  if (!started_) {
+    started_ = true;
+    last_sent_.assign(flows_.size(), 0);
+    for (auto& f : flows_) f->start();
+    // Schedule sampling ticks up front (cheap, deterministic).
+    for (double t = sample_interval_s_; t <= duration_s + 1e-12;
+         t += sample_interval_s_) {
+      events_.schedule_at(t, [this] { sample_row(); });
+    }
+  }
+  duration_s_ += duration_s;
+  events_.run_until(duration_s_);
+  link_->flush_accounting();
+}
+
+void DumbbellNet::sample_row() {
+  PacketSampleRow row;
+  row.t = events_.now();
+  row.flow_rate_pps.resize(flows_.size());
+  row.flow_srtt_s.resize(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto s = flows_[i]->stats();
+    row.flow_rate_pps[i] =
+        static_cast<double>(s.data_sent - last_sent_[i]) / sample_interval_s_;
+    last_sent_[i] = s.data_sent;
+    row.flow_srtt_s[i] = s.srtt_s;
+  }
+  row.queue_pkts = link_->queue_pkts();
+  const auto& ls = link_->stats();
+  const std::int64_t arrived = ls.arrived - last_arrived_;
+  const std::int64_t dropped = ls.dropped - last_dropped_;
+  row.loss_fraction =
+      arrived > 0 ? static_cast<double>(dropped) / static_cast<double>(arrived)
+                  : 0.0;
+  last_arrived_ = ls.arrived;
+  last_dropped_ = ls.dropped;
+  trace_.rows.push_back(std::move(row));
+}
+
+const Flow& DumbbellNet::flow(std::size_t i) const {
+  BBRM_REQUIRE(i < flows_.size());
+  return *flows_[i];
+}
+
+metrics::AggregateMetrics DumbbellNet::aggregate_metrics() const {
+  BBRM_REQUIRE_MSG(duration_s_ > 0.0, "experiment has not run");
+  metrics::AggregateMetrics out;
+
+  out.mean_rate_pps.resize(flows_.size());
+  RunningStats jitter;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto s = flows_[i]->stats();
+    out.mean_rate_pps[i] =
+        static_cast<double>(s.data_sent) / duration_s_;
+    jitter.add(s.jitter_ms);
+  }
+  out.jain = jain_index(out.mean_rate_pps);
+  out.jitter_ms = jitter.mean();
+
+  const auto& ls = link_->stats();
+  out.loss_pct = ls.arrived > 0 ? 100.0 * static_cast<double>(ls.dropped) /
+                                      static_cast<double>(ls.arrived)
+                                : 0.0;
+  out.occupancy_pct =
+      100.0 * (ls.queue_time_pkts_s / duration_s_) / buffer_pkts_;
+  out.utilization_pct = 100.0 * static_cast<double>(ls.served) /
+                        (link_->capacity_pps() * duration_s_);
+  return out;
+}
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,44 @@
+#include "packetsim/reno_cca.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace bbrmodel::packetsim {
+
+RenoCca::RenoCca(double initial_window_pkts) : cwnd_(initial_window_pkts) {
+  BBRM_REQUIRE_MSG(initial_window_pkts >= 1.0,
+                   "initial window must be at least one segment");
+}
+
+void RenoCca::on_ack(const AckEvent& ack) {
+  if (ack.rtt_s > 0.0) last_rtt_ = ack.rtt_s;
+  if (ack.ecn_ce) {
+    // RFC 3168: a CE echo elicits the same response as a loss event.
+    LossEvent ce;
+    ce.now = ack.now;
+    on_loss(ce);
+  }
+  if (ack.newly_acked <= 0) return;
+  const double acked = static_cast<double>(ack.newly_acked);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked;  // slow start
+  } else {
+    cwnd_ += acked / cwnd_;  // congestion avoidance
+  }
+}
+
+void RenoCca::on_loss(const LossEvent& loss) {
+  if (loss.now < recovery_until_) return;  // one reduction per round trip
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+  recovery_until_ = loss.now + std::max(last_rtt_, 1e-3);
+}
+
+void RenoCca::on_rto(double now) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  recovery_until_ = now + std::max(last_rtt_, 1e-3);
+}
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,34 @@
+// Packet-level TCP Reno (NewReno-style congestion response).
+//
+// Slow start (cwnd += 1 per ACKed packet) until ssthresh, congestion
+// avoidance (cwnd += 1/cwnd per ACKed packet), multiplicative decrease to
+// half on a loss event (at most once per round trip), window collapse to one
+// segment on RTO. Unpaced — sending is ACK-clocked.
+#pragma once
+
+#include "packetsim/cca_api.h"
+
+namespace bbrmodel::packetsim {
+
+class RenoCca : public PacketCca {
+ public:
+  explicit RenoCca(double initial_window_pkts = 10.0);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_rto(double now) override;
+
+  double cwnd_pkts() const override { return cwnd_; }
+  std::string name() const override { return "Reno"; }
+
+  double ssthresh_pkts() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double last_rtt_ = 0.0;
+  double recovery_until_ = -1.0;  ///< ignore further losses until this time
+};
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,86 @@
+// Windowed max/min filters (as used by BBR's BtlBw and RTprop estimators).
+//
+// Kathleen Nichols' streaming filter: keeps up to three best samples whose
+// timestamps partition the window, giving O(1) updates and exact windowed
+// extrema as long as samples arrive reasonably often.
+#pragma once
+
+#include <array>
+
+namespace bbrmodel::packetsim {
+
+/// Windowed extremum filter over a time axis (doubles).
+/// Compare = std::greater<double> yields a max filter, std::less a min one.
+template <typename Compare>
+class WindowedFilter {
+ public:
+  /// @param window length of the window in time units.
+  explicit WindowedFilter(double window) : window_(window) { reset(0.0, 0.0); }
+
+  void reset(double time, double value) {
+    for (auto& e : estimates_) e = {time, value};
+  }
+
+  /// Insert a sample; expired best samples rotate out (the exact Linux
+  /// lib/minmax.c scheme, including the ¼- and ½-window freshening of the
+  /// second and third choices).
+  void update(double time, double value) {
+    const Compare better;
+    if (better(value, estimates_[0].value) || value == estimates_[0].value ||
+        time - estimates_[2].time > window_) {
+      reset(time, value);
+      return;
+    }
+    if (better(value, estimates_[1].value) || value == estimates_[1].value) {
+      estimates_[1] = {time, value};
+      estimates_[2] = estimates_[1];
+    } else if (better(value, estimates_[2].value) ||
+               value == estimates_[2].value) {
+      estimates_[2] = {time, value};
+    }
+
+    const double dt = time - estimates_[0].time;
+    if (dt > window_) {
+      // Best expired: promote and refit a fresh third choice.
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = {time, value};
+      if (time - estimates_[0].time > window_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+    } else if (estimates_[1].time == estimates_[0].time &&
+               dt > window_ / 4.0) {
+      // Second-choice candidate is stale (a clone of the best): refresh.
+      estimates_[2] = estimates_[1] = Sample{time, value};
+    } else if (estimates_[2].time == estimates_[1].time &&
+               dt > window_ / 2.0) {
+      estimates_[2] = {time, value};
+    }
+  }
+
+  double best() const { return estimates_[0].value; }
+  double best_time() const { return estimates_[0].time; }
+  double window() const { return window_; }
+  void set_window(double w) { window_ = w; }
+
+ private:
+  struct Sample {
+    double time = 0.0;
+    double value = 0.0;
+  };
+  double window_;
+  std::array<Sample, 3> estimates_;
+};
+
+struct MaxCompare {
+  bool operator()(double a, double b) const { return a > b; }
+};
+struct MinCompare {
+  bool operator()(double a, double b) const { return a < b; }
+};
+
+using WindowedMax = WindowedFilter<MaxCompare>;
+using WindowedMin = WindowedFilter<MinCompare>;
+
+}  // namespace bbrmodel::packetsim

@@ -1,0 +1,161 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+
+#include "cca/cubic.h"
+#include "cca/reno.h"
+#include "common/require.h"
+#include "packetsim/bbr1_cca.h"
+#include "packetsim/bbr2_cca.h"
+#include "packetsim/cubic_cca.h"
+#include "packetsim/reno_cca.h"
+
+namespace bbrmodel::scenario {
+
+std::string to_string(CcaKind kind) {
+  switch (kind) {
+    case CcaKind::kReno:
+      return "RENO";
+    case CcaKind::kCubic:
+      return "CUBIC";
+    case CcaKind::kBbrv1:
+      return "BBRv1";
+    case CcaKind::kBbrv2:
+      return "BBRv2";
+  }
+  return "unknown";
+}
+
+CcaMix homogeneous(CcaKind kind, std::size_t n) {
+  BBRM_REQUIRE(n > 0);
+  return CcaMix{to_string(kind), std::vector<CcaKind>(n, kind)};
+}
+
+CcaMix half_half(CcaKind a, CcaKind b, std::size_t n) {
+  BBRM_REQUIRE(n >= 2);
+  CcaMix mix;
+  mix.label = to_string(a) + "/" + to_string(b);
+  mix.flows.assign(n, b);
+  for (std::size_t i = 0; i < n / 2; ++i) mix.flows[i] = a;
+  return mix;
+}
+
+std::vector<CcaMix> paper_mixes(std::size_t n) {
+  return {
+      homogeneous(CcaKind::kBbrv1, n),
+      half_half(CcaKind::kBbrv1, CcaKind::kBbrv2, n),
+      half_half(CcaKind::kBbrv1, CcaKind::kCubic, n),
+      half_half(CcaKind::kBbrv1, CcaKind::kReno, n),
+      homogeneous(CcaKind::kBbrv2, n),
+      half_half(CcaKind::kBbrv2, CcaKind::kCubic, n),
+      half_half(CcaKind::kBbrv2, CcaKind::kReno, n),
+  };
+}
+
+std::unique_ptr<core::FluidCca> make_fluid_cca(CcaKind kind,
+                                               core::BbrInit init) {
+  switch (kind) {
+    case CcaKind::kReno:
+      return std::make_unique<cca::RenoFluid>();
+    case CcaKind::kCubic:
+      return std::make_unique<cca::CubicFluid>();
+    case CcaKind::kBbrv1:
+      return std::make_unique<core::Bbrv1Fluid>(init);
+    case CcaKind::kBbrv2:
+      return std::make_unique<core::Bbrv2Fluid>(init);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<packetsim::PacketCca> make_packet_cca(CcaKind kind,
+                                                      std::uint64_t seed) {
+  switch (kind) {
+    case CcaKind::kReno:
+      return std::make_unique<packetsim::RenoCca>();
+    case CcaKind::kCubic:
+      return std::make_unique<packetsim::CubicCca>();
+    case CcaKind::kBbrv1:
+      return std::make_unique<packetsim::Bbr1Cca>(seed);
+    case CcaKind::kBbrv2:
+      return std::make_unique<packetsim::Bbr2Cca>(seed);
+  }
+  return nullptr;
+}
+
+namespace {
+
+net::DumbbellSpec dumbbell_spec(const ExperimentSpec& spec) {
+  BBRM_REQUIRE_MSG(!spec.mix.flows.empty(), "a mix with flows is required");
+  net::DumbbellSpec ds;
+  ds.num_senders = spec.mix.flows.size();
+  ds.bottleneck_capacity_pps = spec.capacity_pps;
+  ds.bottleneck_delay_s = spec.bottleneck_delay_s;
+  ds.access_delays_s = net::spread_access_delays(
+      ds.num_senders, spec.min_rtt_s, spec.max_rtt_s, spec.bottleneck_delay_s);
+  ds.buffer_bdp = spec.buffer_bdp;
+  ds.discipline = spec.discipline;
+  return ds;
+}
+
+}  // namespace
+
+FluidSetup build_fluid(const ExperimentSpec& spec) {
+  const auto ds = dumbbell_spec(spec);
+  auto dumbbell = net::make_dumbbell(ds);
+
+  std::vector<std::unique_ptr<core::FluidCca>> agents;
+  agents.reserve(spec.mix.flows.size());
+  for (std::size_t i = 0; i < spec.mix.flows.size(); ++i) {
+    core::BbrInit init;
+    if (spec.bbr_init) init = spec.bbr_init(i);
+    agents.push_back(make_fluid_cca(spec.mix.flows[i], init));
+  }
+
+  FluidSetup setup;
+  setup.bottleneck_link = dumbbell.bottleneck_link;
+  setup.bottleneck_bdp_pkts = dumbbell.bottleneck_bdp_pkts;
+  setup.sim = std::make_unique<core::FluidSimulation>(
+      std::move(dumbbell.topology), std::move(agents), spec.fluid);
+  return setup;
+}
+
+PacketSetup build_packet(const ExperimentSpec& spec) {
+  const auto ds = dumbbell_spec(spec);
+  const double mean_rtt =
+      (spec.min_rtt_s + spec.max_rtt_s) / 2.0;
+  PacketSetup setup;
+  setup.bottleneck_bdp_pkts = spec.capacity_pps * mean_rtt;
+
+  packetsim::AqmKind aqm = spec.discipline == net::Discipline::kRed
+                               ? packetsim::AqmKind::kRed
+                               : packetsim::AqmKind::kDropTail;
+  // RED operating point anchored at the BDP (not the buffer), like a fixed
+  // tc-red deployment across the paper's buffer sweep.
+  packetsim::RedThresholds red;
+  red.min_pkts = 0.10 * setup.bottleneck_bdp_pkts;
+  red.max_pkts = 0.50 * setup.bottleneck_bdp_pkts;
+  setup.net = std::make_unique<packetsim::DumbbellNet>(
+      spec.capacity_pps, spec.bottleneck_delay_s,
+      std::max(1.0, spec.buffer_bdp * setup.bottleneck_bdp_pkts), aqm,
+      spec.seed, 0.01, red);
+  for (std::size_t i = 0; i < spec.mix.flows.size(); ++i) {
+    setup.net->add_flow(ds.access_delays_s[i],
+                        make_packet_cca(spec.mix.flows[i],
+                                        spec.seed + 1000 + i));
+  }
+  return setup;
+}
+
+metrics::AggregateMetrics run_fluid(const ExperimentSpec& spec) {
+  auto setup = build_fluid(spec);
+  setup.sim->run(spec.duration_s);
+  return metrics::evaluate_fluid(*setup.sim, setup.bottleneck_link);
+}
+
+metrics::AggregateMetrics run_packet(const ExperimentSpec& spec) {
+  auto setup = build_packet(spec);
+  setup.net->run(spec.duration_s);
+  return setup.net->aggregate_metrics();
+}
+
+}  // namespace bbrmodel::scenario

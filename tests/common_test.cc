@@ -1,0 +1,219 @@
+// Unit tests for src/common: statistics, tables, CSV, units, RNG, checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace bbrmodel {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesPooledComputation) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, MedianAndEdges) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, -1.0), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 101.0), PreconditionError);
+}
+
+TEST(Jain, EqualAllocationIsPerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Jain, OneHotAllocationIsMinimal) {
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(Jain, KnownTwoFlowValue) {
+  // (1+3)^2 / (2*(1+9)) = 16/20 = 0.8
+  EXPECT_NEAR(jain_index({1.0, 3.0}), 0.8, 1e-12);
+}
+
+TEST(Jain, ClampsNegativeRates) {
+  EXPECT_NEAR(jain_index({-1.0, 2.0}), jain_index({0.0, 2.0}), 1e-12);
+}
+
+TEST(Jain, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev_of({2.0}), 0.0);
+  EXPECT_NEAR(stddev_of({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_numeric_row("beta", {2.5}, 1);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"t", "x"});
+  w.write_row(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(w.rows_written(), 1u);
+  EXPECT_EQ(os.str(), "t,x\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a"});
+  EXPECT_THROW(w.write_row(std::vector<double>{1.0, 2.0}), PreconditionError);
+}
+
+TEST(Units, RateConversionsRoundTrip) {
+  const double pps = mbps_to_pps(100.0);
+  EXPECT_NEAR(pps, 8333.3333, 1e-3);
+  EXPECT_NEAR(pps_to_mbps(pps), 100.0, 1e-9);
+}
+
+TEST(Units, VolumeConversions) {
+  EXPECT_DOUBLE_EQ(bytes_to_packets(3000.0), 2.0);
+  EXPECT_DOUBLE_EQ(packets_to_bytes(2.0), 3000.0);
+}
+
+TEST(Units, BdpComputation) {
+  // 100 Mbps × 30 ms ≈ 250 packets.
+  EXPECT_NEAR(bdp_packets(mbps_to_pps(100.0), 0.030), 250.0, 0.5);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const int k = r.uniform_int(-2, 2);
+    EXPECT_GE(k, -2);
+    EXPECT_LE(k, 2);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_FALSE(r.chance(-0.5));
+  EXPECT_TRUE(r.chance(1.5));
+}
+
+TEST(Require, ThrowsTypedExceptions) {
+  EXPECT_THROW(BBRM_REQUIRE(false), PreconditionError);
+  EXPECT_THROW(BBRM_REQUIRE_MSG(false, "context"), PreconditionError);
+  EXPECT_NO_THROW(BBRM_REQUIRE(true));
+  try {
+    BBRM_REQUIRE_MSG(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bbrmodel

@@ -1,0 +1,254 @@
+// Integration tests: the paper's headline claims (Insights 1–6, Theorems),
+// checked in the fluid model, the packet experiment, or both.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "analysis/equilibrium.h"
+#include "common/units.h"
+#include "packetsim/bbr2_cca.h"
+#include "scenario/scenario.h"
+
+namespace bbrmodel {
+namespace {
+
+using scenario::CcaKind;
+using scenario::ExperimentSpec;
+
+ExperimentSpec paper_spec(scenario::CcaMix mix, double buffer_bdp,
+                          net::Discipline disc) {
+  ExperimentSpec spec;
+  spec.mix = std::move(mix);
+  spec.capacity_pps = mbps_to_pps(100.0);
+  spec.buffer_bdp = buffer_bdp;
+  spec.discipline = disc;
+  spec.duration_s = 5.0;
+  spec.fluid.step_s = 100e-6;  // keep the suite fast; dynamics unchanged
+  return spec;
+}
+
+// Insight 1: BBRv1 causes considerable loss; loss-sensitive CCAs ≈ 1 %.
+TEST(Insight1, Bbrv1LossFarExceedsLossSensitiveCcas) {
+  const auto bbr1 = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10),
+                               1.0, net::Discipline::kDropTail);
+  const auto bbr2 = paper_spec(scenario::homogeneous(CcaKind::kBbrv2, 10),
+                               1.0, net::Discipline::kDropTail);
+
+  const auto m1 = scenario::run_fluid(bbr1);
+  const auto m2 = scenario::run_fluid(bbr2);
+  EXPECT_GT(m1.loss_pct, 3.0);
+  EXPECT_LT(m2.loss_pct, 1.5);
+  EXPECT_GT(m1.loss_pct, 3.0 * std::max(m2.loss_pct, 0.1));
+
+  const auto e1 = scenario::run_packet(bbr1);
+  const auto e2 = scenario::run_packet(bbr2);
+  EXPECT_GT(e1.loss_pct, 3.0);
+  EXPECT_LT(e2.loss_pct, 2.0);
+}
+
+TEST(Insight1, RedKeepsBbrv1LossHighAcrossBuffers) {
+  for (double buffer : {1.0, 4.0}) {
+    const auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10),
+                                 buffer, net::Discipline::kRed);
+    EXPECT_GT(scenario::run_fluid(spec).loss_pct, 8.0) << buffer;
+    EXPECT_GT(scenario::run_packet(spec).loss_pct, 8.0) << buffer;
+  }
+}
+
+// Insight 2: BBRv1 starves loss-based CCAs in shallow drop-tail buffers and
+// under RED at any size; deep drop-tail buffers improve fairness in the
+// experiment (cwnd cap becomes effective).
+TEST(Insight2, Bbrv1UnfairToRenoInShallowDropTail) {
+  const auto shallow = paper_spec(
+      scenario::half_half(CcaKind::kBbrv1, CcaKind::kReno, 10), 1.0,
+      net::Discipline::kDropTail);
+  const auto e = scenario::run_packet(shallow);
+  EXPECT_LT(e.jain, 0.6);
+  // The BBRv1 half gets the lion's share.
+  double bbr = 0.0, reno = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) bbr += e.mean_rate_pps[i];
+  for (std::size_t i = 5; i < 10; ++i) reno += e.mean_rate_pps[i];
+  EXPECT_GT(bbr, 2.5 * reno);
+
+  const auto m = scenario::run_fluid(shallow);
+  EXPECT_LT(m.jain, 0.92);  // unfair in the model too (milder, §5.11 note)
+}
+
+TEST(Insight2, Bbrv1UnfairUnderRedAtAllBufferSizes) {
+  for (double buffer : {1.0, 4.0, 7.0}) {
+    const auto spec = paper_spec(
+        scenario::half_half(CcaKind::kBbrv1, CcaKind::kReno, 10), buffer,
+        net::Discipline::kRed);
+    EXPECT_LT(scenario::run_fluid(spec).jain, 0.75) << buffer;
+    EXPECT_LT(scenario::run_packet(spec).jain, 0.75) << buffer;
+  }
+}
+
+TEST(Insight2, DeepDropTailImprovesExperimentFairness) {
+  const auto shallow = paper_spec(
+      scenario::half_half(CcaKind::kBbrv1, CcaKind::kReno, 10), 1.0,
+      net::Discipline::kDropTail);
+  const auto deep = paper_spec(
+      scenario::half_half(CcaKind::kBbrv1, CcaKind::kReno, 10), 4.0,
+      net::Discipline::kDropTail);
+  EXPECT_GT(scenario::run_packet(deep).jain,
+            scenario::run_packet(shallow).jain);
+}
+
+// Insight 3: BBRv1 achieves full utilization with heavy buffer usage.
+TEST(Insight3, Bbrv1FullUtilizationAndBufferbloat) {
+  const auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10),
+                               1.0, net::Discipline::kDropTail);
+  const auto m = scenario::run_fluid(spec);
+  EXPECT_GT(m.utilization_pct, 99.0);
+  EXPECT_GT(m.occupancy_pct, 80.0);
+  const auto e = scenario::run_packet(spec);
+  EXPECT_GT(e.utilization_pct, 98.0);
+  EXPECT_GT(e.occupancy_pct, 80.0);
+}
+
+// Insight 4: BBRv2 fixes loss, queueing, and inter-CCA fairness.
+TEST(Insight4, Bbrv2AchievesRedesignGoals) {
+  const auto v2 = paper_spec(scenario::homogeneous(CcaKind::kBbrv2, 10), 1.0,
+                             net::Discipline::kDropTail);
+  const auto v1 = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10), 1.0,
+                             net::Discipline::kDropTail);
+  const auto m2 = scenario::run_fluid(v2);
+  const auto m1 = scenario::run_fluid(v1);
+  EXPECT_LT(m2.loss_pct, m1.loss_pct);
+  EXPECT_LT(m2.occupancy_pct, m1.occupancy_pct);
+  EXPECT_GT(m2.utilization_pct, 95.0);
+  EXPECT_GT(m2.jain, 0.9);
+
+  const auto mix = paper_spec(
+      scenario::half_half(CcaKind::kBbrv2, CcaKind::kReno, 10), 1.0,
+      net::Discipline::kDropTail);
+  EXPECT_GT(scenario::run_packet(mix).jain, 0.75);
+  EXPECT_GT(scenario::run_fluid(mix).jain, 0.75);
+}
+
+// Insight 5: deep buffers + distorted startup inflight_hi → BBRv2
+// bufferbloat. The model reproduces it through initial conditions
+// (buffer-dependent w_hi(0)); the packet simulator natively.
+TEST(Insight5, Bbrv2DeepBufferBloatViaInitialConditions) {
+  // The paper: the fluid model has no startup phase; the deep-buffer
+  // bufferbloat appears when the initial conditions mimic a distorted
+  // startup — an overestimated bandwidth (and hence BDP/w_hi) that only
+  // loss could discipline. In deep buffers there is no loss, so the
+  // distortion persists and queues stay inflated; in shallow buffers loss
+  // corrects it quickly.
+  const auto distorted_init = [](std::size_t) {
+    core::BbrInit init;
+    init.btl_estimate_pps = 2.5 * mbps_to_pps(100.0) / 10.0;
+    init.inflight_hi_pkts = 1e9;  // bound effectively unset (no startup loss)
+    return init;
+  };
+
+  auto deep_clean = paper_spec(scenario::homogeneous(CcaKind::kBbrv2, 10),
+                               6.0, net::Discipline::kDropTail);
+  auto deep_distorted = deep_clean;
+  deep_distorted.bbr_init = distorted_init;
+
+  const auto m_clean = scenario::run_fluid(deep_clean);
+  const auto m_distorted = scenario::run_fluid(deep_distorted);
+  EXPECT_GT(m_distorted.occupancy_pct, 2.0 * m_clean.occupancy_pct);
+
+  // In a shallow buffer the distortion triggers loss, which disciplines the
+  // bounds: the absolute queue excess stays far smaller than deep.
+  auto shallow_distorted = paper_spec(
+      scenario::homogeneous(CcaKind::kBbrv2, 10), 1.0,
+      net::Discipline::kDropTail);
+  shallow_distorted.bbr_init = distorted_init;
+  const auto m_shallow = scenario::run_fluid(shallow_distorted);
+  const double q_abs_shallow = m_shallow.occupancy_pct * 1.0;
+  const double q_abs_deep = m_distorted.occupancy_pct * 6.0;
+  EXPECT_GT(q_abs_deep, q_abs_shallow);
+}
+
+TEST(Insight5, PacketBbrv2LeavesHiUnsetInDeepBuffers) {
+  auto deep = paper_spec(scenario::homogeneous(CcaKind::kBbrv2, 4), 7.0,
+                         net::Discipline::kDropTail);
+  auto setup = scenario::build_packet(deep);
+  setup.net->run(5.0);
+  int unset = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto* cca = dynamic_cast<const packetsim::Bbr2Cca*>(
+        &setup.net->flow(i).cca());
+    ASSERT_NE(cca, nullptr);
+    if (!cca->inflight_hi_set()) ++unset;
+  }
+  EXPECT_GE(unset, 2);  // most flows never see loss → bound stays unset
+}
+
+// Theorem 3 cross-check: in a very shallow buffer the fluid BBRv1 flows
+// converge near the fair equilibrium rate 5C/(4N+1) each.
+TEST(Theorems, ShallowBbrv1FluidMatchesTheorem3Scale) {
+  auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10), 0.25,
+                         net::Discipline::kDropTail);
+  spec.duration_s = 8.0;
+  const auto m = scenario::run_fluid(spec);
+  const auto eq = analysis::bbrv1_shallow_equilibrium(
+      analysis::BottleneckScenario::uniform(10, spec.capacity_pps, 0.0175));
+  double mean = 0.0;
+  for (double r : m.mean_rate_pps) mean += r;
+  mean /= 10.0;
+  // Equilibrium estimate is 5C/(4N+1) ≈ 1.22·C/N; the time-average sending
+  // rate sits between C/N and the equilibrium estimate.
+  EXPECT_GT(mean, 0.85 * spec.capacity_pps / 10.0);
+  EXPECT_LT(mean, 1.35 * eq.btl_pps);
+  EXPECT_GT(m.jain, 0.9);  // Theorem 3: perfectly fair equilibrium
+}
+
+// Theorem 4/5 cross-check: homogeneous fluid BBRv2 settles near the
+// predicted equilibrium queue (N−1)/(4N+1)·d·C.
+TEST(Theorems, Bbrv2FluidQueueNearTheorem4Equilibrium) {
+  auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv2, 10), 4.0,
+                         net::Discipline::kDropTail);
+  spec.min_rtt_s = 0.035;
+  spec.max_rtt_s = 0.035;  // the theorem assumes equal propagation delays
+  spec.duration_s = 6.0;
+  auto setup = scenario::build_fluid(spec);
+  setup.sim->run(spec.duration_s);
+  const double d = 0.035;
+  const double q_star = 9.0 / 41.0 * d * spec.capacity_pps;  // ≈64 pkts
+  // Time-average queue over the last half of the run.
+  double acc = 0.0;
+  int count = 0;
+  const auto& trace = setup.sim->trace();
+  for (std::size_t k = trace.size() / 2; k < trace.size(); ++k) {
+    acc += trace.samples[k].links[setup.bottleneck_link].queue_pkts;
+    ++count;
+  }
+  const double q_avg = acc / count;
+  // The full fluid model probes and drains around the equilibrium; expect
+  // the average in a generous band around q*.
+  EXPECT_GT(q_avg, 0.2 * q_star);
+  EXPECT_LT(q_avg, 2.5 * q_star);
+}
+
+// Jitter (§4.3.5): the fluid model's virtual-packet jitter is far below the
+// packet experiment's (the paper's stated limitation).
+TEST(JitterLimitation, FluidUnderestimatesJitter) {
+  const auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10),
+                               1.0, net::Discipline::kDropTail);
+  const auto m = scenario::run_fluid(spec);
+  const auto e = scenario::run_packet(spec);
+  EXPECT_LT(m.jitter_ms, e.jitter_ms + 0.05);
+}
+
+// Efficiency claim (§1): the fluid model simulates 5 s × 10 flows in well
+// under real time.
+TEST(Efficiency, FluidSimulationFasterThanRealTime) {
+  auto spec = paper_spec(scenario::homogeneous(CcaKind::kBbrv1, 10), 1.0,
+                         net::Discipline::kDropTail);
+  const auto t0 = std::chrono::steady_clock::now();
+  scenario::run_fluid(spec);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, spec.duration_s);
+}
+
+}  // namespace
+}  // namespace bbrmodel

@@ -1,0 +1,222 @@
+// Unit tests for src/linalg: matrices, LU, Hessenberg, eigenvalues.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace bbrmodel::linalg {
+namespace {
+
+TEST(Matrix, IdentityAndAccess) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+  EXPECT_TRUE(id.square());
+  EXPECT_THROW(id.at(3, 0), PreconditionError);
+}
+
+TEST(Matrix, InitializerListAndRaggedRejection) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), PreconditionError);
+}
+
+TEST(Matrix, ArithmeticKnownValues) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.at(1, 1), 4.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod.at(1, 1), 50.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.at(1, 1), 8.0);
+}
+
+TEST(Matrix, TransposeAndApply) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+  const auto v = a.apply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 15.0);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0}), 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}};
+  const auto x = solve(a, {8.0, -11.0, -3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  EXPECT_NEAR(LuDecomposition(Matrix{{1.0, 2.0}, {3.0, 4.0}}).determinant(),
+              -2.0, 1e-12);
+  EXPECT_NEAR(LuDecomposition(Matrix::identity(4)).determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularity) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(singular);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve({1.0, 1.0}), PreconditionError);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Hessenberg, ZeroesBelowSubdiagonal) {
+  Matrix a(5, 5);
+  Rng rng(3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  const Matrix h = hessenberg(a);
+  for (std::size_t r = 2; r < 5; ++r)
+    for (std::size_t c = 0; c + 1 < r; ++c)
+      EXPECT_NEAR(h(r, c), 0.0, 1e-12);
+}
+
+TEST(Hessenberg, PreservesTraceAndDeterminant) {
+  Matrix a(4, 4);
+  Rng rng(11);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  const Matrix h = hessenberg(a);
+  double tr_a = 0.0, tr_h = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    tr_a += a(i, i);
+    tr_h += h(i, i);
+  }
+  EXPECT_NEAR(tr_a, tr_h, 1e-10);
+  EXPECT_NEAR(LuDecomposition(a).determinant(),
+              LuDecomposition(h).determinant(), 1e-8);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix a{{3.0, 0.0, 0.0}, {0.0, -1.0, 0.0}, {0.0, 0.0, 2.0}};
+  const auto r = eigenvalues(a);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0].real(), 3.0, 1e-9);
+  EXPECT_NEAR(r.values[1].real(), 2.0, 1e-9);
+  EXPECT_NEAR(r.values[2].real(), -1.0, 1e-9);
+}
+
+TEST(Eigen, SymmetricKnownSpectrum) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  const auto r = eigenvalues(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(r.values[0].real(), 3.0, 1e-9);
+  EXPECT_NEAR(r.values[1].real(), 1.0, 1e-9);
+}
+
+TEST(Eigen, RotationGivesComplexPair) {
+  // 90° rotation: eigenvalues ±i.
+  const auto r = eigenvalues(Matrix{{0.0, -1.0}, {1.0, 0.0}});
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0].real(), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(r.values[0].imag()), 1.0, 1e-9);
+  EXPECT_NEAR(r.values[0].imag() + r.values[1].imag(), 0.0, 1e-9);
+}
+
+TEST(Eigen, CompanionMatrixOfCubic) {
+  // p(x) = x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+  const Matrix c{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const auto r = eigenvalues(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.values[0].real(), 3.0, 1e-7);
+  EXPECT_NEAR(r.values[1].real(), 2.0, 1e-7);
+  EXPECT_NEAR(r.values[2].real(), 1.0, 1e-7);
+}
+
+TEST(Eigen, OneByOne) {
+  const auto r = eigenvalues(Matrix{{-4.2}});
+  EXPECT_DOUBLE_EQ(r.values[0].real(), -4.2);
+}
+
+TEST(Eigen, TheoremThreeStructure) {
+  // The paper's shallow-buffer Jacobian: J_ii = −5/(4N+1), J_ij = −4/(4N+1)
+  // has eigenvalues −1 (once) and −1/(4N+1) (N−1 times), Appendix D.3.
+  const std::size_t n = 6;
+  const double nd = 6.0;
+  Matrix j(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      j(r, c) = (r == c ? -5.0 : -4.0) / (4.0 * nd + 1.0);
+  const auto r = eigenvalues(j);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.values.back().real(), -1.0, 1e-8);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    EXPECT_NEAR(r.values[k].real(), -1.0 / (4.0 * nd + 1.0), 1e-8);
+    EXPECT_NEAR(r.values[k].imag(), 0.0, 1e-8);
+  }
+}
+
+TEST(Eigen2x2, MatchesClosedForm) {
+  const auto eigs = eigenvalues_2x2(0.0, -2.0, 1.0, 0.0);
+  EXPECT_NEAR(eigs[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(eigs[0].imag(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(SpectralAbscissa, PicksLargestRealPart) {
+  EXPECT_DOUBLE_EQ(spectral_abscissa({{-3.0, 1.0}, {-0.5, -2.0}}), -0.5);
+  EXPECT_THROW(spectral_abscissa({}), PreconditionError);
+}
+
+// Property sweep: eigenvalue sum ≈ trace and product ≈ determinant for
+// random matrices of several sizes.
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, TraceAndDeterminantInvariants) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+
+  const auto result = eigenvalues(a);
+  ASSERT_TRUE(result.converged) << "n=" << n;
+
+  std::complex<double> sum{0.0, 0.0}, prod{1.0, 0.0};
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) trace += a(i, i);
+  for (const auto& v : result.values) {
+    sum += v;
+    prod *= v;
+  }
+  EXPECT_NEAR(sum.real(), trace, 1e-6 * std::max(1.0, std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-6);
+  const double det = LuDecomposition(a).determinant();
+  EXPECT_NEAR(prod.real(), det, 1e-5 * std::max(1.0, std::abs(det)));
+  EXPECT_NEAR(prod.imag(), 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace bbrmodel::linalg

@@ -1,0 +1,219 @@
+// Unit tests for src/net: topology, dumbbell builder, queue and loss laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.h"
+#include "net/queue_law.h"
+#include "net/topology.h"
+
+namespace bbrmodel::net {
+namespace {
+
+Link make_link(double cap, double buf, double delay,
+               Discipline d = Discipline::kDropTail) {
+  Link l;
+  l.capacity_pps = cap;
+  l.buffer_pkts = buf;
+  l.prop_delay_s = delay;
+  l.discipline = d;
+  return l;
+}
+
+TEST(Topology, AddAndQueryLinks) {
+  Topology t;
+  const auto a = t.add_link(make_link(1000.0, 100.0, 0.01));
+  const auto b = t.add_link(make_link(2000.0, 50.0, 0.02));
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_DOUBLE_EQ(t.link(a).capacity_pps, 1000.0);
+  EXPECT_DOUBLE_EQ(t.link(b).prop_delay_s, 0.02);
+  EXPECT_THROW(t.link(5), PreconditionError);
+}
+
+TEST(Topology, RejectsInvalidLinks) {
+  Topology t;
+  EXPECT_THROW(t.add_link(make_link(0.0, 10.0, 0.01)), PreconditionError);
+  EXPECT_THROW(t.add_link(make_link(100.0, -1.0, 0.01)), PreconditionError);
+  EXPECT_THROW(t.add_link(make_link(100.0, 1.0, -0.01)), PreconditionError);
+}
+
+TEST(Topology, PathValidation) {
+  Topology t;
+  t.add_link(make_link(1000.0, 100.0, 0.01));
+  EXPECT_THROW(t.add_path({}), PreconditionError);
+  EXPECT_THROW(t.add_path({7}), PreconditionError);
+  EXPECT_EQ(t.add_path({0}), 0u);
+  EXPECT_EQ(t.num_agents(), 1u);
+}
+
+TEST(Topology, AgentsOnLink) {
+  Topology t;
+  const auto shared = t.add_link(make_link(1000.0, 100.0, 0.01));
+  const auto a0 = t.add_link(make_link(5000.0, 100.0, 0.002));
+  const auto a1 = t.add_link(make_link(5000.0, 100.0, 0.003));
+  t.add_path({a0, shared});
+  t.add_path({a1, shared});
+  const auto on_shared = t.agents_on_link(shared);
+  ASSERT_EQ(on_shared.size(), 2u);
+  EXPECT_EQ(t.agents_on_link(a0).size(), 1u);
+  EXPECT_EQ(t.agents_on_link(a0)[0], 0u);
+}
+
+TEST(Topology, PathDelaysForwardBackwardRtt) {
+  Topology t;
+  const auto access = t.add_link(make_link(5000.0, 100.0, 0.004));
+  const auto shared = t.add_link(make_link(1000.0, 100.0, 0.010));
+  t.add_path({access, shared});
+  const auto d = t.path_delays(0);
+  // Forward delay to the access link is 0, to the shared link 4 ms.
+  EXPECT_DOUBLE_EQ(d.forward_to_link_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.forward_to_link_s[1], 0.004);
+  // RTT propagation = 2 × (4 + 10) ms.
+  EXPECT_NEAR(d.rtt_prop_s, 0.028, 1e-12);
+  // Backward = remaining round trip.
+  EXPECT_NEAR(d.backward_from_link_s[0], 0.028, 1e-12);
+  EXPECT_NEAR(d.backward_from_link_s[1], 0.024, 1e-12);
+}
+
+TEST(Topology, BottleneckIsMinimumCapacity) {
+  Topology t;
+  const auto fat = t.add_link(make_link(5000.0, 100.0, 0.001));
+  const auto thin = t.add_link(make_link(800.0, 100.0, 0.001));
+  t.add_path({fat, thin});
+  EXPECT_EQ(t.bottleneck_of(0), thin);
+}
+
+TEST(Topology, MaxRttAcrossAgents) {
+  Topology t;
+  const auto shared = t.add_link(make_link(1000.0, 100.0, 0.010));
+  const auto near = t.add_link(make_link(5000.0, 100.0, 0.001));
+  const auto far = t.add_link(make_link(5000.0, 100.0, 0.009));
+  t.add_path({near, shared});
+  t.add_path({far, shared});
+  EXPECT_NEAR(t.max_rtt_prop_s(), 2.0 * (0.009 + 0.010), 1e-12);
+}
+
+TEST(Dumbbell, BuildsExpectedStructure) {
+  DumbbellSpec spec;
+  spec.num_senders = 3;
+  spec.bottleneck_capacity_pps = 8333.0;
+  spec.bottleneck_delay_s = 0.010;
+  spec.access_delays_s = {0.005, 0.006, 0.007};
+  spec.buffer_bdp = 2.0;
+  const auto d = make_dumbbell(spec);
+  EXPECT_EQ(d.topology.num_links(), 4u);  // bottleneck + 3 access
+  EXPECT_EQ(d.topology.num_agents(), 3u);
+  // Mean RTT = 2·(10 + 6) ms = 32 ms; BDP = C·RTT.
+  EXPECT_NEAR(d.bottleneck_bdp_pkts, 8333.0 * 0.032, 1e-6);
+  EXPECT_NEAR(d.topology.link(d.bottleneck_link).buffer_pkts,
+              2.0 * d.bottleneck_bdp_pkts, 1e-6);
+  // Every path crosses the bottleneck; access links are faster.
+  for (std::size_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(d.topology.bottleneck_of(a), d.bottleneck_link);
+  }
+}
+
+TEST(Dumbbell, RequiresMatchingDelays) {
+  DumbbellSpec spec;
+  spec.num_senders = 2;
+  spec.bottleneck_capacity_pps = 1000.0;
+  spec.access_delays_s = {0.001};  // wrong size
+  EXPECT_THROW(make_dumbbell(spec), PreconditionError);
+}
+
+TEST(SpreadAccessDelays, HitsRttRangeEndpoints) {
+  const auto d = spread_access_delays(5, 0.030, 0.040, 0.010);
+  ASSERT_EQ(d.size(), 5u);
+  // First sender: RTT 30 ms → access = 15 − 10 = 5 ms.
+  EXPECT_NEAR(d.front(), 0.005, 1e-12);
+  // Last sender: RTT 40 ms → access = 20 − 10 = 10 ms.
+  EXPECT_NEAR(d.back(), 0.010, 1e-12);
+  // Monotone spread.
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_GT(d[i], d[i - 1]);
+}
+
+TEST(SpreadAccessDelays, SingleSenderUsesMidpoint) {
+  const auto d = spread_access_delays(1, 0.030, 0.040, 0.010);
+  EXPECT_NEAR(d[0], 0.035 / 2.0 - 0.010, 1e-12);
+}
+
+TEST(SpreadAccessDelays, RejectsInfeasibleRtt) {
+  EXPECT_THROW(spread_access_delays(2, 0.010, 0.020, 0.008),
+               PreconditionError);
+}
+
+TEST(DropTailLoss, ZeroWithoutExcess) {
+  EXPECT_DOUBLE_EQ(droptail_loss(900.0, 1000.0, 50.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(droptail_loss(0.0, 1000.0, 100.0, 100.0), 0.0);
+}
+
+TEST(DropTailLoss, EqualsRelativeExcessAtFullBuffer) {
+  // y = 1250, C = 1000, q = B: p = 1 − C/y = 0.2 (Eq. 4 with fullness 1).
+  const double p = droptail_loss(1250.0, 1000.0, 100.0, 100.0);
+  EXPECT_NEAR(p, 0.2, 1e-6);
+}
+
+TEST(DropTailLoss, SuppressedWhileBufferHasRoom) {
+  // Same excess, queue at 50 %: (0.5)^20 ≈ 1e-6 → essentially no loss yet.
+  const double p = droptail_loss(1250.0, 1000.0, 50.0, 100.0);
+  EXPECT_LT(p, 1e-5);
+}
+
+TEST(DropTailLoss, MonotoneInQueueFullness) {
+  double prev = -1.0;
+  for (double q : {80.0, 90.0, 95.0, 100.0}) {
+    const double p = droptail_loss(1500.0, 1000.0, q, 100.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RedLoss, LinearInQueue) {
+  EXPECT_DOUBLE_EQ(red_loss(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(red_loss(25.0, 100.0), 0.25);
+  EXPECT_DOUBLE_EQ(red_loss(100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(red_loss(150.0, 100.0), 1.0);  // clamped
+}
+
+TEST(LinkLoss, DispatchesOnDiscipline) {
+  const Link dt = make_link(1000.0, 100.0, 0.01, Discipline::kDropTail);
+  const Link red = make_link(1000.0, 100.0, 0.01, Discipline::kRed);
+  EXPECT_DOUBLE_EQ(link_loss(red, 500.0, 50.0), 0.5);
+  EXPECT_LT(link_loss(dt, 500.0, 50.0), 1e-9);
+}
+
+TEST(QueueDrift, BalancesArrivalsAndService) {
+  EXPECT_DOUBLE_EQ(queue_drift(1200.0, 1000.0, 0.0), 200.0);
+  EXPECT_DOUBLE_EQ(queue_drift(1200.0, 1000.0, 0.5), -400.0);
+}
+
+TEST(StepQueue, ClampsAtBounds) {
+  // Draining an empty queue stays at zero.
+  EXPECT_DOUBLE_EQ(step_queue(0.0, 500.0, 1000.0, 0.0, 100.0, 0.01), 0.0);
+  // Filling beyond the buffer clamps at B.
+  EXPECT_DOUBLE_EQ(step_queue(99.0, 5000.0, 1000.0, 0.0, 100.0, 0.1), 100.0);
+  // Normal integration.
+  EXPECT_NEAR(step_queue(10.0, 1500.0, 1000.0, 0.0, 100.0, 0.01), 15.0,
+              1e-12);
+}
+
+TEST(LinkLatency, PropagationPlusQueueing) {
+  const Link l = make_link(1000.0, 100.0, 0.01);
+  EXPECT_DOUBLE_EQ(link_latency(l, 0.0), 0.01);
+  EXPECT_DOUBLE_EQ(link_latency(l, 50.0), 0.01 + 0.05);
+}
+
+TEST(ServiceRate, FullWhenBacklogged) {
+  EXPECT_DOUBLE_EQ(service_rate(100.0, 1000.0, 0.0, 5.0), 1000.0);
+  EXPECT_DOUBLE_EQ(service_rate(400.0, 1000.0, 0.0, 0.0), 400.0);
+  EXPECT_DOUBLE_EQ(service_rate(400.0, 1000.0, 0.25, 0.0), 300.0);
+  EXPECT_DOUBLE_EQ(service_rate(2000.0, 1000.0, 0.0, 0.0), 1000.0);
+}
+
+TEST(Discipline, ToString) {
+  EXPECT_EQ(to_string(Discipline::kDropTail), "drop-tail");
+  EXPECT_EQ(to_string(Discipline::kRed), "RED");
+}
+
+}  // namespace
+}  // namespace bbrmodel::net

@@ -1,0 +1,221 @@
+// Unit tests for src/ode: smooth approximators, delay histories, steppers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.h"
+#include "ode/history.h"
+#include "ode/smooth.h"
+#include "ode/steppers.h"
+
+namespace bbrmodel::ode {
+namespace {
+
+TEST(Sigmoid, LimitsAndMidpoint) {
+  EXPECT_NEAR(sigmoid(10.0, 100.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-10.0, 100.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sigmoid(0.0, 100.0), 0.5);
+}
+
+TEST(Sigmoid, SharpnessNarrowsTransition) {
+  const double v = 0.01;
+  EXPECT_GT(sigmoid(v, 1000.0), sigmoid(v, 10.0));
+  EXPECT_LT(sigmoid(-v, 1000.0), sigmoid(-v, 10.0));
+}
+
+TEST(Sigmoid, ClampsExtremeArguments) {
+  EXPECT_DOUBLE_EQ(sigmoid(1e9, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(sigmoid(-1e9, 1e6), 0.0);
+}
+
+TEST(SmoothRelu, ApproximatesReluForSharpK) {
+  EXPECT_NEAR(smooth_relu(2.5, 1000.0), 2.5, 1e-9);
+  EXPECT_NEAR(smooth_relu(-2.5, 1000.0), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(smooth_relu(0.0, 1000.0), 0.0);
+}
+
+TEST(PhasePulse, IndicatesConfiguredPhase) {
+  const double tau = 0.03;  // phase duration
+  const double k = 5000.0;
+  // Mid-phase 2: pulse for phase 2 on, neighbours off.
+  const double t = 2.5 * tau;
+  EXPECT_NEAR(phase_pulse(t, 2.0, tau, k), 1.0, 1e-6);
+  EXPECT_NEAR(phase_pulse(t, 1.0, tau, k), 0.0, 1e-6);
+  EXPECT_NEAR(phase_pulse(t, 3.0, tau, k), 0.0, 1e-6);
+}
+
+TEST(PhasePulse, HalfValueAtBoundaries) {
+  const double tau = 0.03;
+  EXPECT_NEAR(phase_pulse(2.0 * tau, 2.0, tau, 5000.0), 0.5, 1e-6);
+  EXPECT_NEAR(phase_pulse(3.0 * tau, 2.0, tau, 5000.0), 0.5, 1e-6);
+}
+
+TEST(StepIndicator, HardStep) {
+  EXPECT_DOUBLE_EQ(step_indicator(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(step_indicator(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(step_indicator(-0.1), 0.0);
+}
+
+TEST(DelayHistory, PreHistoryReturnsInitialValue) {
+  DelayHistory h(0.001, 0.1, 42.0);
+  EXPECT_DOUBLE_EQ(h.at(-0.05), 42.0);
+  EXPECT_DOUBLE_EQ(h.latest(), 42.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(DelayHistory, LatestAndExactSamples) {
+  DelayHistory h(0.001, 0.1, 0.0);
+  h.push(1.0);  // t = 0
+  h.push(2.0);  // t = 0.001
+  h.push(3.0);  // t = 0.002
+  EXPECT_DOUBLE_EQ(h.latest(), 3.0);
+  EXPECT_DOUBLE_EQ(h.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.at(0.001), 2.0);
+  EXPECT_DOUBLE_EQ(h.at(0.002), 3.0);
+  EXPECT_NEAR(h.now(), 0.002, 1e-15);
+}
+
+TEST(DelayHistory, LinearInterpolation) {
+  DelayHistory h(0.01, 0.1, 0.0);
+  h.push(0.0);   // t = 0
+  h.push(10.0);  // t = 0.01
+  EXPECT_NEAR(h.at(0.005), 5.0, 1e-12);
+  EXPECT_NEAR(h.at(0.0025), 2.5, 1e-12);
+}
+
+TEST(DelayHistory, ClampsBeyondNewest) {
+  DelayHistory h(0.01, 0.1, 0.0);
+  h.push(1.0);
+  h.push(2.0);
+  EXPECT_DOUBLE_EQ(h.at(5.0), 2.0);
+}
+
+TEST(DelayHistory, RingWraparoundKeepsRecentWindow) {
+  DelayHistory h(0.01, 0.05, -1.0);  // capacity ≈ 7 samples
+  for (int i = 0; i < 100; ++i) h.push(static_cast<double>(i));
+  // Newest value (t = 0.99) is 99; a lookup 0.04 back is 95.
+  EXPECT_DOUBLE_EQ(h.latest(), 99.0);
+  EXPECT_NEAR(h.at(0.99 - 0.04), 95.0, 1e-9);
+  // Far beyond the horizon: clamps to the oldest retained sample (recent).
+  EXPECT_GT(h.at(0.0), 90.0);
+}
+
+TEST(DelayHistory, ValidatesConstruction) {
+  EXPECT_THROW(DelayHistory(0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(DelayHistory(0.01, -1.0, 0.0), PreconditionError);
+}
+
+TEST(Steppers, EulerConvergesFirstOrder) {
+  // ẋ = −x, x(0) = 1, exact x(1) = e⁻¹.
+  const OdeRhs f = [](double, const std::vector<double>& x,
+                      std::vector<double>& d) { d[0] = -x[0]; };
+  const double exact = std::exp(-1.0);
+  const auto coarse = integrate(f, {1.0}, 0.0, 1.0, 0.01, StepMethod::kEuler);
+  const auto fine = integrate(f, {1.0}, 0.0, 1.0, 0.001, StepMethod::kEuler);
+  const double err_coarse = std::abs(coarse[0] - exact);
+  const double err_fine = std::abs(fine[0] - exact);
+  EXPECT_LT(err_fine, err_coarse);
+  EXPECT_NEAR(err_coarse / err_fine, 10.0, 2.0);  // O(h)
+}
+
+TEST(Steppers, Rk4IsAccurate) {
+  const OdeRhs f = [](double, const std::vector<double>& x,
+                      std::vector<double>& d) { d[0] = -x[0]; };
+  const auto x = integrate(f, {1.0}, 0.0, 1.0, 0.01, StepMethod::kRk4);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-10);
+}
+
+TEST(Steppers, HarmonicOscillatorPreservesEnergy) {
+  // ẍ = −x as a 2-state system; RK4 should keep x² + v² ≈ 1 over 10 periods.
+  const OdeRhs f = [](double, const std::vector<double>& x,
+                      std::vector<double>& d) {
+    d[0] = x[1];
+    d[1] = -x[0];
+  };
+  const auto x = integrate(f, {1.0, 0.0}, 0.0, 20.0 * M_PI, 0.001,
+                           StepMethod::kRk4);
+  EXPECT_NEAR(x[0] * x[0] + x[1] * x[1], 1.0, 1e-6);
+}
+
+TEST(Steppers, LandsExactlyOnFinalTime) {
+  // t1 not a multiple of h: the last step must shrink.
+  const OdeRhs f = [](double, const std::vector<double>&,
+                      std::vector<double>& d) { d[0] = 1.0; };
+  const auto x = integrate(f, {0.0}, 0.0, 0.95, 0.1, StepMethod::kEuler);
+  EXPECT_NEAR(x[0], 0.95, 1e-12);
+}
+
+TEST(Steppers, ObserverSeesMonotoneTime) {
+  const OdeRhs f = [](double, const std::vector<double>&,
+                      std::vector<double>& d) { d[0] = 1.0; };
+  double last_t = -1.0;
+  int calls = 0;
+  integrate(f, {0.0}, 0.0, 1.0, 0.1, StepMethod::kEuler,
+            [&](double t, const std::vector<double>&) {
+              EXPECT_GT(t, last_t);
+              last_t = t;
+              ++calls;
+            });
+  EXPECT_EQ(calls, 10);
+  EXPECT_NEAR(last_t, 1.0, 1e-12);
+}
+
+TEST(Steppers, RejectsBadArguments) {
+  const OdeRhs f = [](double, const std::vector<double>&,
+                      std::vector<double>& d) { d[0] = 0.0; };
+  EXPECT_THROW(integrate(f, {0.0}, 0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(integrate(f, {0.0}, 1.0, 0.0, 0.1), PreconditionError);
+}
+
+TEST(Steppers, TimeDependentRhs) {
+  // ẋ = t → x(1) = 0.5.
+  const OdeRhs f = [](double t, const std::vector<double>&,
+                      std::vector<double>& d) { d[0] = t; };
+  const auto x = integrate(f, {0.0}, 0.0, 1.0, 0.001, StepMethod::kRk4);
+  EXPECT_NEAR(x[0], 0.5, 1e-9);
+}
+
+TEST(MethodOfSteps, MatchesKnownDdeSolution) {
+  // The canonical delay equation ẋ(t) = −x(t − 1) with x(t) = 1 for t ≤ 0
+  // has the piecewise-polynomial solution
+  //   x(t) = 1 − t                     on [0, 1],
+  //   x(t) = 1 − t + (t − 1)²/2        on [1, 2].
+  // The engine's scheme — Euler steps reading the delayed value from a
+  // DelayHistory — must reproduce it.
+  const double h = 1e-4;
+  DelayHistory hist(h, 1.5, 1.0);
+  double x = 1.0;
+  double x_at_1 = 0.0, x_at_2 = 0.0;
+  const int steps = static_cast<int>(2.0 / h);
+  for (int k = 0; k < steps; ++k) {
+    const double t = k * h;
+    hist.push(x);
+    x += h * (-hist.at(t - 1.0));
+    if (std::abs(t + h - 1.0) < h / 2) x_at_1 = x;
+    if (std::abs(t + h - 2.0) < h / 2) x_at_2 = x;
+  }
+  EXPECT_NEAR(x_at_1, 0.0, 1e-3);   // 1 − 1 = 0
+  EXPECT_NEAR(x_at_2, -0.5, 1e-3);  // 1 − 2 + 1/2
+}
+
+TEST(MethodOfSteps, DelayedOscillatorStaysBounded) {
+  // ẋ = −(π/2)·x(t−1), x≡1 on t≤0, oscillates with period 4 and constant
+  // amplitude (the classic marginal case); the numerical solution over a
+  // few periods must neither blow up nor die.
+  const double h = 1e-3;
+  DelayHistory hist(h, 1.5, 1.0);
+  double x = 1.0;
+  double max_late = 0.0;
+  const int steps = static_cast<int>(12.0 / h);
+  for (int k = 0; k < steps; ++k) {
+    const double t = k * h;
+    hist.push(x);
+    x += h * (-(M_PI / 2.0) * hist.at(t - 1.0));
+    if (t > 8.0) max_late = std::max(max_late, std::abs(x));
+  }
+  EXPECT_GT(max_late, 0.5);
+  EXPECT_LT(max_late, 2.0);
+}
+
+}  // namespace
+}  // namespace bbrmodel::ode
