@@ -45,30 +45,59 @@ void run_aggregate_figure(const std::string& title, const MetricFn& metric,
   run_aggregate_figures({FigureMetric{title, metric, precision}}, base);
 }
 
+std::size_t sweep_threads() {
+  const char* env = std::getenv("BBRM_SWEEP_THREADS");
+  if (env == nullptr) return 0;  // hardware concurrency
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+}
+
+sweep::ParameterGrid aggregate_grid(const scenario::ExperimentSpec& base) {
+  sweep::ParameterGrid grid;  // paper defaults: backends, disciplines, mixes
+  grid.buffers_bdp = buffer_sweep();
+  grid.flow_counts = {10};
+  grid.rtt_ranges = {{base.min_rtt_s, base.max_rtt_s}};
+  return grid;
+}
+
 void run_aggregate_figures(const std::vector<FigureMetric>& figures,
                            const scenario::ExperimentSpec& base) {
-  const auto buffers = buffer_sweep();
-  const auto mixes = scenario::paper_mixes(10);
+  // One parallel sweep covers every (backend, discipline, buffer, mix)
+  // cell of all requested figures; the tables below just re-bin it.
+  const auto grid = aggregate_grid(base);
+  sweep::SweepOptions options;
+  options.threads = sweep_threads();
+  options.base_seed = base.seed;
+  const auto result = sweep::run_sweep(grid, base, options);
 
-  for (auto disc : {net::Discipline::kDropTail, net::Discipline::kRed}) {
-    // One sweep: metrics for every (buffer, mix) cell, both simulators.
-    std::vector<std::vector<metrics::AggregateMetrics>> model(buffers.size());
-    std::vector<std::vector<metrics::AggregateMetrics>> experiment(
-        buffers.size());
-    for (std::size_t b = 0; b < buffers.size(); ++b) {
-      for (const auto& mix : mixes) {
-        scenario::ExperimentSpec spec = base;
-        spec.mix = mix;
-        spec.buffer_bdp = buffers[b];
-        spec.discipline = disc;
-        model[b].push_back(scenario::run_fluid(spec));
-        experiment[b].push_back(scenario::run_packet(spec));
-      }
-    }
+  // The tables below read backend slot 0 as "Model" and 1 as "Experiment";
+  // pin that to the grid rather than trusting the default axis order.
+  BBRM_REQUIRE_MSG(grid.backends.size() == 2 &&
+                       grid.backends[0] == sweep::Backend::kFluid &&
+                       grid.backends[1] == sweep::Backend::kPacket,
+                   "aggregate figures need backends = {fluid, packet}");
 
-    std::vector<std::string> headers = {"buffer[BDP]"};
-    for (const auto& mix : mixes) headers.push_back(mix.label);
+  const auto& buffers = grid.buffers_bdp;
+  // cells[backend][discipline][buffer][mix]
+  std::vector<metrics::AggregateMetrics> flat(result.size());
+  const auto cell_at = [&](std::size_t backend, std::size_t disc,
+                           std::size_t buffer,
+                           std::size_t mix) -> metrics::AggregateMetrics& {
+    return flat[((backend * grid.disciplines.size() + disc) * buffers.size() +
+                 buffer) *
+                    grid.mixes.size() +
+                mix];
+  };
+  for (const auto& r : result.rows()) {
+    cell_at(r.task.at.backend, r.task.at.discipline, r.task.at.buffer,
+            r.task.at.mix) = r.metrics;
+  }
 
+  std::vector<std::string> headers = {"buffer[BDP]"};
+  for (const auto& mix : grid.mixes) headers.push_back(mix.label);
+
+  for (std::size_t d = 0; d < grid.disciplines.size(); ++d) {
+    const auto disc = grid.disciplines[d];
     for (const auto& fig : figures) {
       std::printf("%s",
                   banner(fig.title + " — " + net::to_string(disc)).c_str());
@@ -76,9 +105,9 @@ void run_aggregate_figures(const std::vector<FigureMetric>& figures,
       Table experiment_table(headers);
       for (std::size_t b = 0; b < buffers.size(); ++b) {
         std::vector<double> model_row, experiment_row;
-        for (std::size_t m = 0; m < mixes.size(); ++m) {
-          model_row.push_back(fig.metric(model[b][m]));
-          experiment_row.push_back(fig.metric(experiment[b][m]));
+        for (std::size_t m = 0; m < grid.mixes.size(); ++m) {
+          model_row.push_back(fig.metric(cell_at(0, d, b, m)));
+          experiment_row.push_back(fig.metric(cell_at(1, d, b, m)));
         }
         model_table.add_numeric_row(format_double(buffers[b], 0), model_row,
                                     fig.precision);

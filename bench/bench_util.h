@@ -13,6 +13,7 @@
 
 #include "metrics/aggregate.h"
 #include "scenario/scenario.h"
+#include "sweep/sweep.h"
 
 namespace bbrmodel::bench {
 
@@ -21,6 +22,15 @@ std::vector<double> buffer_sweep();
 
 /// True if BBRM_BENCH_FAST is set: halves sweep resolution for quick runs.
 bool fast_mode();
+
+/// Worker threads for the aggregate sweeps: $BBRM_SWEEP_THREADS, or 0
+/// (hardware concurrency) when unset.
+std::size_t sweep_threads();
+
+/// The grid behind every aggregate figure: both backends × both
+/// disciplines × buffer_sweep() × the seven paper mixes at N = 10 flows,
+/// with the RTT spread taken from `base`.
+sweep::ParameterGrid aggregate_grid(const scenario::ExperimentSpec& base);
 
 /// Metric selector for the aggregate figures.
 using MetricFn = std::function<double(const metrics::AggregateMetrics&)>;

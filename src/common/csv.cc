@@ -1,7 +1,9 @@
 #include "common/csv.h"
 
+#include <cmath>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/require.h"
 
 namespace bbrmodel {
@@ -36,6 +38,12 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   }
   out_ << '\n';
   ++rows_;
+}
+
+std::string csv_number(double v) {
+  // Same formatting as JSON numbers, so CSV and JSON serializations of one
+  // result can never drift apart; CSV leaves non-finite cells empty.
+  return std::isfinite(v) ? json_number(v) : "";
 }
 
 std::string csv_escape(const std::string& field) {

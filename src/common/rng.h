@@ -12,6 +12,34 @@
 
 namespace bbrmodel {
 
+/// One step of the splitmix64 generator (Steele et al., "Fast splittable
+/// pseudorandom number generators"). Advances `state` and returns the next
+/// 64-bit output. Used to derive independent, well-mixed streams from a
+/// (base_seed, index) pair without any coordination between threads.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic per-task seed: hash (base_seed, index) through splitmix64.
+/// The same pair always yields the same seed, regardless of which thread,
+/// in which order, asks — the keystone of thread-count-invariant sweeps.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t index) {
+  // Mix each coordinate through the splitmix64 finalizer *before*
+  // combining: adjacent bases/indices differ in few bits, and xor-ing raw
+  // values would make (base+δ, index) collide with (base, index+δ').
+  std::uint64_t a = base_seed;
+  std::uint64_t b = index + 0x71ee2039d0c3f14bULL;  // index 0 ≠ identity
+  const std::uint64_t ha = splitmix64(a);
+  const std::uint64_t hb = splitmix64(b);
+  std::uint64_t combined =
+      ha ^ (hb + 0x9e3779b97f4a7c15ULL + (ha << 6) + (ha >> 2));
+  return splitmix64(combined);
+}
+
 /// A thin wrapper around std::mt19937_64 with convenience draws.
 class Rng {
  public:

@@ -274,7 +274,7 @@ void Bbr2Cca::on_ack(const AckEvent& ack) {
   }
 }
 
-void Bbr2Cca::on_loss(const LossEvent& loss) {
+void Bbr2Cca::on_loss(const LossEvent& /*loss*/) {
   ++losses_in_round_;
   // Short-term bound while cruising (at most one decrease per round).
   if (mode_ == Mode::kProbeBwCruise &&

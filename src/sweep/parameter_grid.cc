@@ -1,0 +1,88 @@
+#include "sweep/parameter_grid.h"
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace bbrmodel::sweep {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kFluid:
+      return "fluid";
+    case Backend::kPacket:
+      return "packet";
+  }
+  return "unknown";
+}
+
+MixSpec homogeneous_mix(scenario::CcaKind kind) {
+  return MixSpec{scenario::to_string(kind),
+                 [kind](std::size_t n) { return scenario::homogeneous(kind, n); }};
+}
+
+MixSpec half_half_mix(scenario::CcaKind a, scenario::CcaKind b) {
+  return MixSpec{scenario::to_string(a) + "/" + scenario::to_string(b),
+                 [a, b](std::size_t n) { return scenario::half_half(a, b, n); }};
+}
+
+std::vector<MixSpec> paper_mix_specs() {
+  using scenario::CcaKind;
+  return {
+      homogeneous_mix(CcaKind::kBbrv1),
+      half_half_mix(CcaKind::kBbrv1, CcaKind::kBbrv2),
+      half_half_mix(CcaKind::kBbrv1, CcaKind::kCubic),
+      half_half_mix(CcaKind::kBbrv1, CcaKind::kReno),
+      homogeneous_mix(CcaKind::kBbrv2),
+      half_half_mix(CcaKind::kBbrv2, CcaKind::kCubic),
+      half_half_mix(CcaKind::kBbrv2, CcaKind::kReno),
+  };
+}
+
+std::size_t ParameterGrid::cardinality() const {
+  return backends.size() * disciplines.size() * buffers_bdp.size() *
+         flow_counts.size() * rtt_ranges.size() * mixes.size();
+}
+
+std::vector<SweepTask> ParameterGrid::expand(
+    const scenario::ExperimentSpec& base, std::uint64_t base_seed) const {
+  BBRM_REQUIRE_MSG(cardinality() > 0, "every grid axis needs >= 1 value");
+  for (const auto& r : rtt_ranges) {
+    BBRM_REQUIRE_MSG(r.min_s > 0.0 && r.max_s >= r.min_s,
+                     "RTT ranges must satisfy 0 < min <= max");
+  }
+
+  std::vector<SweepTask> tasks;
+  tasks.reserve(cardinality());
+  GridIndex at;
+  for (at.backend = 0; at.backend < backends.size(); ++at.backend) {
+    for (at.discipline = 0; at.discipline < disciplines.size();
+         ++at.discipline) {
+      for (at.buffer = 0; at.buffer < buffers_bdp.size(); ++at.buffer) {
+        for (at.flows = 0; at.flows < flow_counts.size(); ++at.flows) {
+          for (at.rtt = 0; at.rtt < rtt_ranges.size(); ++at.rtt) {
+            for (at.mix = 0; at.mix < mixes.size(); ++at.mix) {
+              SweepTask task;
+              task.index = tasks.size();
+              task.at = at;
+              task.backend = backends[at.backend];
+              task.mix_label = mixes[at.mix].label;
+              task.spec = base;
+              task.spec.mix = mixes[at.mix].make(flow_counts[at.flows]);
+              task.spec.discipline = disciplines[at.discipline];
+              task.spec.buffer_bdp = buffers_bdp[at.buffer];
+              task.spec.min_rtt_s = rtt_ranges[at.rtt].min_s;
+              task.spec.max_rtt_s = rtt_ranges[at.rtt].max_s;
+              task.spec.seed = derive_seed(base_seed, task.index);
+              tasks.push_back(std::move(task));
+            }
+          }
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+ParameterGrid paper_grid() { return ParameterGrid{}; }
+
+}  // namespace bbrmodel::sweep

@@ -1,0 +1,98 @@
+// Parameter grids: the cartesian product of experiment axes, expanded into
+// a flat, deterministically ordered vector of ready-to-run tasks.
+//
+// The paper's aggregate results (Figs. 6–10, Insights 1–5) are sweeps over
+// dumbbell configurations — CCA mixes × buffer sizes × disciplines, and in
+// the extensions also flow counts and RTT spreads. A ParameterGrid names
+// those axes once; expand() resolves every combination into an
+// ExperimentSpec plus a stable task index, from which the per-task seed is
+// derived (common/rng.h), so a sweep's results do not depend on thread
+// count or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+#include "scenario/scenario.h"
+
+namespace bbrmodel::sweep {
+
+/// Which simulator runs a task: the fluid model ("Model" columns in the
+/// paper's figures) or the packet-level simulator ("Experiment").
+enum class Backend { kFluid, kPacket };
+
+std::string to_string(Backend backend);
+
+/// A CCA-mix axis value that scales with the flow-count axis: a label plus
+/// a generator producing the concrete per-flow assignment for N flows.
+struct MixSpec {
+  std::string label;
+  std::function<scenario::CcaMix(std::size_t n)> make;
+};
+
+/// All N flows run `kind`.
+MixSpec homogeneous_mix(scenario::CcaKind kind);
+
+/// First half runs `a`, second half `b`.
+MixSpec half_half_mix(scenario::CcaKind a, scenario::CcaKind b);
+
+/// The seven mixes of the paper's aggregate figures (Figs. 6–10 legends).
+std::vector<MixSpec> paper_mix_specs();
+
+/// An inclusive [min, max] total-RTT spread in seconds.
+struct RttRange {
+  double min_s = 0.030;
+  double max_s = 0.040;
+};
+
+/// Position of a task along every axis (outer-to-inner expansion order:
+/// backend, discipline, buffer, flow count, RTT range, mix).
+struct GridIndex {
+  std::size_t backend = 0;
+  std::size_t discipline = 0;
+  std::size_t buffer = 0;
+  std::size_t flows = 0;
+  std::size_t rtt = 0;
+  std::size_t mix = 0;
+};
+
+/// One fully-resolved unit of sweep work.
+struct SweepTask {
+  std::size_t index = 0;  ///< position in the expanded grid (seed source)
+  GridIndex at;           ///< per-axis coordinates
+  Backend backend = Backend::kFluid;
+  std::string mix_label;
+  scenario::ExperimentSpec spec;  ///< ready for run_fluid / run_packet
+};
+
+/// The sweep axes. Every listed value of every axis is combined with every
+/// value of every other axis; empty axes are invalid.
+struct ParameterGrid {
+  std::vector<Backend> backends = {Backend::kFluid, Backend::kPacket};
+  std::vector<net::Discipline> disciplines = {net::Discipline::kDropTail,
+                                              net::Discipline::kRed};
+  std::vector<double> buffers_bdp = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::size_t> flow_counts = {10};
+  std::vector<RttRange> rtt_ranges = {{0.030, 0.040}};
+  std::vector<MixSpec> mixes = paper_mix_specs();
+
+  /// Number of tasks expand() will produce (product of the axis sizes).
+  std::size_t cardinality() const;
+
+  /// Expand into tasks. `base` supplies everything the axes do not
+  /// (capacity, bottleneck delay, duration, fluid solver settings);
+  /// each task's seed is derive_seed(base_seed, task.index).
+  std::vector<SweepTask> expand(const scenario::ExperimentSpec& base,
+                                std::uint64_t base_seed = 42) const;
+};
+
+/// The paper's §4.3 validation grid: seven mixes × 1–7 BDP × both
+/// disciplines × both backends at N = 10 flows, RTT 30–40 ms.
+ParameterGrid paper_grid();
+
+}  // namespace bbrmodel::sweep

@@ -1,0 +1,137 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/require.h"
+#include "sweep/thread_pool.h"
+
+namespace bbrmodel::sweep {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+metrics::AggregateMetrics run_task(const SweepTask& task) {
+  switch (task.backend) {
+    case Backend::kFluid:
+      return scenario::run_fluid(task.spec);
+    case Backend::kPacket:
+      return scenario::run_packet(task.spec);
+  }
+  BBRM_REQUIRE_MSG(false, "unreachable backend");
+  return {};
+}
+
+}  // namespace
+
+SweepResult::SweepResult(std::vector<TaskResult> rows)
+    : rows_(std::move(rows)) {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    BBRM_REQUIRE_MSG(rows_[i].task.index == i,
+                     "sweep rows must be ordered by task index");
+  }
+}
+
+const TaskResult& SweepResult::row(std::size_t i) const {
+  BBRM_REQUIRE(i < rows_.size());
+  return rows_[i];
+}
+
+std::vector<std::string> SweepResult::csv_header() {
+  return {"task",     "backend",  "discipline",      "mix",
+          "flows",    "buffer_bdp", "min_rtt_s",     "max_rtt_s",
+          "seed",     "jain",     "loss_pct",        "occupancy_pct",
+          "utilization_pct", "jitter_ms"};
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  CsvWriter csv(out, csv_header());
+  for (const auto& r : rows_) {
+    const auto& t = r.task;
+    csv.write_row(std::vector<std::string>{
+        csv_number(static_cast<double>(t.index)),
+        to_string(t.backend),
+        net::to_string(t.spec.discipline),
+        t.mix_label,
+        csv_number(static_cast<double>(t.spec.mix.flows.size())),
+        csv_number(t.spec.buffer_bdp),
+        csv_number(t.spec.min_rtt_s),
+        csv_number(t.spec.max_rtt_s),
+        std::to_string(t.spec.seed),
+        csv_number(r.metrics.jain),
+        csv_number(r.metrics.loss_pct),
+        csv_number(r.metrics.occupancy_pct),
+        csv_number(r.metrics.utilization_pct),
+        csv_number(r.metrics.jitter_ms),
+    });
+  }
+}
+
+void SweepResult::write_json(std::ostream& out) const {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("sweep").begin_object();
+  j.key("tasks").value(static_cast<std::uint64_t>(rows_.size()));
+  j.end_object();
+  j.key("rows").begin_array();
+  for (const auto& r : rows_) {
+    const auto& t = r.task;
+    j.begin_object();
+    j.key("task").value(static_cast<std::uint64_t>(t.index));
+    j.key("backend").value(to_string(t.backend));
+    j.key("discipline").value(net::to_string(t.spec.discipline));
+    j.key("mix").value(t.mix_label);
+    j.key("flows").value(static_cast<std::uint64_t>(t.spec.mix.flows.size()));
+    j.key("buffer_bdp").value(t.spec.buffer_bdp);
+    j.key("min_rtt_s").value(t.spec.min_rtt_s);
+    j.key("max_rtt_s").value(t.spec.max_rtt_s);
+    j.key("seed").value(static_cast<std::uint64_t>(t.spec.seed));
+    j.key("jain").value(r.metrics.jain);
+    j.key("loss_pct").value(r.metrics.loss_pct);
+    j.key("occupancy_pct").value(r.metrics.occupancy_pct);
+    j.key("utilization_pct").value(r.metrics.utilization_pct);
+    j.key("jitter_ms").value(r.metrics.jitter_ms);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+SweepResult run_tasks(const std::vector<SweepTask>& tasks,
+                      const SweepOptions& options) {
+  std::vector<TaskResult> rows(tasks.size());
+  std::atomic<std::size_t> completed{0};
+
+  const double sweep_start = now_s();
+  ThreadPool pool(options.threads);
+  pool.parallel_for(tasks.size(), [&](std::size_t i) {
+    const double task_start = now_s();
+    TaskResult result;
+    result.task = tasks[i];
+    result.metrics = run_task(tasks[i]);
+    result.wall_s = now_s() - task_start;
+    rows[i] = std::move(result);
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (options.progress) options.progress(done, tasks.size());
+  });
+
+  SweepResult result(std::move(rows));
+  result.set_elapsed_s(now_s() - sweep_start);
+  return result;
+}
+
+SweepResult run_sweep(const ParameterGrid& grid,
+                      const scenario::ExperimentSpec& base,
+                      const SweepOptions& options) {
+  return run_tasks(grid.expand(base, options.base_seed), options);
+}
+
+}  // namespace bbrmodel::sweep

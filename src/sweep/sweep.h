@@ -1,0 +1,83 @@
+// The parallel scenario-sweep engine: fan ParameterGrid tasks across a
+// ThreadPool and aggregate the paper's five metrics per task.
+//
+// Determinism contract: a sweep's SweepResult — including its CSV and JSON
+// serializations — depends only on the grid, the base spec, and the base
+// seed. Thread count and scheduling never change a byte, because every
+// task's randomness comes from derive_seed(base_seed, task.index) and all
+// results land in index-addressed slots. (Wall-clock fields are the one
+// exception and are excluded from both emitters.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/aggregate.h"
+#include "sweep/parameter_grid.h"
+
+namespace bbrmodel::sweep {
+
+/// One finished task: the resolved coordinates plus the paper's metrics.
+struct TaskResult {
+  SweepTask task;
+  metrics::AggregateMetrics metrics;
+  double wall_s = 0.0;  ///< task runtime (informational; not serialized)
+};
+
+/// Knobs of run_sweep.
+struct SweepOptions {
+  /// Worker threads; 0 picks the hardware concurrency.
+  std::size_t threads = 0;
+  /// Root of every per-task seed (see ParameterGrid::expand).
+  std::uint64_t base_seed = 42;
+  /// Optional progress callback, invoked from worker threads after each
+  /// task as (completed, total). Must be thread-safe.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Completed sweep: one TaskResult per task, ordered by task index.
+class SweepResult {
+ public:
+  explicit SweepResult(std::vector<TaskResult> rows);
+
+  const std::vector<TaskResult>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  const TaskResult& row(std::size_t i) const;
+
+  /// Total wall-clock of the sweep call (not the sum of task times).
+  double elapsed_s() const { return elapsed_s_; }
+  void set_elapsed_s(double s) { elapsed_s_ = s; }
+
+  /// The CSV column names of write_csv, in order.
+  static std::vector<std::string> csv_header();
+
+  /// One row per task: coordinates + jain, loss, occupancy, utilization,
+  /// jitter. Deterministic bytes (see the header comment).
+  void write_csv(std::ostream& out) const;
+
+  /// The same rows as a JSON array under "rows", with the grid shape
+  /// summarized under "sweep". Deterministic bytes.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<TaskResult> rows_;
+  double elapsed_s_ = 0.0;
+};
+
+/// Run every task (already expanded) and aggregate. Tasks execute in
+/// arbitrary order across options.threads workers; results are returned
+/// in task-index order.
+SweepResult run_tasks(const std::vector<SweepTask>& tasks,
+                      const SweepOptions& options = {});
+
+/// Convenience: expand `grid` against `base` with options.base_seed, then
+/// run_tasks.
+SweepResult run_sweep(const ParameterGrid& grid,
+                      const scenario::ExperimentSpec& base,
+                      const SweepOptions& options = {});
+
+}  // namespace bbrmodel::sweep

@@ -1,0 +1,104 @@
+#include "sweep/thread_pool.h"
+
+#include <algorithm>
+
+namespace bbrmodel::sweep {
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  // The calling thread drains batches too, so one of the requested threads
+  // is the caller itself; keep (threads - 1) dedicated workers.
+  workers_.reserve(threads - 1);
+  try {
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed partway; shut down the workers that did spawn
+    // so their destruction doesn't std::terminate, then let the error out.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A drained batch leaves next_ == count_, so this predicate only
+      // passes again once parallel_for publishes a new batch.
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (fn_ != nullptr && next_ < count_);
+      });
+      if (shutdown_) return;
+    }
+    drain_batch();
+  }
+}
+
+void ThreadPool::drain_batch() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fn_ == nullptr || next_ >= count_) return;
+      index = next_++;
+      fn = fn_;
+    }
+    try {
+      (*fn)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++completed_ == count_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    completed_ = 0;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  drain_batch();  // the caller works too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return completed_ == count_; });
+    fn_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace bbrmodel::sweep

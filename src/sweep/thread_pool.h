@@ -1,0 +1,75 @@
+// Fixed-size worker pool for fanning sweep tasks across hardware threads.
+//
+// The pool deliberately exposes only an indexed parallel-for: every job is
+// identified by its position in a task vector, each index is claimed exactly
+// once via an atomic cursor, and all outputs are written to index-addressed
+// slots. Combined with per-task seeds derived from (base_seed, index) — see
+// common/rng.h — this makes sweep results bit-identical regardless of how
+// many workers run or how the OS schedules them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bbrmodel::sweep {
+
+/// A fixed set of worker threads executing indexed batch jobs.
+class ThreadPool {
+ public:
+  /// @param threads  worker count; 0 picks the hardware concurrency
+  ///                 (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Outstanding parallel_for calls must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, count), spread over the workers, and
+  /// blocks until all indices completed. The calling thread participates
+  /// too, so a 1-thread pool still makes progress if workers stall and a
+  /// serial pool (threads == 1) behaves like a plain loop.
+  ///
+  /// fn must be safe to call concurrently for distinct indices. If any
+  /// invocation throws, the first exception is rethrown here after the
+  /// batch drains (remaining indices are still claimed but the exception
+  /// marks the batch failed).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Effective parallelism of parallel_for (>= 1): the dedicated workers
+  /// plus the calling thread, i.e. the constructor's resolved `threads`.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// The default worker count parallel_for uses when threads == 0.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+  /// Claims indices from the current batch until it drains. Returns once
+  /// no work is left to claim.
+  void drain_batch();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: batch available
+  std::condition_variable done_cv_;  ///< signals caller: batch complete
+
+  // Current batch state (guarded by mu_; next_ claimed lock-free).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;       ///< next unclaimed index
+  std::size_t completed_ = 0;  ///< finished invocations
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace bbrmodel::sweep

@@ -2,9 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -200,6 +202,72 @@ TEST(Rng, ChanceEdgeCases) {
   EXPECT_TRUE(r.chance(1.0));
   EXPECT_FALSE(r.chance(-0.5));
   EXPECT_TRUE(r.chance(1.5));
+}
+
+TEST(CsvNumber, DeterministicFormatting) {
+  EXPECT_EQ(csv_number(1.0), "1");
+  EXPECT_EQ(csv_number(0.25), "0.25");
+  EXPECT_EQ(csv_number(-3.5e-7), "-3.5e-07");
+  EXPECT_EQ(csv_number(std::nan("")), "");
+  EXPECT_EQ(csv_number(std::numeric_limits<double>::infinity()), "");
+}
+
+TEST(Json, QuoteEscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, NumberMapsNonFiniteToNull) {
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, WriterProducesWellFormedNesting) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("name").value("sweep");
+  j.key("count").value(std::uint64_t{3});
+  j.key("ok").value(true);
+  j.key("rows").begin_array();
+  j.begin_object();
+  j.key("x").value(1.5);
+  j.end_object();
+  j.value(2.0);
+  j.end_array();
+  j.key("empty").begin_object();
+  j.end_object();
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"count\": 3,\n"
+            "  \"ok\": true,\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"x\": 1.5\n"
+            "    },\n"
+            "    2\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+TEST(Json, WriterRejectsMisuse) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  EXPECT_THROW(j.key("top-level key"), PreconditionError);
+  j.begin_object();
+  EXPECT_THROW(j.value(1.0), PreconditionError);   // value without key
+  EXPECT_THROW(j.end_array(), PreconditionError);  // wrong scope
+  j.key("k");
+  EXPECT_THROW(j.end_object(), PreconditionError);  // dangling key
+  EXPECT_FALSE(j.complete());
 }
 
 TEST(Require, ThrowsTypedExceptions) {

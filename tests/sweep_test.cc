@@ -1,0 +1,228 @@
+// Tests of the parallel scenario-sweep engine: grid expansion, the thread
+// pool, deterministic seeding, and the thread-count invariance contract
+// (identical CSV/JSON bytes for any worker count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sweep/parameter_grid.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+
+namespace bbrmodel::sweep {
+namespace {
+
+// A grid small and short enough to simulate many times in one test run.
+ParameterGrid tiny_grid() {
+  ParameterGrid grid;
+  grid.backends = {Backend::kFluid, Backend::kPacket};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0, 4.0};
+  grid.flow_counts = {2};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {homogeneous_mix(scenario::CcaKind::kBbrv1),
+                half_half_mix(scenario::CcaKind::kBbrv1,
+                              scenario::CcaKind::kReno)};
+  return grid;
+}
+
+scenario::ExperimentSpec tiny_base() {
+  scenario::ExperimentSpec base;
+  base.capacity_pps = mbps_to_pps(20.0);
+  base.duration_s = 0.5;
+  base.fluid.step_s = 200e-6;
+  return base;
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50u);
+  }
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Still usable after a failed batch.
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(DeriveSeed, DeterministicAndWellSpread) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {1ull, 2ull, 42ull}) {
+    for (std::uint64_t index = 0; index < 100; ++index) {
+      seeds.insert(derive_seed(base, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 300u) << "collision across (base, index) pairs";
+}
+
+TEST(ParameterGrid, CardinalityIsTheAxisProduct) {
+  ParameterGrid grid;  // paper defaults
+  EXPECT_EQ(grid.cardinality(), 2u * 2u * 7u * 1u * 1u * 7u);
+  EXPECT_EQ(paper_grid().cardinality(), 196u);
+  EXPECT_EQ(tiny_grid().cardinality(), 2u * 1u * 2u * 1u * 1u * 2u);
+
+  grid.buffers_bdp.clear();
+  EXPECT_EQ(grid.cardinality(), 0u);
+  EXPECT_THROW(grid.expand(scenario::ExperimentSpec{}), PreconditionError);
+}
+
+TEST(ParameterGrid, ExpandResolvesEveryCombinationInOrder) {
+  const auto grid = tiny_grid();
+  const auto tasks = grid.expand(tiny_base(), /*base_seed=*/7);
+  ASSERT_EQ(tasks.size(), grid.cardinality());
+
+  std::set<std::tuple<std::size_t, std::size_t, std::size_t>> coords;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    EXPECT_EQ(task.index, i);
+    EXPECT_EQ(task.backend, grid.backends[task.at.backend]);
+    EXPECT_EQ(task.spec.discipline, grid.disciplines[task.at.discipline]);
+    EXPECT_EQ(task.spec.buffer_bdp, grid.buffers_bdp[task.at.buffer]);
+    EXPECT_EQ(task.spec.mix.flows.size(), grid.flow_counts[task.at.flows]);
+    EXPECT_EQ(task.mix_label, grid.mixes[task.at.mix].label);
+    EXPECT_EQ(task.spec.seed, derive_seed(7, i));
+    coords.insert({task.at.backend, task.at.buffer, task.at.mix});
+  }
+  EXPECT_EQ(coords.size(), tasks.size()) << "a combination repeated";
+  // Mix is the innermost axis; the first two tasks differ only in mix.
+  EXPECT_EQ(tasks[0].at.mix, 0u);
+  EXPECT_EQ(tasks[1].at.mix, 1u);
+  EXPECT_EQ(tasks[0].at.buffer, tasks[1].at.buffer);
+}
+
+TEST(ParameterGrid, MixSpecLabelsMatchScenarioMixes) {
+  const auto specs = paper_mix_specs();
+  const auto mixes = scenario::paper_mixes(10);
+  ASSERT_EQ(specs.size(), mixes.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].label, mixes[i].label);
+    const auto made = specs[i].make(10);
+    EXPECT_EQ(made.flows, mixes[i].flows);
+  }
+}
+
+TEST(Sweep, ThreadCountInvariance) {
+  const auto grid = tiny_grid();
+  const auto base = tiny_base();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  serial.base_seed = 42;
+  const auto one = run_sweep(grid, base, serial);
+
+  SweepOptions parallel = serial;
+  parallel.threads = 8;
+  const auto eight = run_sweep(grid, base, parallel);
+
+  std::ostringstream csv_one, csv_eight, json_one, json_eight;
+  one.write_csv(csv_one);
+  eight.write_csv(csv_eight);
+  one.write_json(json_one);
+  eight.write_json(json_eight);
+  EXPECT_EQ(csv_one.str(), csv_eight.str())
+      << "CSV must be byte-identical for any thread count";
+  EXPECT_EQ(json_one.str(), json_eight.str())
+      << "JSON must be byte-identical for any thread count";
+}
+
+TEST(Sweep, RepeatedRunsAreBitIdentical) {
+  const auto grid = tiny_grid();
+  const auto base = tiny_base();
+  SweepOptions options;
+  options.threads = 4;
+  std::ostringstream a, b;
+  run_sweep(grid, base, options).write_csv(a);
+  run_sweep(grid, base, options).write_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Sweep, BaseSeedChangesPacketResults) {
+  ParameterGrid grid = tiny_grid();
+  grid.backends = {Backend::kPacket};  // the stochastic backend
+  const auto base = tiny_base();
+  SweepOptions options;
+  options.threads = 2;
+  options.base_seed = 1;
+  std::ostringstream a, b;
+  run_sweep(grid, base, options).write_csv(a);
+  options.base_seed = 2;
+  run_sweep(grid, base, options).write_csv(b);
+  EXPECT_NE(a.str(), b.str()) << "different base seeds must reseed tasks";
+}
+
+TEST(Sweep, ResultRowsCarryBoundedMetrics) {
+  const auto result = run_sweep(tiny_grid(), tiny_base(), SweepOptions{});
+  ASSERT_EQ(result.size(), tiny_grid().cardinality());
+  for (const auto& row : result.rows()) {
+    EXPECT_GT(row.metrics.jain, 0.0);
+    EXPECT_LE(row.metrics.jain, 1.0 + 1e-9);
+    EXPECT_GE(row.metrics.loss_pct, 0.0);
+    EXPECT_LE(row.metrics.loss_pct, 100.0);
+    EXPECT_GE(row.metrics.occupancy_pct, 0.0);
+    EXPECT_GE(row.metrics.utilization_pct, 0.0);
+    EXPECT_LE(row.metrics.utilization_pct, 100.0 + 1e-6);
+    EXPECT_GE(row.wall_s, 0.0);
+  }
+  EXPECT_GT(result.elapsed_s(), 0.0);
+}
+
+TEST(Sweep, CsvShapeMatchesHeader) {
+  const auto result = run_sweep(tiny_grid(), tiny_base(), SweepOptions{});
+  std::ostringstream out;
+  result.write_csv(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t line_count = 0;
+  const std::size_t columns = SweepResult::csv_header().size();
+  while (std::getline(lines, line)) {
+    ++line_count;
+    const std::size_t commas =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+    EXPECT_EQ(commas, columns - 1) << "line " << line_count << ": " << line;
+  }
+  EXPECT_EQ(line_count, 1 + result.size());  // header + one row per task
+}
+
+}  // namespace
+}  // namespace bbrmodel::sweep

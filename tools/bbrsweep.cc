@@ -1,0 +1,258 @@
+// bbrsweep — run parameter sweeps of the paper's dumbbell experiments in
+// parallel from the command line.
+//
+// The default invocation reproduces the aggregate-figure grid (Figs. 6–10):
+// seven CCA mixes × 1–7 BDP × {drop-tail, RED} × {fluid, packet}, N = 10
+// flows, RTT 30–40 ms, 100 Mbps — and writes one CSV row per experiment.
+// Axes, seed, duration, and thread count are all flags. Results are
+// bit-identical for any --threads value.
+//
+//   bbrsweep --csv sweep.csv --json sweep.json --threads 8
+//   bbrsweep --mixes bbrv1,bbrv1/reno --buffers 1,4,7 --backends packet
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+
+namespace {
+
+using namespace bbrmodel;
+
+constexpr const char* kUsage = R"(bbrsweep — parallel BBR scenario sweeps
+
+Usage: bbrsweep [options]
+
+Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
+  --mixes LIST        CCA mixes: homogeneous (bbrv1, bbrv2, cubic, reno)
+                      or half/half (bbrv1/cubic, ...); default: the paper's
+                      seven (bbrv1, bbrv1/bbrv2, bbrv1/cubic, bbrv1/reno,
+                      bbrv2, bbrv2/cubic, bbrv2/reno)
+  --buffers LIST      bottleneck buffers in BDP (default 1,2,3,4,5,6,7)
+  --flows LIST        flow counts N (default 10)
+  --rtts LIST         RTT spreads as min:max in ms (default 30:40)
+  --disciplines LIST  droptail, red (default both)
+  --backends LIST     fluid, packet (default both)
+
+Scenario constants:
+  --capacity MBPS     bottleneck capacity (default 100)
+  --duration S        simulated seconds per experiment (default 5)
+  --step US           fluid solver step in microseconds (default 50)
+
+Execution:
+  --threads N         worker threads; 0 = hardware concurrency (default 0)
+  --seed S            base seed; per-task seeds derive from it (default 42)
+  --quiet             suppress the progress meter
+
+Output:
+  --csv PATH          write CSV rows to PATH ('-' = stdout; default '-')
+  --json PATH         also write a JSON summary to PATH ('-' = stdout)
+  -h, --help          this text
+)";
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "bbrsweep: %s (try --help)\n", message.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') fail("bad " + what + ": " + text);
+  return v;
+}
+
+std::uint64_t parse_count(const std::string& text, const std::string& what) {
+  // Not parse_double + cast: doubles silently round integers above 2^53,
+  // which would corrupt --seed values without any error.
+  if (text.empty() || text[0] == '-') {
+    fail(what + " must be a non-negative integer: " + text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(what + " must be a non-negative integer: " + text);
+  }
+  return v;
+}
+
+scenario::CcaKind parse_cca(const std::string& name) {
+  if (name == "bbrv1") return scenario::CcaKind::kBbrv1;
+  if (name == "bbrv2") return scenario::CcaKind::kBbrv2;
+  if (name == "cubic") return scenario::CcaKind::kCubic;
+  if (name == "reno") return scenario::CcaKind::kReno;
+  fail("unknown CCA: " + name);
+}
+
+sweep::MixSpec parse_mix(const std::string& token) {
+  const auto kinds = split(token, '/');
+  if (kinds.size() == 1) return sweep::homogeneous_mix(parse_cca(kinds[0]));
+  if (kinds.size() == 2) {
+    return sweep::half_half_mix(parse_cca(kinds[0]), parse_cca(kinds[1]));
+  }
+  fail("bad mix (want CCA or CCA/CCA): " + token);
+}
+
+net::Discipline parse_discipline(const std::string& name) {
+  if (name == "droptail") return net::Discipline::kDropTail;
+  if (name == "red") return net::Discipline::kRed;
+  fail("unknown discipline (droptail|red): " + name);
+}
+
+sweep::Backend parse_backend(const std::string& name) {
+  if (name == "fluid") return sweep::Backend::kFluid;
+  if (name == "packet") return sweep::Backend::kPacket;
+  fail("unknown backend (fluid|packet): " + name);
+}
+
+sweep::RttRange parse_rtt(const std::string& token) {
+  const auto bounds = split(token, ':');
+  if (bounds.size() != 2) fail("bad RTT spread (want min:max in ms): " + token);
+  sweep::RttRange range;
+  range.min_s = parse_double(bounds[0], "RTT") * 1e-3;
+  range.max_s = parse_double(bounds[1], "RTT") * 1e-3;
+  if (!(range.min_s > 0.0 && range.max_s >= range.min_s)) {
+    fail("RTT spread needs 0 < min <= max: " + token);
+  }
+  return range;
+}
+
+struct Options {
+  sweep::ParameterGrid grid;
+  scenario::ExperimentSpec base;
+  sweep::SweepOptions run;
+  std::optional<std::string> csv_path = "-";
+  std::optional<std::string> json_path;
+  bool quiet = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  opt.base.capacity_pps = mbps_to_pps(100.0);
+
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg == "--mixes") {
+      opt.grid.mixes.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.mixes.push_back(parse_mix(token));
+    } else if (arg == "--buffers") {
+      opt.grid.buffers_bdp.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.buffers_bdp.push_back(parse_double(token, "buffer"));
+    } else if (arg == "--flows") {
+      opt.grid.flow_counts.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.flow_counts.push_back(
+            static_cast<std::size_t>(parse_count(token, "flow count")));
+    } else if (arg == "--rtts") {
+      opt.grid.rtt_ranges.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.rtt_ranges.push_back(parse_rtt(token));
+    } else if (arg == "--disciplines") {
+      opt.grid.disciplines.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.disciplines.push_back(parse_discipline(token));
+    } else if (arg == "--backends") {
+      opt.grid.backends.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.grid.backends.push_back(parse_backend(token));
+    } else if (arg == "--capacity") {
+      opt.base.capacity_pps = mbps_to_pps(parse_double(next(i), "capacity"));
+    } else if (arg == "--duration") {
+      opt.base.duration_s = parse_double(next(i), "duration");
+    } else if (arg == "--step") {
+      opt.base.fluid.step_s = parse_double(next(i), "step") * 1e-6;
+    } else if (arg == "--threads") {
+      opt.run.threads =
+          static_cast<std::size_t>(parse_count(next(i), "threads"));
+    } else if (arg == "--seed") {
+      opt.run.base_seed = parse_count(next(i), "seed");
+    } else if (arg == "--csv") {
+      opt.csv_path = next(i);
+    } else if (arg == "--json") {
+      opt.json_path = next(i);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      fail("unknown option: " + arg);
+    }
+  }
+  if (opt.grid.cardinality() == 0) fail("the grid is empty");
+  return opt;
+}
+
+void write_output(const sweep::SweepResult& result, const std::string& path,
+                  bool json) {
+  const auto emit = [&](std::ostream& out) {
+    json ? result.write_json(out) : result.write_csv(out);
+  };
+  if (path == "-") {
+    emit(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path);
+  emit(out);
+  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Options opt = parse_args(argc, argv);
+
+  if (!opt.quiet) {
+    opt.run.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rbbrsweep: %zu/%zu experiments", done, total);
+      if (done == total) std::fputc('\n', stderr);
+    };
+    std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads\n",
+                 opt.grid.cardinality(),
+                 opt.run.threads ? opt.run.threads
+                                 : sweep::ThreadPool::hardware_threads());
+  }
+
+  const auto result = sweep::run_sweep(opt.grid, opt.base, opt.run);
+
+  if (opt.csv_path) write_output(result, *opt.csv_path, /*json=*/false);
+  if (opt.json_path) write_output(result, *opt.json_path, /*json=*/true);
+
+  if (!opt.quiet) {
+    std::fprintf(stderr, "bbrsweep: %zu experiments in %.2f s (%.2f/s)\n",
+                 result.size(), result.elapsed_s(),
+                 result.elapsed_s() > 0.0 ? result.size() / result.elapsed_s()
+                                          : 0.0);
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bbrsweep: %s\n", e.what());
+  return 1;
+}
