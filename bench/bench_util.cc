@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "common/table.h"
 #include "common/units.h"
@@ -52,6 +53,22 @@ std::size_t sweep_threads() {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
 }
 
+sweep::CellCache* sweep_cache() {
+  static std::unique_ptr<sweep::CellCache> cache = [] {
+    const char* dir = std::getenv("BBRM_SWEEP_CACHE");
+    return dir ? std::make_unique<sweep::CellCache>(dir) : nullptr;
+  }();
+  return cache.get();
+}
+
+sweep::SweepOptions bench_sweep_options(std::uint64_t base_seed) {
+  sweep::SweepOptions options;
+  options.threads = sweep_threads();
+  options.base_seed = base_seed;
+  options.cache = sweep_cache();
+  return options;
+}
+
 sweep::ParameterGrid aggregate_grid(const scenario::ExperimentSpec& base) {
   sweep::ParameterGrid grid;  // paper defaults: backends, disciplines, mixes
   grid.buffers_bdp = buffer_sweep();
@@ -65,10 +82,8 @@ void run_aggregate_figures(const std::vector<FigureMetric>& figures,
   // One parallel sweep covers every (backend, discipline, buffer, mix)
   // cell of all requested figures; the tables below just re-bin it.
   const auto grid = aggregate_grid(base);
-  sweep::SweepOptions options;
-  options.threads = sweep_threads();
-  options.base_seed = base.seed;
-  const auto result = sweep::run_sweep(grid, base, options);
+  const auto result =
+      sweep::run_sweep(grid, base, bench_sweep_options(base.seed));
 
   // The tables below read backend slot 0 as "Model" and 1 as "Experiment";
   // pin that to the grid rather than trusting the default axis order.

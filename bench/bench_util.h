@@ -13,6 +13,7 @@
 
 #include "metrics/aggregate.h"
 #include "scenario/scenario.h"
+#include "sweep/cell_cache.h"
 #include "sweep/sweep.h"
 
 namespace bbrmodel::bench {
@@ -26,6 +27,15 @@ bool fast_mode();
 /// Worker threads for the aggregate sweeps: $BBRM_SWEEP_THREADS, or 0
 /// (hardware concurrency) when unset.
 std::size_t sweep_threads();
+
+/// Process-wide cell cache for bench sweeps, rooted at $BBRM_SWEEP_CACHE;
+/// nullptr when the variable is unset. Lets repeated figure-bench runs
+/// (and figures sharing cells) skip finished simulations.
+sweep::CellCache* sweep_cache();
+
+/// SweepOptions preconfigured for benches: sweep_threads(), sweep_cache(),
+/// and the given base seed.
+sweep::SweepOptions bench_sweep_options(std::uint64_t base_seed);
 
 /// The grid behind every aggregate figure: both backends × both
 /// disciplines × buffer_sweep() × the seven paper mixes at N = 10 flows,

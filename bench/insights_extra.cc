@@ -9,6 +9,13 @@
 //
 // Insight 6: on a high-capacity RED link, BBRv2 is unfair towards
 // loss-based CCAs because their loss sensitivity scales worse with rate.
+//
+// Both insights build their cells as ad-hoc sweep tasks (the buffer and
+// capacity ladders live in the specs) and run them through the engine's
+// default backend runner — in parallel, seeded by the engine's
+// (base_seed, index) contract, and cacheable wherever the spec is
+// self-contained (the distorted-start variant sets a bbr_init callback and
+// is therefore excluded from caching automatically).
 #include <cstdio>
 
 #include "bench_util.h"
@@ -22,35 +29,46 @@ int main() {
   // ---- Insight 5 -----------------------------------------------------------
   std::printf("%s", banner("Insight 5 — BBRv2 bufferbloat in deep drop-tail "
                            "buffers").c_str());
-  Table t5({"buffer[BDP]", "model occ[%] clean", "model occ[%] distorted",
-            "model q[BDP] distorted", "experiment occ[%]",
-            "experiment q[BDP]"});
-  for (double buffer : {1.0, 2.0, 4.0, 5.0, 6.0, 7.0}) {
+  const std::vector<double> buffers = {1.0, 2.0, 4.0, 5.0, 6.0, 7.0};
+  std::vector<sweep::SweepTask> tasks;
+  for (double buffer : buffers) {
     scenario::ExperimentSpec spec = validation_spec();
     spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv2, 10);
     spec.buffer_bdp = buffer;
 
-    const auto clean = scenario::run_fluid(spec);
-
-    // §4.3.3: choose w_hi(0) (and the start-up bandwidth estimate behind
-    // it) dependent on the buffer — deep buffers never see the loss that
-    // would discipline the bounds.
+    // Clean fluid model, distorted fluid model, packet experiment.
+    tasks.push_back(sweep::make_task(tasks.size(), sweep::Backend::kFluid,
+                                     spec, /*base_seed=*/42));
     auto distorted = spec;
-    distorted.bbr_init = [&spec](std::size_t) {
+    const double overestimate = 2.5 * spec.capacity_pps / 10.0;
+    distorted.bbr_init = [overestimate](std::size_t) {
       core::BbrInit init;
-      init.btl_estimate_pps =
-          2.5 * spec.capacity_pps / 10.0;  // startup overestimate
-      init.inflight_hi_pkts = 1e9;          // bound never set
+      // §4.3.3: choose w_hi(0) (and the start-up bandwidth estimate behind
+      // it) dependent on the buffer — deep buffers never see the loss that
+      // would discipline the bounds.
+      init.btl_estimate_pps = overestimate;  // startup overestimate
+      init.inflight_hi_pkts = 1e9;           // bound never set
       return init;
     };
-    const auto dist = scenario::run_fluid(distorted);
-    const auto exp = scenario::run_packet(spec);
+    tasks.push_back(sweep::make_task(tasks.size(), sweep::Backend::kFluid,
+                                     distorted, 42));
+    tasks.push_back(
+        sweep::make_task(tasks.size(), sweep::Backend::kPacket, spec, 42));
+  }
+  const auto result5 = sweep::run_tasks(tasks, bench_sweep_options(42));
 
-    t5.add_numeric_row(format_double(buffer, 0),
+  Table t5({"buffer[BDP]", "model occ[%] clean", "model occ[%] distorted",
+            "model q[BDP] distorted", "experiment occ[%]",
+            "experiment q[BDP]"});
+  for (std::size_t b = 0; b < buffers.size(); ++b) {
+    const auto& clean = result5.row(b * 3).metrics;
+    const auto& dist = result5.row(b * 3 + 1).metrics;
+    const auto& exp = result5.row(b * 3 + 2).metrics;
+    t5.add_numeric_row(format_double(buffers[b], 0),
                        {clean.occupancy_pct, dist.occupancy_pct,
-                        dist.occupancy_pct / 100.0 * buffer,
+                        dist.occupancy_pct / 100.0 * buffers[b],
                         exp.occupancy_pct,
-                        exp.occupancy_pct / 100.0 * buffer},
+                        exp.occupancy_pct / 100.0 * buffers[b]},
                        2);
   }
   std::printf("%s\n", t5.to_string().c_str());
@@ -61,32 +79,48 @@ int main() {
   // ---- Insight 6 -----------------------------------------------------------
   std::printf("%s", banner("Insight 6 — BBRv2 vs loss-based CCAs on "
                            "high-capacity RED links").c_str());
-  Table t6({"capacity[Mbps]", "mix", "model jain", "model BBRv2 share",
-            "exp jain", "exp BBRv2 share"});
-  for (double mbps : {100.0, 400.0, 1000.0}) {
-    for (auto other : {scenario::CcaKind::kReno, scenario::CcaKind::kCubic}) {
+  const std::vector<double> capacities_mbps = {100.0, 400.0, 1000.0};
+  const std::vector<scenario::CcaKind> others = {scenario::CcaKind::kReno,
+                                                 scenario::CcaKind::kCubic};
+  std::vector<sweep::SweepTask> tasks6;
+  for (double mbps : capacities_mbps) {
+    for (auto other : others) {
       scenario::ExperimentSpec spec = validation_spec();
       spec.capacity_pps = mbps_to_pps(mbps);
       spec.buffer_bdp = 2.0;
       spec.discipline = net::Discipline::kRed;
       spec.mix = scenario::half_half(scenario::CcaKind::kBbrv2, other, 10);
+      tasks6.push_back(sweep::make_task(tasks6.size(), sweep::Backend::kFluid,
+                                        spec, /*base_seed=*/42));
+      tasks6.push_back(
+          sweep::make_task(tasks6.size(), sweep::Backend::kPacket, spec, 42));
+    }
+  }
+  const auto result6 = sweep::run_tasks(tasks6, bench_sweep_options(42));
 
-      auto share_of_first_half = [](const metrics::AggregateMetrics& m) {
-        double first = 0.0, total = 0.0;
-        for (std::size_t i = 0; i < m.mean_rate_pps.size(); ++i) {
-          total += m.mean_rate_pps[i];
-          if (i < m.mean_rate_pps.size() / 2) first += m.mean_rate_pps[i];
-        }
-        return total > 0.0 ? first / total : 0.0;
-      };
+  auto share_of_first_half = [](const metrics::AggregateMetrics& m) {
+    double first = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < m.mean_rate_pps.size(); ++i) {
+      total += m.mean_rate_pps[i];
+      if (i < m.mean_rate_pps.size() / 2) first += m.mean_rate_pps[i];
+    }
+    return total > 0.0 ? first / total : 0.0;
+  };
 
-      const auto model = scenario::run_fluid(spec);
-      const auto exp = scenario::run_packet(spec);
-      t6.add_row({format_double(mbps, 0), spec.mix.label,
+  Table t6({"capacity[Mbps]", "mix", "model jain", "model BBRv2 share",
+            "exp jain", "exp BBRv2 share"});
+  std::size_t row = 0;
+  for (double mbps : capacities_mbps) {
+    for (auto other : others) {
+      (void)other;
+      const auto& model = result6.row(row++).metrics;
+      const auto& exp = result6.row(row).metrics;
+      t6.add_row({format_double(mbps, 0), result6.row(row).task.mix_label,
                   format_double(model.jain, 3),
                   format_double(share_of_first_half(model), 3),
                   format_double(exp.jain, 3),
                   format_double(share_of_first_half(exp), 3)});
+      ++row;
     }
   }
   std::printf("%s\n", t6.to_string().c_str());

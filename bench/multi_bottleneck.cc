@@ -6,6 +6,12 @@
 // long flow's share shrinks with the number of traversed bottlenecks for
 // AIMD CCAs (multiplied loss probability, larger RTT), while BBR's
 // rate-based probing degrades much more slowly.
+//
+// The (hops × CCA × simulator) grid runs through the sweep engine: each
+// cell is an ad-hoc task (sweep::make_task) executed by a bench-local
+// runner, so the cells fan across cores and inherit the engine's seeding
+// contract. The hop count is decoded from the task index (not the spec),
+// so the runner stays unnamed and uncacheable by construction.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -22,54 +28,94 @@ int main() {
 
   const double cap = mbps_to_pps(100.0);
   const double duration = fast_mode() ? 4.0 : 8.0;
+  const std::vector<std::size_t> hop_counts = {1, 2, 3, 5};
+  const std::vector<scenario::CcaKind> kinds = {scenario::CcaKind::kReno,
+                                                scenario::CcaKind::kBbrv1,
+                                                scenario::CcaKind::kBbrv2};
+
+  // One task per (hops, long-flow CCA, simulator); the long flow's CCA
+  // lives in the spec, hops in the captured axis.
+  std::vector<sweep::SweepTask> tasks;
+  for (std::size_t h = 0; h < hop_counts.size(); ++h) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (auto backend : {sweep::Backend::kFluid, sweep::Backend::kPacket}) {
+        scenario::ExperimentSpec spec;
+        spec.capacity_pps = cap;
+        spec.duration_s = duration;
+        spec.mix = scenario::homogeneous(kinds[k], 1);
+        tasks.push_back(sweep::make_task(tasks.size(), backend, spec,
+                                         /*base_seed=*/23));
+      }
+    }
+  }
+
+  sweep::SweepOptions options = bench_sweep_options(23);
+  options.runner = {
+      "", [&](const sweep::SweepTask& task) {
+        const std::size_t hops = hop_counts[task.index / (kinds.size() * 2)];
+        const auto kind = task.spec.mix.flows.front();
+        const double cap_pps = task.spec.capacity_pps;
+        const double t_end = task.spec.duration_s;
+        metrics::AggregateMetrics m;
+
+        if (task.backend == sweep::Backend::kFluid) {
+          net::ParkingLotSpec spec;
+          spec.num_hops = hops;
+          spec.cross_flows_per_hop = 1;
+          spec.hop_capacity_pps = cap_pps;
+          const auto lot = net::make_parking_lot(spec);
+          std::vector<std::unique_ptr<core::FluidCca>> agents;
+          agents.push_back(scenario::make_fluid_cca(kind));
+          for (std::size_t a = 1; a < lot.topology.num_agents(); ++a) {
+            agents.push_back(
+                scenario::make_fluid_cca(scenario::CcaKind::kReno));
+          }
+          core::FluidSimulation sim(lot.topology, std::move(agents), {});
+          sim.run(t_end);
+          for (std::size_t a = 0; a < lot.topology.num_agents(); ++a) {
+            m.mean_rate_pps.push_back(sim.sent_pkts(a) / t_end);
+          }
+        } else {
+          packetsim::MultiHopNet net(task.spec.seed);
+          std::vector<std::size_t> chain;
+          for (std::size_t h = 0; h < hops; ++h) {
+            chain.push_back(net.add_link(cap_pps, 0.005, 260.0,
+                                         packetsim::AqmKind::kDropTail));
+          }
+          net.add_flow(0.005, chain,
+                       scenario::make_packet_cca(kind, task.spec.seed + 500));
+          for (std::size_t h = 0; h < hops; ++h) {
+            net.add_flow(0.005, {chain[h]},
+                         scenario::make_packet_cca(scenario::CcaKind::kReno,
+                                                   task.spec.seed + 600 + h));
+          }
+          net.run(t_end);
+          m.mean_rate_pps = net.mean_rates_pps();
+        }
+        return m;
+      }};
+  const auto result = sweep::run_tasks(tasks, options);
+
+  // Re-bin the task rows into the printed table: the long flow is rate 0,
+  // the crosses are the rest.
+  const auto long_over_cross = [](const metrics::AggregateMetrics& m) {
+    RunningStats cross;
+    for (std::size_t i = 1; i < m.mean_rate_pps.size(); ++i) {
+      cross.add(m.mean_rate_pps[i]);
+    }
+    return m.mean_rate_pps.at(0) / std::max(1.0, cross.mean());
+  };
 
   std::printf("%s", banner("Extension — parking lot: long-flow share vs "
                            "hop count").c_str());
   Table table({"hops", "CCA", "model long/cross", "exp long/cross"});
-  for (std::size_t hops : {1u, 2u, 3u, 5u}) {
-    for (auto kind : {scenario::CcaKind::kReno, scenario::CcaKind::kBbrv1,
-                      scenario::CcaKind::kBbrv2}) {
-      // Fluid model.
-      net::ParkingLotSpec spec;
-      spec.num_hops = hops;
-      spec.cross_flows_per_hop = 1;
-      spec.hop_capacity_pps = cap;
-      const auto lot = net::make_parking_lot(spec);
-      std::vector<std::unique_ptr<core::FluidCca>> agents;
-      agents.push_back(scenario::make_fluid_cca(kind));
-      for (std::size_t a = 1; a < lot.topology.num_agents(); ++a) {
-        agents.push_back(scenario::make_fluid_cca(scenario::CcaKind::kReno));
-      }
-      core::FluidSimulation sim(lot.topology, std::move(agents), {});
-      sim.run(duration);
-      const double m_long = sim.sent_pkts(lot.long_flow) / duration;
-      RunningStats m_cross;
-      for (std::size_t a = 1; a < lot.topology.num_agents(); ++a) {
-        m_cross.add(sim.sent_pkts(a) / duration);
-      }
-
-      // Packet experiment.
-      packetsim::MultiHopNet net(23);
-      std::vector<std::size_t> chain;
-      for (std::size_t h = 0; h < hops; ++h) {
-        chain.push_back(
-            net.add_link(cap, 0.005, 260.0, packetsim::AqmKind::kDropTail));
-      }
-      net.add_flow(0.005, chain, scenario::make_packet_cca(kind, 500));
-      for (std::size_t h = 0; h < hops; ++h) {
-        net.add_flow(0.005, {chain[h]},
-                     scenario::make_packet_cca(scenario::CcaKind::kReno,
-                                               600 + h));
-      }
-      net.run(duration);
-      const auto rates = net.mean_rates_pps();
-      RunningStats e_cross;
-      for (std::size_t i = 1; i < rates.size(); ++i) e_cross.add(rates[i]);
-
+  for (std::size_t h = 0; h < hop_counts.size(); ++h) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const std::size_t base = (h * kinds.size() + k) * 2;
       table.add_row(
-          {std::to_string(hops), scenario::to_string(kind),
-           format_double(m_long / std::max(1.0, m_cross.mean()), 2),
-           format_double(rates[0] / std::max(1.0, e_cross.mean()), 2)});
+          {std::to_string(hop_counts[h]), scenario::to_string(kinds[k]),
+           format_double(long_over_cross(result.row(base).metrics), 2),
+           format_double(long_over_cross(result.row(base + 1).metrics), 2)});
     }
   }
   std::printf("%s\n", table.to_string().c_str());

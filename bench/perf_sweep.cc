@@ -1,12 +1,15 @@
 // Sweep-engine micro-benchmark: wall-clock speedup of the threaded sweep
-// over the serial baseline on a reduced aggregate grid.
+// over the serial baseline on a reduced aggregate grid, plus the
+// cold-vs-warm speedup of the content-addressed cell cache.
 //
 // Prints a table of thread count vs. elapsed time and emits a
-// BENCH_sweep.json summary (tasks, serial/parallel seconds, speedup) to
-// seed the repo's performance trajectory. The result CSVs of all runs are
-// compared as a determinism cross-check — a speedup obtained by changing
+// BENCH_sweep.json summary (tasks, serial/parallel seconds, speedup,
+// cache cold/warm seconds) to seed the repo's performance trajectory. The
+// result CSVs of all runs — threaded, cached cold, cached warm — are
+// compared as a determinism cross-check: a speedup obtained by changing
 // the answers would be worthless.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "sweep/cell_cache.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
 
@@ -76,6 +80,41 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
 
   const double speedup = serial_s / best_parallel_s;
+
+  // Cold vs. warm cell cache on the same grid: the cold run pays the
+  // simulations once and fills the store; the warm run must reproduce the
+  // same bytes from cache alone (zero runner invocations).
+  const std::string cache_dir = "BENCH_sweep_cache";
+  std::filesystem::remove_all(cache_dir);
+  double cold_s = 0.0, warm_s = 0.0;
+  std::size_t warm_hits = 0;
+  {
+    sweep::CellCache cache(cache_dir);
+    sweep::SweepOptions options;
+    options.cache = &cache;
+    const auto cold = sweep::run_sweep(grid, base, options);
+    cold_s = cold.elapsed_s();
+    const auto warm = sweep::run_sweep(grid, base, options);
+    warm_s = warm.elapsed_s();
+    warm_hits = cache.hits();
+
+    std::ostringstream cold_csv, warm_csv;
+    cold.write_csv(cold_csv);
+    warm.write_csv(warm_csv);
+    if (cold_csv.str() != reference_csv || warm_csv.str() != reference_csv) {
+      std::fprintf(stderr, "FAIL: cached results drifted from the live run\n");
+      return 1;
+    }
+  }
+  std::filesystem::remove_all(cache_dir);
+
+  Table cache_table({"cache", "elapsed[s]", "tasks/s", "speedup vs cold"});
+  cache_table.add_numeric_row(
+      "cold", {cold_s, grid.cardinality() / cold_s, 1.0}, 2);
+  cache_table.add_numeric_row(
+      "warm", {warm_s, grid.cardinality() / warm_s, cold_s / warm_s}, 2);
+  std::printf("%s\n", cache_table.to_string().c_str());
+
   std::ofstream json_out("BENCH_sweep.json");
   JsonWriter j(json_out);
   j.begin_object();
@@ -86,13 +125,20 @@ int main() {
   j.key("serial_s").value(serial_s);
   j.key("parallel_s").value(best_parallel_s);
   j.key("speedup").value(speedup);
+  j.key("cache_cold_s").value(cold_s);
+  j.key("cache_warm_s").value(warm_s);
+  j.key("cache_speedup").value(cold_s / warm_s);
+  j.key("cache_warm_hits").value(static_cast<std::uint64_t>(warm_hits));
   j.key("deterministic").value(true);
   j.end_object();
   json_out << '\n';
-  std::printf("wrote BENCH_sweep.json (speedup %.2fx on %zu threads)\n",
-              speedup, thread_counts.back());
+  std::printf(
+      "wrote BENCH_sweep.json (speedup %.2fx on %zu threads, warm cache "
+      "%.0fx)\n",
+      speedup, thread_counts.back(), cold_s / warm_s);
 
   shape("The threaded sweep reproduces the serial results byte-for-byte "
-        "while scaling with available cores.");
+        "while scaling with available cores; a warm cell cache replays it "
+        "with zero simulation work.");
   return 0;
 }

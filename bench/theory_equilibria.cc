@@ -6,6 +6,11 @@
 // propagation delay (q* = d·C); Thm 3 — shallow-buffer BBRv1 is perfectly
 // fair at x* = 5C/(4N+1) with loss → 20 %; Thm 4 — BBRv2's fair equilibrium
 // queue is (N−1)/(4N+1)·d·C, ≥75 % below BBRv1's.
+//
+// Both the theorem table (one task per N) and the convergence probes run
+// through the sweep engine's custom-runner path: the N axis maps to the
+// grid's flow-count axis, and each task's figure columns ride back in
+// metrics.aux.
 #include <cstdio>
 
 #include "analysis/equilibrium.h"
@@ -24,72 +29,120 @@ int main() {
   const double cap = mbps_to_pps(100.0);
   const double d = 0.035;
 
+  // ---- Theorem table: N sweeps through the grid's flow-count axis --------
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kReduced};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0};
+  grid.flow_counts = {1, 2, 3, 5, 10, 20, 50};
+  grid.rtt_ranges = {{d, d}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+
+  // Everything below is a pure function of the spec (N from the mix, d from
+  // the RTT range, C from the capacity), so the runner is named and its
+  // cells are cacheable.
+  sweep::SweepOptions options = bench_sweep_options(42);
+  options.runner = {
+      "theory-equilibria", [](const sweep::SweepTask& task) {
+        const std::size_t n = task.spec.mix.flows.size();
+        const auto s = BottleneckScenario::uniform(
+            n, task.spec.capacity_pps, task.spec.min_rtt_s);
+        const auto deep = bbrv1_deep_equilibrium(s);
+        const auto shallow = bbrv1_shallow_equilibrium(s);
+        const auto v2 = bbrv2_equilibrium(s);
+
+        // Residuals of all three reduced vector fields at their equilibria.
+        double residual = 0.0;
+        for (double r : eval_rhs(bbrv1_reduced_rhs(s),
+                                 bbrv1_deep_equilibrium_state(s))) {
+          residual = std::max(residual, std::abs(r));
+        }
+        for (double r : eval_rhs(bbrv1_shallow_rhs(s),
+                                 bbrv1_shallow_equilibrium_state(s))) {
+          residual = std::max(residual, std::abs(r));
+        }
+        for (double r :
+             eval_rhs(bbrv2_reduced_rhs(s), bbrv2_equilibrium_state(s))) {
+          residual = std::max(residual, std::abs(r));
+        }
+
+        metrics::AggregateMetrics m;
+        const double cap_pps = task.spec.capacity_pps;
+        m.aux = {deep.queue_pkts,
+                 100.0 * shallow.btl_pps / cap_pps,
+                 100.0 * shallow.loss_rate,
+                 v2.queue_pkts,
+                 100.0 * v2.rate_pps / cap_pps,
+                 100.0 * bbrv2_buffer_reduction(n),
+                 residual};
+        return m;
+      }};
+
+  scenario::ExperimentSpec base;
+  base.capacity_pps = cap;
+  const auto result = sweep::run_sweep(grid, base, options);
+
   std::printf("%s", banner("Theorem 1/3/4 — equilibria (C = 100 Mbps, "
                            "d = 35 ms)").c_str());
   Table t({"N", "Thm1 q*[pkts]", "Thm3 x*[%C]", "Thm3 loss[%]",
            "Thm4 q*[pkts]", "Thm4 x*[%C]", "v2 queue cut[%]",
            "max |residual|"});
-  for (std::size_t n : {1u, 2u, 3u, 5u, 10u, 20u, 50u}) {
-    const auto s = BottleneckScenario::uniform(n, cap, d);
-    const auto deep = bbrv1_deep_equilibrium(s);
-    const auto shallow = bbrv1_shallow_equilibrium(s);
-    const auto v2 = bbrv2_equilibrium(s);
-
-    // Residuals of all three reduced vector fields at their equilibria.
-    double residual = 0.0;
-    for (double r : eval_rhs(bbrv1_reduced_rhs(s),
-                             bbrv1_deep_equilibrium_state(s))) {
-      residual = std::max(residual, std::abs(r));
-    }
-    for (double r : eval_rhs(bbrv1_shallow_rhs(s),
-                             bbrv1_shallow_equilibrium_state(s))) {
-      residual = std::max(residual, std::abs(r));
-    }
-    for (double r : eval_rhs(bbrv2_reduced_rhs(s), bbrv2_equilibrium_state(s))) {
-      residual = std::max(residual, std::abs(r));
-    }
-
-    t.add_numeric_row(
-        std::to_string(n),
-        {deep.queue_pkts, 100.0 * shallow.btl_pps / cap,
-         100.0 * shallow.loss_rate, v2.queue_pkts, 100.0 * v2.rate_pps / cap,
-         100.0 * bbrv2_buffer_reduction(n), residual},
-        3);
+  for (const auto& row : result.rows()) {
+    t.add_numeric_row(std::to_string(row.task.spec.mix.flows.size()),
+                      row.metrics.aux, 3);
   }
   std::printf("%s\n", t.to_string().c_str());
 
-  // Convergent simulation of the reduced dynamics from perturbed starts.
+  // ---- Convergence probes: three ad-hoc tasks, one per reduced system ----
+  // The probed system is bench-local (decoded from the task index), so this
+  // runner stays unnamed — its cells must never enter the cache.
   std::printf("%s", banner("Convergence probes (reduced models, RK4)").c_str());
+  std::vector<sweep::SweepTask> probes;
+  for (std::size_t i = 0; i < 3; ++i) {
+    scenario::ExperimentSpec spec = base;
+    spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv1, 10);
+    spec.min_rtt_s = spec.max_rtt_s = d;
+    probes.push_back(
+        sweep::make_task(i, sweep::Backend::kReduced, spec, /*base_seed=*/42));
+  }
+  sweep::SweepOptions probe_options = bench_sweep_options(42);
+  probe_options.runner = {
+      "", [cap, d](const sweep::SweepTask& task) {
+        const auto s = BottleneckScenario::uniform(10, cap, d);
+        ConvergenceProbe p;
+        switch (task.index) {
+          case 0:
+            p = probe_convergence(bbrv1_aggregate_rhs(s), {cap, d * cap},
+                                  0.25, 6.0, 1e-4);
+            break;
+          case 1:
+            p = probe_convergence(bbrv1_shallow_rhs(s),
+                                  bbrv1_shallow_equilibrium_state(s), 0.3,
+                                  300.0, 5e-3);
+            break;
+          default:
+            p = probe_convergence(bbrv2_reduced_rhs(s),
+                                  bbrv2_equilibrium_state(s), 0.2, 300.0,
+                                  5e-3);
+        }
+        metrics::AggregateMetrics m;
+        m.aux = {p.initial_distance, p.final_distance,
+                 p.converged ? 1.0 : 0.0};
+        return m;
+      }};
+  const auto probed = sweep::run_tasks(probes, probe_options);
+
+  const char* names[] = {"BBRv1 aggregate (Thm 2)", "BBRv1 shallow (Thm 3)",
+                         "BBRv2 (Thm 4/5)"};
+  const char* perturbs[] = {"25%", "30%", "20%"};
+  const char* horizons[] = {"6", "300", "300"};
   Table c({"system", "N", "perturb", "t_end[s]", "dist(0)", "dist(T)",
            "converged"});
-  {
-    const auto s = BottleneckScenario::uniform(10, cap, d);
-    const auto p = probe_convergence(bbrv1_aggregate_rhs(s), {cap, d * cap},
-                                     0.25, 6.0, 1e-4);
-    c.add_row({"BBRv1 aggregate (Thm 2)", "10", "25%", "6",
-               format_double(p.initial_distance, 1),
-               format_double(p.final_distance, 3),
-               p.converged ? "yes" : "NO"});
-  }
-  {
-    const auto s = BottleneckScenario::uniform(10, cap, d);
-    const auto p = probe_convergence(bbrv1_shallow_rhs(s),
-                                     bbrv1_shallow_equilibrium_state(s), 0.3,
-                                     300.0, 5e-3);
-    c.add_row({"BBRv1 shallow (Thm 3)", "10", "30%", "300",
-               format_double(p.initial_distance, 1),
-               format_double(p.final_distance, 3),
-               p.converged ? "yes" : "NO"});
-  }
-  {
-    const auto s = BottleneckScenario::uniform(10, cap, d);
-    const auto p = probe_convergence(bbrv2_reduced_rhs(s),
-                                     bbrv2_equilibrium_state(s), 0.2, 300.0,
-                                     5e-3);
-    c.add_row({"BBRv2 (Thm 4/5)", "10", "20%", "300",
-               format_double(p.initial_distance, 1),
-               format_double(p.final_distance, 3),
-               p.converged ? "yes" : "NO"});
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    const auto& aux = probed.row(i).metrics.aux;
+    c.add_row({names[i], "10", perturbs[i], horizons[i],
+               format_double(aux[0], 1), format_double(aux[1], 3),
+               aux[2] > 0.5 ? "yes" : "NO"});
   }
   std::printf("%s\n", c.to_string().c_str());
 

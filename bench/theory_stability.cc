@@ -4,6 +4,12 @@
 // Paper shape: all eigenvalues have negative real parts. BBRv1 aggregate:
 // {−1, −1/(2d)} (Eq. 49); BBRv1 shallow: {−1, −1/(4N+1)×(N−1)}; BBRv2:
 // {−1, −(4N+1)/(5Nd), −1/(4N+1)×(N−1)} (Eq. 71).
+//
+// Each theorem's (N, d) table is one sweep: N rides the grid's flow-count
+// axis, d its RTT axis, and every Jacobian analysis is a task under a
+// named custom runner (a pure function of the spec, hence cacheable),
+// returning {spectral abscissa, closed-form prediction, stable} in
+// metrics.aux.
 #include <cstdio>
 
 #include "analysis/jacobian.h"
@@ -12,52 +18,134 @@
 #include "common/table.h"
 #include "common/units.h"
 
+namespace {
+
+using namespace bbrmodel;
+
+/// Grid for one theorem table: N values × d values, reduced backend.
+sweep::ParameterGrid theory_grid(scenario::CcaKind kind,
+                                 std::vector<std::size_t> flow_counts,
+                                 std::vector<double> delays) {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kReduced};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0};
+  grid.flow_counts = std::move(flow_counts);
+  grid.mixes = {sweep::homogeneous_mix(kind)};
+  grid.rtt_ranges.clear();
+  for (double d : delays) grid.rtt_ranges.push_back({d, d});
+  return grid;
+}
+
+}  // namespace
+
 int main() {
-  using namespace bbrmodel;
   using namespace bbrmodel::bench;
   using namespace bbrmodel::analysis;
 
   const double cap = mbps_to_pps(100.0);
+  scenario::ExperimentSpec base;
+  base.capacity_pps = cap;
 
-  std::printf("%s", banner("Theorem 2 — BBRv1 aggregate (y, q) system").c_str());
-  Table t2({"d[s]", "lambda+ (QR)", "lambda+ (Eq.49)", "stable"});
-  for (double d : {0.01, 0.035, 0.2, 0.5, 1.0, 2.0}) {
-    const auto s = BottleneckScenario::uniform(10, cap, d);
-    const auto report = analyze(bbrv1_aggregate_jacobian(s));
-    const double predicted = d <= 0.5 ? -1.0 : -1.0 / (2.0 * d);
-    t2.add_row({format_double(d, 3),
-                format_double(report.spectral_abscissa, 4),
-                format_double(predicted, 4),
-                report.asymptotically_stable ? "yes" : "NO"});
-  }
-  std::printf("%s\n", t2.to_string().c_str());
+  const auto scenario_of = [](const sweep::SweepTask& task) {
+    return BottleneckScenario::uniform(task.spec.mix.flows.size(),
+                                       task.spec.capacity_pps,
+                                       task.spec.min_rtt_s);
+  };
 
-  std::printf("%s", banner("Theorem 3 — BBRv1 shallow-buffer system").c_str());
-  Table t3({"N", "lambda+ (QR)", "lambda+ = -1/(4N+1)", "stable"});
-  for (std::size_t n : {2u, 5u, 10u, 20u, 50u}) {
-    const auto s = BottleneckScenario::uniform(n, cap, 0.035);
-    const auto report = analyze(bbrv1_shallow_jacobian(s));
-    t3.add_row({std::to_string(n),
-                format_double(report.spectral_abscissa, 5),
-                format_double(-1.0 / (4.0 * double(n) + 1.0), 5),
-                report.asymptotically_stable ? "yes" : "NO"});
-  }
-  std::printf("%s\n", t3.to_string().c_str());
+  // ---- Theorem 2: the BBRv1 aggregate (y, q) system over d ----------------
+  {
+    sweep::SweepOptions options = bench_sweep_options(42);
+    options.runner = {"theory-thm2", [&](const sweep::SweepTask& task) {
+                        const auto s = scenario_of(task);
+                        const auto report =
+                            analyze(bbrv1_aggregate_jacobian(s));
+                        const double d = task.spec.min_rtt_s;
+                        const double predicted =
+                            d <= 0.5 ? -1.0 : -1.0 / (2.0 * d);
+                        metrics::AggregateMetrics m;
+                        m.aux = {report.spectral_abscissa, predicted,
+                                 report.asymptotically_stable ? 1.0 : 0.0};
+                        return m;
+                      }};
+    const auto result = sweep::run_sweep(
+        theory_grid(scenario::CcaKind::kBbrv1, {10},
+                    {0.01, 0.035, 0.2, 0.5, 1.0, 2.0}),
+        base, options);
 
-  std::printf("%s", banner("Theorem 5 — BBRv2 (x_1..x_N, q) system").c_str());
-  Table t5({"N", "d[s]", "lambda+ (QR)", "lambda+ (Eq.71 family)", "stable"});
-  for (std::size_t n : {2u, 5u, 10u, 20u}) {
-    for (double d : {0.01, 0.035, 0.2}) {
-      const auto s = BottleneckScenario::uniform(n, cap, d);
-      const auto report = analyze(bbrv2_jacobian(s));
-      const auto predicted = bbrv2_eigenvalues(s);
-      t5.add_row({std::to_string(n), format_double(d, 3),
-                  format_double(report.spectral_abscissa, 5),
-                  format_double(predicted.front().real(), 5),
-                  report.asymptotically_stable ? "yes" : "NO"});
+    std::printf("%s",
+                banner("Theorem 2 — BBRv1 aggregate (y, q) system").c_str());
+    Table t2({"d[s]", "lambda+ (QR)", "lambda+ (Eq.49)", "stable"});
+    for (const auto& row : result.rows()) {
+      const auto& aux = row.metrics.aux;
+      t2.add_row({format_double(row.task.spec.min_rtt_s, 3),
+                  format_double(aux[0], 4), format_double(aux[1], 4),
+                  aux[2] > 0.5 ? "yes" : "NO"});
     }
+    std::printf("%s\n", t2.to_string().c_str());
   }
-  std::printf("%s\n", t5.to_string().c_str());
+
+  // ---- Theorem 3: the BBRv1 shallow-buffer system over N ------------------
+  {
+    sweep::SweepOptions options = bench_sweep_options(42);
+    options.runner = {"theory-thm3", [&](const sweep::SweepTask& task) {
+                        const auto s = scenario_of(task);
+                        const auto report = analyze(bbrv1_shallow_jacobian(s));
+                        const double n =
+                            static_cast<double>(task.spec.mix.flows.size());
+                        metrics::AggregateMetrics m;
+                        m.aux = {report.spectral_abscissa,
+                                 -1.0 / (4.0 * n + 1.0),
+                                 report.asymptotically_stable ? 1.0 : 0.0};
+                        return m;
+                      }};
+    const auto result = sweep::run_sweep(
+        theory_grid(scenario::CcaKind::kBbrv1, {2, 5, 10, 20, 50}, {0.035}),
+        base, options);
+
+    std::printf("%s",
+                banner("Theorem 3 — BBRv1 shallow-buffer system").c_str());
+    Table t3({"N", "lambda+ (QR)", "lambda+ = -1/(4N+1)", "stable"});
+    for (const auto& row : result.rows()) {
+      const auto& aux = row.metrics.aux;
+      t3.add_row({std::to_string(row.task.spec.mix.flows.size()),
+                  format_double(aux[0], 5), format_double(aux[1], 5),
+                  aux[2] > 0.5 ? "yes" : "NO"});
+    }
+    std::printf("%s\n", t3.to_string().c_str());
+  }
+
+  // ---- Theorem 5: the BBRv2 (x_1..x_N, q) system over N × d ---------------
+  {
+    sweep::SweepOptions options = bench_sweep_options(42);
+    options.runner = {"theory-thm5", [&](const sweep::SweepTask& task) {
+                        const auto s = scenario_of(task);
+                        const auto report = analyze(bbrv2_jacobian(s));
+                        const auto predicted = bbrv2_eigenvalues(s);
+                        metrics::AggregateMetrics m;
+                        m.aux = {report.spectral_abscissa,
+                                 predicted.front().real(),
+                                 report.asymptotically_stable ? 1.0 : 0.0};
+                        return m;
+                      }};
+    const auto result = sweep::run_sweep(
+        theory_grid(scenario::CcaKind::kBbrv2, {2, 5, 10, 20},
+                    {0.01, 0.035, 0.2}),
+        base, options);
+
+    std::printf("%s",
+                banner("Theorem 5 — BBRv2 (x_1..x_N, q) system").c_str());
+    Table t5({"N", "d[s]", "lambda+ (QR)", "lambda+ (Eq.71 family)",
+              "stable"});
+    for (const auto& row : result.rows()) {
+      const auto& aux = row.metrics.aux;
+      t5.add_row({std::to_string(row.task.spec.mix.flows.size()),
+                  format_double(row.task.spec.min_rtt_s, 3),
+                  format_double(aux[0], 5), format_double(aux[1], 5),
+                  aux[2] > 0.5 ? "yes" : "NO"});
+    }
+    std::printf("%s\n", t5.to_string().c_str());
+  }
 
   shape("Every Jacobian spectrum is strictly in the left half-plane and "
         "matches the paper's closed forms — BBRv1 and BBRv2 equilibria are "

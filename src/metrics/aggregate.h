@@ -24,6 +24,10 @@ struct AggregateMetrics {
   double jitter_ms = 0.0;        ///< mean |Δ delay| between consecutive
                                  ///< (virtual) packets, milliseconds
   std::vector<double> mean_rate_pps;  ///< per-flow mean sending rate
+  /// Runner-defined extra values. Custom sweep runners (theory tables,
+  /// multi-hop extensions) carry their figure-specific columns here; the
+  /// standard CSV/JSON emitters ignore it, benches re-bin it.
+  std::vector<double> aux;
 };
 
 /// Evaluate a finished fluid simulation over its full runtime.

@@ -1,0 +1,243 @@
+#include "scenario/spec_codec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/require.h"
+
+namespace bbrmodel::scenario {
+
+namespace {
+
+std::string encode_bool(bool v) { return v ? "1" : "0"; }
+
+bool decode_bool(const std::string& text) {
+  BBRM_REQUIRE_MSG(text == "0" || text == "1",
+                   "spec codec: bool fields are 0 or 1, got '" + text + "'");
+  return text == "1";
+}
+
+double decode_double(const std::string& text) {
+  if (text == "nan") return std::nan("");
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  BBRM_REQUIRE_MSG(end != text.c_str() && *end == '\0',
+                   "spec codec: bad number '" + text + "'");
+  return v;
+}
+
+std::uint64_t decode_u64(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  BBRM_REQUIRE_MSG(end != text.c_str() && *end == '\0' && errno != ERANGE,
+                   "spec codec: bad integer '" + text + "'");
+  return v;
+}
+
+int decode_int(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  BBRM_REQUIRE_MSG(end != text.c_str() && *end == '\0' && errno != ERANGE,
+                   "spec codec: bad integer '" + text + "'");
+  return static_cast<int>(v);
+}
+
+CcaKind decode_cca(const std::string& name) {
+  if (name == to_string(CcaKind::kReno)) return CcaKind::kReno;
+  if (name == to_string(CcaKind::kCubic)) return CcaKind::kCubic;
+  if (name == to_string(CcaKind::kBbrv1)) return CcaKind::kBbrv1;
+  if (name == to_string(CcaKind::kBbrv2)) return CcaKind::kBbrv2;
+  BBRM_REQUIRE_MSG(false, "spec codec: unknown CCA '" + name + "'");
+  return CcaKind::kReno;
+}
+
+std::string encode_flows(const std::vector<CcaKind>& flows) {
+  std::string out;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i != 0) out += ',';
+    out += to_string(flows[i]);
+  }
+  return out;
+}
+
+std::vector<CcaKind> decode_flows(const std::string& text) {
+  std::vector<CcaKind> flows;
+  std::stringstream stream(text);
+  std::string name;
+  while (std::getline(stream, name, ',')) flows.push_back(decode_cca(name));
+  return flows;
+}
+
+std::string encode_discipline(net::Discipline d) {
+  return d == net::Discipline::kRed ? "red" : "droptail";
+}
+
+net::Discipline decode_discipline(const std::string& text) {
+  if (text == "droptail") return net::Discipline::kDropTail;
+  if (text == "red") return net::Discipline::kRed;
+  BBRM_REQUIRE_MSG(false, "spec codec: unknown discipline '" + text + "'");
+  return net::Discipline::kDropTail;
+}
+
+/// One serialized field: canonical key, getter, setter.
+struct FieldCodec {
+  const char* key;
+  std::function<std::string(const ExperimentSpec&)> get;
+  std::function<void(ExperimentSpec&, const std::string&)> set;
+};
+
+#define BBRM_DOUBLE_FIELD(name, expr)                                     \
+  FieldCodec {                                                            \
+    name, [](const ExperimentSpec& s) { return exact_number(s.expr); },   \
+        [](ExperimentSpec& s, const std::string& v) {                     \
+          s.expr = decode_double(v);                                      \
+        }                                                                 \
+  }
+#define BBRM_BOOL_FIELD(name, expr)                                       \
+  FieldCodec {                                                            \
+    name, [](const ExperimentSpec& s) { return encode_bool(s.expr); },    \
+        [](ExperimentSpec& s, const std::string& v) {                     \
+          s.expr = decode_bool(v);                                        \
+        }                                                                 \
+  }
+
+/// Every simulation-relevant field, in canonical emission order. A new
+/// ExperimentSpec/FluidConfig field MUST be added here (the round-trip
+/// test in tests/cache_test.cc exists to catch forgetting).
+const std::vector<FieldCodec>& field_codecs() {
+  static const std::vector<FieldCodec> kFields = {
+      {"mix.label",
+       [](const ExperimentSpec& s) { return s.mix.label; },
+       [](ExperimentSpec& s, const std::string& v) { s.mix.label = v; }},
+      {"mix.flows",
+       [](const ExperimentSpec& s) { return encode_flows(s.mix.flows); },
+       [](ExperimentSpec& s, const std::string& v) {
+         s.mix.flows = decode_flows(v);
+       }},
+      BBRM_DOUBLE_FIELD("capacity_pps", capacity_pps),
+      BBRM_DOUBLE_FIELD("bottleneck_delay_s", bottleneck_delay_s),
+      BBRM_DOUBLE_FIELD("min_rtt_s", min_rtt_s),
+      BBRM_DOUBLE_FIELD("max_rtt_s", max_rtt_s),
+      BBRM_DOUBLE_FIELD("buffer_bdp", buffer_bdp),
+      {"discipline",
+       [](const ExperimentSpec& s) { return encode_discipline(s.discipline); },
+       [](ExperimentSpec& s, const std::string& v) {
+         s.discipline = decode_discipline(v);
+       }},
+      BBRM_DOUBLE_FIELD("duration_s", duration_s),
+      {"seed",
+       [](const ExperimentSpec& s) { return std::to_string(s.seed); },
+       [](ExperimentSpec& s, const std::string& v) { s.seed = decode_u64(v); }},
+      BBRM_DOUBLE_FIELD("fluid.step_s", fluid.step_s),
+      BBRM_DOUBLE_FIELD("fluid.record_interval_s", fluid.record_interval_s),
+      BBRM_DOUBLE_FIELD("fluid.k_time", fluid.k_time),
+      BBRM_DOUBLE_FIELD("fluid.k_rate", fluid.k_rate),
+      BBRM_DOUBLE_FIELD("fluid.k_vol", fluid.k_vol),
+      BBRM_DOUBLE_FIELD("fluid.k_prob", fluid.k_prob),
+      BBRM_DOUBLE_FIELD("fluid.droptail_exponent", fluid.droptail_exponent),
+      BBRM_DOUBLE_FIELD("fluid.loss_indicator_eps", fluid.loss_indicator_eps),
+      BBRM_BOOL_FIELD("fluid.literal_eq18", fluid.literal_eq18),
+      BBRM_BOOL_FIELD("fluid.loss_based_slow_start",
+                      fluid.loss_based_slow_start),
+      BBRM_BOOL_FIELD("fluid.per_rtt_loss_events", fluid.per_rtt_loss_events),
+      BBRM_BOOL_FIELD("fluid.literal_eq19", fluid.literal_eq19),
+      BBRM_DOUBLE_FIELD("fluid.probe_rtt_interval_s",
+                        fluid.probe_rtt_interval_s),
+      BBRM_DOUBLE_FIELD("fluid.probe_rtt_duration_s",
+                        fluid.probe_rtt_duration_s),
+      BBRM_DOUBLE_FIELD("fluid.bbr2_loss_thresh", fluid.bbr2_loss_thresh),
+      BBRM_DOUBLE_FIELD("fluid.bbr2_beta", fluid.bbr2_beta),
+      BBRM_DOUBLE_FIELD("fluid.bbr2_headroom", fluid.bbr2_headroom),
+      BBRM_DOUBLE_FIELD("fluid.inflight_hi_growth_pps",
+                        fluid.inflight_hi_growth_pps),
+      BBRM_DOUBLE_FIELD("fluid.mss_bytes", fluid.mss_bytes),
+      BBRM_DOUBLE_FIELD("fluid.max_rate_factor", fluid.max_rate_factor),
+      BBRM_BOOL_FIELD("fluid.model_startup", fluid.model_startup),
+      BBRM_DOUBLE_FIELD("fluid.startup_gain", fluid.startup_gain),
+      BBRM_DOUBLE_FIELD("fluid.startup_initial_window_pkts",
+                        fluid.startup_initial_window_pkts),
+      {"fluid.startup_full_bw_rounds",
+       [](const ExperimentSpec& s) {
+         return std::to_string(s.fluid.startup_full_bw_rounds);
+       },
+       [](ExperimentSpec& s, const std::string& v) {
+         s.fluid.startup_full_bw_rounds = decode_int(v);
+       }},
+  };
+  return kFields;
+}
+
+#undef BBRM_DOUBLE_FIELD
+#undef BBRM_BOOL_FIELD
+
+constexpr const char* kVersionLine = "bbrm-spec=1";
+
+}  // namespace
+
+bool spec_cacheable(const ExperimentSpec& spec) {
+  return !static_cast<bool>(spec.bbr_init);
+}
+
+std::string canonical_spec_string(const ExperimentSpec& spec) {
+  BBRM_REQUIRE_MSG(spec_cacheable(spec),
+                   "specs with a custom bbr_init have no canonical bytes");
+  BBRM_REQUIRE_MSG(spec.mix.label.find('\n') == std::string::npos,
+                   "mix labels must be single-line");
+  std::string out = kVersionLine;
+  out += '\n';
+  for (const auto& field : field_codecs()) {
+    out += field.key;
+    out += '=';
+    out += field.get(spec);
+    out += '\n';
+  }
+  return out;
+}
+
+ExperimentSpec parse_canonical_spec(const std::string& bytes) {
+  std::map<std::string, const FieldCodec*> by_key;
+  for (const auto& field : field_codecs()) by_key[field.key] = &field;
+
+  ExperimentSpec spec;
+  std::set<std::string> seen;
+  std::stringstream stream(bytes);
+  std::string line;
+  bool version_seen = false;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (!version_seen) {
+      BBRM_REQUIRE_MSG(line == kVersionLine,
+                       "spec codec: expected '" + std::string(kVersionLine) +
+                           "', got '" + line + "'");
+      version_seen = true;
+      continue;
+    }
+    const auto eq = line.find('=');
+    BBRM_REQUIRE_MSG(eq != std::string::npos,
+                     "spec codec: malformed line '" + line + "'");
+    const std::string key = line.substr(0, eq);
+    const auto it = by_key.find(key);
+    BBRM_REQUIRE_MSG(it != by_key.end(),
+                     "spec codec: unknown field '" + key + "'");
+    BBRM_REQUIRE_MSG(seen.insert(key).second,
+                     "spec codec: duplicate field '" + key + "'");
+    it->second->set(spec, line.substr(eq + 1));
+  }
+  BBRM_REQUIRE_MSG(version_seen, "spec codec: missing version line");
+  BBRM_REQUIRE_MSG(seen.size() == field_codecs().size(),
+                   "spec codec: missing fields (got " +
+                       std::to_string(seen.size()) + " of " +
+                       std::to_string(field_codecs().size()) + ")");
+  return spec;
+}
+
+}  // namespace bbrmodel::scenario

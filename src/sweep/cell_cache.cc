@@ -1,0 +1,145 @@
+#include "sweep/cell_cache.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/require.h"
+#include "scenario/spec_codec.h"
+
+namespace bbrmodel::sweep {
+
+namespace {
+
+// One header + one row per cell file. Bumping the layout invalidates old
+// cells gracefully: a header mismatch reads as a miss, never as bad data.
+const char* kCellHeader =
+    "jain,loss_pct,occupancy_pct,utilization_pct,jitter_ms,mean_rate_pps,aux";
+
+std::string encode_vector(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += exact_number(values[i]);
+  }
+  return out;
+}
+
+/// nullopt on any malformed token — a damaged cell must read as a miss,
+/// not as a hit with an empty vector.
+std::optional<std::vector<double>> decode_vector(const std::string& text) {
+  std::vector<double> values;
+  std::stringstream stream(text);
+  std::string token;
+  while (stream >> token) {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return std::nullopt;
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+CellCache::CellCache(std::string dir) : dir_(std::move(dir)) {
+  BBRM_REQUIRE_MSG(!dir_.empty(), "cache directory must be non-empty");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string CellCache::cell_path(const std::string& key) const {
+  return (std::filesystem::path(dir_) / (key + ".cell")).string();
+}
+
+std::optional<metrics::AggregateMetrics> CellCache::load(
+    const std::string& key) const {
+  std::ifstream in(cell_path(key));
+  const auto miss = [&]() -> std::optional<metrics::AggregateMetrics> {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  };
+  if (!in) return miss();
+  std::string header, row;
+  if (!std::getline(in, header) || header != kCellHeader) return miss();
+  if (!std::getline(in, row)) return miss();
+
+  std::vector<std::string> cells;
+  std::stringstream stream(row);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  // getline drops a trailing empty field (an empty aux vector).
+  if (!row.empty() && row.back() == ',') cells.emplace_back();
+  if (cells.size() != 7) return miss();
+
+  metrics::AggregateMetrics m;
+  double* scalars[5] = {&m.jain, &m.loss_pct, &m.occupancy_pct,
+                        &m.utilization_pct, &m.jitter_ms};
+  for (std::size_t i = 0; i < 5; ++i) {
+    char* end = nullptr;
+    *scalars[i] = std::strtod(cells[i].c_str(), &end);
+    if (end == cells[i].c_str() || *end != '\0') return miss();
+  }
+  auto rates = decode_vector(cells[5]);
+  auto aux = decode_vector(cells[6]);
+  if (!rates || !aux) return miss();
+  m.mean_rate_pps = std::move(*rates);
+  m.aux = std::move(*aux);
+  hits_.fetch_add(1);
+  return m;
+}
+
+void CellCache::store(const std::string& key,
+                      const metrics::AggregateMetrics& m) const {
+  const std::string path = cell_path(key);
+  // Unique temp per writer, then an atomic rename: readers only ever see
+  // complete cells, and same-key writers race to identical bytes.
+  const std::string tmp =
+      path + ".tmp." +
+      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  bool written = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    BBRM_REQUIRE_MSG(static_cast<bool>(out),
+                     "cell cache: cannot write " + tmp);
+    CsvWriter csv(out, {"jain", "loss_pct", "occupancy_pct",
+                        "utilization_pct", "jitter_ms", "mean_rate_pps",
+                        "aux"});
+    csv.write_row(std::vector<std::string>{
+        exact_number(m.jain), exact_number(m.loss_pct),
+        exact_number(m.occupancy_pct), exact_number(m.utilization_pct),
+        exact_number(m.jitter_ms), encode_vector(m.mean_rate_pps),
+        encode_vector(m.aux)});
+    out.flush();
+    written = out.good();  // a full disk must not publish a truncated cell
+  }
+  if (!written) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    BBRM_REQUIRE_MSG(false, "cell cache: failed writing " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  BBRM_REQUIRE_MSG(!ec, "cell cache: cannot publish " + path);
+  stores_.fetch_add(1);
+}
+
+std::string cell_key(const std::string& runner_name, const SweepTask& task) {
+  BBRM_REQUIRE_MSG(!runner_name.empty(),
+                   "only named runners participate in caching");
+  std::string name = runner_name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      c = '_';
+    }
+  }
+  const std::string bytes = scenario::canonical_spec_string(task.spec);
+  return name + "-" + to_string(task.backend) + "-" + hex64(fnv1a64(bytes));
+}
+
+}  // namespace bbrmodel::sweep

@@ -1,0 +1,64 @@
+// Content-addressed cache of finished experiment cells.
+//
+// The paper's aggregate figures re-run the same (spec, seed) cells over and
+// over — Figs. 6–10 and 13–17 share grids, every figure bench re-simulates
+// on each invocation, and sharded sweeps re-expand the full grid. The
+// CellCache memoizes each finished cell on disk, keyed by content:
+//
+//   key = <runner name> '-' <backend> '-' fnv1a64(canonical spec bytes)
+//
+// where the canonical bytes (scenario/spec_codec) cover every
+// simulation-relevant field including the derived per-task seed. Anything
+// that could change the result changes the key; anything that cannot
+// (thread count, shard layout, wall clock) is excluded. A warm cache
+// therefore returns byte-identical sweep output with zero simulation work,
+// across processes and machines sharing the directory.
+//
+// Cells are one small CSV file each (exact %.17g numbers, so cached
+// metrics reproduce fresh runs bit-for-bit), written via rename for
+// atomicity under concurrent writers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "metrics/aggregate.h"
+#include "sweep/parameter_grid.h"
+
+namespace bbrmodel::sweep {
+
+class CellCache {
+ public:
+  /// Opens (and creates, if needed) the cache directory.
+  explicit CellCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Look a cell up. Counts a hit or a miss; unreadable or stale-format
+  /// cells count as misses.
+  std::optional<metrics::AggregateMetrics> load(const std::string& key) const;
+
+  /// Persist a finished cell. Last writer wins; concurrent writers of the
+  /// same key write identical bytes (determinism), so the race is benign.
+  void store(const std::string& key, const metrics::AggregateMetrics& m) const;
+
+  std::size_t hits() const { return hits_.load(); }
+  std::size_t misses() const { return misses_.load(); }
+  std::size_t stores() const { return stores_.load(); }
+
+ private:
+  std::string cell_path(const std::string& key) const;
+
+  std::string dir_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  mutable std::atomic<std::size_t> stores_{0};
+};
+
+/// The content address of a task under a named runner. Requires a
+/// non-empty runner name and a cacheable spec (scenario::spec_cacheable).
+std::string cell_key(const std::string& runner_name, const SweepTask& task);
+
+}  // namespace bbrmodel::sweep

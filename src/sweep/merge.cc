@@ -1,0 +1,171 @@
+#include "sweep/merge.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace bbrmodel::sweep {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t parse_index(const std::string& text, const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  BBRM_REQUIRE_MSG(end != text.c_str() && *end == '\0' && errno != ERANGE,
+                   "merge: bad " + what + ": '" + text + "'");
+  return static_cast<std::size_t>(v);
+}
+
+/// Insert row `index` → `bytes`, rejecting duplicates.
+void add_row(std::map<std::size_t, std::string>& rows, std::size_t index,
+             std::string bytes) {
+  BBRM_REQUIRE_MSG(rows.emplace(index, std::move(bytes)).second,
+                   "merge: task " + std::to_string(index) +
+                       " appears in more than one shard");
+}
+
+/// Verify rows cover exactly 0..N−1 (a std::map iterates in index order).
+void require_complete(const std::map<std::size_t, std::string>& rows) {
+  std::size_t expected = 0;
+  for (const auto& [index, bytes] : rows) {
+    BBRM_REQUIRE_MSG(index == expected,
+                     "merge: shard union is missing task " +
+                         std::to_string(expected));
+    ++expected;
+  }
+}
+
+}  // namespace
+
+std::string merge_csv(const std::vector<std::string>& inputs) {
+  BBRM_REQUIRE_MSG(!inputs.empty(), "merge: no inputs");
+  std::string header;
+  std::map<std::size_t, std::string> rows;
+  for (const auto& input : inputs) {
+    const auto lines = split_lines(input);
+    BBRM_REQUIRE_MSG(!lines.empty(), "merge: empty CSV input");
+    if (header.empty()) {
+      header = lines[0];
+    } else {
+      BBRM_REQUIRE_MSG(lines[0] == header,
+                       "merge: CSV headers differ between shards");
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const auto comma = lines[i].find(',');
+      BBRM_REQUIRE_MSG(comma != std::string::npos,
+                       "merge: malformed CSV row '" + lines[i] + "'");
+      add_row(rows, parse_index(lines[i].substr(0, comma), "CSV task index"),
+              lines[i]);
+    }
+  }
+  require_complete(rows);
+
+  std::string out = header + '\n';
+  for (const auto& [index, bytes] : rows) out += bytes + '\n';
+  return out;
+}
+
+std::string merge_json(const std::vector<std::string>& inputs) {
+  BBRM_REQUIRE_MSG(!inputs.empty(), "merge: no inputs");
+
+  // The writer's layout (common/json.h, two-space indent) puts every row
+  // object of the "rows" array between a '    {' line and a '    }' /
+  // '    },' line, with '      "task": N,' among its members. String
+  // values escape newlines, so these delimiters cannot appear inside data.
+  const auto strip_trailing_comma = [](std::string v) {
+    if (!v.empty() && v.back() == ',') v.pop_back();
+    return v;
+  };
+
+  std::map<std::size_t, std::string> rows;  // index → block bytes, sans ','
+  std::size_t declared_tasks = 0;
+  std::size_t total_failed = 0;
+  for (const auto& input : inputs) {
+    const auto lines = split_lines(input);
+    bool in_rows = false;
+    bool saw_rows_array = false;
+    std::vector<std::string> block;
+    for (const auto& line : lines) {
+      if (!in_rows) {
+        if (line.rfind("    \"tasks\": ", 0) == 0) {
+          declared_tasks +=
+              parse_index(strip_trailing_comma(line.substr(13)), "task total");
+        } else if (line.rfind("    \"failed\": ", 0) == 0) {
+          total_failed += parse_index(strip_trailing_comma(line.substr(14)),
+                                      "failed total");
+        } else if (line == "  \"rows\": []") {
+          saw_rows_array = true;
+        } else if (line == "  \"rows\": [") {
+          in_rows = true;
+          saw_rows_array = true;
+        }
+        continue;
+      }
+      if (line == "  ]") {
+        in_rows = false;
+        continue;
+      }
+      block.push_back(line);
+      if (line == "    }" || line == "    },") {
+        block.back() = "    }";  // separators are re-inserted on emission
+        std::size_t index = 0;
+        bool found = false;
+        for (const auto& member : block) {
+          if (member.rfind("      \"task\": ", 0) == 0) {
+            index = parse_index(strip_trailing_comma(member.substr(14)),
+                                "JSON task index");
+            found = true;
+            break;
+          }
+        }
+        BBRM_REQUIRE_MSG(found, "merge: JSON row without a \"task\" member");
+        std::string bytes;
+        for (const auto& member : block) bytes += member + '\n';
+        add_row(rows, index, std::move(bytes));
+        block.clear();
+      }
+    }
+    BBRM_REQUIRE_MSG(saw_rows_array && !in_rows && block.empty(),
+                     "merge: input is not a sweep JSON document");
+  }
+  require_complete(rows);
+  BBRM_REQUIRE_MSG(declared_tasks == rows.size(),
+                   "merge: declared task totals disagree with row count");
+
+  // Re-emit the exact envelope SweepResult::write_json produces.
+  std::string out = "{\n  \"sweep\": {\n    \"tasks\": ";
+  out += std::to_string(rows.size());
+  out += ",\n    \"failed\": ";
+  out += std::to_string(total_failed);
+  out += "\n  },\n  \"rows\": [";
+  if (rows.empty()) {
+    out += "]\n}\n";
+    return out;
+  }
+  out += '\n';
+  std::size_t emitted = 0;
+  for (const auto& [index, bytes] : rows) {
+    std::string block = bytes;
+    if (++emitted < rows.size()) {
+      // Re-insert the separator on the closing line: "    }\n" → "    },\n".
+      block.insert(block.size() - 1, ",");
+    }
+    out += block;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace bbrmodel::sweep

@@ -1,0 +1,32 @@
+// Reassemble sharded sweep outputs into the bytes of a single full run.
+//
+// A sweep sharded with --shard k/n writes rows whose task indices are the
+// residue class k (mod n) of the full grid. Because every row carries its
+// task index, every per-task seed derives from (base_seed, index), and the
+// emitters are deterministic, interleaving the shard rows by index
+// reproduces the unsharded run byte-for-byte — merge_csv / merge_json do
+// exactly that, and verify the union is complete (indices 0..N−1, no
+// duplicates, no holes) so a lost shard or a double-submitted one is an
+// error rather than silent data corruption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbrmodel::sweep {
+
+/// Merge whole-file CSV contents written by SweepResult::write_csv.
+/// Headers must match; rows are reordered by their leading task index.
+/// Throws PreconditionError on header mismatch, duplicate indices, or an
+/// incomplete union. Rows are treated as opaque bytes — the merge cannot
+/// perturb a single cell.
+std::string merge_csv(const std::vector<std::string>& inputs);
+
+/// Merge whole-file JSON contents written by SweepResult::write_json:
+/// row objects are interleaved by task index and the "sweep" totals are
+/// re-summed. Same verification as merge_csv. Relies on the writer's
+/// deterministic layout (common/json.h), which makes the merged document
+/// byte-identical to a single full run's.
+std::string merge_json(const std::vector<std::string>& inputs);
+
+}  // namespace bbrmodel::sweep

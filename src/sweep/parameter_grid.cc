@@ -11,6 +11,8 @@ std::string to_string(Backend backend) {
       return "fluid";
     case Backend::kPacket:
       return "packet";
+    case Backend::kReduced:
+      return "reduced";
   }
   return "unknown";
 }
@@ -84,5 +86,30 @@ std::vector<SweepTask> ParameterGrid::expand(
 }
 
 ParameterGrid paper_grid() { return ParameterGrid{}; }
+
+std::vector<SweepTask> filter_shard(std::vector<SweepTask> tasks,
+                                    const ShardSpec& shard) {
+  BBRM_REQUIRE_MSG(shard.count >= 1, "shard count must be >= 1");
+  BBRM_REQUIRE_MSG(shard.index < shard.count,
+                   "shard index must be < shard count");
+  std::vector<SweepTask> kept;
+  kept.reserve((tasks.size() + shard.count - 1) / shard.count);
+  for (auto& task : tasks) {
+    if (shard.selects(task.index)) kept.push_back(std::move(task));
+  }
+  return kept;
+}
+
+SweepTask make_task(std::size_t index, Backend backend,
+                    scenario::ExperimentSpec spec, std::uint64_t base_seed,
+                    std::string mix_label) {
+  SweepTask task;
+  task.index = index;
+  task.backend = backend;
+  task.mix_label = mix_label.empty() ? spec.mix.label : std::move(mix_label);
+  task.spec = std::move(spec);
+  task.spec.seed = derive_seed(base_seed, index);
+  return task;
+}
 
 }  // namespace bbrmodel::sweep

@@ -23,8 +23,10 @@
 namespace bbrmodel::sweep {
 
 /// Which simulator runs a task: the fluid model ("Model" columns in the
-/// paper's figures) or the packet-level simulator ("Experiment").
-enum class Backend { kFluid, kPacket };
+/// paper's figures), the packet-level simulator ("Experiment"), or the
+/// reduced/theory models of §5 (closed-form equilibrium predictions —
+/// instant, for triaging grids before paying for full simulations).
+enum class Backend { kFluid, kPacket, kReduced };
 
 std::string to_string(Backend backend);
 
@@ -94,5 +96,32 @@ struct ParameterGrid {
 /// The paper's §4.3 validation grid: seven mixes × 1–7 BDP × both
 /// disciplines × both backends at N = 10 flows, RTT 30–40 ms.
 ParameterGrid paper_grid();
+
+/// One process's slice of a sweep: shard `index` of `count` takes every
+/// task whose grid index is ≡ index (mod count). Because per-task seeds
+/// derive from (base_seed, task.index) and serialized rows carry the task
+/// index, the union of all shards' outputs is byte-identical to a single
+/// full run (tools/bbrsweep merge reassembles it).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool selects(std::size_t task_index) const {
+    return task_index % count == index;
+  }
+};
+
+/// Keep only the tasks `shard` selects, preserving their original indices
+/// (and hence their seeds).
+std::vector<SweepTask> filter_shard(std::vector<SweepTask> tasks,
+                                    const ShardSpec& shard);
+
+/// Build a single ad-hoc task outside any ParameterGrid, honoring the
+/// (base_seed, index) seed contract. Benches use this to route their
+/// bespoke parameter loops (multi-bottleneck hops, capacity ladders, the
+/// theory tables) through the same engine as the grid sweeps.
+SweepTask make_task(std::size_t index, Backend backend,
+                    scenario::ExperimentSpec spec, std::uint64_t base_seed,
+                    std::string mix_label = "");
 
 }  // namespace bbrmodel::sweep

@@ -1,0 +1,58 @@
+// Pluggable experiment runners: the unit of work the sweep engine executes.
+//
+// PR 1 hard-wired run_tasks to the dumbbell scenario::measure pipeline;
+// every new workload (theory tables, parking-lot grids, reduced-model
+// triage) then needed its own serial loop. A Runner decouples "which
+// experiment does a task mean" from "how tasks are scheduled, retried,
+// cached, and serialized": run_tasks applies whatever runner the options
+// carry, and everything downstream — thread fan-out, per-task timeout,
+// the content-addressed cell cache, shard-invariant CSV/JSON — works for
+// any of them.
+//
+// A runner's `name` doubles as its cache namespace: cells are addressed by
+// (runner name, backend, canonical spec bytes), so only named runners
+// participate in caching. Leave the name empty for runners whose results
+// depend on anything outside the spec (e.g. bench-local parameters decoded
+// from the task index) — an unnamed runner is never cached.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "metrics/aggregate.h"
+#include "sweep/parameter_grid.h"
+
+namespace bbrmodel::sweep {
+
+/// Maps one fully-resolved task to the paper's aggregate metrics. Must be
+/// safe to call concurrently for distinct tasks, and deterministic in the
+/// task (the byte-reproducibility contract extends through runners).
+using RunnerFn = std::function<metrics::AggregateMetrics(const SweepTask&)>;
+
+/// A named runner. The name keys the cell cache; empty = uncacheable.
+struct Runner {
+  std::string name;
+  RunnerFn fn;
+
+  explicit operator bool() const { return static_cast<bool>(fn); }
+};
+
+/// Fluid-model ("Model") runner: scenario::run_fluid on the task's spec,
+/// regardless of task.backend.
+Runner fluid_runner();
+
+/// Packet-simulator ("Experiment") runner: scenario::run_packet.
+Runner packet_runner();
+
+/// Reduced/theory-model runner: closed-form §5 equilibrium predictions for
+/// homogeneous BBRv1/BBRv2 mixes (Theorems 1, 3, 4) — utilization,
+/// occupancy, loss, and per-flow rates at the equilibrium, with
+/// aux = {q*_pkts, x*_pps}. Thousands of cells per second; useful for
+/// sketching a grid's shape before paying for simulations.
+Runner reduced_runner();
+
+/// The default: dispatch on task.backend (kFluid → fluid_runner,
+/// kPacket → packet_runner, kReduced → reduced_runner).
+Runner backend_runner();
+
+}  // namespace bbrmodel::sweep

@@ -2,10 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/require.h"
+#include "scenario/spec_codec.h"
+#include "sweep/cell_cache.h"
 #include "sweep/thread_pool.h"
 
 namespace bbrmodel::sweep {
@@ -18,23 +24,108 @@ double now_s() {
       .count();
 }
 
-metrics::AggregateMetrics run_task(const SweepTask& task) {
-  switch (task.backend) {
-    case Backend::kFluid:
-      return scenario::run_fluid(task.spec);
-    case Backend::kPacket:
-      return scenario::run_packet(task.spec);
+/// Metrics of a failed task: NaN scalars (empty CSV cells, JSON nulls).
+metrics::AggregateMetrics failed_metrics() {
+  metrics::AggregateMetrics m;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  m.jain = m.loss_pct = m.occupancy_pct = m.utilization_pct = m.jitter_ms =
+      nan;
+  return m;
+}
+
+struct AttemptOutcome {
+  metrics::AggregateMetrics metrics;
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;
+};
+
+/// Error text lands in single-line CSV cells that the shard merge splits
+/// line-by-line, so flatten any line breaks an exception message carries.
+std::string single_line(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
   }
-  BBRM_REQUIRE_MSG(false, "unreachable backend");
-  return {};
+  return text;
+}
+
+/// One runner invocation, optionally fenced by a wall-clock budget. The
+/// timed variant runs the attempt on its own thread; on timeout that
+/// thread is abandoned (detached) — it cannot be cancelled, but its task
+/// copy keeps everything it touches alive until it finishes on its own.
+AttemptOutcome run_attempt(const RunnerFn& fn, const SweepTask& task,
+                           double timeout_s) {
+  if (timeout_s <= 0.0) {
+    try {
+      return {fn(task), true, false, ""};
+    } catch (const std::exception& e) {
+      return {failed_metrics(), false, false, single_line(e.what())};
+    } catch (...) {
+      return {failed_metrics(), false, false, "unknown runner error"};
+    }
+  }
+
+  std::packaged_task<metrics::AggregateMetrics()> attempt(
+      [fn, task] { return fn(task); });  // by value: may outlive this frame
+  auto future = attempt.get_future();
+  std::thread worker(std::move(attempt));
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) ==
+      std::future_status::timeout) {
+    worker.detach();
+    char message[64];
+    std::snprintf(message, sizeof message, "timeout after %g s", timeout_s);
+    return {failed_metrics(), false, true, message};
+  }
+  worker.join();
+  try {
+    return {future.get(), true, false, ""};
+  } catch (const std::exception& e) {
+    return {failed_metrics(), false, false, single_line(e.what())};
+  } catch (...) {
+    return {failed_metrics(), false, false, "unknown runner error"};
+  }
+}
+
+/// Full lifecycle of one task: cache probe, bounded attempts, cache fill.
+TaskResult run_one_task(const SweepTask& task, const Runner& runner,
+                        const SweepOptions& options) {
+  TaskResult result;
+  result.task = task;
+
+  std::string key;
+  if (options.cache != nullptr && !runner.name.empty() &&
+      scenario::spec_cacheable(task.spec)) {
+    key = cell_key(runner.name, task);
+    if (auto cached = options.cache->load(key)) {
+      result.metrics = std::move(*cached);
+      result.cached = true;
+      return result;
+    }
+  }
+
+  AttemptOutcome outcome;
+  while (result.attempts < options.max_attempts) {
+    ++result.attempts;
+    outcome = run_attempt(runner.fn, task, options.timeout_s);
+    if (outcome.ok) break;
+    // A timed-out attempt is terminal: its abandoned thread may still be
+    // executing this task, and runners are only promised concurrency
+    // across distinct tasks — retrying would race it.
+    if (outcome.timed_out) break;
+  }
+  result.metrics = std::move(outcome.metrics);
+  result.ok = outcome.ok;
+  result.error = std::move(outcome.error);
+  if (result.ok && !key.empty()) options.cache->store(key, result.metrics);
+  return result;
 }
 
 }  // namespace
 
 SweepResult::SweepResult(std::vector<TaskResult> rows)
     : rows_(std::move(rows)) {
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    BBRM_REQUIRE_MSG(rows_[i].task.index == i,
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    BBRM_REQUIRE_MSG(rows_[i - 1].task.index < rows_[i].task.index,
                      "sweep rows must be ordered by task index");
   }
 }
@@ -44,11 +135,17 @@ const TaskResult& SweepResult::row(std::size_t i) const {
   return rows_[i];
 }
 
+std::size_t SweepResult::failed() const {
+  std::size_t count = 0;
+  for (const auto& r : rows_) count += r.ok ? 0 : 1;
+  return count;
+}
+
 std::vector<std::string> SweepResult::csv_header() {
   return {"task",     "backend",  "discipline",      "mix",
           "flows",    "buffer_bdp", "min_rtt_s",     "max_rtt_s",
           "seed",     "jain",     "loss_pct",        "occupancy_pct",
-          "utilization_pct", "jitter_ms"};
+          "utilization_pct", "jitter_ms", "status",  "error"};
 }
 
 void SweepResult::write_csv(std::ostream& out) const {
@@ -70,6 +167,8 @@ void SweepResult::write_csv(std::ostream& out) const {
         csv_number(r.metrics.occupancy_pct),
         csv_number(r.metrics.utilization_pct),
         csv_number(r.metrics.jitter_ms),
+        r.ok ? "ok" : "failed",
+        r.error,
     });
   }
 }
@@ -79,6 +178,7 @@ void SweepResult::write_json(std::ostream& out) const {
   j.begin_object();
   j.key("sweep").begin_object();
   j.key("tasks").value(static_cast<std::uint64_t>(rows_.size()));
+  j.key("failed").value(static_cast<std::uint64_t>(failed()));
   j.end_object();
   j.key("rows").begin_array();
   for (const auto& r : rows_) {
@@ -98,6 +198,8 @@ void SweepResult::write_json(std::ostream& out) const {
     j.key("occupancy_pct").value(r.metrics.occupancy_pct);
     j.key("utilization_pct").value(r.metrics.utilization_pct);
     j.key("jitter_ms").value(r.metrics.jitter_ms);
+    j.key("ok").value(r.ok);
+    if (!r.ok) j.key("error").value(r.error);
     j.end_object();
   }
   j.end_array();
@@ -107,6 +209,14 @@ void SweepResult::write_json(std::ostream& out) const {
 
 SweepResult run_tasks(const std::vector<SweepTask>& tasks,
                       const SweepOptions& options) {
+  BBRM_REQUIRE_MSG(options.max_attempts >= 1,
+                   "max_attempts must be at least 1");
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    BBRM_REQUIRE_MSG(tasks[i - 1].index < tasks[i].index,
+                     "tasks must have strictly increasing indices");
+  }
+  const Runner runner = options.runner ? options.runner : backend_runner();
+
   std::vector<TaskResult> rows(tasks.size());
   std::atomic<std::size_t> completed{0};
 
@@ -114,9 +224,7 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
   ThreadPool pool(options.threads);
   pool.parallel_for(tasks.size(), [&](std::size_t i) {
     const double task_start = now_s();
-    TaskResult result;
-    result.task = tasks[i];
-    result.metrics = run_task(tasks[i]);
+    TaskResult result = run_one_task(tasks[i], runner, options);
     result.wall_s = now_s() - task_start;
     rows[i] = std::move(result);
     const std::size_t done = completed.fetch_add(1) + 1;
@@ -131,7 +239,11 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
 SweepResult run_sweep(const ParameterGrid& grid,
                       const scenario::ExperimentSpec& base,
                       const SweepOptions& options) {
-  return run_tasks(grid.expand(base, options.base_seed), options);
+  auto tasks = grid.expand(base, options.base_seed);
+  if (options.shard.count != 1 || options.shard.index != 0) {
+    tasks = filter_shard(std::move(tasks), options.shard);
+  }
+  return run_tasks(tasks, options);
 }
 
 }  // namespace bbrmodel::sweep

@@ -1,12 +1,16 @@
-// The parallel scenario-sweep engine: fan ParameterGrid tasks across a
-// ThreadPool and aggregate the paper's five metrics per task.
+// The parallel scenario-sweep engine: fan tasks across a ThreadPool
+// through a pluggable Runner, with per-task timeout/retry, an optional
+// content-addressed cell cache, and process-level sharding.
 //
 // Determinism contract: a sweep's SweepResult — including its CSV and JSON
-// serializations — depends only on the grid, the base spec, and the base
-// seed. Thread count and scheduling never change a byte, because every
-// task's randomness comes from derive_seed(base_seed, task.index) and all
-// results land in index-addressed slots. (Wall-clock fields are the one
-// exception and are excluded from both emitters.)
+// serializations — depends only on the tasks (grid + base spec + base
+// seed) and the runner. Thread count, scheduling, shard layout, and cache
+// state never change a byte, because every task's randomness comes from
+// derive_seed(base_seed, task.index), all results land in index-addressed
+// slots, and rows carry their task index. (Wall-clock and cache/attempt
+// bookkeeping are the exceptions and are excluded from both emitters.)
+// Consequently the union of shard outputs is byte-identical to one full
+// run, and a warm-cache rerun reproduces a cold run exactly.
 #pragma once
 
 #include <cstddef>
@@ -18,28 +22,54 @@
 
 #include "metrics/aggregate.h"
 #include "sweep/parameter_grid.h"
+#include "sweep/runner.h"
 
 namespace bbrmodel::sweep {
+
+class CellCache;
 
 /// One finished task: the resolved coordinates plus the paper's metrics.
 struct TaskResult {
   SweepTask task;
   metrics::AggregateMetrics metrics;
-  double wall_s = 0.0;  ///< task runtime (informational; not serialized)
+  bool ok = true;          ///< false: every attempt failed or timed out
+  std::string error;       ///< failure reason when !ok; single-line ("")
+  std::size_t attempts = 0;  ///< runner invocations (0 for cache hits)
+  bool cached = false;     ///< served from the cell cache (informational)
+  double wall_s = 0.0;     ///< task runtime (informational; not serialized)
 };
 
-/// Knobs of run_sweep.
+/// Knobs of run_sweep / run_tasks.
 struct SweepOptions {
   /// Worker threads; 0 picks the hardware concurrency.
   std::size_t threads = 0;
   /// Root of every per-task seed (see ParameterGrid::expand).
   std::uint64_t base_seed = 42;
+  /// Executes each task; unset falls back to backend_runner(). Failed or
+  /// timed-out tasks are reported in the output rows, never aborting the
+  /// sweep.
+  Runner runner;
+  /// Per-attempt wall-clock budget in seconds; 0 disables. A timeout is
+  /// terminal for its task — the abandoned invocation may still be
+  /// running, and runners are only promised concurrency across distinct
+  /// tasks, so no retry is attempted.
+  double timeout_s = 0.0;
+  /// Runner invocations per task before reporting failure (>= 1).
+  /// Retries cover thrown failures, not timeouts (see timeout_s).
+  std::size_t max_attempts = 1;
+  /// Memoize (runner, backend, spec) cells here; nullptr disables. Only
+  /// named runners and cacheable specs participate.
+  CellCache* cache = nullptr;
+  /// This process's slice of the expanded grid (run_sweep only; the
+  /// default {0, 1} runs everything).
+  ShardSpec shard;
   /// Optional progress callback, invoked from worker threads after each
   /// task as (completed, total). Must be thread-safe.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
-/// Completed sweep: one TaskResult per task, ordered by task index.
+/// Completed sweep: one TaskResult per executed task, ordered by task
+/// index. Shard runs hold a subsequence of the full grid's indices.
 class SweepResult {
  public:
   explicit SweepResult(std::vector<TaskResult> rows);
@@ -47,6 +77,9 @@ class SweepResult {
   const std::vector<TaskResult>& rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }
   const TaskResult& row(std::size_t i) const;
+
+  /// Number of rows with ok == false.
+  std::size_t failed() const;
 
   /// Total wall-clock of the sweep call (not the sum of task times).
   double elapsed_s() const { return elapsed_s_; }
@@ -56,11 +89,13 @@ class SweepResult {
   static std::vector<std::string> csv_header();
 
   /// One row per task: coordinates + jain, loss, occupancy, utilization,
-  /// jitter. Deterministic bytes (see the header comment).
+  /// jitter + status/error. Failed rows serialize empty metric cells.
+  /// Deterministic bytes (see the header comment).
   void write_csv(std::ostream& out) const;
 
-  /// The same rows as a JSON array under "rows", with the grid shape
-  /// summarized under "sweep". Deterministic bytes.
+  /// The same rows as a JSON array under "rows" (failed rows carry
+  /// "ok": false, an "error" string, and null metrics), with totals under
+  /// "sweep". Deterministic bytes.
   void write_json(std::ostream& out) const;
 
  private:
@@ -68,14 +103,15 @@ class SweepResult {
   double elapsed_s_ = 0.0;
 };
 
-/// Run every task (already expanded) and aggregate. Tasks execute in
-/// arbitrary order across options.threads workers; results are returned
-/// in task-index order.
+/// Run every task (already expanded and, if desired, shard-filtered)
+/// through options.runner and aggregate. Tasks execute in arbitrary order
+/// across options.threads workers; results are returned in task-index
+/// order. Task indices must be strictly increasing.
 SweepResult run_tasks(const std::vector<SweepTask>& tasks,
                       const SweepOptions& options = {});
 
-/// Convenience: expand `grid` against `base` with options.base_seed, then
-/// run_tasks.
+/// Convenience: expand `grid` against `base` with options.base_seed, keep
+/// options.shard's slice, then run_tasks.
 SweepResult run_sweep(const ParameterGrid& grid,
                       const scenario::ExperimentSpec& base,
                       const SweepOptions& options = {});

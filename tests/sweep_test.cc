@@ -1,10 +1,12 @@
 // Tests of the parallel scenario-sweep engine: grid expansion, the thread
-// pool, deterministic seeding, and the thread-count invariance contract
-// (identical CSV/JSON bytes for any worker count).
+// pool, deterministic seeding, the thread-count invariance contract
+// (identical CSV/JSON bytes for any worker count), pluggable runners,
+// per-task timeout/retry, and shard-union byte-identity.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -15,7 +17,9 @@
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sweep/merge.h"
 #include "sweep/parameter_grid.h"
+#include "sweep/runner.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
 
@@ -222,6 +226,176 @@ TEST(Sweep, CsvShapeMatchesHeader) {
     EXPECT_EQ(commas, columns - 1) << "line " << line_count << ": " << line;
   }
   EXPECT_EQ(line_count, 1 + result.size());  // header + one row per task
+}
+
+TEST(Shard, SpecSelectsResidueClasses) {
+  const ShardSpec shard{1, 3};
+  EXPECT_FALSE(shard.selects(0));
+  EXPECT_TRUE(shard.selects(1));
+  EXPECT_FALSE(shard.selects(2));
+  EXPECT_TRUE(shard.selects(4));
+
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  const auto kept = filter_shard(tasks, {0, 2});
+  ASSERT_EQ(kept.size(), tasks.size() / 2);
+  for (const auto& task : kept) EXPECT_EQ(task.index % 2, 0u);
+  EXPECT_EQ(kept[1].index, 2u) << "original indices must be preserved";
+  EXPECT_THROW(filter_shard(tasks, {2, 2}), PreconditionError);
+  EXPECT_THROW(filter_shard(tasks, {0, 0}), PreconditionError);
+}
+
+/// A fast deterministic runner so the sharding/timeout/retry tests don't
+/// pay for real simulations.
+Runner synthetic_runner() {
+  return {"", [](const SweepTask& task) {
+            metrics::AggregateMetrics m;
+            m.jain = 1.0;
+            m.loss_pct = static_cast<double>(task.spec.seed % 97);
+            m.occupancy_pct = task.spec.buffer_bdp;
+            m.utilization_pct = 100.0;
+            return m;
+          }};
+}
+
+TEST(Shard, UnionOfShardOutputsIsByteIdenticalToFullRun) {
+  const auto grid = tiny_grid();
+  const auto base = tiny_base();
+  SweepOptions options;
+  options.runner = synthetic_runner();
+
+  std::ostringstream full_csv, full_json;
+  const auto full = run_sweep(grid, base, options);
+  full.write_csv(full_csv);
+  full.write_json(full_json);
+
+  std::vector<std::string> shard_csvs, shard_jsons;
+  for (std::size_t k = 0; k < 3; ++k) {
+    SweepOptions sharded = options;
+    sharded.shard = {k, 3};
+    const auto result = run_sweep(grid, base, sharded);
+    for (const auto& row : result.rows()) {
+      EXPECT_TRUE(sharded.shard.selects(row.task.index));
+    }
+    std::ostringstream csv, json;
+    result.write_csv(csv);
+    result.write_json(json);
+    shard_csvs.push_back(csv.str());
+    shard_jsons.push_back(json.str());
+  }
+
+  EXPECT_EQ(merge_csv(shard_csvs), full_csv.str())
+      << "shard CSV union must reproduce the full run byte-for-byte";
+  EXPECT_EQ(merge_json(shard_jsons), full_json.str())
+      << "shard JSON union must reproduce the full run byte-for-byte";
+}
+
+TEST(Sweep, TimedOutTasksAreReportedNotFatal) {
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  SweepOptions options;
+  options.threads = 2;
+  // Generous margin over thread-spawn jitter on loaded CI machines: the
+  // hung task sleeps 8x the budget, the healthy ones return instantly.
+  options.timeout_s = 0.25;
+  options.max_attempts = 3;  // timeouts are terminal: must NOT retry
+  options.runner = {"", [](const SweepTask& task) {
+                      if (task.index == 1) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2000));
+                      }
+                      metrics::AggregateMetrics m;
+                      m.jain = 1.0;
+                      return m;
+                    }};
+  const auto result = run_tasks(tasks, options);
+  EXPECT_EQ(result.failed(), 1u);
+  EXPECT_FALSE(result.row(1).ok);
+  EXPECT_NE(result.row(1).error.find("timeout"), std::string::npos);
+  EXPECT_EQ(result.row(1).attempts, 1u)
+      << "the abandoned attempt may still run the task; a retry would "
+         "race it";
+  EXPECT_TRUE(result.row(0).ok);
+
+  std::ostringstream csv, json;
+  result.write_csv(csv);
+  result.write_json(json);
+  EXPECT_NE(csv.str().find(",failed,timeout"), std::string::npos);
+  EXPECT_NE(json.str().find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.str().find("\"failed\": 1"), std::string::npos);
+}
+
+TEST(Sweep, RetriesRecoverTransientFailures) {
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  std::vector<std::atomic<int>> attempts_per_task(tasks.size());
+  SweepOptions options;
+  options.max_attempts = 3;
+  options.runner = {"", [&](const SweepTask& task) {
+                      if (attempts_per_task[task.index].fetch_add(1) < 2) {
+                        throw std::runtime_error("flaky");
+                      }
+                      return metrics::AggregateMetrics{};
+                    }};
+  const auto result = run_tasks(tasks, options);
+  EXPECT_EQ(result.failed(), 0u);
+  for (const auto& row : result.rows()) EXPECT_EQ(row.attempts, 3u);
+}
+
+TEST(Sweep, ExhaustedRetriesReportTheError) {
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  SweepOptions options;
+  options.max_attempts = 2;
+  options.runner = {"", [](const SweepTask&) -> metrics::AggregateMetrics {
+                      throw std::runtime_error("boom\nwith detail");
+                    }};
+  const auto result = run_tasks(tasks, options);  // must not throw
+  EXPECT_EQ(result.failed(), tasks.size());
+  for (const auto& row : result.rows()) {
+    EXPECT_FALSE(row.ok);
+    EXPECT_EQ(row.attempts, 2u);
+    EXPECT_EQ(row.error, "boom with detail")
+        << "line breaks must be flattened: CSV rows stay single-line for "
+           "the shard merge";
+  }
+  // Failed rows serialize empty metric cells after the coordinates, and
+  // every row stays one physical line even with a newline in the error.
+  std::ostringstream csv;
+  result.write_csv(csv);
+  const std::string bytes = csv.str();
+  EXPECT_NE(bytes.find(",,,,,failed,boom with detail"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(bytes.begin(), bytes.end(), '\n')),
+            1 + result.size());
+}
+
+TEST(Runner, BuiltInsAreNamedAndDispatch) {
+  EXPECT_EQ(fluid_runner().name, "fluid");
+  EXPECT_EQ(packet_runner().name, "packet");
+  EXPECT_EQ(reduced_runner().name, "reduced");
+  EXPECT_EQ(backend_runner().name, "backend");
+  EXPECT_FALSE(static_cast<bool>(Runner{}));
+
+  // The reduced backend flows through the default dispatch and returns the
+  // §5 closed forms: full utilization, perfect fairness, x_i = C/N.
+  ParameterGrid grid = tiny_grid();
+  grid.backends = {Backend::kReduced};
+  grid.mixes = {homogeneous_mix(scenario::CcaKind::kBbrv2)};
+  grid.flow_counts = {4};
+  const auto result = run_sweep(grid, tiny_base(), SweepOptions{});
+  ASSERT_EQ(result.size(), grid.cardinality());
+  for (const auto& row : result.rows()) {
+    EXPECT_TRUE(row.ok);
+    EXPECT_DOUBLE_EQ(row.metrics.jain, 1.0);
+    EXPECT_DOUBLE_EQ(row.metrics.utilization_pct, 100.0);
+    ASSERT_EQ(row.metrics.mean_rate_pps.size(), 4u);
+    EXPECT_NEAR(row.metrics.mean_rate_pps[0],
+                tiny_base().capacity_pps / 4.0, 1e-9);
+    ASSERT_EQ(row.metrics.aux.size(), 2u);
+  }
+}
+
+TEST(Sweep, TaskIndicesMustStrictlyIncrease) {
+  auto tasks = tiny_grid().expand(tiny_base(), 42);
+  std::swap(tasks[0], tasks[1]);
+  EXPECT_THROW(run_tasks(tasks, SweepOptions{}), PreconditionError);
 }
 
 }  // namespace

@@ -7,20 +7,30 @@
 // Axes, seed, duration, and thread count are all flags. Results are
 // bit-identical for any --threads value.
 //
+// Sweeps shard across processes (--shard k/n; `bbrsweep merge` reassembles
+// the byte-identical full run) and memoize finished cells in a
+// content-addressed on-disk cache (--cache-dir), so repeated cells across
+// figures and re-runs cost nothing.
+//
 //   bbrsweep --csv sweep.csv --json sweep.json --threads 8
 //   bbrsweep --mixes bbrv1,bbrv1/reno --buffers 1,4,7 --backends packet
+//   bbrsweep --shard 0/2 --csv shard0.csv --cache-dir /tmp/cells
+//   bbrsweep merge --csv full.csv shard0.csv shard1.csv
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "sweep/cell_cache.h"
+#include "sweep/merge.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
 
@@ -31,6 +41,7 @@ using namespace bbrmodel;
 constexpr const char* kUsage = R"(bbrsweep — parallel BBR scenario sweeps
 
 Usage: bbrsweep [options]
+       bbrsweep merge (--csv OUT | --json OUT) FILE...
 
 Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
   --mixes LIST        CCA mixes: homogeneous (bbrv1, bbrv2, cubic, reno)
@@ -41,7 +52,9 @@ Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
   --flows LIST        flow counts N (default 10)
   --rtts LIST         RTT spreads as min:max in ms (default 30:40)
   --disciplines LIST  droptail, red (default both)
-  --backends LIST     fluid, packet (default both)
+  --backends LIST     fluid, packet, reduced (default fluid,packet;
+                      reduced = instant closed-form §5 predictions for
+                      homogeneous BBR mixes)
 
 Scenario constants:
   --capacity MBPS     bottleneck capacity (default 100)
@@ -51,12 +64,27 @@ Scenario constants:
 Execution:
   --threads N         worker threads; 0 = hardware concurrency (default 0)
   --seed S            base seed; per-task seeds derive from it (default 42)
+  --shard K/N         run only tasks with index ≡ K (mod N); the union of
+                      all N shards' outputs merges byte-identically into
+                      the unsharded run (see `bbrsweep merge`)
+  --cache-dir DIR     memoize finished cells in DIR (content-addressed);
+                      warm cells skip simulation entirely
+  --timeout S         per-task attempt budget in seconds (0 = off);
+                      a timeout is terminal for its task (never retried)
+  --retries N         re-run a task that threw up to N more times
   --quiet             suppress the progress meter
 
 Output:
   --csv PATH          write CSV rows to PATH ('-' = stdout; default '-')
   --json PATH         also write a JSON summary to PATH ('-' = stdout)
   -h, --help          this text
+
+Failed tasks are reported in the CSV/JSON rows (status/error columns)
+instead of aborting the sweep; the exit code is 3 if any task failed.
+
+merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
+flag) into the byte-identical unsharded file, verifying the union covers
+every task exactly once.
 )";
 
 [[noreturn]] void fail(const std::string& message) {
@@ -122,7 +150,20 @@ net::Discipline parse_discipline(const std::string& name) {
 sweep::Backend parse_backend(const std::string& name) {
   if (name == "fluid") return sweep::Backend::kFluid;
   if (name == "packet") return sweep::Backend::kPacket;
-  fail("unknown backend (fluid|packet): " + name);
+  if (name == "reduced") return sweep::Backend::kReduced;
+  fail("unknown backend (fluid|packet|reduced): " + name);
+}
+
+sweep::ShardSpec parse_shard(const std::string& token) {
+  const auto parts = split(token, '/');
+  if (parts.size() != 2) fail("bad shard (want K/N): " + token);
+  sweep::ShardSpec shard;
+  shard.index = static_cast<std::size_t>(parse_count(parts[0], "shard index"));
+  shard.count = static_cast<std::size_t>(parse_count(parts[1], "shard count"));
+  if (shard.count == 0 || shard.index >= shard.count) {
+    fail("shard needs 0 <= K < N: " + token);
+  }
+  return shard;
 }
 
 sweep::RttRange parse_rtt(const std::string& token) {
@@ -141,6 +182,7 @@ struct Options {
   sweep::ParameterGrid grid;
   scenario::ExperimentSpec base;
   sweep::SweepOptions run;
+  std::optional<std::string> cache_dir;
   std::optional<std::string> csv_path = "-";
   std::optional<std::string> json_path;
   bool quiet = false;
@@ -195,6 +237,15 @@ Options parse_args(int argc, char** argv) {
           static_cast<std::size_t>(parse_count(next(i), "threads"));
     } else if (arg == "--seed") {
       opt.run.base_seed = parse_count(next(i), "seed");
+    } else if (arg == "--shard") {
+      opt.run.shard = parse_shard(next(i));
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = next(i);
+    } else if (arg == "--timeout") {
+      opt.run.timeout_s = parse_double(next(i), "timeout");
+    } else if (arg == "--retries") {
+      opt.run.max_attempts =
+          1 + static_cast<std::size_t>(parse_count(next(i), "retries"));
     } else if (arg == "--csv") {
       opt.csv_path = next(i);
     } else if (arg == "--json") {
@@ -224,20 +275,88 @@ void write_output(const sweep::SweepResult& result, const std::string& path,
   std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
 }
 
+void write_text(const std::string& text, const std::string& path) {
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path);
+  out << text;
+  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+}
+
+/// `bbrsweep merge (--csv OUT | --json OUT) FILE...`
+int run_merge(int argc, char** argv) {
+  std::optional<std::string> csv_out, json_out;
+  std::vector<std::string> input_paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" || arg == "--json") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      (arg == "--csv" ? csv_out : json_out) = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      fail("unknown merge option: " + arg);
+    } else {
+      input_paths.push_back(arg);
+    }
+  }
+  if (csv_out.has_value() == json_out.has_value()) {
+    fail("merge needs exactly one of --csv or --json");
+  }
+  if (input_paths.empty()) fail("merge needs at least one shard file");
+
+  std::vector<std::string> inputs;
+  for (const auto& path : input_paths) {
+    std::ifstream in(path);
+    if (!in) fail("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    inputs.push_back(buffer.str());
+  }
+  if (csv_out) {
+    write_text(sweep::merge_csv(inputs), *csv_out);
+  } else {
+    write_text(sweep::merge_json(inputs), *json_out);
+  }
+  std::fprintf(stderr, "bbrsweep: merged %zu shard file(s)\n", inputs.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return run_merge(argc, argv);
+  }
   Options opt = parse_args(argc, argv);
+  std::unique_ptr<sweep::CellCache> cache;
+  if (opt.cache_dir) {
+    cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
+    opt.run.cache = cache.get();
+  }
 
   if (!opt.quiet) {
     opt.run.progress = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\rbbrsweep: %zu/%zu experiments", done, total);
       if (done == total) std::fputc('\n', stderr);
     };
-    std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads\n",
-                 opt.grid.cardinality(),
+    const std::size_t total = opt.grid.cardinality();
+    const std::size_t mine =
+        total / opt.run.shard.count +
+        (opt.run.shard.index < total % opt.run.shard.count ? 1 : 0);
+    std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads",
+                 mine,
                  opt.run.threads ? opt.run.threads
                                  : sweep::ThreadPool::hardware_threads());
+    if (opt.run.shard.count > 1) {
+      std::fprintf(stderr, " (shard %zu/%zu of %zu)", opt.run.shard.index,
+                   opt.run.shard.count, total);
+    }
+    std::fputc('\n', stderr);
   }
 
   const auto result = sweep::run_sweep(opt.grid, opt.base, opt.run);
@@ -250,6 +369,15 @@ int main(int argc, char** argv) try {
                  result.size(), result.elapsed_s(),
                  result.elapsed_s() > 0.0 ? result.size() / result.elapsed_s()
                                           : 0.0);
+    if (cache) {
+      std::fprintf(stderr, "bbrsweep: cache %zu hit(s), %zu miss(es) in %s\n",
+                   cache->hits(), cache->misses(), cache->dir().c_str());
+    }
+  }
+  if (result.failed() > 0) {
+    std::fprintf(stderr, "bbrsweep: %zu task(s) failed (see status column)\n",
+                 result.failed());
+    return 3;
   }
   return 0;
 } catch (const std::exception& e) {
