@@ -8,12 +8,17 @@
 // result CSVs of all runs — threaded, cached cold, cached warm — are
 // compared as a determinism cross-check: a speedup obtained by changing
 // the answers would be worthless.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "adaptive/refiner.h"
 #include "bench_util.h"
 #include "common/json.h"
 #include "common/table.h"
@@ -115,6 +120,100 @@ int main() {
       "warm", {warm_s, grid.cardinality() / warm_s, cold_s / warm_s}, 2);
   std::printf("%s\n", cache_table.to_string().c_str());
 
+  // Adaptive vs dense: the BBRv1 loss knee over the buffer axis. The
+  // dense sweep simulates the fluid model at every 0.25-BDP step; the
+  // adaptive sweep triages a 7-point coarse grid with the closed-form
+  // reduced runner (instant), subdivides only around the knee, and pays
+  // the fluid price on the refined cells alone. Both must locate the
+  // knee — the buffer where loss crosses 2 % — at the same place.
+  const auto wall_now = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  sweep::ParameterGrid knee_grid;
+  knee_grid.backends = {sweep::Backend::kFluid};
+  knee_grid.disciplines = {net::Discipline::kDropTail};
+  knee_grid.flow_counts = {4};
+  knee_grid.rtt_ranges = {{base.min_rtt_s, base.max_rtt_s}};
+  knee_grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                     sweep::homogeneous_mix(scenario::CcaKind::kBbrv2)};
+
+  const double kKneeDenseStep = 0.25;
+  sweep::ParameterGrid dense_grid = knee_grid;
+  dense_grid.buffers_bdp.clear();
+  for (double b = 0.25; b <= 7.0 + 1e-9; b += kKneeDenseStep) {
+    dense_grid.buffers_bdp.push_back(b);
+  }
+  sweep::ParameterGrid coarse_grid = knee_grid;
+  coarse_grid.buffers_bdp = {0.25, 1.375, 2.5, 3.625, 4.75, 5.875, 7.0};
+
+  double dense_wall_s = 0.0, adaptive_wall_s = 0.0;
+  double t0 = wall_now();
+  const auto dense = sweep::run_sweep(dense_grid, base, sweep::SweepOptions{});
+  dense_wall_s = wall_now() - t0;
+
+  adaptive::RefinementPolicy policy;
+  policy.metrics = {adaptive::RefineMetric::kLoss};
+  policy.threshold = 0.02;  // 2 % loss movement flags an interval
+  policy.max_depth = 3;     // 1.125-BDP coarse step → 0.14 at the knee
+  sweep::SweepOptions adaptive_options;  // triage defaults to reduced
+  adaptive_options.refine = &policy;
+  t0 = wall_now();
+  const auto refined = sweep::run_sweep(coarse_grid, base, adaptive_options);
+  adaptive_wall_s = wall_now() - t0;
+
+  // The knee of one mix: buffer where loss crosses 2 %, interpolated
+  // between the bracketing evaluated cells (rows of an adaptive sweep
+  // arrive in canonical-spec order, so sort by buffer first).
+  const auto loss_knee = [](const sweep::SweepResult& result,
+                            const std::string& mix) {
+    std::vector<std::pair<double, double>> curve;
+    for (const auto& row : result.rows()) {
+      if (row.task.mix_label == mix) {
+        curve.emplace_back(row.task.spec.buffer_bdp, row.metrics.loss_pct);
+      }
+    }
+    std::sort(curve.begin(), curve.end());
+    constexpr double kLevel = 2.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      const auto [b0, l0] = curve[i - 1];
+      const auto [b1, l1] = curve[i];
+      if (l0 > kLevel && l1 <= kLevel) {
+        return b0 + (l0 - kLevel) / (l0 - l1) * (b1 - b0);
+      }
+    }
+    return std::nan("");
+  };
+  const double dense_knee = loss_knee(dense, "BBRv1");
+  const double adaptive_knee = loss_knee(refined, "BBRv1");
+  const double knee_err = std::abs(adaptive_knee - dense_knee);
+  const double cell_ratio = static_cast<double>(refined.size()) /
+                            static_cast<double>(dense.size());
+  const double kKneeTolerance = 0.5;  // BDP
+
+  std::printf("%s", banner("Adaptive vs dense — BBRv1 loss knee over the "
+                           "buffer axis").c_str());
+  Table knee_table({"sweep", "cells", "knee[BDP]", "elapsed[s]",
+                    "vs dense"});
+  knee_table.add_row({"dense", std::to_string(dense.size()),
+                      format_double(dense_knee, 2),
+                      format_double(dense_wall_s, 2), "1.00"});
+  knee_table.add_row({"adaptive", std::to_string(refined.size()),
+                      format_double(adaptive_knee, 2),
+                      format_double(adaptive_wall_s, 2),
+                      format_double(adaptive_wall_s / dense_wall_s, 2)});
+  std::printf("%s\n", knee_table.to_string().c_str());
+
+  if (!(knee_err <= kKneeTolerance) || cell_ratio > 0.40) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive knee %.3f vs dense %.3f BDP (tolerance "
+                 "%.2f) at %.0f%% of the dense cells\n",
+                 adaptive_knee, dense_knee, kKneeTolerance,
+                 100.0 * cell_ratio);
+    return 1;
+  }
+
   std::ofstream json_out("BENCH_sweep.json");
   JsonWriter j(json_out);
   j.begin_object();
@@ -129,16 +228,28 @@ int main() {
   j.key("cache_warm_s").value(warm_s);
   j.key("cache_speedup").value(cold_s / warm_s);
   j.key("cache_warm_hits").value(static_cast<std::uint64_t>(warm_hits));
+  j.key("adaptive_dense_cells").value(
+      static_cast<std::uint64_t>(dense.size()));
+  j.key("adaptive_cells").value(static_cast<std::uint64_t>(refined.size()));
+  j.key("adaptive_cell_ratio").value(cell_ratio);
+  j.key("adaptive_dense_s").value(dense_wall_s);
+  j.key("adaptive_s").value(adaptive_wall_s);
+  j.key("adaptive_wallclock_ratio").value(adaptive_wall_s / dense_wall_s);
+  j.key("adaptive_knee_dense_bdp").value(dense_knee);
+  j.key("adaptive_knee_bdp").value(adaptive_knee);
+  j.key("adaptive_knee_abs_err_bdp").value(knee_err);
   j.key("deterministic").value(true);
   j.end_object();
   json_out << '\n';
   std::printf(
       "wrote BENCH_sweep.json (speedup %.2fx on %zu threads, warm cache "
-      "%.0fx)\n",
-      speedup, thread_counts.back(), cold_s / warm_s);
+      "%.0fx, adaptive %.0f%% of dense cells at %.2fx wall-clock)\n",
+      speedup, thread_counts.back(), cold_s / warm_s, 100.0 * cell_ratio,
+      adaptive_wall_s / dense_wall_s);
 
   shape("The threaded sweep reproduces the serial results byte-for-byte "
         "while scaling with available cores; a warm cell cache replays it "
-        "with zero simulation work.");
+        "with zero simulation work; reduced-theory triage steers the "
+        "fluid sweep to the loss knee at a fraction of the dense cells.");
   return 0;
 }

@@ -1,0 +1,136 @@
+#include "adaptive/policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/require.h"
+
+namespace bbrmodel::adaptive {
+
+std::string to_string(RefineMetric metric) {
+  switch (metric) {
+    case RefineMetric::kJain:
+      return "jain";
+    case RefineMetric::kLoss:
+      return "loss";
+    case RefineMetric::kOccupancy:
+      return "occupancy";
+    case RefineMetric::kUtilization:
+      return "utilization";
+    case RefineMetric::kJitter:
+      return "jitter";
+    case RefineMetric::kAux0:
+      return "aux0";
+  }
+  return "unknown";
+}
+
+const std::vector<RefineMetric>& all_refine_metrics() {
+  static const std::vector<RefineMetric> kAll = {
+      RefineMetric::kJain,      RefineMetric::kLoss,
+      RefineMetric::kOccupancy, RefineMetric::kUtilization,
+      RefineMetric::kJitter,    RefineMetric::kAux0,
+  };
+  return kAll;
+}
+
+RefineMetric parse_refine_metric(const std::string& name) {
+  for (RefineMetric metric : all_refine_metrics()) {
+    if (name == to_string(metric)) return metric;
+  }
+  std::string valid;
+  for (RefineMetric metric : all_refine_metrics()) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(metric);
+  }
+  BBRM_REQUIRE_MSG(false, "unknown refine metric '" + name +
+                              "' (valid: " + valid + ")");
+  return RefineMetric::kJain;
+}
+
+std::string to_string(RefineAxis axis) {
+  switch (axis) {
+    case RefineAxis::kBuffer:
+      return "buffer";
+    case RefineAxis::kFlows:
+      return "flows";
+    case RefineAxis::kRtt:
+      return "rtt";
+  }
+  return "unknown";
+}
+
+std::size_t RefinementPolicy::subdivision_for(RefineAxis axis) const {
+  std::size_t per_axis = 0;
+  switch (axis) {
+    case RefineAxis::kBuffer:
+      per_axis = buffer_subdivision;
+      break;
+    case RefineAxis::kFlows:
+      per_axis = flows_subdivision;
+      break;
+    case RefineAxis::kRtt:
+      per_axis = rtt_subdivision;
+      break;
+  }
+  return per_axis != 0 ? per_axis : subdivision;
+}
+
+RefinementPolicy RefinementPolicy::clamped(std::size_t coarse_cells) const {
+  const auto clamp_factor = [](std::size_t f) -> std::size_t {
+    if (f == 0) return 0;  // keep "fall back to the global factor"
+    return std::min<std::size_t>(16, std::max<std::size_t>(2, f));
+  };
+  RefinementPolicy p = *this;
+  if (p.metrics.empty()) p.metrics = RefinementPolicy{}.metrics;
+  p.threshold = std::max(p.threshold, 1e-12);
+  p.subdivision = std::min<std::size_t>(16, std::max<std::size_t>(2,
+                                                              p.subdivision));
+  p.buffer_subdivision = clamp_factor(p.buffer_subdivision);
+  p.flows_subdivision = clamp_factor(p.flows_subdivision);
+  p.rtt_subdivision = clamp_factor(p.rtt_subdivision);
+  p.max_depth = std::min<std::size_t>(p.max_depth, 16);
+  p.max_cells = std::max(p.max_cells, coarse_cells);
+  p.min_buffer_step = std::max(p.min_buffer_step, 1e-6);
+  p.min_flows_step = std::max<std::size_t>(p.min_flows_step, 1);
+  p.min_rtt_step_s = std::max(p.min_rtt_step_s, 1e-9);
+  p.aux_scale = std::max(p.aux_scale, 1e-12);
+  return p;
+}
+
+double metric_value(RefineMetric metric, const metrics::AggregateMetrics& m) {
+  switch (metric) {
+    case RefineMetric::kJain:
+      return m.jain;
+    case RefineMetric::kLoss:
+      return m.loss_pct;
+    case RefineMetric::kOccupancy:
+      return m.occupancy_pct;
+    case RefineMetric::kUtilization:
+      return m.utilization_pct;
+    case RefineMetric::kJitter:
+      return m.jitter_ms;
+    case RefineMetric::kAux0:
+      return m.aux.empty() ? std::numeric_limits<double>::quiet_NaN()
+                           : m.aux.front();
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double metric_scale(RefineMetric metric, const RefinementPolicy& policy) {
+  switch (metric) {
+    case RefineMetric::kJain:
+      return 1.0;
+    case RefineMetric::kLoss:
+    case RefineMetric::kOccupancy:
+    case RefineMetric::kUtilization:
+      return 100.0;
+    case RefineMetric::kJitter:
+      return 10.0;  // ms; the paper's jitter plots span a few milliseconds
+    case RefineMetric::kAux0:
+      return policy.aux_scale;
+  }
+  return 1.0;
+}
+
+}  // namespace bbrmodel::adaptive

@@ -1,0 +1,106 @@
+// Refinement policy of the adaptive grid-refinement subsystem.
+//
+// The interesting structure of the paper's parameter grids — the fairness
+// cliffs of Fig. 6, the loss knee vs buffer size of Fig. 7, the stability
+// boundaries of Theorems 2 & 5 — occupies a small fraction of the axes.
+// A RefinementPolicy says where refinement effort goes: which metrics are
+// watched for variation, how much adjacent-cell variation warrants a
+// subdivision, how finely flagged intervals split per axis, and how far
+// (depth) and how big (cell budget) the refinement may grow. The refiner
+// (adaptive/refiner.h) applies it between triage rounds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "metrics/aggregate.h"
+
+namespace bbrmodel::adaptive {
+
+/// Metrics a neighborhood's variation can be scored on. The first four are
+/// the paper's aggregate metrics (queue delay enters as buffer occupancy);
+/// kAux0 is the first runner-defined aux value, so theory runners can
+/// refine on their own columns (e.g. the spectral abscissa).
+enum class RefineMetric {
+  kJain,
+  kLoss,
+  kOccupancy,
+  kUtilization,
+  kJitter,
+  kAux0,
+};
+
+std::string to_string(RefineMetric metric);
+
+/// All metrics, in the order their names are listed in error messages.
+const std::vector<RefineMetric>& all_refine_metrics();
+
+/// Parse a metric name ("jain", "loss", "occupancy", "utilization",
+/// "jitter", "aux0"). Throws PreconditionError naming the valid choices.
+RefineMetric parse_refine_metric(const std::string& name);
+
+/// The numeric (hence subdividable) grid axes. Categorical axes — backend,
+/// discipline, CCA mix — cannot be refined.
+enum class RefineAxis { kBuffer, kFlows, kRtt };
+
+std::string to_string(RefineAxis axis);
+
+/// Knobs of one adaptive refinement. Defaults suit the paper's grids:
+/// refine wherever any aggregate metric moves by more than 5 % of its
+/// scale between neighboring cells, halving flagged intervals, at most
+/// three rounds deep.
+struct RefinementPolicy {
+  /// Metrics whose per-axis finite differences score a neighborhood; the
+  /// score is the max over this set of |Δmetric| / metric scale.
+  std::vector<RefineMetric> metrics = {RefineMetric::kJain,
+                                       RefineMetric::kLoss,
+                                       RefineMetric::kUtilization,
+                                       RefineMetric::kOccupancy};
+
+  /// Normalized variation at or above which an interval subdivides.
+  double threshold = 0.05;
+
+  /// A flagged interval splits into this many equal parts (>= 2), i.e.
+  /// subdivision − 1 new cells per flagged pair per round.
+  std::size_t subdivision = 2;
+  /// Per-axis overrides; 0 falls back to `subdivision`.
+  std::size_t buffer_subdivision = 0;
+  std::size_t flows_subdivision = 0;
+  std::size_t rtt_subdivision = 0;
+
+  /// Refinement rounds after the coarse pass (0 = coarse only).
+  std::size_t max_depth = 3;
+
+  /// Total evaluated-cell budget, coarse pass included. Candidates beyond
+  /// it are dropped highest-score-first kept / lowest dropped (the plan
+  /// reports how many).
+  std::size_t max_cells = 4096;
+
+  /// Stop subdividing intervals narrower than these (per axis).
+  double min_buffer_step = 1.0 / 16.0;  ///< BDP
+  std::size_t min_flows_step = 1;       ///< flows
+  double min_rtt_step_s = 0.5e-3;       ///< seconds (interval midpoints)
+
+  /// Normalization scale of kAux0 (the aggregate metrics have fixed
+  /// scales; aux columns are runner-defined, so their scale is policy).
+  double aux_scale = 1.0;
+
+  /// Subdivision factor effective for `axis` (override or global).
+  std::size_t subdivision_for(RefineAxis axis) const;
+
+  /// A copy with every knob forced into its sane range: subdivision
+  /// factors in [2, 16], depth <= 16, cell budget >= coarse_cells (the
+  /// coarse pass always runs whole), threshold > 0, positive minimum
+  /// steps. The refiner applies this before the first round.
+  RefinementPolicy clamped(std::size_t coarse_cells) const;
+};
+
+/// Value of `metric` in `m` (NaN when kAux0 is requested but absent).
+double metric_value(RefineMetric metric, const metrics::AggregateMetrics& m);
+
+/// Normalization scale of `metric`: 1 for Jain, 100 for the percentage
+/// metrics, 10 ms for jitter, `policy.aux_scale` for kAux0.
+double metric_scale(RefineMetric metric, const RefinementPolicy& policy);
+
+}  // namespace bbrmodel::adaptive

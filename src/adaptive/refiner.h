@@ -1,0 +1,115 @@
+// Adaptive grid refinement: coarse reduced-theory triage that steers the
+// expensive fluid/packet sweeps.
+//
+// Uniform dense grids pay the full simulation price everywhere, but the
+// paper's interesting structure — fairness cliffs, loss knees, stability
+// boundaries — lives in narrow regions of the axes. The GridRefiner runs a
+// cheap triage pass (default: the closed-form reduced-theory runner of
+// sweep/runner.h) over a coarse ParameterGrid, scores every cell
+// neighborhood by per-axis finite differences of the policy's metric set,
+// subdivides only the flagged intervals, and iterates coarse → score →
+// subdivide up to the policy's depth/budget. The resulting RefinementPlan
+// is an explicit cell list, ordered by canonical spec bytes, handed to the
+// expensive runner through the ordinary run_tasks path — so refined sweeps
+// inherit the engine's caching, sharding, and byte-reproducibility.
+//
+// Determinism contract: a plan depends only on (grid, base, policy, triage
+// runner); thread count, cache state, and scheduling never change it,
+// because triage metrics are deterministic per the Runner contract and
+// cells are keyed and ordered by their canonical spec bytes. Sharded fine
+// passes over the same plan therefore merge byte-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "adaptive/policy.h"
+#include "sweep/sweep.h"
+
+namespace bbrmodel::adaptive {
+
+/// One cell of a refinement plan: a fully-resolved point in parameter
+/// space plus its refinement provenance.
+struct RefinedCell {
+  sweep::Backend backend = sweep::Backend::kFluid;
+  net::Discipline discipline = net::Discipline::kDropTail;
+  std::string mix_label;
+  std::size_t flows = 0;
+  double buffer_bdp = 0.0;
+  sweep::RttRange rtt;
+  std::size_t depth = 0;  ///< refinement round that created it (0 = coarse)
+  double score = 0.0;     ///< variation that triggered it (0 for coarse)
+  scenario::ExperimentSpec spec;  ///< resolved spec (seed = base seed)
+};
+
+/// The refined cell set, ordered by canonical spec bytes (backend first),
+/// plus bookkeeping of how the refinement went.
+struct RefinementPlan {
+  std::vector<RefinedCell> cells;
+  std::size_t coarse_cells = 0;      ///< cells of the coarse pass
+  std::size_t rounds = 0;            ///< refinement rounds that added cells
+  std::size_t dropped_cells = 0;     ///< candidates rejected by max_cells
+  std::size_t triage_failures = 0;   ///< cells whose triage attempt failed
+
+  /// Materialize the plan as sweep tasks (indices 0..n-1 in plan order,
+  /// seeds derived from base_seed per the engine's contract) — feed these
+  /// to run_tasks with the expensive runner, optionally shard-filtered.
+  std::vector<sweep::SweepTask> tasks(std::uint64_t base_seed) const;
+
+  /// One CSV row per cell (coordinates, depth, score). Deterministic
+  /// bytes: `bbrsweep plan` output can be diffed across runs/machines.
+  void write_csv(std::ostream& out) const;
+  static std::vector<std::string> csv_header();
+};
+
+/// Drives coarse → score → subdivide → fine rounds over one grid.
+class GridRefiner {
+ public:
+  /// The grid is the coarse pass; `base` supplies everything the axes do
+  /// not. Requires a cacheable base (no custom bbr_init): cells are keyed
+  /// by canonical spec bytes.
+  GridRefiner(sweep::ParameterGrid grid, scenario::ExperimentSpec base,
+              RefinementPolicy policy);
+
+  /// Triage runner of the coarse/refinement rounds. Default:
+  /// sweep::reduced_runner() — instant closed-form §5 predictions.
+  void set_triage(sweep::Runner runner);
+
+  /// Optional spec rewrite applied to triage copies only (e.g. shorter
+  /// duration or coarser solver step for a fluid triage). Must be
+  /// deterministic; the plan's cells keep the unmodified specs.
+  void set_triage_transform(std::function<void(scenario::ExperimentSpec&)> f);
+
+  /// Run the triage rounds and emit the refined cell set. `exec` supplies
+  /// execution detail only (threads, cache, timeout, base_seed for triage
+  /// seeding); it cannot change the resulting plan. The shard and runner
+  /// fields of `exec` are ignored — triage always covers the full grid.
+  RefinementPlan plan(const sweep::SweepOptions& exec = {}) const;
+
+ private:
+  sweep::ParameterGrid grid_;
+  scenario::ExperimentSpec base_;
+  RefinementPolicy policy_;
+  sweep::Runner triage_;
+  std::function<void(scenario::ExperimentSpec&)> triage_transform_;
+};
+
+/// Run a finished plan's fine pass: options.shard's slice of the plan's
+/// tasks through options.runner (or the backend dispatch). The returned
+/// SweepResult is ordered by plan task index, so shard outputs merge
+/// byte-identically, exactly like a plain sharded sweep.
+sweep::SweepResult run_plan_tasks(const RefinementPlan& plan,
+                                  const sweep::SweepOptions& options);
+
+/// Convenience: plan with `policy` (triage = options.triage or the
+/// reduced runner), then run_plan_tasks.
+sweep::SweepResult run_adaptive_sweep(const sweep::ParameterGrid& grid,
+                                      const scenario::ExperimentSpec& base,
+                                      const RefinementPolicy& policy,
+                                      const sweep::SweepOptions& options);
+
+}  // namespace bbrmodel::adaptive

@@ -150,26 +150,35 @@ ParkingLot make_parking_lot(const ParkingLotSpec& spec) {
     out.hop_links.push_back(out.topology.add_link(hop));
   }
 
-  auto add_access = [&]() {
+  auto add_access = [&](double delay_s) {
     Link access;
     access.capacity_pps =
         spec.access_capacity_factor * spec.hop_capacity_pps;
-    access.prop_delay_s = spec.access_delay_s;
+    access.prop_delay_s = delay_s;
     access.buffer_pkts = 100.0 * out.hop_buffer_pkts + 1000.0;
     access.discipline = Discipline::kDropTail;
     return out.topology.add_link(access);
   };
 
   // Long flow over the entire chain.
-  std::vector<std::size_t> long_path = {add_access()};
+  std::vector<std::size_t> long_path = {add_access(spec.access_delay_s)};
   long_path.insert(long_path.end(), out.hop_links.begin(),
                    out.hop_links.end());
   out.long_flow = out.topology.add_path(std::move(long_path));
 
   // Cross traffic: per hop, flows that traverse exactly that hop.
+  const std::size_t num_cross = spec.num_hops * spec.cross_flows_per_hop;
+  BBRM_REQUIRE_MSG(spec.cross_access_delays_s.empty() ||
+                       spec.cross_access_delays_s.size() == num_cross,
+                   "cross_access_delays_s must have one entry per cross "
+                   "flow (num_hops x cross_flows_per_hop)");
   for (std::size_t h = 0; h < spec.num_hops; ++h) {
     for (std::size_t c = 0; c < spec.cross_flows_per_hop; ++c) {
-      out.topology.add_path({add_access(), out.hop_links[h]});
+      const std::size_t cross = h * spec.cross_flows_per_hop + c;
+      const double delay = spec.cross_access_delays_s.empty()
+                               ? spec.access_delay_s
+                               : spec.cross_access_delays_s[cross];
+      out.topology.add_path({add_access(delay), out.hop_links[h]});
     }
   }
   return out;

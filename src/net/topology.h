@@ -123,6 +123,11 @@ struct ParkingLotSpec {
   double hop_capacity_pps = 0.0;
   double hop_delay_s = 0.005;        ///< one-way delay per hop
   double access_delay_s = 0.005;     ///< one-way delay of every access link
+  /// Optional per-cross-flow access delays (asymmetric-RTT workloads),
+  /// ordered hop-major; when non-empty it must hold
+  /// num_hops × cross_flows_per_hop entries and overrides access_delay_s
+  /// for the cross flows (the long flow keeps access_delay_s).
+  std::vector<double> cross_access_delays_s;
   double buffer_bdp = 1.0;           ///< per-hop buffer in hop-BDP of the
                                      ///< long flow's round trip
   Discipline discipline = Discipline::kDropTail;

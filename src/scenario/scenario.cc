@@ -90,11 +90,32 @@ net::DumbbellSpec dumbbell_spec(const ExperimentSpec& spec) {
   ds.num_senders = spec.mix.flows.size();
   ds.bottleneck_capacity_pps = spec.capacity_pps;
   ds.bottleneck_delay_s = spec.bottleneck_delay_s;
-  ds.access_delays_s = net::spread_access_delays(
-      ds.num_senders, spec.min_rtt_s, spec.max_rtt_s, spec.bottleneck_delay_s);
+  if (spec.flow_rtts_s.empty()) {
+    ds.access_delays_s = net::spread_access_delays(
+        ds.num_senders, spec.min_rtt_s, spec.max_rtt_s,
+        spec.bottleneck_delay_s);
+  } else {
+    BBRM_REQUIRE_MSG(spec.flow_rtts_s.size() == ds.num_senders,
+                     "flow_rtts_s must have one RTT per flow");
+    ds.access_delays_s.reserve(ds.num_senders);
+    for (const double rtt : spec.flow_rtts_s) {
+      BBRM_REQUIRE_MSG(rtt / 2.0 >= spec.bottleneck_delay_s,
+                       "per-flow RTT too small for the bottleneck delay");
+      ds.access_delays_s.push_back(rtt / 2.0 - spec.bottleneck_delay_s);
+    }
+  }
   ds.buffer_bdp = spec.buffer_bdp;
   ds.discipline = spec.discipline;
   return ds;
+}
+
+double mean_rtt_s(const ExperimentSpec& spec) {
+  if (spec.flow_rtts_s.empty()) {
+    return (spec.min_rtt_s + spec.max_rtt_s) / 2.0;
+  }
+  double sum = 0.0;
+  for (const double rtt : spec.flow_rtts_s) sum += rtt;
+  return sum / static_cast<double>(spec.flow_rtts_s.size());
 }
 
 }  // namespace
@@ -121,8 +142,7 @@ FluidSetup build_fluid(const ExperimentSpec& spec) {
 
 PacketSetup build_packet(const ExperimentSpec& spec) {
   const auto ds = dumbbell_spec(spec);
-  const double mean_rtt =
-      (spec.min_rtt_s + spec.max_rtt_s) / 2.0;
+  const double mean_rtt = mean_rtt_s(spec);
   PacketSetup setup;
   setup.bottleneck_bdp_pkts = spec.capacity_pps * mean_rtt;
 

@@ -52,6 +52,12 @@ struct ExperimentSpec {
   double bottleneck_delay_s = 0.010;  ///< d_ℓ (one-way)
   double min_rtt_s = 0.030;           ///< total-RTT spread lower end
   double max_rtt_s = 0.040;           ///< total-RTT spread upper end
+  /// Optional explicit per-flow total RTTs in seconds (asymmetric RTT
+  /// workloads, e.g. Pareto/bimodal distributions expanded by the sweep
+  /// grid). When non-empty it must hold one entry per flow, each at least
+  /// 2·bottleneck_delay_s; min/max_rtt_s then only label the nominal
+  /// spread. Empty = the legacy linear spread over [min, max].
+  std::vector<double> flow_rtts_s;
   double buffer_bdp = 1.0;            ///< bottleneck buffer in BDP
   net::Discipline discipline = net::Discipline::kDropTail;
   double duration_s = 5.0;

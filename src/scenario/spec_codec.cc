@@ -77,6 +77,23 @@ std::vector<CcaKind> decode_flows(const std::string& text) {
   return flows;
 }
 
+std::string encode_doubles(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += exact_number(values[i]);
+  }
+  return out;
+}
+
+std::vector<double> decode_doubles(const std::string& text) {
+  std::vector<double> values;
+  std::stringstream stream(text);
+  std::string token;
+  while (stream >> token) values.push_back(decode_double(token));
+  return values;
+}
+
 std::string encode_discipline(net::Discipline d) {
   return d == net::Discipline::kRed ? "red" : "droptail";
 }
@@ -127,6 +144,11 @@ const std::vector<FieldCodec>& field_codecs() {
       BBRM_DOUBLE_FIELD("bottleneck_delay_s", bottleneck_delay_s),
       BBRM_DOUBLE_FIELD("min_rtt_s", min_rtt_s),
       BBRM_DOUBLE_FIELD("max_rtt_s", max_rtt_s),
+      {"flow_rtts_s",
+       [](const ExperimentSpec& s) { return encode_doubles(s.flow_rtts_s); },
+       [](ExperimentSpec& s, const std::string& v) {
+         s.flow_rtts_s = decode_doubles(v);
+       }},
       BBRM_DOUBLE_FIELD("buffer_bdp", buffer_bdp),
       {"discipline",
        [](const ExperimentSpec& s) { return encode_discipline(s.discipline); },

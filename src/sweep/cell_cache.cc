@@ -1,5 +1,6 @@
 #include "sweep/cell_cache.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include <functional>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/hash.h"
@@ -127,6 +129,65 @@ void CellCache::store(const std::string& key,
   std::filesystem::rename(tmp, path, ec);
   BBRM_REQUIRE_MSG(!ec, "cell cache: cannot publish " + path);
   stores_.fetch_add(1);
+}
+
+CacheStats CellCache::stats() const {
+  CacheStats stats;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
+      continue;
+    }
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;  // vanished under a concurrent gc: not an error
+    ++stats.cells;
+    stats.bytes += size;
+  }
+  return stats;
+}
+
+CacheGcResult CellCache::gc(std::uintmax_t max_bytes) const {
+  struct CellFile {
+    std::filesystem::file_time_type mtime;
+    std::string path;  // tie-break: mtime resolution can collide
+    std::uintmax_t bytes = 0;
+  };
+  std::vector<CellFile> files;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
+      continue;
+    }
+    CellFile f;
+    f.bytes = entry.file_size(ec);
+    if (ec) continue;  // vanished under a concurrent gc; the on-error
+                       // sentinel (-1) would corrupt the byte totals
+    f.mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    f.path = entry.path().string();
+    total += f.bytes;
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CellFile& a, const CellFile& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+
+  CacheGcResult result;
+  for (const CellFile& f : files) {
+    if (total > max_bytes) {
+      std::filesystem::remove(f.path, ec);
+      total -= f.bytes;
+      ++result.evicted_cells;
+      result.evicted_bytes += f.bytes;
+    } else {
+      ++result.kept_cells;
+      result.kept_bytes += f.bytes;
+    }
+  }
+  return result;
 }
 
 std::string cell_key(const std::string& runner_name, const SweepTask& task) {

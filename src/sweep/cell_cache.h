@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -28,6 +29,21 @@
 #include "sweep/parameter_grid.h"
 
 namespace bbrmodel::sweep {
+
+/// On-disk footprint of a cache directory (finished cells only; in-flight
+/// temp files are excluded).
+struct CacheStats {
+  std::size_t cells = 0;
+  std::uintmax_t bytes = 0;
+};
+
+/// Outcome of one garbage collection.
+struct CacheGcResult {
+  std::size_t evicted_cells = 0;
+  std::uintmax_t evicted_bytes = 0;
+  std::size_t kept_cells = 0;
+  std::uintmax_t kept_bytes = 0;
+};
 
 class CellCache {
  public:
@@ -47,6 +63,17 @@ class CellCache {
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
   std::size_t stores() const { return stores_.load(); }
+
+  /// Count cells and bytes currently in the store.
+  CacheStats stats() const;
+
+  /// Evict cells, oldest modification time first (ties broken by file
+  /// name for determinism), until the store holds at most `max_bytes` of
+  /// cells. Content addressing makes eviction always safe: an evicted
+  /// cell is simply recomputed and re-stored on next use. Adaptive and
+  /// figure sweeps can therefore share one long-lived store without it
+  /// growing unboundedly.
+  CacheGcResult gc(std::uintmax_t max_bytes) const;
 
  private:
   std::string cell_path(const std::string& key) const;

@@ -1,5 +1,8 @@
 #include "sweep/parameter_grid.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/require.h"
 #include "common/rng.h"
 
@@ -40,6 +43,40 @@ std::vector<MixSpec> paper_mix_specs() {
   };
 }
 
+std::string to_string(RttDist dist) {
+  switch (dist) {
+    case RttDist::kUniform:
+      return "uniform";
+    case RttDist::kPareto:
+      return "pareto";
+    case RttDist::kBimodal:
+      return "bimodal";
+  }
+  return "unknown";
+}
+
+std::vector<double> rtt_samples(const RttRange& range, std::size_t n) {
+  BBRM_REQUIRE_MSG(n > 0, "rtt_samples needs at least one flow");
+  if (range.dist == RttDist::kUniform) return {};
+  std::vector<double> rtts(n);
+  if (range.dist == RttDist::kBimodal) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rtts[i] = i < n / 2 ? range.min_s : range.max_s;
+    }
+    return rtts;
+  }
+  // Pareto: x(q) = min / (1 - q)^(1/alpha), truncated at max. Quantile
+  // sampling (not RNG) keeps the vector a pure function of (range, n).
+  constexpr double kAlpha = 1.16;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double x = range.min_s * std::pow(1.0 - q, -1.0 / kAlpha);
+    rtts[i] = std::min(x, range.max_s);
+  }
+  return rtts;
+}
+
 std::size_t ParameterGrid::cardinality() const {
   return backends.size() * disciplines.size() * buffers_bdp.size() *
          flow_counts.size() * rtt_ranges.size() * mixes.size();
@@ -74,6 +111,8 @@ std::vector<SweepTask> ParameterGrid::expand(
               task.spec.buffer_bdp = buffers_bdp[at.buffer];
               task.spec.min_rtt_s = rtt_ranges[at.rtt].min_s;
               task.spec.max_rtt_s = rtt_ranges[at.rtt].max_s;
+              task.spec.flow_rtts_s =
+                  rtt_samples(rtt_ranges[at.rtt], flow_counts[at.flows]);
               task.spec.seed = derive_seed(base_seed, task.index);
               tasks.push_back(std::move(task));
             }

@@ -46,11 +46,29 @@ MixSpec half_half_mix(scenario::CcaKind a, scenario::CcaKind b);
 /// The seven mixes of the paper's aggregate figures (Figs. 6–10 legends).
 std::vector<MixSpec> paper_mix_specs();
 
-/// An inclusive [min, max] total-RTT spread in seconds.
+/// How per-flow total RTTs are drawn from a [min, max] spread. kUniform
+/// keeps the legacy linear spacing computed inside the scenario builders;
+/// the asymmetric distributions expand into explicit per-flow RTT vectors
+/// (ExperimentSpec::flow_rtts_s) at grid-expansion time, deterministically.
+enum class RttDist { kUniform, kPareto, kBimodal };
+
+std::string to_string(RttDist dist);
+
+/// An inclusive [min, max] total-RTT spread in seconds, plus the shape of
+/// the per-flow distribution across it.
 struct RttRange {
   double min_s = 0.030;
   double max_s = 0.040;
+  RttDist dist = RttDist::kUniform;
 };
+
+/// Deterministic per-flow total RTTs for an asymmetric range: flow i
+/// receives the (i + 0.5)/n quantile of the distribution truncated to
+/// [min, max]. kPareto uses shape 1.16 (the "80/20" heavy tail anchored
+/// at min); kBimodal puts the first half of the flows at min and the rest
+/// at max. kUniform returns an empty vector — the legacy linear spread
+/// stays with net::spread_access_delays.
+std::vector<double> rtt_samples(const RttRange& range, std::size_t n);
 
 /// Position of a task along every axis (outer-to-inner expansion order:
 /// backend, discipline, buffer, flow count, RTT range, mix).

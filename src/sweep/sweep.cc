@@ -7,6 +7,7 @@
 #include <limits>
 #include <thread>
 
+#include "adaptive/refiner.h"
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/require.h"
@@ -239,6 +240,10 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
 SweepResult run_sweep(const ParameterGrid& grid,
                       const scenario::ExperimentSpec& base,
                       const SweepOptions& options) {
+  if (options.refine != nullptr) {
+    return adaptive::run_adaptive_sweep(grid, base, *options.refine,
+                                        options);
+  }
   auto tasks = grid.expand(base, options.base_seed);
   if (options.shard.count != 1 || options.shard.index != 0) {
     tasks = filter_shard(std::move(tasks), options.shard);

@@ -24,6 +24,10 @@
 #include "sweep/parameter_grid.h"
 #include "sweep/runner.h"
 
+namespace bbrmodel::adaptive {
+struct RefinementPolicy;
+}
+
 namespace bbrmodel::sweep {
 
 class CellCache;
@@ -66,6 +70,16 @@ struct SweepOptions {
   /// Optional progress callback, invoked from worker threads after each
   /// task as (completed, total). Must be thread-safe.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Adaptive refinement (run_sweep only; caller-owned, may be null).
+  /// When set, the grid is treated as the coarse pass of an adaptive
+  /// sweep: a triage pass scores it, flagged regions subdivide per the
+  /// policy, and only the refined cell set runs through `runner`. See
+  /// adaptive/refiner.h; sharding applies to the fine pass.
+  const adaptive::RefinementPolicy* refine = nullptr;
+  /// Triage runner of the adaptive coarse pass; unset falls back to
+  /// reduced_runner() (closed-form §5 predictions). Ignored without
+  /// `refine`.
+  Runner triage;
 };
 
 /// Completed sweep: one TaskResult per executed task, ordered by task
@@ -111,7 +125,9 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
                       const SweepOptions& options = {});
 
 /// Convenience: expand `grid` against `base` with options.base_seed, keep
-/// options.shard's slice, then run_tasks.
+/// options.shard's slice, then run_tasks. With options.refine set the
+/// grid is the coarse pass of an adaptive sweep instead (see
+/// adaptive/refiner.h).
 SweepResult run_sweep(const ParameterGrid& grid,
                       const scenario::ExperimentSpec& base,
                       const SweepOptions& options = {});

@@ -1,0 +1,417 @@
+// Tests of the adaptive grid-refinement subsystem: policy clamping,
+// knee-seeking subdivision, determinism of the refined plan (thread count,
+// repeated runs, shard/merge byte-identity), budget/depth limits, triage
+// failure handling, and reduced-vs-fluid triage agreement on the BBRv1
+// loss knee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adaptive/policy.h"
+#include "adaptive/refiner.h"
+#include "common/require.h"
+#include "common/units.h"
+#include "sweep/merge.h"
+#include "sweep/sweep.h"
+
+namespace bbrmodel::adaptive {
+namespace {
+
+// ---- policy ---------------------------------------------------------------
+
+TEST(RefinementPolicy, MetricNamesRoundTripAndRejectUnknown) {
+  for (const RefineMetric metric : all_refine_metrics()) {
+    EXPECT_EQ(parse_refine_metric(to_string(metric)), metric);
+  }
+  try {
+    parse_refine_metric("nope");
+    FAIL() << "unknown metric must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("jain"), std::string::npos)
+        << "the error must list the valid choices";
+  }
+}
+
+TEST(RefinementPolicy, ClampingForcesSaneRanges) {
+  RefinementPolicy wild;
+  wild.metrics.clear();
+  wild.threshold = -1.0;
+  wild.subdivision = 0;
+  wild.buffer_subdivision = 99;
+  wild.max_depth = 1000;
+  wild.max_cells = 1;  // below the coarse pass
+  wild.min_flows_step = 0;
+
+  const RefinementPolicy p = wild.clamped(/*coarse_cells=*/10);
+  EXPECT_FALSE(p.metrics.empty());
+  EXPECT_GT(p.threshold, 0.0);
+  EXPECT_GE(p.subdivision, 2u);
+  EXPECT_LE(p.buffer_subdivision, 16u);
+  EXPECT_LE(p.max_depth, 16u);
+  EXPECT_EQ(p.max_cells, 10u) << "the coarse pass always runs whole";
+  EXPECT_GE(p.min_flows_step, 1u);
+}
+
+TEST(RefinementPolicy, PerAxisSubdivisionFallsBackToGlobal) {
+  RefinementPolicy p;
+  p.subdivision = 4;
+  EXPECT_EQ(p.subdivision_for(RefineAxis::kBuffer), 4u);
+  p.buffer_subdivision = 2;
+  EXPECT_EQ(p.subdivision_for(RefineAxis::kBuffer), 2u);
+  EXPECT_EQ(p.subdivision_for(RefineAxis::kFlows), 4u);
+  EXPECT_EQ(p.subdivision_for(RefineAxis::kRtt), 4u);
+}
+
+TEST(RefinementPolicy, MetricValuesReadTheAggregateStruct) {
+  metrics::AggregateMetrics m;
+  m.jain = 0.5;
+  m.loss_pct = 7.0;
+  m.occupancy_pct = 30.0;
+  m.utilization_pct = 90.0;
+  m.jitter_ms = 2.0;
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kJain, m), 0.5);
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kLoss, m), 7.0);
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kOccupancy, m), 30.0);
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kUtilization, m), 90.0);
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kJitter, m), 2.0);
+  EXPECT_TRUE(std::isnan(metric_value(RefineMetric::kAux0, m)))
+      << "absent aux must read as NaN, not zero";
+  m.aux = {-0.5};
+  EXPECT_DOUBLE_EQ(metric_value(RefineMetric::kAux0, m), -0.5);
+}
+
+// ---- refiner on a synthetic knee ------------------------------------------
+
+/// A deterministic runner with a sharp fairness knee at buffer = 3.2 BDP:
+/// the refinement should concentrate there and nowhere else.
+sweep::Runner knee_runner() {
+  return {"knee", [](const sweep::SweepTask& task) {
+            metrics::AggregateMetrics m;
+            m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
+            m.utilization_pct = 100.0;
+            return m;
+          }};
+}
+
+sweep::ParameterGrid knee_grid() {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0, 3.0, 5.0, 7.0};
+  grid.flow_counts = {2};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+  return grid;
+}
+
+RefinementPolicy knee_policy() {
+  RefinementPolicy policy;
+  policy.metrics = {RefineMetric::kJain};
+  policy.threshold = 0.05;
+  policy.max_depth = 2;
+  return policy;
+}
+
+std::vector<double> plan_buffers(const RefinementPlan& plan) {
+  std::vector<double> buffers;
+  for (const auto& cell : plan.cells) buffers.push_back(cell.buffer_bdp);
+  return buffers;
+}
+
+TEST(GridRefiner, SubdividesOnlyAroundTheKnee) {
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
+                      knee_policy());
+  refiner.set_triage(knee_runner());
+  const auto plan = refiner.plan();
+
+  EXPECT_EQ(plan.coarse_cells, 4u);
+  EXPECT_EQ(plan.rounds, 2u);
+  EXPECT_EQ(plan.triage_failures, 0u);
+  EXPECT_EQ(plan.dropped_cells, 0u);
+
+  // Round 1 splits (3, 5) → 4; round 2 splits (3, 4) → 3.5. The flat
+  // regions (1, 3) and (5, 7) must stay untouched.
+  const auto buffers = plan_buffers(plan);
+  EXPECT_EQ(buffers.size(), 6u);
+  EXPECT_EQ(std::count(buffers.begin(), buffers.end(), 4.0), 1);
+  EXPECT_EQ(std::count(buffers.begin(), buffers.end(), 3.5), 1);
+  for (const double b : buffers) {
+    EXPECT_FALSE(b > 1.0 && b < 3.0) << "flat region refined at " << b;
+    EXPECT_FALSE(b > 5.0 && b < 7.0) << "flat region refined at " << b;
+  }
+
+  // Provenance: coarse cells carry depth 0 / score 0; refined cells carry
+  // their creating round and the variation that triggered them.
+  for (const auto& cell : plan.cells) {
+    if (cell.buffer_bdp == 4.0) {
+      EXPECT_EQ(cell.depth, 1u);
+      EXPECT_NEAR(cell.score, 0.5, 1e-12);
+    } else if (cell.buffer_bdp == 3.5) {
+      EXPECT_EQ(cell.depth, 2u);
+    } else {
+      EXPECT_EQ(cell.depth, 0u);
+      EXPECT_EQ(cell.score, 0.0);
+    }
+  }
+}
+
+TEST(GridRefiner, PlanIsOrderedByCanonicalSpecBytesAndTaskable) {
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
+                      knee_policy());
+  refiner.set_triage(knee_runner());
+  const auto plan = refiner.plan();
+
+  const auto tasks = plan.tasks(/*base_seed=*/42);
+  ASSERT_EQ(tasks.size(), plan.cells.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+    EXPECT_EQ(tasks[i].spec.buffer_bdp, plan.cells[i].buffer_bdp);
+  }
+  // Different base seeds reseed the fine tasks without reordering them.
+  const auto reseeded = plan.tasks(7);
+  EXPECT_NE(tasks[0].spec.seed, reseeded[0].spec.seed);
+  EXPECT_EQ(tasks[0].spec.buffer_bdp, reseeded[0].spec.buffer_bdp);
+}
+
+TEST(GridRefiner, PlanIsThreadCountInvariantAndRepeatable) {
+  const auto make_plan = [&](std::size_t threads) {
+    GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
+                        knee_policy());
+    refiner.set_triage(knee_runner());
+    sweep::SweepOptions exec;
+    exec.threads = threads;
+    std::ostringstream csv;
+    refiner.plan(exec).write_csv(csv);
+    return csv.str();
+  };
+  const std::string serial = make_plan(1);
+  EXPECT_EQ(serial, make_plan(8))
+      << "plan bytes must not depend on the thread count";
+  EXPECT_EQ(serial, make_plan(3));
+}
+
+TEST(GridRefiner, DepthZeroAndBudgetClampDisableRefinement) {
+  RefinementPolicy coarse_only = knee_policy();
+  coarse_only.max_depth = 0;
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{}, coarse_only);
+  refiner.set_triage(knee_runner());
+  const auto plan = refiner.plan();
+  EXPECT_EQ(plan.cells.size(), 4u);
+  EXPECT_EQ(plan.rounds, 0u);
+
+  RefinementPolicy tiny_budget = knee_policy();
+  tiny_budget.max_cells = 2;  // clamps up to the coarse 4
+  GridRefiner clamped(knee_grid(), scenario::ExperimentSpec{}, tiny_budget);
+  clamped.set_triage(knee_runner());
+  const auto clamped_plan = clamped.plan();
+  EXPECT_EQ(clamped_plan.cells.size(), 4u)
+      << "the coarse pass always runs whole; no refinement fits";
+  EXPECT_GT(clamped_plan.dropped_cells, 0u);
+}
+
+TEST(GridRefiner, BudgetAcceptsHighestVariationFirst) {
+  // Two knees of different magnitude: jain jumps by 0.5 at 3.2 and by
+  // 0.2 at 5.5. With room for one refined cell, the bigger jump wins.
+  sweep::Runner two_knees{"two-knees", [](const sweep::SweepTask& task) {
+                            metrics::AggregateMetrics m;
+                            const double b = task.spec.buffer_bdp;
+                            m.jain = b < 3.2 ? 0.3 : (b < 5.5 ? 0.8 : 1.0);
+                            return m;
+                          }};
+  RefinementPolicy policy = knee_policy();
+  policy.max_depth = 1;
+  policy.max_cells = 5;  // coarse 4 + exactly one refined cell
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{}, policy);
+  refiner.set_triage(two_knees);
+  const auto plan = refiner.plan();
+  ASSERT_EQ(plan.cells.size(), 5u);
+  EXPECT_GT(plan.dropped_cells, 0u);
+  const auto buffers = plan_buffers(plan);
+  EXPECT_EQ(std::count(buffers.begin(), buffers.end(), 4.0), 1)
+      << "the 0.5-jump interval (3,5) outranks the 0.2-jump (5,7)";
+  EXPECT_EQ(std::count(buffers.begin(), buffers.end(), 6.0), 0);
+}
+
+TEST(GridRefiner, FailedTriageCellsAreReportedAndNotRefined) {
+  sweep::Runner flaky{"flaky", [](const sweep::SweepTask& task)
+                                   -> metrics::AggregateMetrics {
+                        if (task.spec.buffer_bdp < 4.0) {
+                          throw std::runtime_error("unsupported cell");
+                        }
+                        metrics::AggregateMetrics m;
+                        m.jain = task.spec.buffer_bdp < 6.0 ? 0.5 : 1.0;
+                        return m;
+                      }};
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
+                      knee_policy());
+  refiner.set_triage(flaky);
+  const auto plan = refiner.plan();
+  EXPECT_EQ(plan.triage_failures, 2u);  // buffers 1 and 3
+  // The surviving pair (5, 7) still refines; pairs touching failed cells
+  // must not.
+  const auto buffers = plan_buffers(plan);
+  EXPECT_EQ(std::count(buffers.begin(), buffers.end(), 6.0), 1);
+  for (const double b : buffers) {
+    EXPECT_FALSE(b > 3.0 && b < 5.0)
+        << "refined next to a failed triage cell at " << b;
+  }
+}
+
+TEST(GridRefiner, IntegerFlowAxisRefinesToMidpoints) {
+  sweep::ParameterGrid grid = knee_grid();
+  grid.buffers_bdp = {1.0};
+  grid.flow_counts = {2, 4, 8};
+  sweep::Runner by_flows{"by-flows", [](const sweep::SweepTask& task) {
+                           metrics::AggregateMetrics m;
+                           m.jain =
+                               task.spec.mix.flows.size() < 5 ? 0.5 : 1.0;
+                           return m;
+                         }};
+  RefinementPolicy policy = knee_policy();
+  policy.max_depth = 3;
+  GridRefiner refiner(grid, scenario::ExperimentSpec{}, policy);
+  refiner.set_triage(by_flows);
+  const auto plan = refiner.plan();
+
+  std::set<std::size_t> flows;
+  for (const auto& cell : plan.cells) flows.insert(cell.flows);
+  EXPECT_TRUE(flows.count(6)) << "round 1 must split (4, 8) at 6";
+  EXPECT_TRUE(flows.count(5)) << "round 2 must split (4, 6) at 5";
+  EXPECT_FALSE(flows.count(3))
+      << "(2, 4) is flat and must stay unsplit";
+  // No interval ever narrows below one flow: every value is an integer
+  // and duplicates collapse.
+  EXPECT_EQ(plan.cells.size(), flows.size());
+}
+
+// ---- run_sweep integration ------------------------------------------------
+
+TEST(AdaptiveSweep, RunSweepHonorsTheRefineOption) {
+  const RefinementPolicy policy = knee_policy();
+  sweep::SweepOptions options;
+  options.refine = &policy;
+  options.triage = knee_runner();
+  options.runner = knee_runner();
+  const auto result =
+      sweep::run_sweep(knee_grid(), scenario::ExperimentSpec{}, options);
+  EXPECT_EQ(result.size(), 6u) << "4 coarse + 2 refined cells";
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result.row(i).task.index, i);
+    EXPECT_TRUE(result.row(i).ok);
+  }
+
+  // The explicit entry point produces the identical sweep.
+  std::ostringstream via_options, via_adaptive;
+  result.write_csv(via_options);
+  run_adaptive_sweep(knee_grid(), scenario::ExperimentSpec{}, policy,
+                     options)
+      .write_csv(via_adaptive);
+  EXPECT_EQ(via_options.str(), via_adaptive.str());
+}
+
+TEST(AdaptiveSweep, ShardedFinePassesMergeByteIdentically) {
+  const RefinementPolicy policy = knee_policy();
+  sweep::SweepOptions options;
+  options.refine = &policy;
+  options.triage = knee_runner();
+  options.runner = knee_runner();
+
+  std::ostringstream full_csv;
+  sweep::run_sweep(knee_grid(), scenario::ExperimentSpec{}, options)
+      .write_csv(full_csv);
+
+  std::vector<std::string> shard_csvs;
+  for (std::size_t k = 0; k < 2; ++k) {
+    sweep::SweepOptions sharded = options;
+    sharded.shard = {k, 2};
+    sharded.threads = k + 1;  // shards may even use different pools
+    std::ostringstream csv;
+    sweep::run_sweep(knee_grid(), scenario::ExperimentSpec{}, sharded)
+        .write_csv(csv);
+    shard_csvs.push_back(csv.str());
+  }
+  EXPECT_EQ(sweep::merge_csv(shard_csvs), full_csv.str())
+      << "every shard plans the same refined grid, so the shard union "
+         "must reproduce the full adaptive run byte-for-byte";
+}
+
+TEST(AdaptiveSweep, TriageTransformOnlyAffectsTriageCopies) {
+  std::atomic<int> short_triage_runs{0};
+  sweep::Runner probe{"", [&](const sweep::SweepTask& task) {
+                        if (task.spec.duration_s == 0.25) {
+                          short_triage_runs.fetch_add(1);
+                        }
+                        metrics::AggregateMetrics m;
+                        m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
+                        return m;
+                      }};
+  GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
+                      knee_policy());
+  refiner.set_triage(probe);
+  refiner.set_triage_transform(
+      [](scenario::ExperimentSpec& spec) { spec.duration_s = 0.25; });
+  const auto plan = refiner.plan();
+  EXPECT_EQ(short_triage_runs.load(), 6);
+  for (const auto& cell : plan.cells) {
+    EXPECT_NE(cell.spec.duration_s, 0.25)
+        << "plan cells must keep the unmodified spec";
+  }
+}
+
+// ---- reduced vs fluid triage on the real BBRv1 loss knee ------------------
+
+TEST(AdaptiveSweep, ReducedAndFluidTriageAgreeOnTheLossKnee) {
+  // BBRv1's loss knee sits at ~1–1.5 BDP: below it the shallow-buffer
+  // equilibrium loses (N−1)/(5N) of capacity, above it loss vanishes
+  // (Theorems 1 & 3). Both the closed-form triage and a short fluid
+  // triage must steer refinement into the knee interval and leave the
+  // deep-buffer plateau alone.
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {0.25, 1.75, 3.25};
+  grid.flow_counts = {2};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+
+  scenario::ExperimentSpec base;
+  base.capacity_pps = mbps_to_pps(20.0);
+  base.duration_s = 1.0;
+  base.fluid.step_s = 200e-6;
+
+  RefinementPolicy policy;
+  policy.metrics = {RefineMetric::kLoss};
+  policy.threshold = 0.02;
+  policy.max_depth = 1;
+
+  const auto refined_buffers = [&](const sweep::Runner& triage) {
+    GridRefiner refiner(grid, base, policy);
+    refiner.set_triage(triage);
+    std::vector<double> refined;
+    for (const auto& cell : refiner.plan().cells) {
+      if (cell.depth > 0) refined.push_back(cell.buffer_bdp);
+    }
+    return refined;
+  };
+
+  const auto via_reduced = refined_buffers(sweep::reduced_runner());
+  const auto via_fluid = refined_buffers(sweep::fluid_runner());
+  ASSERT_FALSE(via_reduced.empty());
+  ASSERT_FALSE(via_fluid.empty());
+  EXPECT_EQ(via_reduced, via_fluid)
+      << "both triages must flag exactly the knee interval";
+  for (const double b : via_reduced) {
+    EXPECT_GT(b, 0.25);
+    EXPECT_LT(b, 1.75) << "refinement must stay inside the knee interval";
+  }
+}
+
+}  // namespace
+}  // namespace bbrmodel::adaptive

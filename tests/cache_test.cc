@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -57,6 +58,7 @@ scenario::ExperimentSpec nondefault_spec() {
   spec.min_rtt_s = 0.021;
   spec.max_rtt_s = 0.055;
   spec.buffer_bdp = 3.5;
+  spec.flow_rtts_s = {0.021, 0.025, 0.032, 0.040, 0.048, 0.055};
   spec.discipline = net::Discipline::kRed;
   spec.duration_s = 2.25;
   spec.seed = 0xfeedfacecafeULL;
@@ -108,6 +110,23 @@ TEST(SpecCodec, AnySemanticChangeChangesTheBytes) {
   changed = base;
   changed.mix.flows.back() = scenario::CcaKind::kReno;
   EXPECT_NE(scenario::canonical_spec_string(changed), reference);
+
+  changed = base;
+  changed.flow_rtts_s[0] += 1e-9;
+  EXPECT_NE(scenario::canonical_spec_string(changed), reference)
+      << "per-flow RTT vectors are simulation-relevant";
+
+  changed = base;
+  changed.flow_rtts_s.clear();
+  EXPECT_NE(scenario::canonical_spec_string(changed), reference);
+}
+
+TEST(SpecCodec, EmptyFlowRttsRoundTrip) {
+  auto spec = nondefault_spec();
+  spec.flow_rtts_s.clear();
+  const auto parsed =
+      scenario::parse_canonical_spec(scenario::canonical_spec_string(spec));
+  EXPECT_TRUE(parsed.flow_rtts_s.empty());
 }
 
 TEST(SpecCodec, RejectsMalformedInput) {
@@ -321,6 +340,61 @@ TEST(CellCache, UnnamedRunnersAndCustomInitsBypassTheCache) {
   run_tasks(init_tasks, options);
   EXPECT_EQ(calls.load(), 2u);
   EXPECT_EQ(cache.hits() + cache.misses() + cache.stores(), 0u);
+}
+
+TEST(CellCache, StatsCountFinishedCellsOnly) {
+  const std::string dir = scratch_dir("cellcache_stats");
+  CellCache cache(dir);
+  EXPECT_EQ(cache.stats().cells, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+
+  metrics::AggregateMetrics m;
+  m.mean_rate_pps = {1.0, 2.0};
+  cache.store("cell-a", m);
+  cache.store("cell-b", m);
+  // In-flight temp files and unrelated files must not count.
+  std::ofstream(std::filesystem::path(dir) / "cell-c.cell.tmp.123")
+      << "partial";
+  std::ofstream(std::filesystem::path(dir) / "README") << "notes";
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.cells, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CellCache, GcEvictsOldestMtimeFirst) {
+  const std::string dir = scratch_dir("cellcache_gc");
+  CellCache cache(dir);
+  metrics::AggregateMetrics m;
+  m.mean_rate_pps = {1.0, 2.0, 3.0};
+  const std::vector<std::string> keys = {"cell-w", "cell-x", "cell-y",
+                                         "cell-z"};
+  for (const auto& key : keys) cache.store(key, m);
+
+  // Stagger modification times explicitly (store order is not a clock):
+  // w oldest … z newest.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::filesystem::last_write_time(
+        std::filesystem::path(dir) / (keys[i] + ".cell"),
+        now - std::chrono::hours(24 * (keys.size() - i)));
+  }
+
+  const auto per_cell = cache.stats().bytes / keys.size();
+  const auto result = cache.gc(/*max_bytes=*/2 * per_cell);
+  EXPECT_EQ(result.evicted_cells, 2u);
+  EXPECT_EQ(result.kept_cells, 2u);
+  EXPECT_LE(result.kept_bytes, 2 * per_cell);
+  EXPECT_FALSE(cache.load("cell-w").has_value()) << "oldest must go first";
+  EXPECT_FALSE(cache.load("cell-x").has_value());
+  EXPECT_TRUE(cache.load("cell-y").has_value());
+  EXPECT_TRUE(cache.load("cell-z").has_value());
+
+  // A roomy budget is a no-op; zero clears the store.
+  EXPECT_EQ(cache.gc(1 << 30).evicted_cells, 0u);
+  const auto cleared = cache.gc(0);
+  EXPECT_EQ(cleared.evicted_cells, 2u);
+  EXPECT_EQ(cache.stats().cells, 0u);
 }
 
 TEST(Merge, RejectsIncompleteOrDuplicatedUnions) {

@@ -135,6 +135,69 @@ TEST(ParameterGrid, ExpandResolvesEveryCombinationInOrder) {
   EXPECT_EQ(tasks[0].at.buffer, tasks[1].at.buffer);
 }
 
+TEST(RttDist, QuantileSamplingIsDeterministicAndBounded) {
+  EXPECT_TRUE(rtt_samples({0.030, 0.040, RttDist::kUniform}, 8).empty())
+      << "uniform keeps the legacy linear spread (no explicit vector)";
+
+  const RttRange pareto{0.020, 0.100, RttDist::kPareto};
+  const auto a = rtt_samples(pareto, 8);
+  const auto b = rtt_samples(pareto, 8);
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a, b) << "samples are a pure function of (range, n)";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], pareto.min_s);
+    EXPECT_LE(a[i], pareto.max_s);
+    if (i > 0) {
+      EXPECT_GE(a[i], a[i - 1]) << "quantiles are sorted";
+    }
+  }
+  EXPECT_GT(a.back(), a.front()) << "the tail must actually spread";
+  // Heavy tail: the median sits well below the midpoint of the range.
+  EXPECT_LT(a[4], (pareto.min_s + pareto.max_s) / 2.0);
+
+  const auto bimodal = rtt_samples({0.010, 0.050, RttDist::kBimodal}, 6);
+  ASSERT_EQ(bimodal.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(bimodal[i], 0.010);
+    EXPECT_DOUBLE_EQ(bimodal[i + 3], 0.050);
+  }
+}
+
+TEST(RttDist, ExpandFillsPerFlowRttVectors) {
+  ParameterGrid grid = tiny_grid();
+  grid.rtt_ranges = {{0.030, 0.040, RttDist::kUniform},
+                     {0.030, 0.090, RttDist::kPareto}};
+  grid.flow_counts = {4};
+  const auto tasks = grid.expand(tiny_base(), 42);
+  for (const auto& task : tasks) {
+    if (task.at.rtt == 0) {
+      EXPECT_TRUE(task.spec.flow_rtts_s.empty());
+    } else {
+      ASSERT_EQ(task.spec.flow_rtts_s.size(), 4u);
+      EXPECT_EQ(task.spec.flow_rtts_s,
+                rtt_samples(grid.rtt_ranges[1], 4));
+    }
+  }
+}
+
+TEST(RttDist, ScenarioBuildersHonorPerFlowRtts) {
+  scenario::ExperimentSpec spec = tiny_base();
+  spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv1, 3);
+  spec.flow_rtts_s = {0.030, 0.045, 0.080};
+  const auto fluid = scenario::build_fluid(spec);
+  const auto& topology = fluid.sim->topology();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(topology.path_delays(i).rtt_prop_s, spec.flow_rtts_s[i],
+                1e-12)
+        << "flow " << i << " must get exactly its assigned RTT";
+  }
+
+  spec.flow_rtts_s = {0.030, 0.045};  // one entry short
+  EXPECT_THROW(scenario::build_fluid(spec), PreconditionError);
+  spec.flow_rtts_s = {0.030, 0.045, 0.005};  // below 2x bottleneck delay
+  EXPECT_THROW(scenario::build_fluid(spec), PreconditionError);
+}
+
 TEST(ParameterGrid, MixSpecLabelsMatchScenarioMixes) {
   const auto specs = paper_mix_specs();
   const auto mixes = scenario::paper_mixes(10);

@@ -9,25 +9,35 @@
 //
 // Sweeps shard across processes (--shard k/n; `bbrsweep merge` reassembles
 // the byte-identical full run) and memoize finished cells in a
-// content-addressed on-disk cache (--cache-dir), so repeated cells across
-// figures and re-runs cost nothing.
+// content-addressed on-disk cache (--cache-dir, with `bbrsweep cache
+// stats|gc` for maintenance). --adaptive treats the grid as a coarse pass:
+// a cheap triage runner scores it, only high-variation regions subdivide,
+// and the refined cell set runs the expensive simulations (`bbrsweep plan`
+// prints that cell set without simulating).
 //
 //   bbrsweep --csv sweep.csv --json sweep.json --threads 8
 //   bbrsweep --mixes bbrv1,bbrv1/reno --buffers 1,4,7 --backends packet
 //   bbrsweep --shard 0/2 --csv shard0.csv --cache-dir /tmp/cells
 //   bbrsweep merge --csv full.csv shard0.csv shard1.csv
+//   bbrsweep --adaptive --backends fluid --mixes bbrv1 --buffers 1,3,5,7
+//   bbrsweep plan --backends reduced --mixes bbrv1 --refine-depth 2
+//   bbrsweep cache gc --max-bytes 512M --cache-dir /tmp/cells
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "adaptive/policy.h"
+#include "adaptive/refiner.h"
 #include "common/units.h"
 #include "sweep/cell_cache.h"
 #include "sweep/merge.h"
@@ -41,7 +51,9 @@ using namespace bbrmodel;
 constexpr const char* kUsage = R"(bbrsweep — parallel BBR scenario sweeps
 
 Usage: bbrsweep [options]
+       bbrsweep plan [options]
        bbrsweep merge (--csv OUT | --json OUT) FILE...
+       bbrsweep cache (stats | gc --max-bytes N[K|M|G]) [--cache-dir DIR]
 
 Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
   --mixes LIST        CCA mixes: homogeneous (bbrv1, bbrv2, cubic, reno)
@@ -51,6 +63,9 @@ Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
   --buffers LIST      bottleneck buffers in BDP (default 1,2,3,4,5,6,7)
   --flows LIST        flow counts N (default 10)
   --rtts LIST         RTT spreads as min:max in ms (default 30:40)
+  --rtt-dist NAME     per-flow RTT distribution across each spread:
+                      uniform (linear spacing), pareto (heavy tail),
+                      bimodal (half at min, half at max)
   --disciplines LIST  droptail, red (default both)
   --backends LIST     fluid, packet, reduced (default fluid,packet;
                       reduced = instant closed-form §5 predictions for
@@ -61,12 +76,33 @@ Scenario constants:
   --duration S        simulated seconds per experiment (default 5)
   --step US           fluid solver step in microseconds (default 50)
 
+Adaptive refinement (--adaptive, and the `plan` subcommand):
+  --adaptive          triage the grid with a cheap runner, subdivide only
+                      the regions where the refine metrics vary, then run
+                      the expensive simulations on the refined cells only
+  --triage NAME       triage runner: reduced (default; closed-form §5),
+                      fluid, packet, backend
+  --triage-duration S simulated seconds for triage runs only (0 = same as
+                      --duration); cheapens a fluid/packet triage
+  --refine-metric LIST  metrics scored for neighborhood variation: jain,
+                      loss, occupancy, utilization, jitter, aux0
+                      (default jain,loss,utilization,occupancy)
+  --refine-threshold X  normalized variation at or above which an interval
+                      subdivides (default 0.05)
+  --refine-depth N    refinement rounds after the coarse pass (default 3)
+  --refine-budget N   total cell budget incl. the coarse pass (default
+                      4096; never clamps below the coarse grid)
+
+  `bbrsweep plan` runs only the triage rounds and prints the refined cell
+  set as CSV (deterministic bytes) — inspect what --adaptive would run.
+
 Execution:
   --threads N         worker threads; 0 = hardware concurrency (default 0)
   --seed S            base seed; per-task seeds derive from it (default 42)
   --shard K/N         run only tasks with index ≡ K (mod N); the union of
                       all N shards' outputs merges byte-identically into
-                      the unsharded run (see `bbrsweep merge`)
+                      the unsharded run (adaptive sweeps shard the refined
+                      cell set; every shard plans the full grid first)
   --cache-dir DIR     memoize finished cells in DIR (content-addressed);
                       warm cells skip simulation entirely
   --timeout S         per-task attempt budget in seconds (0 = off);
@@ -85,11 +121,32 @@ instead of aborting the sweep; the exit code is 3 if any task failed.
 merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
 flag) into the byte-identical unsharded file, verifying the union covers
 every task exactly once.
+
+cache: maintain a --cache-dir store (defaults to $BBRM_SWEEP_CACHE).
+`stats` prints cell count and bytes; `gc --max-bytes N[K|M|G]` evicts
+oldest-modified cells first until the store fits — evicted cells are
+simply recomputed on next use.
 )";
 
 [[noreturn]] void fail(const std::string& message) {
   std::fprintf(stderr, "bbrsweep: %s (try --help)\n", message.c_str());
   std::exit(2);
+}
+
+/// Resolve `name` against the valid choices of one flag, failing with a
+/// one-line error that lists them (never fall back to a default
+/// silently).
+template <typename T>
+T parse_choice(const std::string& what,
+               const std::vector<std::pair<std::string, T>>& choices,
+               const std::string& name) {
+  std::string valid;
+  for (const auto& choice : choices) {
+    if (name == choice.first) return choice.second;
+    if (!valid.empty()) valid += ", ";
+    valid += choice.first;
+  }
+  fail("unknown " + what + " '" + name + "' (valid: " + valid + ")");
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -124,12 +181,40 @@ std::uint64_t parse_count(const std::string& text, const std::string& what) {
   return v;
 }
 
+/// Byte counts with an optional binary suffix: "1024", "512M", "2G".
+std::uintmax_t parse_bytes(const std::string& text, const std::string& what) {
+  std::string digits = text;
+  std::uintmax_t unit = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'K':
+      case 'k':
+        unit = 1024ull;
+        break;
+      case 'M':
+      case 'm':
+        unit = 1024ull * 1024;
+        break;
+      case 'G':
+      case 'g':
+        unit = 1024ull * 1024 * 1024;
+        break;
+      default:
+        break;
+    }
+    if (unit != 1) digits.pop_back();
+  }
+  return parse_count(digits, what) * unit;
+}
+
 scenario::CcaKind parse_cca(const std::string& name) {
-  if (name == "bbrv1") return scenario::CcaKind::kBbrv1;
-  if (name == "bbrv2") return scenario::CcaKind::kBbrv2;
-  if (name == "cubic") return scenario::CcaKind::kCubic;
-  if (name == "reno") return scenario::CcaKind::kReno;
-  fail("unknown CCA: " + name);
+  return parse_choice<scenario::CcaKind>(
+      "CCA",
+      {{"bbrv1", scenario::CcaKind::kBbrv1},
+       {"bbrv2", scenario::CcaKind::kBbrv2},
+       {"cubic", scenario::CcaKind::kCubic},
+       {"reno", scenario::CcaKind::kReno}},
+      name);
 }
 
 sweep::MixSpec parse_mix(const std::string& token) {
@@ -142,16 +227,47 @@ sweep::MixSpec parse_mix(const std::string& token) {
 }
 
 net::Discipline parse_discipline(const std::string& name) {
-  if (name == "droptail") return net::Discipline::kDropTail;
-  if (name == "red") return net::Discipline::kRed;
-  fail("unknown discipline (droptail|red): " + name);
+  return parse_choice<net::Discipline>(
+      "discipline",
+      {{"droptail", net::Discipline::kDropTail},
+       {"red", net::Discipline::kRed}},
+      name);
 }
 
 sweep::Backend parse_backend(const std::string& name) {
-  if (name == "fluid") return sweep::Backend::kFluid;
-  if (name == "packet") return sweep::Backend::kPacket;
-  if (name == "reduced") return sweep::Backend::kReduced;
-  fail("unknown backend (fluid|packet|reduced): " + name);
+  return parse_choice<sweep::Backend>(
+      "backend",
+      {{"fluid", sweep::Backend::kFluid},
+       {"packet", sweep::Backend::kPacket},
+       {"reduced", sweep::Backend::kReduced}},
+      name);
+}
+
+sweep::RttDist parse_rtt_dist(const std::string& name) {
+  return parse_choice<sweep::RttDist>(
+      "RTT distribution",
+      {{"uniform", sweep::RttDist::kUniform},
+       {"pareto", sweep::RttDist::kPareto},
+       {"bimodal", sweep::RttDist::kBimodal}},
+      name);
+}
+
+adaptive::RefineMetric parse_metric(const std::string& name) {
+  std::vector<std::pair<std::string, adaptive::RefineMetric>> choices;
+  for (const auto metric : adaptive::all_refine_metrics()) {
+    choices.emplace_back(adaptive::to_string(metric), metric);
+  }
+  return parse_choice<adaptive::RefineMetric>("refine metric", choices, name);
+}
+
+sweep::Runner parse_triage(const std::string& name) {
+  return parse_choice<sweep::Runner>(
+      "triage runner",
+      {{"reduced", sweep::reduced_runner()},
+       {"fluid", sweep::fluid_runner()},
+       {"packet", sweep::packet_runner()},
+       {"backend", sweep::backend_runner()}},
+      name);
 }
 
 sweep::ShardSpec parse_shard(const std::string& token) {
@@ -182,21 +298,25 @@ struct Options {
   sweep::ParameterGrid grid;
   scenario::ExperimentSpec base;
   sweep::SweepOptions run;
+  adaptive::RefinementPolicy policy;
+  bool adaptive = false;
+  double triage_duration_s = 0.0;
   std::optional<std::string> cache_dir;
   std::optional<std::string> csv_path = "-";
   std::optional<std::string> json_path;
   bool quiet = false;
 };
 
-Options parse_args(int argc, char** argv) {
+Options parse_args(int argc, char** argv, int first) {
   Options opt;
   opt.base.capacity_pps = mbps_to_pps(100.0);
+  std::optional<sweep::RttDist> rtt_dist;
 
   const auto next = [&](int& i) -> std::string {
     if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") {
       std::fputs(kUsage, stdout);
@@ -218,6 +338,8 @@ Options parse_args(int argc, char** argv) {
       opt.grid.rtt_ranges.clear();
       for (const auto& token : split(next(i), ','))
         opt.grid.rtt_ranges.push_back(parse_rtt(token));
+    } else if (arg == "--rtt-dist") {
+      rtt_dist = parse_rtt_dist(next(i));
     } else if (arg == "--disciplines") {
       opt.grid.disciplines.clear();
       for (const auto& token : split(next(i), ','))
@@ -232,6 +354,24 @@ Options parse_args(int argc, char** argv) {
       opt.base.duration_s = parse_double(next(i), "duration");
     } else if (arg == "--step") {
       opt.base.fluid.step_s = parse_double(next(i), "step") * 1e-6;
+    } else if (arg == "--adaptive") {
+      opt.adaptive = true;
+    } else if (arg == "--triage") {
+      opt.run.triage = parse_triage(next(i));
+    } else if (arg == "--triage-duration") {
+      opt.triage_duration_s = parse_double(next(i), "triage duration");
+    } else if (arg == "--refine-metric") {
+      opt.policy.metrics.clear();
+      for (const auto& token : split(next(i), ','))
+        opt.policy.metrics.push_back(parse_metric(token));
+    } else if (arg == "--refine-threshold") {
+      opt.policy.threshold = parse_double(next(i), "refine threshold");
+    } else if (arg == "--refine-depth") {
+      opt.policy.max_depth =
+          static_cast<std::size_t>(parse_count(next(i), "refine depth"));
+    } else if (arg == "--refine-budget") {
+      opt.policy.max_cells =
+          static_cast<std::size_t>(parse_count(next(i), "refine budget"));
     } else if (arg == "--threads") {
       opt.run.threads =
           static_cast<std::size_t>(parse_count(next(i), "threads"));
@@ -255,6 +395,9 @@ Options parse_args(int argc, char** argv) {
     } else {
       fail("unknown option: " + arg);
     }
+  }
+  if (rtt_dist.has_value()) {
+    for (auto& range : opt.grid.rtt_ranges) range.dist = *rtt_dist;
   }
   if (opt.grid.cardinality() == 0) fail("the grid is empty");
   return opt;
@@ -326,13 +469,125 @@ int run_merge(int argc, char** argv) {
   return 0;
 }
 
+/// `bbrsweep cache (stats | gc --max-bytes N) [--cache-dir DIR]`
+int run_cache(int argc, char** argv) {
+  enum class Verb { kStats, kGc };
+  if (argc < 3) fail("cache needs a command (valid: stats, gc)");
+  const Verb verb = parse_choice<Verb>(
+      "cache command", {{"stats", Verb::kStats}, {"gc", Verb::kGc}},
+      argv[2]);
+
+  std::optional<std::string> dir;
+  std::optional<std::uintmax_t> max_bytes;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-dir") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      dir = argv[++i];
+    } else if (arg == "--max-bytes") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      max_bytes = parse_bytes(argv[++i], "max-bytes");
+    } else if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      fail("unknown cache option: " + arg);
+    }
+  }
+  if (!dir) {
+    const char* env = std::getenv("BBRM_SWEEP_CACHE");
+    if (env != nullptr && env[0] != '\0') dir = env;
+  }
+  if (!dir) fail("cache needs --cache-dir DIR (or $BBRM_SWEEP_CACHE)");
+  // A maintenance command must not fabricate an empty store out of a
+  // mistyped path (the CellCache constructor creates its directory).
+  if (!std::filesystem::is_directory(*dir)) {
+    fail("no such cache directory: " + *dir);
+  }
+
+  const sweep::CellCache cache(*dir);
+  if (verb == Verb::kStats) {
+    const auto stats = cache.stats();
+    std::printf("cells %zu\nbytes %ju\ndir %s\n", stats.cells,
+                static_cast<std::uintmax_t>(stats.bytes),
+                cache.dir().c_str());
+    return 0;
+  }
+  if (!max_bytes) fail("cache gc needs --max-bytes N[K|M|G]");
+  const auto result = cache.gc(*max_bytes);
+  std::printf("evicted %zu cell(s), %ju byte(s)\nkept %zu cell(s), %ju "
+              "byte(s)\n",
+              result.evicted_cells,
+              static_cast<std::uintmax_t>(result.evicted_bytes),
+              result.kept_cells,
+              static_cast<std::uintmax_t>(result.kept_bytes));
+  return 0;
+}
+
+adaptive::GridRefiner make_refiner(const Options& opt) {
+  adaptive::GridRefiner refiner(opt.grid, opt.base, opt.policy);
+  if (opt.run.triage) refiner.set_triage(opt.run.triage);
+  if (opt.triage_duration_s > 0.0) {
+    refiner.set_triage_transform(
+        [duration = opt.triage_duration_s](scenario::ExperimentSpec& spec) {
+          spec.duration_s = duration;
+        });
+  }
+  return refiner;
+}
+
+void report_plan(const adaptive::RefinementPlan& plan) {
+  std::fprintf(stderr,
+               "bbrsweep: plan has %zu cell(s): %zu coarse + %zu refined "
+               "over %zu round(s)%s\n",
+               plan.cells.size(), plan.coarse_cells,
+               plan.cells.size() - plan.coarse_cells, plan.rounds,
+               plan.dropped_cells > 0 ? " (budget clipped)" : "");
+  if (plan.triage_failures > 0) {
+    std::fprintf(stderr,
+                 "bbrsweep: %zu triage cell(s) failed; their neighborhoods "
+                 "were not refined (mixed-CCA grids need --triage fluid)\n",
+                 plan.triage_failures);
+  }
+}
+
+/// `bbrsweep plan [options]`: triage + refine, print the cell set, no
+/// fine simulations.
+int run_plan(int argc, char** argv) {
+  Options opt = parse_args(argc, argv, /*first=*/2);
+  std::unique_ptr<sweep::CellCache> cache;
+  if (opt.cache_dir) {
+    cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
+    opt.run.cache = cache.get();
+  }
+  if (!opt.quiet) {
+    opt.run.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rbbrsweep: %zu/%zu triage cells", done, total);
+      if (done == total) std::fputc('\n', stderr);
+    };
+  }
+
+  const auto plan = make_refiner(opt).plan(opt.run);
+  std::ostringstream csv;
+  plan.write_csv(csv);
+  write_text(csv.str(), opt.csv_path.value_or("-"));
+  if (!opt.quiet) report_plan(plan);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
     return run_merge(argc, argv);
   }
-  Options opt = parse_args(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "cache") == 0) {
+    return run_cache(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "plan") == 0) {
+    return run_plan(argc, argv);
+  }
+  Options opt = parse_args(argc, argv, /*first=*/1);
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
     cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
@@ -345,21 +600,33 @@ int main(int argc, char** argv) try {
       if (done == total) std::fputc('\n', stderr);
     };
     const std::size_t total = opt.grid.cardinality();
-    const std::size_t mine =
-        total / opt.run.shard.count +
-        (opt.run.shard.index < total % opt.run.shard.count ? 1 : 0);
-    std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads",
-                 mine,
-                 opt.run.threads ? opt.run.threads
-                                 : sweep::ThreadPool::hardware_threads());
-    if (opt.run.shard.count > 1) {
-      std::fprintf(stderr, " (shard %zu/%zu of %zu)", opt.run.shard.index,
-                   opt.run.shard.count, total);
+    if (opt.adaptive) {
+      std::fprintf(stderr,
+                   "bbrsweep: adaptive sweep over a %zu-cell coarse grid "
+                   "(depth %zu, budget %zu)\n",
+                   total, opt.policy.max_depth, opt.policy.max_cells);
+    } else {
+      const std::size_t mine =
+          total / opt.run.shard.count +
+          (opt.run.shard.index < total % opt.run.shard.count ? 1 : 0);
+      std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads",
+                   mine,
+                   opt.run.threads ? opt.run.threads
+                                   : sweep::ThreadPool::hardware_threads());
+      if (opt.run.shard.count > 1) {
+        std::fprintf(stderr, " (shard %zu/%zu of %zu)", opt.run.shard.index,
+                     opt.run.shard.count, total);
+      }
+      std::fputc('\n', stderr);
     }
-    std::fputc('\n', stderr);
   }
 
-  const auto result = sweep::run_sweep(opt.grid, opt.base, opt.run);
+  sweep::SweepResult result = [&] {
+    if (!opt.adaptive) return sweep::run_sweep(opt.grid, opt.base, opt.run);
+    const auto plan = make_refiner(opt).plan(opt.run);
+    if (!opt.quiet) report_plan(plan);
+    return adaptive::run_plan_tasks(plan, opt.run);
+  }();
 
   if (opt.csv_path) write_output(result, *opt.csv_path, /*json=*/false);
   if (opt.json_path) write_output(result, *opt.json_path, /*json=*/true);
