@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "orchestrator/execution_plan.h"
 
 int main() {
   using namespace bbrmodel;
@@ -55,7 +56,9 @@ int main() {
     tasks.push_back(
         sweep::make_task(tasks.size(), sweep::Backend::kPacket, spec, 42));
   }
-  const auto result5 = sweep::run_tasks(tasks, bench_sweep_options(42));
+  const auto result5 = orchestrator::execute(
+      orchestrator::ExecutionPlan::from_tasks(std::move(tasks)),
+      bench_sweep_options(42));
 
   Table t5({"buffer[BDP]", "model occ[%] clean", "model occ[%] distorted",
             "model q[BDP] distorted", "experiment occ[%]",
@@ -96,7 +99,9 @@ int main() {
           sweep::make_task(tasks6.size(), sweep::Backend::kPacket, spec, 42));
     }
   }
-  const auto result6 = sweep::run_tasks(tasks6, bench_sweep_options(42));
+  const auto result6 = orchestrator::execute(
+      orchestrator::ExecutionPlan::from_tasks(std::move(tasks6)),
+      bench_sweep_options(42));
 
   auto share_of_first_half = [](const metrics::AggregateMetrics& m) {
     double first = 0.0, total = 0.0;

@@ -7,16 +7,14 @@
 // AIMD CCAs (multiplied loss probability, larger RTT), while BBR's
 // rate-based probing degrades much more slowly.
 //
-// The (hops × CCA × simulator) grid runs through the sweep engine. Every
-// coordinate lives in the spec — the hop count rides the flow-count axis
-// (mix.flows.size() = hops), cross-flow RTTs ride flow_rtts_s — so the
-// bench runner is a pure function of (spec, backend): named, cacheable,
-// and usable as both the triage and the fine runner of an adaptive
-// refinement. A second, adaptive section sweeps a denser hop axis under a
-// Pareto cross-flow RTT distribution (--rtt-dist machinery) and refines
-// only where the long flow's share moves.
+// The workload itself lives in the library now (sweep/workloads.h): the
+// task's mix assigns flow 0 to the long flow and flow 1+h to the cross
+// flow of hop h, so the hop count rides the flow-count axis (hops =
+// flows − 1) and per-hop cross CCAs ride the mix axis. Everything here
+// flows through the orchestrator's ExecutionPlan spine — the same cells
+// could equally be drained by `bbrsweep --workload parking-lot` or a
+// distributed worker fleet.
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <map>
 #include <utility>
@@ -24,116 +22,36 @@
 
 #include "adaptive/refiner.h"
 #include "bench_util.h"
-#include "common/stats.h"
 #include "common/table.h"
 #include "common/units.h"
-#include "core/engine.h"
-#include "net/topology.h"
-#include "packetsim/multihop.h"
+#include "orchestrator/execution_plan.h"
+#include "sweep/workloads.h"
 
 namespace {
 
 using namespace bbrmodel;
 
-constexpr double kHopDelay = 0.005;     // one-way, per hop
-constexpr double kAccessDelay = 0.005;  // long flow / default cross access
-
-/// Long-flow rate over the mean cross rate of one finished cell.
-double long_over_cross(const metrics::AggregateMetrics& m) {
-  RunningStats cross;
-  for (std::size_t i = 1; i < m.mean_rate_pps.size(); ++i) {
-    cross.add(m.mean_rate_pps[i]);
-  }
-  return m.mean_rate_pps.at(0) / std::max(1.0, cross.mean());
-}
-
-/// One-way access delays of the cross flows: flow_rtts_s entries are total
-/// RTTs (2·(access + hop)), the default spread means "same as the long
-/// flow".
-std::vector<double> cross_access_delays(const scenario::ExperimentSpec& spec,
-                                        std::size_t hops) {
-  std::vector<double> delays(hops, kAccessDelay);
-  if (!spec.flow_rtts_s.empty()) {
-    for (std::size_t h = 0; h < hops && h < spec.flow_rtts_s.size(); ++h) {
-      delays[h] =
-          std::max(0.0005, spec.flow_rtts_s[h] / 2.0 - kHopDelay);
-    }
-  }
-  return delays;
-}
-
-/// Parking-lot runner: hop count = mix.flows.size(), long-flow CCA = the
-/// mix kind, cross flows are Reno, per-cross access delays from
-/// flow_rtts_s. A pure function of (spec, backend) — named so cells cache,
-/// and aux carries the long/cross share for table re-binning and adaptive
-/// scoring.
-sweep::Runner parking_lot_runner() {
-  return {"parking-lot", [](const sweep::SweepTask& task) {
-            const std::size_t hops = task.spec.mix.flows.size();
-            const auto kind = task.spec.mix.flows.front();
-            const double cap_pps = task.spec.capacity_pps;
-            const double t_end = task.spec.duration_s;
-            const auto access = cross_access_delays(task.spec, hops);
-            metrics::AggregateMetrics m;
-
-            if (task.backend == sweep::Backend::kFluid) {
-              net::ParkingLotSpec spec;
-              spec.num_hops = hops;
-              spec.cross_flows_per_hop = 1;
-              spec.hop_capacity_pps = cap_pps;
-              spec.hop_delay_s = kHopDelay;
-              spec.access_delay_s = kAccessDelay;
-              spec.cross_access_delays_s = access;
-              const auto lot = net::make_parking_lot(spec);
-              std::vector<std::unique_ptr<core::FluidCca>> agents;
-              agents.push_back(scenario::make_fluid_cca(kind));
-              for (std::size_t a = 1; a < lot.topology.num_agents(); ++a) {
-                agents.push_back(
-                    scenario::make_fluid_cca(scenario::CcaKind::kReno));
-              }
-              core::FluidSimulation sim(lot.topology, std::move(agents), {});
-              sim.run(t_end);
-              for (std::size_t a = 0; a < lot.topology.num_agents(); ++a) {
-                m.mean_rate_pps.push_back(sim.sent_pkts(a) / t_end);
-              }
-            } else {
-              packetsim::MultiHopNet net(task.spec.seed);
-              std::vector<std::size_t> chain;
-              for (std::size_t h = 0; h < hops; ++h) {
-                chain.push_back(net.add_link(cap_pps, kHopDelay, 260.0,
-                                             packetsim::AqmKind::kDropTail));
-              }
-              net.add_flow(kAccessDelay, chain,
-                           scenario::make_packet_cca(kind,
-                                                     task.spec.seed + 500));
-              for (std::size_t h = 0; h < hops; ++h) {
-                net.add_flow(
-                    access[h], {chain[h]},
-                    scenario::make_packet_cca(scenario::CcaKind::kReno,
-                                              task.spec.seed + 600 + h));
-              }
-              net.run(t_end);
-              m.mean_rate_pps = net.mean_rates_pps();
-            }
-            m.aux = {long_over_cross(m)};
-            return m;
-          }};
-}
-
-/// Hop-count grid: hops ride the flow-count axis; everything else is a
-/// single value.
-sweep::ParameterGrid hop_grid(std::vector<std::size_t> hop_counts,
-                              scenario::CcaKind kind,
+/// Hop-count grid: hops + 1 rides the flow-count axis; everything else is
+/// a single value.
+sweep::ParameterGrid hop_grid(const std::vector<std::size_t>& hop_counts,
+                              sweep::MixSpec mix,
                               sweep::RttRange cross_rtts,
                               std::vector<sweep::Backend> backends) {
   sweep::ParameterGrid grid;
   grid.backends = std::move(backends);
   grid.disciplines = {net::Discipline::kDropTail};
   grid.buffers_bdp = {1.0};
-  grid.flow_counts = std::move(hop_counts);
+  grid.flow_counts.clear();  // the default {10} is not a hop count
+  for (const std::size_t hops : hop_counts) {
+    grid.flow_counts.push_back(hops + 1);
+  }
   grid.rtt_ranges = {cross_rtts};
-  grid.mixes = {sweep::homogeneous_mix(kind)};
+  grid.mixes = {std::move(mix)};
   return grid;
+}
+
+std::size_t hops_of(const sweep::TaskResult& row) {
+  return row.task.spec.mix.flows.size() - 1;
 }
 
 }  // namespace
@@ -151,27 +69,30 @@ int main() {
   scenario::ExperimentSpec base;
   base.capacity_pps = cap;
   base.duration_s = duration;
-  // The default spread: every cross flow shares the long flow's access
-  // delay (uniform leaves flow_rtts_s empty).
-  const sweep::RttRange same_rtt{2.0 * (kAccessDelay + kHopDelay),
-                                 2.0 * (kAccessDelay + kHopDelay),
-                                 sweep::RttDist::kUniform};
+  // The default spread: every flow keeps the default access delay
+  // (uniform leaves flow_rtts_s empty).
+  const double same =
+      2.0 * (sweep::kParkingLotAccessDelay + sweep::kParkingLotHopDelay);
+  const sweep::RttRange same_rtt{same, same, sweep::RttDist::kUniform};
 
   // ---- Figure table: long-flow share vs hop count, per CCA ---------------
   sweep::SweepOptions options = bench_sweep_options(23);
-  options.runner = parking_lot_runner();
+  options.runner = sweep::parking_lot_runner();
 
-  // (kind, hops, backend) → share; one grid per CCA keeps the mix axis
-  // homogeneous (the runner reads the long flow's CCA from it).
+  // One grid per long-flow CCA (crosses stay Reno, the paper's baseline).
   std::map<std::pair<std::size_t, std::size_t>, std::pair<double, double>>
       shares;  // (kind, hops) → (model, experiment)
   for (std::size_t k = 0; k < kinds.size(); ++k) {
-    const auto result = sweep::run_sweep(
-        hop_grid(hop_counts, kinds[k], same_rtt,
-                 {sweep::Backend::kFluid, sweep::Backend::kPacket}),
-        base, options);
+    const auto result = orchestrator::execute(
+        orchestrator::ExecutionPlan::dense(
+            hop_grid(hop_counts,
+                     sweep::leader_mix(kinds[k], scenario::CcaKind::kReno),
+                     same_rtt,
+                     {sweep::Backend::kFluid, sweep::Backend::kPacket}),
+            base, /*base_seed=*/23, "parking-lot"),
+        options);
     for (const auto& row : result.rows()) {
-      auto& cell = shares[{k, row.task.spec.mix.flows.size()}];
+      auto& cell = shares[{k, hops_of(row)}];
       (row.task.backend == sweep::Backend::kFluid ? cell.first
                                                   : cell.second) =
           row.metrics.aux.at(0);
@@ -191,6 +112,43 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  // ---- Cross-flow CCA-mix axis over wider hop counts ---------------------
+  // Per-hop CCA patterns (cyclic mixes) at 3–11 hops, fluid model: how does
+  // the long flow fare when the cross traffic is heterogeneous per hop?
+  {
+    const std::vector<std::size_t> wide_hops = {3, 7, 11};
+    const std::vector<sweep::MixSpec> mixes = {
+        sweep::leader_mix(scenario::CcaKind::kBbrv1,
+                          scenario::CcaKind::kReno),
+        sweep::cyclic_mix({scenario::CcaKind::kBbrv1,
+                           scenario::CcaKind::kCubic,
+                           scenario::CcaKind::kReno}),
+        sweep::cyclic_mix({scenario::CcaKind::kBbrv2,
+                           scenario::CcaKind::kCubic,
+                           scenario::CcaKind::kReno}),
+    };
+    scenario::ExperimentSpec mbase = base;
+    mbase.duration_s = fast_mode() ? 2.0 : 5.0;
+
+    sweep::ParameterGrid grid =
+        hop_grid(wide_hops, mixes[0], same_rtt, {sweep::Backend::kFluid});
+    grid.mixes = mixes;
+
+    const auto result = orchestrator::execute(
+        orchestrator::ExecutionPlan::dense(grid, mbase, 23, "parking-lot"),
+        options);
+
+    std::printf("%s", banner("Cross-flow CCA mixes per hop — long-flow "
+                             "share (fluid)").c_str());
+    Table mix_table({"hops", "mix (flow0=long, rest per hop)",
+                     "long/cross"});
+    for (const auto& row : result.rows()) {
+      mix_table.add_row({std::to_string(hops_of(row)), row.task.mix_label,
+                         format_double(row.metrics.aux.at(0), 2)});
+    }
+    std::printf("%s\n", mix_table.to_string().c_str());
+  }
+
   // ---- Adaptive hop sweep under Pareto cross RTTs ------------------------
   // Asymmetric cross traffic (heavy-tailed RTTs in 20–100 ms) over a
   // denser hop axis, fluid model. The refiner triages a 3-point coarse
@@ -201,13 +159,16 @@ int main() {
     const std::vector<std::size_t> dense_hops = {1, 2, 3, 4, 5, 6};
     scenario::ExperimentSpec abase = base;
     abase.duration_s = fast_mode() ? 3.0 : 6.0;
+    const auto reno_mix = sweep::homogeneous_mix(scenario::CcaKind::kReno);
 
     sweep::SweepOptions fine = bench_sweep_options(23);
-    fine.runner = parking_lot_runner();
-    const auto dense = sweep::run_sweep(
-        hop_grid(dense_hops, scenario::CcaKind::kReno, pareto_rtts,
-                 {sweep::Backend::kFluid}),
-        abase, fine);
+    fine.runner = sweep::parking_lot_runner();
+    const auto dense = orchestrator::execute(
+        orchestrator::ExecutionPlan::dense(
+            hop_grid(dense_hops, reno_mix, pareto_rtts,
+                     {sweep::Backend::kFluid}),
+            abase, 23, "parking-lot"),
+        fine);
 
     adaptive::RefinementPolicy policy;
     policy.metrics = {adaptive::RefineMetric::kAux0};  // long/cross share
@@ -215,21 +176,22 @@ int main() {
     policy.threshold = 0.10;  // refine where the share moves by > 0.1
     policy.max_depth = 2;
     adaptive::GridRefiner refiner(
-        hop_grid({1, 3, 6}, scenario::CcaKind::kReno, pareto_rtts,
-                 {sweep::Backend::kFluid}),
+        hop_grid({1, 3, 6}, reno_mix, pareto_rtts, {sweep::Backend::kFluid}),
         abase, policy);
-    refiner.set_triage(parking_lot_runner());
+    refiner.set_triage(sweep::parking_lot_runner());
     refiner.set_triage_transform([&](scenario::ExperimentSpec& spec) {
       spec.duration_s = fast_mode() ? 1.5 : 3.0;  // cheap triage runs
     });
     const auto plan = refiner.plan(bench_sweep_options(23));
-    const auto refined = sweep::run_tasks(plan.tasks(23), fine);
+    const auto refined = orchestrator::execute(
+        orchestrator::ExecutionPlan::from_refinement(plan, 23,
+                                                     "parking-lot"),
+        fine);
 
     const auto curve = [](const sweep::SweepResult& result) {
       std::vector<std::pair<std::size_t, double>> points;
       for (const auto& row : result.rows()) {
-        points.emplace_back(row.task.spec.mix.flows.size(),
-                            row.metrics.aux.at(0));
+        points.emplace_back(hops_of(row), row.metrics.aux.at(0));
       }
       std::sort(points.begin(), points.end());
       return points;
@@ -262,7 +224,8 @@ int main() {
         "loss points). The fluid model under-predicts BBR's multi-hop share "
         "— Eq. (17) models delivery through a single static bottleneck, a "
         "known limitation this extension exposes (paper §8). Heavy-tailed "
-        "cross RTTs leave the collapse shape intact; the adaptive refiner "
-        "resolves the collapse region without paying for the flat tail.");
+        "cross RTTs and per-hop CCA mixes leave the collapse shape intact; "
+        "the adaptive refiner resolves the collapse region without paying "
+        "for the flat tail.");
   return 0;
 }

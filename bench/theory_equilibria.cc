@@ -20,6 +20,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "linalg/matrix.h"
+#include "orchestrator/execution_plan.h"
 
 int main() {
   using namespace bbrmodel;
@@ -130,7 +131,9 @@ int main() {
                  p.converged ? 1.0 : 0.0};
         return m;
       }};
-  const auto probed = sweep::run_tasks(probes, probe_options);
+  const auto probed = orchestrator::execute(
+      orchestrator::ExecutionPlan::from_tasks(std::move(probes)),
+      probe_options);
 
   const char* names[] = {"BBRv1 aggregate (Thm 2)", "BBRv1 shallow (Thm 3)",
                          "BBRv2 (Thm 4/5)"};

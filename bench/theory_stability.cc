@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "orchestrator/execution_plan.h"
 
 namespace {
 
@@ -216,7 +217,8 @@ int main() {
     const auto plan = refiner.plan(bench_sweep_options(42));
     sweep::SweepOptions fine = bench_sweep_options(42);
     fine.runner = thm2_runner();
-    const auto refined = sweep::run_tasks(plan.tasks(42), fine);
+    const auto refined = orchestrator::execute(
+        orchestrator::ExecutionPlan::from_refinement(plan, 42), fine);
 
     // Boundary estimate: where λ+ crosses −0.95 (just past the kink).
     const double dense_boundary =

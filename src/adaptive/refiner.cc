@@ -7,6 +7,7 @@
 #include "common/csv.h"
 #include "common/hash.h"
 #include "common/require.h"
+#include "orchestrator/execution_plan.h"
 #include "scenario/spec_codec.h"
 
 namespace bbrmodel::adaptive {
@@ -399,14 +400,12 @@ RefinementPlan GridRefiner::plan(const sweep::SweepOptions& exec) const {
 
 sweep::SweepResult run_plan_tasks(const RefinementPlan& plan,
                                   const sweep::SweepOptions& options) {
-  auto tasks = plan.tasks(options.base_seed);
-  if (options.shard.count != 1 || options.shard.index != 0) {
-    tasks = sweep::filter_shard(std::move(tasks), options.shard);
-  }
-  sweep::SweepOptions fine = options;
-  fine.refine = nullptr;  // the plan is final; never recurse
-  fine.shard = {};
-  return sweep::run_tasks(tasks, fine);
+  // Materialize + execute through the orchestrator spine: the refined
+  // cell set becomes an ExecutionPlan exactly like a dense grid does, so
+  // adaptive sweeps inherit sharding, caching, and the queue path.
+  return orchestrator::execute(
+      orchestrator::ExecutionPlan::from_refinement(plan, options.base_seed),
+      options);
 }
 
 sweep::SweepResult run_adaptive_sweep(const sweep::ParameterGrid& grid,

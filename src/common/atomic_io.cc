@@ -1,0 +1,52 @@
+#include "common/atomic_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/require.h"
+
+namespace bbrmodel {
+
+void write_file_atomically(const std::string& path, const std::string& bytes,
+                           const std::string& what) {
+  // The temp name must be unique per writer across *processes*: thread ids
+  // alone can hash identically in two processes racing to double-complete
+  // the same deterministic cell, and an interleaved temp file would get
+  // renamed into place as corrupt data.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "-" +
+      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  bool written = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    BBRM_REQUIRE_MSG(static_cast<bool>(out),
+                     "cannot write " + what + " temp file " + tmp);
+    out << bytes;
+    out.flush();
+    written = out.good();  // a full disk must not publish truncated bytes
+  }
+  if (!written) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    BBRM_REQUIRE_MSG(false, "failed writing " + what + " (" + path + ")");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  BBRM_REQUIRE_MSG(!ec, "cannot publish " + what + " at " + path);
+}
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace bbrmodel

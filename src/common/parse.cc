@@ -1,0 +1,32 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/require.h"
+
+namespace bbrmodel {
+
+std::optional<std::uint64_t> try_parse_u64(const std::string& text) {
+  // strtoull silently accepts "-1" (wrapping) and leading whitespace;
+  // reject both up front so every caller gets digits-only semantics.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  const auto v = try_parse_u64(text);
+  BBRM_REQUIRE_MSG(v.has_value(), "bad " + what + ": '" + text + "'");
+  return *v;
+}
+
+}  // namespace bbrmodel

@@ -1,0 +1,24 @@
+// One strtoull-with-errno dance instead of four.
+//
+// Task indices, plan fields, manifest sizes, and merge row keys all parse
+// non-negative integers out of trusted-ish text. The edge handling (empty
+// input, trailing bytes, ERANGE, leading '-') is easy to get subtly
+// inconsistent when reimplemented per call site — these helpers are the
+// single spelling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bbrmodel {
+
+/// Parse a full string as a base-10 unsigned 64-bit integer. nullopt on
+/// empty input, any non-digit byte (including a leading '-' or sign),
+/// trailing characters, or overflow.
+std::optional<std::uint64_t> try_parse_u64(const std::string& text);
+
+/// Throwing variant: PreconditionError naming `what` on any failure.
+std::uint64_t parse_u64(const std::string& text, const std::string& what);
+
+}  // namespace bbrmodel

@@ -1,0 +1,197 @@
+#include "orchestrator/execution_plan.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "adaptive/refiner.h"
+#include "common/csv.h"
+#include "common/parse.h"
+#include "common/require.h"
+#include "scenario/spec_codec.h"
+#include "sweep/workloads.h"
+
+namespace bbrmodel::orchestrator {
+
+namespace {
+
+constexpr const char* kVersionLine = "bbrm-plan=1";
+
+sweep::Backend parse_backend_name(const std::string& name) {
+  const auto backend = sweep::backend_from_name(name);
+  BBRM_REQUIRE_MSG(backend.has_value(),
+                   "execution plan: unknown backend '" + name + "'");
+  return *backend;
+}
+
+/// "key=value" line reader that fails loudly on the wrong key — plan
+/// parsing must reject shuffled or truncated documents, not misread them.
+std::string expect_field(std::istringstream& in, const std::string& key) {
+  std::string line;
+  BBRM_REQUIRE_MSG(static_cast<bool>(std::getline(in, line)),
+                   "execution plan: truncated before '" + key + "'");
+  const std::string prefix = key + "=";
+  BBRM_REQUIRE_MSG(line.rfind(prefix, 0) == 0,
+                   "execution plan: expected '" + prefix + "...', got '" +
+                       line + "'");
+  return line.substr(prefix.size());
+}
+
+std::size_t parse_size(const std::string& text, const std::string& what) {
+  return static_cast<std::size_t>(
+      parse_u64(text, "execution plan " + what));
+}
+
+}  // namespace
+
+ExecutionPlan::ExecutionPlan(std::vector<sweep::SweepTask> cells,
+                             std::string runner_name)
+    : cells_(std::move(cells)), runner_name_(std::move(runner_name)) {
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    BBRM_REQUIRE_MSG(cells_[i - 1].index < cells_[i].index,
+                     "execution plan cells must have strictly increasing "
+                     "task indices");
+  }
+}
+
+ExecutionPlan ExecutionPlan::dense(const sweep::ParameterGrid& grid,
+                                   const scenario::ExperimentSpec& base,
+                                   std::uint64_t base_seed,
+                                   std::string runner_name) {
+  return ExecutionPlan(grid.expand(base, base_seed), std::move(runner_name));
+}
+
+ExecutionPlan ExecutionPlan::adaptive(const adaptive::GridRefiner& refiner,
+                                      const sweep::SweepOptions& exec,
+                                      std::string runner_name) {
+  return from_refinement(refiner.plan(exec), exec.base_seed,
+                         std::move(runner_name));
+}
+
+ExecutionPlan ExecutionPlan::adaptive(const sweep::ParameterGrid& grid,
+                                      const scenario::ExperimentSpec& base,
+                                      const adaptive::RefinementPolicy& policy,
+                                      const sweep::SweepOptions& exec,
+                                      std::string runner_name) {
+  adaptive::GridRefiner refiner(grid, base, policy);
+  if (exec.triage) refiner.set_triage(exec.triage);
+  return adaptive(refiner, exec, std::move(runner_name));
+}
+
+ExecutionPlan ExecutionPlan::from_refinement(
+    const adaptive::RefinementPlan& plan, std::uint64_t base_seed,
+    std::string runner_name) {
+  return ExecutionPlan(plan.tasks(base_seed), std::move(runner_name));
+}
+
+ExecutionPlan ExecutionPlan::from_tasks(std::vector<sweep::SweepTask> tasks,
+                                        std::string runner_name) {
+  return ExecutionPlan(std::move(tasks), std::move(runner_name));
+}
+
+const sweep::SweepTask& ExecutionPlan::cell(std::size_t position) const {
+  BBRM_REQUIRE(position < cells_.size());
+  return cells_[position];
+}
+
+const sweep::SweepTask& ExecutionPlan::cell_by_index(
+    std::size_t task_index) const {
+  const auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), task_index,
+      [](const sweep::SweepTask& t, std::size_t i) { return t.index < i; });
+  BBRM_REQUIRE_MSG(it != cells_.end() && it->index == task_index,
+                   "execution plan has no cell with task index " +
+                       std::to_string(task_index));
+  return *it;
+}
+
+std::string ExecutionPlan::describe_cell(std::size_t task_index) const {
+  const sweep::SweepTask& t = cell_by_index(task_index);
+  std::string out = "backend=" + sweep::to_string(t.backend) +
+                    " discipline=" + net::to_string(t.spec.discipline) +
+                    " mix=" + t.mix_label +
+                    " flows=" + std::to_string(t.spec.mix.flows.size()) +
+                    " buffer_bdp=" + csv_number(t.spec.buffer_bdp) +
+                    " rtt_s=" + csv_number(t.spec.min_rtt_s) + ":" +
+                    csv_number(t.spec.max_rtt_s) +
+                    " spec=" + scenario::canonical_spec_hash(t.spec);
+  return out;
+}
+
+std::string ExecutionPlan::serialize() const {
+  std::string out = kVersionLine;
+  out += "\nrunner=";
+  out += runner_name_;
+  out += "\ncells=";
+  out += std::to_string(cells_.size());
+  out += '\n';
+  for (const auto& cell : cells_) {
+    BBRM_REQUIRE_MSG(cell.mix_label.find('\n') == std::string::npos,
+                     "mix labels must be single-line");
+    const std::string spec = scenario::canonical_spec_string(cell.spec);
+    out += "cell=";
+    out += std::to_string(cell.index);
+    out += "\nbackend=";
+    out += sweep::to_string(cell.backend);
+    out += "\nmix=";
+    out += cell.mix_label;
+    out += "\nspec-bytes=";
+    out += std::to_string(spec.size());
+    out += '\n';
+    out += spec;  // canonical bytes end in '\n' themselves
+  }
+  return out;
+}
+
+ExecutionPlan ExecutionPlan::parse(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string line;
+  BBRM_REQUIRE_MSG(std::getline(in, line) && line == kVersionLine,
+                   "execution plan: expected version line '" +
+                       std::string(kVersionLine) + "'");
+  std::string runner_name = expect_field(in, "runner");
+  const std::size_t count = parse_size(expect_field(in, "cells"), "count");
+
+  std::vector<sweep::SweepTask> cells;
+  cells.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sweep::SweepTask task;
+    task.index = parse_size(expect_field(in, "cell"), "cell index");
+    task.backend = parse_backend_name(expect_field(in, "backend"));
+    task.mix_label = expect_field(in, "mix");
+    const std::size_t spec_bytes =
+        parse_size(expect_field(in, "spec-bytes"), "spec size");
+    std::string spec(spec_bytes, '\0');
+    in.read(spec.data(), static_cast<std::streamsize>(spec_bytes));
+    BBRM_REQUIRE_MSG(in.gcount() ==
+                         static_cast<std::streamsize>(spec_bytes),
+                     "execution plan: truncated spec bytes of cell " +
+                         std::to_string(task.index));
+    task.spec = scenario::parse_canonical_spec(spec);
+    cells.push_back(std::move(task));
+  }
+  BBRM_REQUIRE_MSG(!std::getline(in, line) || line.empty(),
+                   "execution plan: trailing bytes after the last cell");
+  return ExecutionPlan(std::move(cells), std::move(runner_name));
+}
+
+sweep::SweepResult execute(const ExecutionPlan& plan,
+                           const sweep::SweepOptions& options) {
+  sweep::SweepOptions exec = options;
+  exec.refine = nullptr;  // the plan is final; never re-plan
+  exec.shard = {};        // applied below, not inside run_tasks
+  if (!exec.runner && !plan.runner_name().empty()) {
+    exec.runner = sweep::runner_by_name(plan.runner_name());
+  }
+  if (options.shard.count == 1 && options.shard.index == 0) {
+    // The common unsharded path runs the plan's cells in place — no copy
+    // of every spec just to pass them through.
+    return sweep::run_tasks(plan.cells(), exec);
+  }
+  return sweep::run_tasks(
+      sweep::filter_shard(plan.cells(), options.shard), exec);
+}
+
+}  // namespace bbrmodel::orchestrator

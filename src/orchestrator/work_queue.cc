@@ -1,0 +1,506 @@
+#include "orchestrator/work_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_io.h"
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/parse.h"
+#include "common/require.h"
+#include "sweep/cell_cache.h"
+#include "sweep/thread_pool.h"
+#include "sweep/workloads.h"
+
+namespace bbrmodel::orchestrator {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Cell file names are zero-padded so lexicographic directory order is
+/// numeric order — claims go lowest-index first without parsing.
+std::string index_name(std::size_t index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%010zu", index);
+  return buffer;
+}
+
+/// The numeric prefix of a queue file name ("0000000042.worker.cell").
+std::optional<std::size_t> parse_index_name(const std::string& name) {
+  const auto dot = name.find('.');
+  if (dot == std::string::npos || dot == 0) return std::nullopt;
+  const auto v = try_parse_u64(name.substr(0, dot));
+  if (!v) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+void require_worker_id(const std::string& worker_id) {
+  BBRM_REQUIRE_MSG(!worker_id.empty(), "worker id must be non-empty");
+  for (char c : worker_id) {
+    BBRM_REQUIRE_MSG(
+        std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-',
+        "worker ids must match [A-Za-z0-9_-] (they become file names): '" +
+            worker_id + "'");
+  }
+}
+
+double seconds_since(fs::file_time_type then) {
+  return std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                       then)
+      .count();
+}
+
+/// Count the ".cell" entries of one queue state directory.
+std::size_t count_cells(const std::string& dir) {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cell") {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+WorkQueue::WorkQueue(std::string dir, double lease_s)
+    : dir_(std::move(dir)), lease_s_(lease_s) {
+  BBRM_REQUIRE_MSG(!dir_.empty(), "queue directory must be non-empty");
+  BBRM_REQUIRE_MSG(lease_s_ > 0.0, "lease must be positive");
+  fs::create_directories(pending_dir());
+  fs::create_directories(active_dir());
+  fs::create_directories(results_dir());
+}
+
+std::string WorkQueue::pending_dir() const {
+  return (fs::path(dir_) / "pending").string();
+}
+std::string WorkQueue::active_dir() const {
+  return (fs::path(dir_) / "active").string();
+}
+std::string WorkQueue::results_dir() const {
+  return (fs::path(dir_) / "results").string();
+}
+std::string WorkQueue::plan_path() const {
+  return (fs::path(dir_) / "plan.bbrplan").string();
+}
+std::string WorkQueue::pending_path(std::size_t index) const {
+  return (fs::path(pending_dir()) / (index_name(index) + ".cell")).string();
+}
+std::string WorkQueue::active_path(std::size_t index,
+                                   const std::string& worker_id) const {
+  return (fs::path(active_dir()) /
+          (index_name(index) + "." + worker_id + ".cell"))
+      .string();
+}
+std::string WorkQueue::result_path(std::size_t index) const {
+  return (fs::path(results_dir()) / (index_name(index) + ".cell")).string();
+}
+
+void WorkQueue::seed(const ExecutionPlan& plan) const {
+  const std::string bytes = plan.serialize();
+  if (fs::exists(plan_path())) {
+    BBRM_REQUIRE_MSG(read_text_file(plan_path()).value_or("") == bytes,
+                     "queue directory " + dir_ +
+                         " already holds a different plan; seeding would "
+                         "corrupt it (use a fresh directory)");
+  } else {
+    write_file_atomically(plan_path(), bytes, "queue plan");
+  }
+  // Record the lease so workers can adopt it instead of guessing — a
+  // participant with a shorter lease than the heartbeat cadence of the
+  // others would keep stealing live claims.
+  write_file_atomically((fs::path(dir_) / "lease").string(),
+                        exact_number(lease_s_) + "\n", "queue lease");
+
+  // Resume-aware enqueue: skip cells that already finished or are being
+  // worked on. One scan of active/ beats N existence probes.
+  std::set<std::size_t> active;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
+    if (const auto index =
+            parse_index_name(entry.path().filename().string())) {
+      active.insert(*index);
+    }
+  }
+  for (const auto& cell : plan.cells()) {
+    if (active.count(cell.index) != 0) continue;
+    if (fs::exists(result_path(cell.index))) continue;
+    if (fs::exists(pending_path(cell.index))) continue;
+    write_file_atomically(pending_path(cell.index), "queued\n",
+                          "queue cell");
+  }
+}
+
+bool WorkQueue::has_plan() const { return fs::exists(plan_path()); }
+
+std::optional<double> WorkQueue::stored_lease_s(const std::string& dir) {
+  std::ifstream in((fs::path(dir) / "lease").string());
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str(), &end);
+  if (end == line.c_str() || v <= 0.0) return std::nullopt;
+  return v;
+}
+
+ExecutionPlan WorkQueue::load_plan() const {
+  BBRM_REQUIRE_MSG(has_plan(), "queue " + dir_ + " has no plan yet");
+  return ExecutionPlan::parse(read_text_file(plan_path()).value_or(""));
+}
+
+std::optional<std::size_t> WorkQueue::try_claim(
+    const std::string& worker_id) const {
+  require_worker_id(worker_id);
+  // Pop cached candidates first; one directory listing refills the
+  // backlog when it runs dry. Stale candidates (claimed by a peer since
+  // the listing) just fail their rename and are discarded, so a full
+  // drain costs one readdir per refill, not one per cell. Two refreshes
+  // bound the call when peers are racing us for the last cells.
+  for (int refresh = 0; refresh < 2; ++refresh) {
+    while (true) {
+      std::string name;
+      {
+        std::lock_guard<std::mutex> lock(claim_mutex_);
+        if (claim_backlog_.empty()) break;
+        name = std::move(claim_backlog_.back());
+        claim_backlog_.pop_back();
+      }
+      const auto index = parse_index_name(name);
+      if (!index) continue;
+      const std::string to = active_path(*index, worker_id);
+      std::error_code ec;
+      fs::rename((fs::path(pending_dir()) / name).string(), to, ec);
+      if (ec) continue;  // another worker won this cell; try the next one
+      // The pending file's mtime is its enqueue time; start the lease now.
+      fs::last_write_time(to, fs::file_time_type::clock::now(), ec);
+      return index;
+    }
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(pending_dir(), ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".cell") {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    if (names.empty()) return std::nullopt;
+    // Reverse-sorted: pop_back claims lowest indices first (zero-padded
+    // names make lexicographic order numeric order).
+    std::sort(names.begin(), names.end(), std::greater<std::string>());
+    std::lock_guard<std::mutex> lock(claim_mutex_);
+    claim_backlog_ = std::move(names);
+  }
+  return std::nullopt;
+}
+
+bool WorkQueue::renew(std::size_t index, const std::string& worker_id) const {
+  std::error_code ec;
+  fs::last_write_time(active_path(index, worker_id),
+                      fs::file_time_type::clock::now(), ec);
+  return !ec;
+}
+
+void WorkQueue::complete(const sweep::TaskResult& result,
+                         const std::string& worker_id) const {
+  std::string bytes = "status=";
+  bytes += result.ok ? "ok" : "failed";
+  bytes += "\nerror=";
+  bytes += result.error;  // single-line by the engine's contract
+  bytes += '\n';
+  bytes += sweep::encode_cell_metrics(result.metrics);
+  write_file_atomically(result_path(result.task.index), bytes,
+                        "queue result");
+  // Release the claim. ENOENT is fine: an expired lease may already have
+  // been re-enqueued or reclaimed — the published bytes are identical
+  // either way, so the race is benign.
+  std::error_code ec;
+  fs::remove(active_path(result.task.index, worker_id), ec);
+}
+
+void WorkQueue::release(std::size_t index,
+                        const std::string& worker_id) const {
+  std::error_code ec;
+  fs::rename(active_path(index, worker_id), pending_path(index), ec);
+  // ENOENT: the lease already expired and was recovered — nothing to do.
+  if (!ec) {
+    std::lock_guard<std::mutex> lock(claim_mutex_);
+    claim_backlog_.clear();  // the released cell is not in the cache
+  }
+}
+
+std::size_t WorkQueue::done_count() const {
+  return count_cells(results_dir());
+}
+
+std::size_t WorkQueue::recover_expired() const {
+  std::size_t recovered = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
+      continue;
+    }
+    const auto index = parse_index_name(entry.path().filename().string());
+    if (!index) continue;
+    const auto mtime = entry.last_write_time(ec);
+    if (ec || seconds_since(mtime) <= lease_s_) continue;
+    if (fs::exists(result_path(*index))) {
+      // The worker died (or lost its lease) after publishing: the work is
+      // done, only the claim is stale.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    fs::rename(entry.path(), pending_path(*index), ec);
+    if (!ec) ++recovered;  // a concurrent recoverer may have won; fine
+  }
+  if (recovered > 0) {
+    // The re-enqueued cells are not in the cached claim backlog (it was
+    // listed before they came back); drop it so the next claim re-lists
+    // and picks them up immediately. Peer processes converge the slower
+    // way — their stale backlogs drain and refresh on empty.
+    std::lock_guard<std::mutex> lock(claim_mutex_);
+    claim_backlog_.clear();
+  }
+  return recovered;
+}
+
+QueueProgress WorkQueue::progress() const {
+  QueueProgress p;
+  p.pending = count_cells(pending_dir());
+  p.active = count_cells(active_dir());
+  p.done = count_cells(results_dir());
+  return p;
+}
+
+std::optional<bool> WorkQueue::result_ok(std::size_t index) const {
+  std::ifstream in(result_path(index));
+  if (!in) return std::nullopt;
+  std::string status;
+  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
+    return std::nullopt;
+  }
+  return status.substr(7) == "ok";
+}
+
+std::optional<sweep::TaskResult> WorkQueue::load_result(
+    const sweep::SweepTask& task) const {
+  std::ifstream in(result_path(task.index));
+  if (!in) return std::nullopt;
+  std::string status, error;
+  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, error) || error.rfind("error=", 0) != 0) {
+    return std::nullopt;
+  }
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  auto metrics = sweep::decode_cell_metrics(rest.str());
+  if (!metrics) return std::nullopt;
+
+  sweep::TaskResult result;
+  result.task = task;
+  result.metrics = std::move(*metrics);
+  result.ok = status.substr(7) == "ok";
+  result.error = error.substr(6);
+  return result;
+}
+
+WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
+                        const sweep::SweepOptions& options,
+                        const std::string& worker_id,
+                        std::size_t max_cells, double poll_s) {
+  require_worker_id(worker_id);
+  BBRM_REQUIRE_MSG(poll_s > 0.0, "poll interval must be positive");
+
+  // One options template per cell: a single task through the ordinary
+  // engine path, so caching, timeout, and retry behave exactly as in a
+  // single-process sweep. Parallelism comes from concurrent claim loops,
+  // not from the per-cell pool.
+  sweep::SweepOptions cell_options = options;
+  cell_options.threads = 1;
+  cell_options.shard = {};
+  cell_options.refine = nullptr;
+  cell_options.progress = nullptr;
+  if (!cell_options.runner && !plan.runner_name().empty()) {
+    cell_options.runner = sweep::runner_by_name(plan.runner_name());
+  }
+
+  // Heartbeat: one background thread renews every in-flight lease well
+  // inside the expiry window, so long cells survive short leases.
+  std::mutex mutex;
+  std::set<std::size_t> in_flight;
+  bool stop = false;
+  std::condition_variable cv;
+  std::thread heartbeat([&] {
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.01, queue.lease_s() / 4.0));
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!cv.wait_for(lock, interval, [&] { return stop; })) {
+      const std::set<std::size_t> snapshot = in_flight;
+      lock.unlock();
+      for (const std::size_t index : snapshot) {
+        queue.renew(index, worker_id);  // a lost lease is benign; see .h
+      }
+      lock.lock();
+    }
+  });
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  // max_cells is a publish *budget*: a loop reserves a slot before it
+  // claims (and returns the slot on a failed claim), so concurrent loops
+  // cannot overshoot the cap by claiming simultaneously.
+  std::atomic<std::size_t> budget{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  const std::size_t loops = std::max<std::size_t>(
+      1, options.threads != 0 ? options.threads
+                              : sweep::ThreadPool::hardware_threads());
+
+  const auto claim_loop = [&] {
+    while (!abort.load()) {
+      if (max_cells != 0) {
+        if (budget.fetch_add(1) >= max_cells) {
+          budget.fetch_sub(1);
+          return;
+        }
+      }
+      auto claim = queue.try_claim(worker_id);
+      if (!claim) {
+        // Nothing pending: a crashed peer may be holding expired leases.
+        queue.recover_expired();
+        claim = queue.try_claim(worker_id);
+      }
+      if (!claim) {
+        if (max_cells != 0) budget.fetch_sub(1);  // nothing to spend it on
+        if (queue.done_count() >= plan.size()) return;
+        std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+        continue;
+      }
+      bool ok_cell = false;
+      try {
+        const sweep::SweepTask& cell = plan.cell_by_index(*claim);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          in_flight.insert(*claim);
+        }
+        const auto result = sweep::run_tasks({cell}, cell_options);
+        queue.complete(result.row(0), worker_id);
+        ok_cell = result.row(0).ok;
+      } catch (...) {
+        // Give the cell back right away (and stop heartbeating it): peers
+        // must not wait out a lease for work this worker knows it
+        // abandoned. Runner failures never land here — they are reported
+        // rows; this is lookup/publish breakage.
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          in_flight.erase(*claim);
+        }
+        queue.release(*claim, worker_id);
+        throw;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        in_flight.erase(*claim);
+      }
+      completed.fetch_add(1);
+      if (!ok_cell) failed.fetch_add(1);
+    }
+  };
+
+  // Exceptions must surface as the loud error they were written to be,
+  // not as std::terminate from a detached thread: capture the first one,
+  // wind the other loops down, and rethrow on the caller's thread.
+  const auto guarded_loop = [&] {
+    try {
+      claim_loop();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!first_error) first_error = std::current_exception();
+      abort.store(true);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(loops);
+  for (std::size_t i = 0; i < loops; ++i) workers.emplace_back(guarded_loop);
+  for (auto& w : workers) w.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    stop = true;
+  }
+  cv.notify_all();
+  heartbeat.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  return {completed.load(), failed.load()};
+}
+
+namespace {
+
+/// Walk the plan in index order, loading one result at a time.
+std::size_t for_each_result(
+    const WorkQueue& queue, const ExecutionPlan& plan,
+    const std::function<void(const sweep::TaskResult&)>& visit) {
+  std::size_t failed = 0;
+  for (const auto& cell : plan.cells()) {
+    auto result = queue.load_result(cell);
+    BBRM_REQUIRE_MSG(result.has_value(),
+                     "queue " + queue.dir() + " has no result for cell " +
+                         std::to_string(cell.index) + " (" +
+                         plan.describe_cell(cell.index) + ")");
+    if (!result->ok) ++failed;
+    if (visit) visit(*result);
+  }
+  return failed;
+}
+
+}  // namespace
+
+std::size_t collect_csv(const WorkQueue& queue, const ExecutionPlan& plan,
+                        std::ostream& out) {
+  CsvWriter csv(out, sweep::SweepResult::csv_header());
+  return for_each_result(queue, plan, [&](const sweep::TaskResult& r) {
+    sweep::write_result_csv_row(csv, r);
+  });
+}
+
+std::size_t collect_json(const WorkQueue& queue, const ExecutionPlan& plan,
+                         std::ostream& out) {
+  // The envelope's totals precede the rows, so count failures first —
+  // status lines only, not a second full metrics decode of every cell.
+  std::size_t failed = 0;
+  for (const auto& cell : plan.cells()) {
+    const auto ok = queue.result_ok(cell.index);
+    BBRM_REQUIRE_MSG(ok.has_value(),
+                     "queue " + queue.dir() + " has no result for cell " +
+                         std::to_string(cell.index) + " (" +
+                         plan.describe_cell(cell.index) + ")");
+    if (!*ok) ++failed;
+  }
+  sweep::write_sweep_json(out, plan.size(), failed, [&](JsonWriter& j) {
+    for_each_result(queue, plan, [&](const sweep::TaskResult& r) {
+      sweep::write_result_json_row(j, r);
+    });
+  });
+  return failed;
+}
+
+}  // namespace bbrmodel::orchestrator

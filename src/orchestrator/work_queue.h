@@ -1,0 +1,167 @@
+// Durable, file-based work queue: any number of worker processes on any
+// machines drain one ExecutionPlan cooperatively.
+//
+// The queue is a directory on a filesystem the participants share (local
+// disk for multi-process runs, NFS/EFS-style mounts for multi-machine
+// ones — rename atomicity and reasonably coherent mtimes are the only
+// requirements):
+//
+//   <dir>/plan.bbrplan            the serialized ExecutionPlan
+//   <dir>/pending/<index>.cell    one file per unclaimed cell
+//   <dir>/active/<index>.<worker>.cell   a claimed cell (lease)
+//   <dir>/results/<index>.cell    a finished cell (status + metrics)
+//
+// Mutual exclusion comes from rename(2): a worker claims a cell by
+// renaming its pending file into active/ under the worker's name — the
+// filesystem guarantees exactly one renamer wins, and the loser simply
+// moves on. A lease is the active file's mtime plus the queue's lease
+// duration; workers heartbeat by touching their active files, and anyone
+// (worker or coordinator) may re-enqueue a cell whose lease expired by
+// renaming it back to pending/ — that is the whole crash story. A worker
+// that lost its lease but finishes anyway publishes bytes identical to
+// the re-run (runners are deterministic), so every race here is benign:
+// results are published by atomic rename and double-completion rewrites
+// the same bytes.
+//
+// Results stream out one cell at a time — a worker holds at most its
+// in-flight cells in memory, and the collector emits the final CSV/JSON
+// row by row through the same emitters a single-process SweepResult uses,
+// so the merged output is byte-identical to `run_sweep` by construction.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "orchestrator/execution_plan.h"
+
+namespace bbrmodel::orchestrator {
+
+/// Queue directory census, from one pass over the three state dirs.
+struct QueueProgress {
+  std::size_t pending = 0;
+  std::size_t active = 0;
+  std::size_t done = 0;
+};
+
+class WorkQueue {
+ public:
+  /// Attach to a queue directory (created on demand). `lease_s` is how
+  /// long a claimed cell may go without a heartbeat before any
+  /// participant may re-enqueue it; it bounds the recovery latency after
+  /// a worker crash.
+  explicit WorkQueue(std::string dir, double lease_s = 60.0);
+
+  const std::string& dir() const { return dir_; }
+  double lease_s() const { return lease_s_; }
+
+  /// Coordinator: publish the plan and this queue's lease duration, then
+  /// enqueue every cell that is not already claimed or finished.
+  /// Idempotent — re-seeding after a coordinator crash resumes the run;
+  /// seeding a *different* plan into a non-empty queue throws
+  /// (byte-compared against the stored plan).
+  void seed(const ExecutionPlan& plan) const;
+
+  bool has_plan() const;
+  ExecutionPlan load_plan() const;
+
+  /// The lease duration the seeding coordinator recorded in `dir`, if
+  /// any. Workers adopt it unless explicitly overridden — mismatched
+  /// per-process leases would let one participant steal another's live
+  /// claims (benign for correctness, wasteful for compute).
+  static std::optional<double> stored_lease_s(const std::string& dir);
+
+  /// Worker: claim the lowest-index pending cell by atomic rename.
+  /// nullopt when nothing is pending (work may still be active
+  /// elsewhere). `worker_id` must be filesystem-safe ([A-Za-z0-9_-]).
+  std::optional<std::size_t> try_claim(const std::string& worker_id) const;
+
+  /// Heartbeat: refresh the lease on a cell this worker claimed. Returns
+  /// false when the lease is no longer held (expired and re-enqueued or
+  /// reclaimed) — the computation may finish anyway; publishing a result
+  /// twice is benign.
+  bool renew(std::size_t index, const std::string& worker_id) const;
+
+  /// Publish a finished cell (atomic rename) and release the claim.
+  void complete(const sweep::TaskResult& result,
+                const std::string& worker_id) const;
+
+  /// Return a claimed cell to pending without a result — a worker
+  /// abandoning work it knows it cannot finish (e.g. an exception on its
+  /// way to complete()), so peers need not wait out the lease.
+  void release(std::size_t index, const std::string& worker_id) const;
+
+  /// Number of finished cells (one directory count, not three) — the
+  /// cheap completion check worker loops poll with.
+  std::size_t done_count() const;
+
+  /// Re-enqueue every active cell whose lease expired; stale claims whose
+  /// result was already published are simply dropped. Returns how many
+  /// cells went back to pending.
+  std::size_t recover_expired() const;
+
+  /// Counts for progress displays and completion checks (done counts
+  /// result files; completion = done >= plan.size()).
+  QueueProgress progress() const;
+
+  /// Read one finished cell back, joining the stored status/metrics with
+  /// the plan's task coordinates. nullopt when the cell has no result yet
+  /// or the file is damaged.
+  std::optional<sweep::TaskResult> load_result(
+      const sweep::SweepTask& task) const;
+
+  /// Status-only peek at a result: true = ok, false = failed, nullopt =
+  /// absent/damaged. Reads one line, not the metrics — the cheap half of
+  /// collect_json's totals pre-pass.
+  std::optional<bool> result_ok(std::size_t index) const;
+
+ private:
+  std::string pending_dir() const;
+  std::string active_dir() const;
+  std::string results_dir() const;
+  std::string plan_path() const;
+  std::string pending_path(std::size_t index) const;
+  std::string active_path(std::size_t index,
+                          const std::string& worker_id) const;
+  std::string result_path(std::size_t index) const;
+
+  std::string dir_;
+  double lease_s_;
+  /// Claim candidates cached from the last pending-directory listing
+  /// (reverse-sorted; pop from the back = lowest index first). One
+  /// listing amortizes over many claims, so draining N cells costs one
+  /// readdir per backlog refill instead of one per cell.
+  mutable std::mutex claim_mutex_;
+  mutable std::vector<std::string> claim_backlog_;
+};
+
+/// What one run_worker call accomplished.
+struct WorkerReport {
+  std::size_t completed = 0;  ///< cells this worker published
+  std::size_t failed = 0;     ///< of those, cells whose task failed
+};
+
+/// Drain the queue until its plan is complete (or `max_cells` cells were
+/// published): claim, execute through the engine (runner resolution,
+/// caching, timeout, retry per `options` — options.threads claim loops run
+/// concurrently), publish, repeat. A background heartbeat renews every
+/// in-flight lease at lease/4 cadence. Returns when every cell of the
+/// plan has a result, however many workers produced them.
+WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
+                        const sweep::SweepOptions& options,
+                        const std::string& worker_id,
+                        std::size_t max_cells = 0, double poll_s = 0.05);
+
+/// Streaming collection: emit the completed plan's CSV/JSON one cell at a
+/// time, byte-identical to the single-process run_sweep output (shared
+/// row emitters; nothing is buffered beyond one row). Throws when a cell
+/// has no result. Returns the number of failed cells.
+std::size_t collect_csv(const WorkQueue& queue, const ExecutionPlan& plan,
+                        std::ostream& out);
+std::size_t collect_json(const WorkQueue& queue, const ExecutionPlan& plan,
+                         std::ostream& out);
+
+}  // namespace bbrmodel::orchestrator

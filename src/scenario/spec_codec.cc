@@ -225,6 +225,10 @@ std::string canonical_spec_string(const ExperimentSpec& spec) {
   return out;
 }
 
+std::string canonical_spec_hash(const ExperimentSpec& spec) {
+  return hex64(fnv1a64(canonical_spec_string(spec)));
+}
+
 ExperimentSpec parse_canonical_spec(const std::string& bytes) {
   std::map<std::string, const FieldCodec*> by_key;
   for (const auto& field : field_codecs()) by_key[field.key] = &field;

@@ -31,6 +31,12 @@ std::string canonical_spec_string(const ExperimentSpec& spec);
 /// keys, malformed lines, or missing fields.
 ExperimentSpec parse_canonical_spec(const std::string& bytes);
 
+/// The fixed-width hex "spec key" of a spec: FNV-1a 64 over its canonical
+/// bytes. This is the content-address fragment shared by cache cell file
+/// names, execution-plan listings, and merge diagnostics, so a cell can be
+/// correlated across all three by eye.
+std::string canonical_spec_hash(const ExperimentSpec& spec);
+
 /// True if the spec can be addressed by content: false when a custom
 /// bbr_init callback is set (a std::function cannot be serialized, so such
 /// specs must never be cached).

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/atomic_io.h"
 #include "common/csv.h"
 #include "common/hash.h"
+#include "common/parse.h"
 #include "common/require.h"
 #include "scenario/spec_codec.h"
 
@@ -23,6 +27,8 @@ namespace {
 // cells gracefully: a header mismatch reads as a miss, never as bad data.
 const char* kCellHeader =
     "jain,loss_pct,occupancy_pct,utilization_pct,jitter_ms,mean_rate_pps,aux";
+
+constexpr const char* kManifestName = "manifest.idx";
 
 std::string encode_vector(const std::vector<double>& values) {
   std::string out;
@@ -48,7 +54,79 @@ std::optional<std::vector<double>> decode_vector(const std::string& text) {
   return values;
 }
 
+/// Manifest entries, keyed by cell key; duplicate appends collapse to the
+/// latest line. Malformed lines are skipped: the manifest is an index the
+/// cells can always rebuild, never the truth.
+std::map<std::string, std::uintmax_t> read_manifest(const std::string& path) {
+  std::map<std::string, std::uintmax_t> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto space = line.find(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const auto bytes = try_parse_u64(line.substr(space + 1));
+    if (!bytes) continue;
+    entries[line.substr(0, space)] = *bytes;
+  }
+  return entries;
+}
+
+std::string manifest_bytes(
+    const std::map<std::string, std::uintmax_t>& entries) {
+  std::string out;
+  for (const auto& [key, bytes] : entries) {
+    out += key;
+    out += ' ';
+    out += std::to_string(bytes);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string encode_cell_metrics(const metrics::AggregateMetrics& m) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"jain", "loss_pct", "occupancy_pct", "utilization_pct",
+                      "jitter_ms", "mean_rate_pps", "aux"});
+  csv.write_row(std::vector<std::string>{
+      exact_number(m.jain), exact_number(m.loss_pct),
+      exact_number(m.occupancy_pct), exact_number(m.utilization_pct),
+      exact_number(m.jitter_ms), encode_vector(m.mean_rate_pps),
+      encode_vector(m.aux)});
+  return out.str();
+}
+
+std::optional<metrics::AggregateMetrics> decode_cell_metrics(
+    const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string header, row;
+  if (!std::getline(in, header) || header != kCellHeader) return std::nullopt;
+  if (!std::getline(in, row)) return std::nullopt;
+
+  std::vector<std::string> cells;
+  std::stringstream stream(row);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  // getline drops a trailing empty field (an empty aux vector).
+  if (!row.empty() && row.back() == ',') cells.emplace_back();
+  if (cells.size() != 7) return std::nullopt;
+
+  metrics::AggregateMetrics m;
+  double* scalars[5] = {&m.jain, &m.loss_pct, &m.occupancy_pct,
+                        &m.utilization_pct, &m.jitter_ms};
+  for (std::size_t i = 0; i < 5; ++i) {
+    char* end = nullptr;
+    *scalars[i] = std::strtod(cells[i].c_str(), &end);
+    if (end == cells[i].c_str() || *end != '\0') return std::nullopt;
+  }
+  auto rates = decode_vector(cells[5]);
+  auto aux = decode_vector(cells[6]);
+  if (!rates || !aux) return std::nullopt;
+  m.mean_rate_pps = std::move(*rates);
+  m.aux = std::move(*aux);
+  return m;
+}
 
 CellCache::CellCache(std::string dir) : dir_(std::move(dir)) {
   BBRM_REQUIRE_MSG(!dir_.empty(), "cache directory must be non-empty");
@@ -59,113 +137,80 @@ std::string CellCache::cell_path(const std::string& key) const {
   return (std::filesystem::path(dir_) / (key + ".cell")).string();
 }
 
+std::string CellCache::manifest_path() const {
+  return (std::filesystem::path(dir_) / kManifestName).string();
+}
+
 std::optional<metrics::AggregateMetrics> CellCache::load(
     const std::string& key) const {
-  std::ifstream in(cell_path(key));
-  const auto miss = [&]() -> std::optional<metrics::AggregateMetrics> {
+  const auto bytes = read_text_file(cell_path(key));
+  auto decoded = bytes ? decode_cell_metrics(*bytes)
+                       : std::optional<metrics::AggregateMetrics>{};
+  if (!decoded) {
     misses_.fetch_add(1);
     return std::nullopt;
-  };
-  if (!in) return miss();
-  std::string header, row;
-  if (!std::getline(in, header) || header != kCellHeader) return miss();
-  if (!std::getline(in, row)) return miss();
-
-  std::vector<std::string> cells;
-  std::stringstream stream(row);
-  std::string cell;
-  while (std::getline(stream, cell, ',')) cells.push_back(cell);
-  // getline drops a trailing empty field (an empty aux vector).
-  if (!row.empty() && row.back() == ',') cells.emplace_back();
-  if (cells.size() != 7) return miss();
-
-  metrics::AggregateMetrics m;
-  double* scalars[5] = {&m.jain, &m.loss_pct, &m.occupancy_pct,
-                        &m.utilization_pct, &m.jitter_ms};
-  for (std::size_t i = 0; i < 5; ++i) {
-    char* end = nullptr;
-    *scalars[i] = std::strtod(cells[i].c_str(), &end);
-    if (end == cells[i].c_str() || *end != '\0') return miss();
   }
-  auto rates = decode_vector(cells[5]);
-  auto aux = decode_vector(cells[6]);
-  if (!rates || !aux) return miss();
-  m.mean_rate_pps = std::move(*rates);
-  m.aux = std::move(*aux);
   hits_.fetch_add(1);
-  return m;
+  return decoded;
 }
 
 void CellCache::store(const std::string& key,
                       const metrics::AggregateMetrics& m) const {
-  const std::string path = cell_path(key);
-  // Unique temp per writer, then an atomic rename: readers only ever see
-  // complete cells, and same-key writers race to identical bytes.
-  const std::string tmp =
-      path + ".tmp." +
-      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
-  bool written = false;
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    BBRM_REQUIRE_MSG(static_cast<bool>(out),
-                     "cell cache: cannot write " + tmp);
-    CsvWriter csv(out, {"jain", "loss_pct", "occupancy_pct",
-                        "utilization_pct", "jitter_ms", "mean_rate_pps",
-                        "aux"});
-    csv.write_row(std::vector<std::string>{
-        exact_number(m.jain), exact_number(m.loss_pct),
-        exact_number(m.occupancy_pct), exact_number(m.utilization_pct),
-        exact_number(m.jitter_ms), encode_vector(m.mean_rate_pps),
-        encode_vector(m.aux)});
-    out.flush();
-    written = out.good();  // a full disk must not publish a truncated cell
-  }
-  if (!written) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    BBRM_REQUIRE_MSG(false, "cell cache: failed writing " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  BBRM_REQUIRE_MSG(!ec, "cell cache: cannot publish " + path);
+  BBRM_REQUIRE_MSG(key.find_first_of(" \t\r\n") == std::string::npos,
+                   "cell keys must not contain whitespace (manifest lines)");
+  // Index any pre-manifest store *before* the append below creates the
+  // file — otherwise a legacy directory would get a manifest holding only
+  // the new cells, permanently hiding the old ones from stats/gc.
+  ensure_manifest();
+  const std::string bytes = encode_cell_metrics(m);
+  write_file_atomically(cell_path(key), bytes, "cache cell " + key);
+  // Record the cell in the manifest. Appends are small single writes, so
+  // concurrent writers interleave whole lines in practice; a line lost to
+  // a concurrent gc rewrite only makes the index stale, and reindex()
+  // recovers it from the cells themselves.
+  std::ofstream manifest(manifest_path(), std::ios::app);
+  if (manifest) manifest << key << ' ' << bytes.size() << '\n';
   stores_.fetch_add(1);
 }
 
+void CellCache::ensure_manifest() const {
+  if (!std::filesystem::exists(manifest_path())) reindex();
+}
+
 CacheStats CellCache::stats() const {
+  ensure_manifest();
   CacheStats stats;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
-      continue;
-    }
-    const std::uintmax_t size = entry.file_size(ec);
-    if (ec) continue;  // vanished under a concurrent gc: not an error
+  for (const auto& [key, bytes] : read_manifest(manifest_path())) {
+    (void)key;
     ++stats.cells;
-    stats.bytes += size;
+    stats.bytes += bytes;
   }
   return stats;
 }
 
 CacheGcResult CellCache::gc(std::uintmax_t max_bytes) const {
+  ensure_manifest();
   struct CellFile {
     std::filesystem::file_time_type mtime;
     std::string path;  // tie-break: mtime resolution can collide
+    std::string key;
     std::uintmax_t bytes = 0;
   };
+  // The manifest names the candidates; sizes and mtimes come from the
+  // cells themselves so eviction order reflects reality even when the
+  // recorded sizes are stale. Entries whose cell vanished are dropped.
   std::vector<CellFile> files;
   std::uintmax_t total = 0;
   std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
-      continue;
-    }
+  for (const auto& [key, recorded_bytes] : read_manifest(manifest_path())) {
+    (void)recorded_bytes;
     CellFile f;
-    f.bytes = entry.file_size(ec);
-    if (ec) continue;  // vanished under a concurrent gc; the on-error
-                       // sentinel (-1) would corrupt the byte totals
-    f.mtime = entry.last_write_time(ec);
+    f.key = key;
+    f.path = cell_path(key);
+    f.bytes = std::filesystem::file_size(f.path, ec);
+    if (ec) continue;  // evicted or removed behind the manifest's back
+    f.mtime = std::filesystem::last_write_time(f.path, ec);
     if (ec) continue;
-    f.path = entry.path().string();
     total += f.bytes;
     files.push_back(std::move(f));
   }
@@ -176,6 +221,7 @@ CacheGcResult CellCache::gc(std::uintmax_t max_bytes) const {
             });
 
   CacheGcResult result;
+  std::map<std::string, std::uintmax_t> kept;
   for (const CellFile& f : files) {
     if (total > max_bytes) {
       std::filesystem::remove(f.path, ec);
@@ -185,9 +231,31 @@ CacheGcResult CellCache::gc(std::uintmax_t max_bytes) const {
     } else {
       ++result.kept_cells;
       result.kept_bytes += f.bytes;
+      kept[f.key] = f.bytes;
     }
   }
+  write_file_atomically(manifest_path(), manifest_bytes(kept),
+                        "cache manifest");
   return result;
+}
+
+CacheStats CellCache::reindex() const {
+  std::map<std::string, std::uintmax_t> entries;
+  CacheStats stats;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
+      continue;
+    }
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;  // vanished under a concurrent gc: not an error
+    entries[entry.path().stem().string()] = size;
+    ++stats.cells;
+    stats.bytes += size;
+  }
+  write_file_atomically(manifest_path(), manifest_bytes(entries),
+                        "cache manifest");
+  return stats;
 }
 
 std::string cell_key(const std::string& runner_name, const SweepTask& task) {
@@ -199,8 +267,8 @@ std::string cell_key(const std::string& runner_name, const SweepTask& task) {
       c = '_';
     }
   }
-  const std::string bytes = scenario::canonical_spec_string(task.spec);
-  return name + "-" + to_string(task.backend) + "-" + hex64(fnv1a64(bytes));
+  return name + "-" + to_string(task.backend) + "-" +
+         scenario::canonical_spec_hash(task.spec);
 }
 
 }  // namespace bbrmodel::sweep

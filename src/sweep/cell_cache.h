@@ -17,6 +17,16 @@
 // Cells are one small CSV file each (exact %.17g numbers, so cached
 // metrics reproduce fresh runs bit-for-bit), written via rename for
 // atomicity under concurrent writers.
+//
+// A manifest file (`manifest.idx`) indexes the store so `stats()` and
+// `gc()` never have to readdir a directory holding millions of cells:
+// every `store()` appends its key and size, and gc rewrites the manifest
+// with the surviving cells. The manifest is an index, not the truth — the
+// cells themselves are — so it tolerates damage gracefully: a missing
+// manifest is rebuilt by one directory scan (`reindex()`), entries whose
+// cell vanished are dropped on the next gc, and cells added behind the
+// manifest's back (e.g. files copied in by hand) are picked up by
+// `bbrsweep cache reindex`.
 #pragma once
 
 #include <atomic>
@@ -56,27 +66,39 @@ class CellCache {
   /// cells count as misses.
   std::optional<metrics::AggregateMetrics> load(const std::string& key) const;
 
-  /// Persist a finished cell. Last writer wins; concurrent writers of the
-  /// same key write identical bytes (determinism), so the race is benign.
+  /// Persist a finished cell and record it in the manifest. Last writer
+  /// wins; concurrent writers of the same key write identical bytes
+  /// (determinism), so the race is benign.
   void store(const std::string& key, const metrics::AggregateMetrics& m) const;
 
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
   std::size_t stores() const { return stores_.load(); }
 
-  /// Count cells and bytes currently in the store.
+  /// Cells and bytes currently recorded in the manifest (no directory
+  /// scan; a missing manifest is rebuilt first). Duplicate appends for the
+  /// same key collapse to the latest entry.
   CacheStats stats() const;
 
   /// Evict cells, oldest modification time first (ties broken by file
   /// name for determinism), until the store holds at most `max_bytes` of
-  /// cells. Content addressing makes eviction always safe: an evicted
-  /// cell is simply recomputed and re-stored on next use. Adaptive and
-  /// figure sweeps can therefore share one long-lived store without it
-  /// growing unboundedly.
+  /// cells. Candidates come from the manifest, sizes and mtimes from the
+  /// cells themselves, and the manifest is rewritten with the survivors.
+  /// Content addressing makes eviction always safe: an evicted cell is
+  /// simply recomputed and re-stored on next use. Adaptive and figure
+  /// sweeps can therefore share one long-lived store without it growing
+  /// unboundedly.
   CacheGcResult gc(std::uintmax_t max_bytes) const;
+
+  /// Rebuild the manifest from one full directory scan — the recovery
+  /// path for a missing or stale index (`bbrsweep cache reindex`).
+  CacheStats reindex() const;
 
  private:
   std::string cell_path(const std::string& key) const;
+  std::string manifest_path() const;
+  /// Make sure a manifest exists, rebuilding it by scan when absent.
+  void ensure_manifest() const;
 
   std::string dir_;
   mutable std::atomic<std::size_t> hits_{0};
@@ -87,5 +109,15 @@ class CellCache {
 /// The content address of a task under a named runner. Requires a
 /// non-empty runner name and a cacheable spec (scenario::spec_cacheable).
 std::string cell_key(const std::string& runner_name, const SweepTask& task);
+
+/// The exact on-disk payload of one finished cell: a one-row CSV with
+/// exact %.17g numbers. Shared by the cache files and the work queue's
+/// result files, so both round-trip metrics bit-for-bit.
+std::string encode_cell_metrics(const metrics::AggregateMetrics& m);
+
+/// Inverse of encode_cell_metrics. nullopt on any damage or stale layout —
+/// a corrupt payload must read as absent, never as wrong data.
+std::optional<metrics::AggregateMetrics> decode_cell_metrics(
+    const std::string& bytes);
 
 }  // namespace bbrmodel::sweep

@@ -1,10 +1,9 @@
 #include "sweep/merge.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <map>
 #include <sstream>
 
+#include "common/parse.h"
 #include "common/require.h"
 
 namespace bbrmodel::sweep {
@@ -20,36 +19,65 @@ std::vector<std::string> split_lines(const std::string& text) {
 }
 
 std::size_t parse_index(const std::string& text, const std::string& what) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  BBRM_REQUIRE_MSG(end != text.c_str() && *end == '\0' && errno != ERANGE,
-                   "merge: bad " + what + ": '" + text + "'");
-  return static_cast<std::size_t>(v);
+  return static_cast<std::size_t>(parse_u64(text, "merge " + what));
+}
+
+/// One-line identity of a missing/duplicated cell: the index, plus the
+/// context's description (spec key + coordinates) when available.
+std::string cell_name(std::size_t index, const MergeContext& context) {
+  std::string name = "task " + std::to_string(index);
+  if (context.describe) {
+    name += " (" + context.describe(index) + ")";
+  }
+  return name;
 }
 
 /// Insert row `index` → `bytes`, rejecting duplicates.
 void add_row(std::map<std::size_t, std::string>& rows, std::size_t index,
-             std::string bytes) {
+             std::string bytes, const MergeContext& context) {
   BBRM_REQUIRE_MSG(rows.emplace(index, std::move(bytes)).second,
-                   "merge: task " + std::to_string(index) +
+                   "merge: " + cell_name(index, context) +
                        " appears in more than one shard");
 }
 
-/// Verify rows cover exactly 0..N−1 (a std::map iterates in index order).
-void require_complete(const std::map<std::size_t, std::string>& rows) {
-  std::size_t expected = 0;
-  for (const auto& [index, bytes] : rows) {
-    BBRM_REQUIRE_MSG(index == expected,
-                     "merge: shard union is missing task " +
-                         std::to_string(expected));
-    ++expected;
+/// Verify the union covers exactly 0..N−1, where N is the context's
+/// expected cell count (or, without one, the highest index present + 1 —
+/// contiguity is then the only checkable property). An incomplete union
+/// throws with every missing cell named, not just a count.
+void require_complete(const std::map<std::size_t, std::string>& rows,
+                      const MergeContext& context) {
+  const std::size_t expected =
+      context.expected_cells != 0
+          ? context.expected_cells
+          : (rows.empty() ? 0 : rows.rbegin()->first + 1);
+  BBRM_REQUIRE_MSG(rows.empty() || rows.rbegin()->first < expected,
+                   "merge: " + cell_name(rows.rbegin()->first, context) +
+                       " is beyond the plan's " +
+                       std::to_string(expected) + " cell(s)");
+  if (rows.size() == expected) return;  // contiguous: map keys are unique
+
+  constexpr std::size_t kMaxListed = 16;
+  std::vector<std::size_t> missing;
+  for (std::size_t index = 0; index < expected; ++index) {
+    if (rows.count(index) == 0) {
+      missing.push_back(index);
+      if (missing.size() > kMaxListed) break;
+    }
   }
+  std::string message = "merge: shard union is missing " +
+                        std::to_string(expected - rows.size()) +
+                        " of " + std::to_string(expected) + " cell(s):";
+  for (std::size_t i = 0; i < missing.size() && i < kMaxListed; ++i) {
+    message += "\n  " + cell_name(missing[i], context);
+  }
+  if (expected - rows.size() > kMaxListed) message += "\n  ...";
+  BBRM_REQUIRE_MSG(false, message);
 }
 
 }  // namespace
 
-std::string merge_csv(const std::vector<std::string>& inputs) {
+std::string merge_csv(const std::vector<std::string>& inputs,
+                      const MergeContext& context) {
   BBRM_REQUIRE_MSG(!inputs.empty(), "merge: no inputs");
   std::string header;
   std::map<std::size_t, std::string> rows;
@@ -67,17 +95,18 @@ std::string merge_csv(const std::vector<std::string>& inputs) {
       BBRM_REQUIRE_MSG(comma != std::string::npos,
                        "merge: malformed CSV row '" + lines[i] + "'");
       add_row(rows, parse_index(lines[i].substr(0, comma), "CSV task index"),
-              lines[i]);
+              lines[i], context);
     }
   }
-  require_complete(rows);
+  require_complete(rows, context);
 
   std::string out = header + '\n';
   for (const auto& [index, bytes] : rows) out += bytes + '\n';
   return out;
 }
 
-std::string merge_json(const std::vector<std::string>& inputs) {
+std::string merge_json(const std::vector<std::string>& inputs,
+                       const MergeContext& context) {
   BBRM_REQUIRE_MSG(!inputs.empty(), "merge: no inputs");
 
   // The writer's layout (common/json.h, two-space indent) puts every row
@@ -133,14 +162,14 @@ std::string merge_json(const std::vector<std::string>& inputs) {
         BBRM_REQUIRE_MSG(found, "merge: JSON row without a \"task\" member");
         std::string bytes;
         for (const auto& member : block) bytes += member + '\n';
-        add_row(rows, index, std::move(bytes));
+        add_row(rows, index, std::move(bytes), context);
         block.clear();
       }
     }
     BBRM_REQUIRE_MSG(saw_rows_array && !in_rows && block.empty(),
                      "merge: input is not a sweep JSON document");
   }
-  require_complete(rows);
+  require_complete(rows, context);
   BBRM_REQUIRE_MSG(declared_tasks == rows.size(),
                    "merge: declared task totals disagree with row count");
 

@@ -7,26 +7,43 @@
 // reproduces the unsharded run byte-for-byte — merge_csv / merge_json do
 // exactly that, and verify the union is complete (indices 0..N−1, no
 // duplicates, no holes) so a lost shard or a double-submitted one is an
-// error rather than silent data corruption.
+// error rather than silent data corruption. Incomplete unions name every
+// missing cell, and with a MergeContext (e.g. from `bbrsweep merge
+// --plan`) each one is described by its spec key and axis coordinates.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace bbrmodel::sweep {
 
+/// Optional context enriching merge verification and diagnostics.
+struct MergeContext {
+  /// The cell count the union must reach. 0 infers it from the highest
+  /// index present — which cannot detect a missing *tail* shard, so pass
+  /// the plan size whenever one is known.
+  std::size_t expected_cells = 0;
+  /// Maps a task index to a one-line cell identity (spec key + axis
+  /// coordinates; see ExecutionPlan::describe_cell). Unset = indices only.
+  std::function<std::string(std::size_t)> describe;
+};
+
 /// Merge whole-file CSV contents written by SweepResult::write_csv.
 /// Headers must match; rows are reordered by their leading task index.
 /// Throws PreconditionError on header mismatch, duplicate indices, or an
-/// incomplete union. Rows are treated as opaque bytes — the merge cannot
-/// perturb a single cell.
-std::string merge_csv(const std::vector<std::string>& inputs);
+/// incomplete union — the error lists which cells are missing. Rows are
+/// treated as opaque bytes — the merge cannot perturb a single cell.
+std::string merge_csv(const std::vector<std::string>& inputs,
+                      const MergeContext& context = {});
 
 /// Merge whole-file JSON contents written by SweepResult::write_json:
 /// row objects are interleaved by task index and the "sweep" totals are
 /// re-summed. Same verification as merge_csv. Relies on the writer's
 /// deterministic layout (common/json.h), which makes the merged document
 /// byte-identical to a single full run's.
-std::string merge_json(const std::vector<std::string>& inputs);
+std::string merge_json(const std::vector<std::string>& inputs,
+                       const MergeContext& context = {});
 
 }  // namespace bbrmodel::sweep

@@ -20,6 +20,14 @@ std::string to_string(Backend backend) {
   return "unknown";
 }
 
+std::optional<Backend> backend_from_name(const std::string& name) {
+  for (const Backend b :
+       {Backend::kFluid, Backend::kPacket, Backend::kReduced}) {
+    if (name == to_string(b)) return b;
+  }
+  return std::nullopt;
+}
+
 MixSpec homogeneous_mix(scenario::CcaKind kind) {
   return MixSpec{scenario::to_string(kind),
                  [kind](std::size_t n) { return scenario::homogeneous(kind, n); }};
@@ -28,6 +36,36 @@ MixSpec homogeneous_mix(scenario::CcaKind kind) {
 MixSpec half_half_mix(scenario::CcaKind a, scenario::CcaKind b) {
   return MixSpec{scenario::to_string(a) + "/" + scenario::to_string(b),
                  [a, b](std::size_t n) { return scenario::half_half(a, b, n); }};
+}
+
+MixSpec cyclic_mix(std::vector<scenario::CcaKind> kinds) {
+  BBRM_REQUIRE_MSG(!kinds.empty(), "a cyclic mix needs at least one CCA");
+  std::string label;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (i != 0) label += '/';
+    label += scenario::to_string(kinds[i]);
+  }
+  return MixSpec{label, [kinds, label](std::size_t n) {
+                   scenario::CcaMix mix;
+                   mix.label = label;
+                   mix.flows.reserve(n);
+                   for (std::size_t i = 0; i < n; ++i) {
+                     mix.flows.push_back(kinds[i % kinds.size()]);
+                   }
+                   return mix;
+                 }};
+}
+
+MixSpec leader_mix(scenario::CcaKind lead, scenario::CcaKind rest) {
+  const std::string label =
+      scenario::to_string(lead) + "+" + scenario::to_string(rest);
+  return MixSpec{label, [lead, rest, label](std::size_t n) {
+                   scenario::CcaMix mix;
+                   mix.label = label;
+                   mix.flows.assign(n, rest);
+                   if (!mix.flows.empty()) mix.flows.front() = lead;
+                   return mix;
+                 }};
 }
 
 std::vector<MixSpec> paper_mix_specs() {

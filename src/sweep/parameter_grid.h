@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,10 @@ enum class Backend { kFluid, kPacket, kReduced };
 
 std::string to_string(Backend backend);
 
+/// Inverse of to_string(Backend); nullopt on an unknown name. The one
+/// name→Backend table, shared by the CLI and the execution-plan codec.
+std::optional<Backend> backend_from_name(const std::string& name);
+
 /// A CCA-mix axis value that scales with the flow-count axis: a label plus
 /// a generator producing the concrete per-flow assignment for N flows.
 struct MixSpec {
@@ -42,6 +47,18 @@ MixSpec homogeneous_mix(scenario::CcaKind kind);
 
 /// First half runs `a`, second half `b`.
 MixSpec half_half_mix(scenario::CcaKind a, scenario::CcaKind b);
+
+/// Flow i runs kinds[i % kinds.size()] — arbitrary-length per-position
+/// patterns ("bbrv1/cubic/reno"). This is how the parking-lot workload
+/// assigns a CCA per hop: flow 0 is the long flow, flows 1..n-1 are the
+/// per-hop cross flows, so a cyclic mix paints the hops in a repeating
+/// CCA pattern.
+MixSpec cyclic_mix(std::vector<scenario::CcaKind> kinds);
+
+/// Flow 0 runs `lead`, every other flow runs `rest` (label "LEAD+REST").
+/// The long-flow-vs-uniform-cross-traffic shape of the parking-lot
+/// figures.
+MixSpec leader_mix(scenario::CcaKind lead, scenario::CcaKind rest);
 
 /// The seven mixes of the paper's aggregate figures (Figs. 6–10 legends).
 std::vector<MixSpec> paper_mix_specs();

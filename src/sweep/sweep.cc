@@ -11,6 +11,7 @@
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/require.h"
+#include "orchestrator/execution_plan.h"
 #include "scenario/spec_codec.h"
 #include "sweep/cell_cache.h"
 #include "sweep/thread_pool.h"
@@ -149,63 +150,75 @@ std::vector<std::string> SweepResult::csv_header() {
           "utilization_pct", "jitter_ms", "status",  "error"};
 }
 
-void SweepResult::write_csv(std::ostream& out) const {
-  CsvWriter csv(out, csv_header());
-  for (const auto& r : rows_) {
-    const auto& t = r.task;
-    csv.write_row(std::vector<std::string>{
-        csv_number(static_cast<double>(t.index)),
-        to_string(t.backend),
-        net::to_string(t.spec.discipline),
-        t.mix_label,
-        csv_number(static_cast<double>(t.spec.mix.flows.size())),
-        csv_number(t.spec.buffer_bdp),
-        csv_number(t.spec.min_rtt_s),
-        csv_number(t.spec.max_rtt_s),
-        std::to_string(t.spec.seed),
-        csv_number(r.metrics.jain),
-        csv_number(r.metrics.loss_pct),
-        csv_number(r.metrics.occupancy_pct),
-        csv_number(r.metrics.utilization_pct),
-        csv_number(r.metrics.jitter_ms),
-        r.ok ? "ok" : "failed",
-        r.error,
-    });
-  }
+void write_result_csv_row(CsvWriter& csv, const TaskResult& r) {
+  const auto& t = r.task;
+  csv.write_row(std::vector<std::string>{
+      csv_number(static_cast<double>(t.index)),
+      to_string(t.backend),
+      net::to_string(t.spec.discipline),
+      t.mix_label,
+      csv_number(static_cast<double>(t.spec.mix.flows.size())),
+      csv_number(t.spec.buffer_bdp),
+      csv_number(t.spec.min_rtt_s),
+      csv_number(t.spec.max_rtt_s),
+      std::to_string(t.spec.seed),
+      csv_number(r.metrics.jain),
+      csv_number(r.metrics.loss_pct),
+      csv_number(r.metrics.occupancy_pct),
+      csv_number(r.metrics.utilization_pct),
+      csv_number(r.metrics.jitter_ms),
+      r.ok ? "ok" : "failed",
+      r.error,
+  });
 }
 
-void SweepResult::write_json(std::ostream& out) const {
+void write_result_json_row(JsonWriter& j, const TaskResult& r) {
+  const auto& t = r.task;
+  j.begin_object();
+  j.key("task").value(static_cast<std::uint64_t>(t.index));
+  j.key("backend").value(to_string(t.backend));
+  j.key("discipline").value(net::to_string(t.spec.discipline));
+  j.key("mix").value(t.mix_label);
+  j.key("flows").value(static_cast<std::uint64_t>(t.spec.mix.flows.size()));
+  j.key("buffer_bdp").value(t.spec.buffer_bdp);
+  j.key("min_rtt_s").value(t.spec.min_rtt_s);
+  j.key("max_rtt_s").value(t.spec.max_rtt_s);
+  j.key("seed").value(static_cast<std::uint64_t>(t.spec.seed));
+  j.key("jain").value(r.metrics.jain);
+  j.key("loss_pct").value(r.metrics.loss_pct);
+  j.key("occupancy_pct").value(r.metrics.occupancy_pct);
+  j.key("utilization_pct").value(r.metrics.utilization_pct);
+  j.key("jitter_ms").value(r.metrics.jitter_ms);
+  j.key("ok").value(r.ok);
+  if (!r.ok) j.key("error").value(r.error);
+  j.end_object();
+}
+
+void write_sweep_json(std::ostream& out, std::size_t tasks,
+                      std::size_t failed,
+                      const std::function<void(JsonWriter&)>& emit_rows) {
   JsonWriter j(out);
   j.begin_object();
   j.key("sweep").begin_object();
-  j.key("tasks").value(static_cast<std::uint64_t>(rows_.size()));
-  j.key("failed").value(static_cast<std::uint64_t>(failed()));
+  j.key("tasks").value(static_cast<std::uint64_t>(tasks));
+  j.key("failed").value(static_cast<std::uint64_t>(failed));
   j.end_object();
   j.key("rows").begin_array();
-  for (const auto& r : rows_) {
-    const auto& t = r.task;
-    j.begin_object();
-    j.key("task").value(static_cast<std::uint64_t>(t.index));
-    j.key("backend").value(to_string(t.backend));
-    j.key("discipline").value(net::to_string(t.spec.discipline));
-    j.key("mix").value(t.mix_label);
-    j.key("flows").value(static_cast<std::uint64_t>(t.spec.mix.flows.size()));
-    j.key("buffer_bdp").value(t.spec.buffer_bdp);
-    j.key("min_rtt_s").value(t.spec.min_rtt_s);
-    j.key("max_rtt_s").value(t.spec.max_rtt_s);
-    j.key("seed").value(static_cast<std::uint64_t>(t.spec.seed));
-    j.key("jain").value(r.metrics.jain);
-    j.key("loss_pct").value(r.metrics.loss_pct);
-    j.key("occupancy_pct").value(r.metrics.occupancy_pct);
-    j.key("utilization_pct").value(r.metrics.utilization_pct);
-    j.key("jitter_ms").value(r.metrics.jitter_ms);
-    j.key("ok").value(r.ok);
-    if (!r.ok) j.key("error").value(r.error);
-    j.end_object();
-  }
+  if (emit_rows) emit_rows(j);
   j.end_array();
   j.end_object();
   out << '\n';
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  CsvWriter csv(out, csv_header());
+  for (const auto& r : rows_) write_result_csv_row(csv, r);
+}
+
+void SweepResult::write_json(std::ostream& out) const {
+  write_sweep_json(out, rows_.size(), failed(), [&](JsonWriter& j) {
+    for (const auto& r : rows_) write_result_json_row(j, r);
+  });
 }
 
 SweepResult run_tasks(const std::vector<SweepTask>& tasks,
@@ -244,11 +257,11 @@ SweepResult run_sweep(const ParameterGrid& grid,
     return adaptive::run_adaptive_sweep(grid, base, *options.refine,
                                         options);
   }
-  auto tasks = grid.expand(base, options.base_seed);
-  if (options.shard.count != 1 || options.shard.index != 0) {
-    tasks = filter_shard(std::move(tasks), options.shard);
-  }
-  return run_tasks(tasks, options);
+  // Every dense sweep is plan + execute: the same spine the distributed
+  // coordinator/workers drain, so the two paths cannot drift apart.
+  return orchestrator::execute(
+      orchestrator::ExecutionPlan::dense(grid, base, options.base_seed),
+      options);
 }
 
 }  // namespace bbrmodel::sweep

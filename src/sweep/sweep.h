@@ -24,6 +24,11 @@
 #include "sweep/parameter_grid.h"
 #include "sweep/runner.h"
 
+namespace bbrmodel {
+class CsvWriter;
+class JsonWriter;
+}
+
 namespace bbrmodel::adaptive {
 struct RefinementPolicy;
 }
@@ -116,6 +121,22 @@ class SweepResult {
   std::vector<TaskResult> rows_;
   double elapsed_s_ = 0.0;
 };
+
+/// Serialize one finished task exactly as SweepResult::write_csv renders
+/// its row. Shared with the orchestrator's streaming collector, which
+/// appends rows one completed cell at a time instead of materializing a
+/// whole SweepResult — both paths produce identical bytes by construction.
+void write_result_csv_row(CsvWriter& csv, const TaskResult& row);
+
+/// The JSON sibling: one row object, emitted inside an open "rows" array.
+void write_result_json_row(JsonWriter& j, const TaskResult& row);
+
+/// The full JSON document envelope of write_json: totals under "sweep",
+/// then whatever `emit_rows` streams into the open "rows" array. Shared
+/// with the streaming collector for byte-identical distributed output.
+void write_sweep_json(std::ostream& out, std::size_t tasks,
+                      std::size_t failed,
+                      const std::function<void(JsonWriter&)>& emit_rows);
 
 /// Run every task (already expanded and, if desired, shard-filtered)
 /// through options.runner and aggregate. Tasks execute in arbitrary order

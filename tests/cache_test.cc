@@ -6,9 +6,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -395,6 +397,88 @@ TEST(CellCache, GcEvictsOldestMtimeFirst) {
   const auto cleared = cache.gc(0);
   EXPECT_EQ(cleared.evicted_cells, 2u);
   EXPECT_EQ(cache.stats().cells, 0u);
+}
+
+TEST(CellCache, ManifestIndexesTheStoreWithoutDirectoryScans) {
+  const std::string dir = scratch_dir("cellcache_manifest");
+  CellCache cache(dir);
+  metrics::AggregateMetrics m;
+  m.mean_rate_pps = {1.0, 2.0};
+  cache.store("cell-a", m);
+  cache.store("cell-b", m);
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / "manifest.idx"));
+  EXPECT_EQ(cache.stats().cells, 2u);
+
+  // stats() reads the manifest, not the directory: a cell removed behind
+  // the manifest's back goes unnoticed (the documented staleness) until
+  // reindex() rebuilds the truth from the cells themselves.
+  std::filesystem::remove(std::filesystem::path(dir) / "cell-a.cell");
+  EXPECT_EQ(cache.stats().cells, 2u) << "stats must not rescan the store";
+  const auto rebuilt = cache.reindex();
+  EXPECT_EQ(rebuilt.cells, 1u);
+  EXPECT_EQ(cache.stats().cells, 1u);
+
+  // A gc prunes vanished entries too (sizes/mtimes come from the files).
+  cache.store("cell-c", m);
+  std::filesystem::remove(std::filesystem::path(dir) / "cell-b.cell");
+  const auto result = cache.gc(1 << 30);
+  EXPECT_EQ(result.kept_cells, 1u);
+  EXPECT_EQ(cache.stats().cells, 1u);
+}
+
+TEST(CellCache, MissingManifestIsRebuiltOnFirstUse) {
+  const std::string dir = scratch_dir("cellcache_reindex");
+  CellCache cache(dir);
+  metrics::AggregateMetrics m;
+  m.aux = {1.0};
+  cache.store("cell-a", m);
+  cache.store("cell-b", m);
+  std::filesystem::remove(std::filesystem::path(dir) / "manifest.idx");
+  EXPECT_EQ(cache.stats().cells, 2u)
+      << "stats on a manifest-less store must rebuild the index by scan";
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / "manifest.idx"));
+}
+
+TEST(CellCache, StoreIntoAPreManifestStoreIndexesTheLegacyCells) {
+  // A directory written before the manifest existed: store() must rebuild
+  // the full index before its own append, or the legacy cells would be
+  // permanently invisible to stats/gc.
+  const std::string dir = scratch_dir("cellcache_legacy");
+  metrics::AggregateMetrics m;
+  m.aux = {1.0};
+  {
+    CellCache cache(dir);
+    cache.store("legacy-a", m);
+    cache.store("legacy-b", m);
+  }
+  std::filesystem::remove(std::filesystem::path(dir) / "manifest.idx");
+
+  CellCache upgraded(dir);
+  upgraded.store("new-cell", m);  // first touch is a store, not stats()
+  EXPECT_EQ(upgraded.stats().cells, 3u)
+      << "legacy cells must survive the first post-upgrade store";
+}
+
+TEST(CellMetricsCodec, RoundTripsExactly) {
+  metrics::AggregateMetrics m;
+  m.jain = 1.0 / 3.0;
+  m.loss_pct = 8.9686674800393877;
+  m.occupancy_pct = std::numeric_limits<double>::quiet_NaN();
+  m.utilization_pct = 98.0799912593069;
+  m.jitter_ms = 1e-9;
+  m.mean_rate_pps = {3193.1982242802223};
+  m.aux = {};
+  const auto decoded = decode_cell_metrics(encode_cell_metrics(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->jain, m.jain);
+  EXPECT_EQ(decoded->loss_pct, m.loss_pct);
+  EXPECT_TRUE(std::isnan(decoded->occupancy_pct));
+  EXPECT_EQ(decoded->mean_rate_pps, m.mean_rate_pps);
+  EXPECT_TRUE(decoded->aux.empty());
+  EXPECT_FALSE(decode_cell_metrics("old,header\n1,2\n").has_value());
+  EXPECT_FALSE(decode_cell_metrics("").has_value());
 }
 
 TEST(Merge, RejectsIncompleteOrDuplicatedUnions) {

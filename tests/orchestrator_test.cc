@@ -1,0 +1,565 @@
+// Tests of the orchestrator spine: the ExecutionPlan (single canonical
+// cell set behind dense, adaptive, and ad-hoc sweeps; deterministic byte
+// serialization) and the durable file-based WorkQueue (atomic-rename
+// claims, leases with expiry and heartbeat, crash-safe re-enqueue,
+// streaming collection byte-identical to the single-process run).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "adaptive/policy.h"
+#include "adaptive/refiner.h"
+#include "common/require.h"
+#include "common/units.h"
+#include "orchestrator/execution_plan.h"
+#include "orchestrator/work_queue.h"
+#include "scenario/spec_codec.h"
+#include "sweep/merge.h"
+#include "sweep/workloads.h"
+
+namespace bbrmodel::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// A fast, deterministic, pure-function-of-the-spec runner (named so it
+/// could cache) standing in for an expensive simulation.
+sweep::Runner synthetic_runner(std::atomic<std::size_t>* calls = nullptr) {
+  return {"synthetic", [calls](const sweep::SweepTask& task) {
+            if (calls != nullptr) calls->fetch_add(1);
+            metrics::AggregateMetrics m;
+            m.jain = 1.0;
+            m.loss_pct = task.spec.buffer_bdp;
+            m.occupancy_pct = static_cast<double>(task.spec.seed % 1000);
+            m.utilization_pct = 100.0;
+            m.jitter_ms = 0.25;
+            m.mean_rate_pps = {task.spec.capacity_pps, 1.0 / 3.0};
+            m.aux = {static_cast<double>(task.index)};
+            return m;
+          }};
+}
+
+sweep::ParameterGrid small_grid() {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid, sweep::Backend::kPacket};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0, 2.0, 3.0};
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                sweep::half_half_mix(scenario::CcaKind::kBbrv1,
+                                     scenario::CcaKind::kReno)};
+  return grid;
+}
+
+scenario::ExperimentSpec small_base() {
+  scenario::ExperimentSpec base;
+  base.capacity_pps = mbps_to_pps(20.0);
+  base.duration_s = 0.5;
+  return base;
+}
+
+// ---- ExecutionPlan --------------------------------------------------------
+
+TEST(ExecutionPlan, DenseMatchesGridExpansion) {
+  const auto grid = small_grid();
+  const auto plan = ExecutionPlan::dense(grid, small_base(), 7, "backend");
+  const auto tasks = grid.expand(small_base(), 7);
+  ASSERT_EQ(plan.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(plan.cell(i).index, tasks[i].index);
+    EXPECT_EQ(plan.cell(i).backend, tasks[i].backend);
+    EXPECT_EQ(plan.cell(i).spec.seed, tasks[i].spec.seed);
+    EXPECT_EQ(plan.cell(i).mix_label, tasks[i].mix_label);
+  }
+  EXPECT_EQ(plan.runner_name(), "backend");
+}
+
+TEST(ExecutionPlan, ExecuteMatchesRunSweepByteForByte) {
+  const auto grid = small_grid();
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+
+  std::ostringstream via_plan, via_run_sweep;
+  execute(ExecutionPlan::dense(grid, small_base(), options.base_seed),
+          options)
+      .write_csv(via_plan);
+  sweep::run_sweep(grid, small_base(), options).write_csv(via_run_sweep);
+  EXPECT_EQ(via_plan.str(), via_run_sweep.str());
+}
+
+TEST(ExecutionPlan, ShardedExecutionMergesByteIdentically) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+
+  std::ostringstream full;
+  execute(plan, options).write_csv(full);
+
+  std::vector<std::string> shards;
+  for (std::size_t k = 0; k < 3; ++k) {
+    sweep::SweepOptions sharded = options;
+    sharded.shard = {k, 3};
+    std::ostringstream out;
+    execute(plan, sharded).write_csv(out);
+    shards.push_back(out.str());
+  }
+  EXPECT_EQ(sweep::merge_csv(shards), full.str());
+}
+
+TEST(ExecutionPlan, SerializeParsesBackByteIdentically) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42,
+                                         "parking-lot");
+  const std::string bytes = plan.serialize();
+  const auto parsed = ExecutionPlan::parse(bytes);
+  EXPECT_EQ(parsed.serialize(), bytes);
+  EXPECT_EQ(parsed.runner_name(), "parking-lot");
+  ASSERT_EQ(parsed.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(parsed.cell(i).index, plan.cell(i).index);
+    EXPECT_EQ(parsed.cell(i).backend, plan.cell(i).backend);
+    EXPECT_EQ(parsed.cell(i).mix_label, plan.cell(i).mix_label);
+    EXPECT_EQ(scenario::canonical_spec_string(parsed.cell(i).spec),
+              scenario::canonical_spec_string(plan.cell(i).spec));
+  }
+}
+
+TEST(ExecutionPlan, ParseRejectsMalformedDocuments) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  const std::string bytes = plan.serialize();
+  EXPECT_THROW(ExecutionPlan::parse("not a plan"), PreconditionError);
+  EXPECT_THROW(ExecutionPlan::parse(bytes.substr(0, bytes.size() / 2)),
+               PreconditionError);
+  EXPECT_THROW(ExecutionPlan::parse(bytes + "trailing junk\n"),
+               PreconditionError);
+}
+
+TEST(ExecutionPlan, AdHocTasksRequireIncreasingIndices) {
+  auto tasks = small_grid().expand(small_base(), 42);
+  std::swap(tasks[0], tasks[1]);
+  EXPECT_THROW(ExecutionPlan::from_tasks(std::move(tasks)),
+               PreconditionError);
+}
+
+TEST(ExecutionPlan, UncacheableSpecsCannotSerialize) {
+  scenario::ExperimentSpec spec = small_base();
+  spec.mix = scenario::homogeneous(scenario::CcaKind::kBbrv2, 2);
+  spec.bbr_init = [](std::size_t) { return core::BbrInit{}; };
+  const auto plan = ExecutionPlan::from_tasks(
+      {sweep::make_task(0, sweep::Backend::kFluid, spec, 42)});
+  EXPECT_THROW(plan.serialize(), PreconditionError);
+}
+
+TEST(ExecutionPlan, AdaptiveSourceMatchesRunAdaptiveSweep) {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kReduced};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {0.25, 2.0, 4.0, 6.0};
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+  adaptive::RefinementPolicy policy;
+  policy.max_depth = 2;
+
+  sweep::SweepOptions options;
+  std::ostringstream via_plan, via_adaptive;
+  execute(ExecutionPlan::adaptive(grid, small_base(), policy, options),
+          options)
+      .write_csv(via_plan);
+  adaptive::run_adaptive_sweep(grid, small_base(), policy, options)
+      .write_csv(via_adaptive);
+  EXPECT_EQ(via_plan.str(), via_adaptive.str());
+  EXPECT_GT(via_plan.str().size(), 0u);
+}
+
+TEST(ExecutionPlan, DescribeCellNamesCoordinatesAndSpecKey) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  const std::string description = plan.describe_cell(1);
+  EXPECT_NE(description.find("backend=fluid"), std::string::npos);
+  EXPECT_NE(description.find("flows=4"), std::string::npos);
+  EXPECT_NE(description.find(
+                "spec=" + scenario::canonical_spec_hash(plan.cell(1).spec)),
+            std::string::npos);
+  EXPECT_THROW(plan.describe_cell(plan.size() + 10), PreconditionError);
+}
+
+// ---- merge diagnostics ----------------------------------------------------
+
+TEST(MergeContext, MissingCellsAreNamedWithCoordinates) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.shard = {0, 2};
+  std::ostringstream shard0;
+  execute(plan, options).write_csv(shard0);
+
+  sweep::MergeContext context;
+  context.expected_cells = plan.size();
+  context.describe = [&](std::size_t i) { return plan.describe_cell(i); };
+  try {
+    sweep::merge_csv({shard0.str()}, context);
+    FAIL() << "an incomplete union must throw";
+  } catch (const PreconditionError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("missing 6 of 12 cell(s)"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("task 1 (backend="), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("spec="), std::string::npos) << message;
+  }
+}
+
+TEST(MergeContext, ExpectedCellsDetectsMissingTail) {
+  // Without a plan, a merge can only check contiguity — a missing *tail*
+  // shard is invisible. The expected count closes that hole.
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  auto result = execute(plan, options);
+
+  // Drop the last row by serializing a truncated task list.
+  auto tasks = plan.cells();
+  tasks.pop_back();
+  std::ostringstream truncated;
+  execute(ExecutionPlan::from_tasks(std::move(tasks)), options)
+      .write_csv(truncated);
+
+  EXPECT_NO_THROW(sweep::merge_csv({truncated.str()}))
+      << "contiguous-but-short unions pass without an expected count";
+  sweep::MergeContext context;
+  context.expected_cells = plan.size();
+  EXPECT_THROW(sweep::merge_csv({truncated.str()}, context),
+               PreconditionError);
+}
+
+// ---- WorkQueue ------------------------------------------------------------
+
+TEST(WorkQueue, SeedClaimCompleteLifecycle) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42,
+                                         "synthetic");
+  WorkQueue queue(scratch_dir("wq_lifecycle"), /*lease_s=*/60.0);
+  EXPECT_FALSE(queue.has_plan());
+  queue.seed(plan);
+  EXPECT_TRUE(queue.has_plan());
+  EXPECT_EQ(queue.load_plan().serialize(), plan.serialize());
+
+  auto progress = queue.progress();
+  EXPECT_EQ(progress.pending, plan.size());
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_EQ(progress.done, 0u);
+
+  // Claims come lowest-index first, and a claimed cell cannot be claimed
+  // again — the second worker gets the next one.
+  const auto first = queue.try_claim("worker-a");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 0u);
+  const auto second = queue.try_claim("worker-b");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 1u);
+  progress = queue.progress();
+  EXPECT_EQ(progress.pending, plan.size() - 2);
+  EXPECT_EQ(progress.active, 2u);
+
+  // Renewal works while held.
+  EXPECT_TRUE(queue.renew(*first, "worker-a"));
+  EXPECT_FALSE(queue.renew(*first, "worker-b"))
+      << "a worker cannot renew someone else's lease";
+
+  // Complete publishes the result and releases the claim.
+  sweep::TaskResult result;
+  result.task = plan.cell_by_index(*first);
+  result.metrics = synthetic_runner().fn(result.task);
+  queue.complete(result, "worker-a");
+  progress = queue.progress();
+  EXPECT_EQ(progress.active, 1u);
+  EXPECT_EQ(progress.done, 1u);
+  EXPECT_FALSE(queue.renew(*first, "worker-a"))
+      << "a completed cell has no lease left";
+
+  const auto loaded = queue.load_result(result.task);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ok);
+  EXPECT_EQ(loaded->metrics.loss_pct, result.metrics.loss_pct);
+  EXPECT_EQ(loaded->metrics.mean_rate_pps, result.metrics.mean_rate_pps);
+  EXPECT_FALSE(queue.load_result(plan.cell_by_index(2)).has_value())
+      << "unfinished cells have no result";
+}
+
+TEST(WorkQueue, EmptyQueueClaimsReturnNothing) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_empty"), 60.0);
+  EXPECT_FALSE(queue.try_claim("worker-a").has_value())
+      << "an unseeded queue has nothing to claim";
+  queue.seed(plan);
+  std::size_t claimed = 0;
+  while (queue.try_claim("worker-a").has_value()) ++claimed;
+  EXPECT_EQ(claimed, plan.size());
+  EXPECT_FALSE(queue.try_claim("worker-a").has_value());
+  EXPECT_EQ(queue.recover_expired(), 0u)
+      << "fresh leases must not be recovered";
+}
+
+TEST(WorkQueue, FailedCellsRoundTripStatusAndError) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_failed"), 60.0);
+  queue.seed(plan);
+
+  sweep::TaskResult failed;
+  failed.task = plan.cell(0);
+  failed.ok = false;
+  failed.error = "boom with detail";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  failed.metrics.jain = failed.metrics.loss_pct = nan;
+  queue.complete(failed, "worker-a");
+
+  const auto loaded = queue.load_result(plan.cell(0));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->ok);
+  EXPECT_EQ(loaded->error, "boom with detail");
+  EXPECT_TRUE(std::isnan(loaded->metrics.jain));
+}
+
+TEST(WorkQueue, SeedIsIdempotentAndRejectsDifferentPlans) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_reseed"), 60.0);
+  queue.seed(plan);
+
+  // Claim one cell and finish another, then re-seed: neither may be
+  // re-enqueued, the rest must stay pending exactly once.
+  const auto claimed = queue.try_claim("worker-a");
+  ASSERT_TRUE(claimed.has_value());
+  const auto finished = queue.try_claim("worker-b");
+  ASSERT_TRUE(finished.has_value());
+  sweep::TaskResult done;
+  done.task = plan.cell_by_index(*finished);
+  done.metrics = synthetic_runner().fn(done.task);
+  queue.complete(done, "worker-b");
+
+  queue.seed(plan);
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.pending, plan.size() - 2);
+  EXPECT_EQ(progress.active, 1u);
+  EXPECT_EQ(progress.done, 1u);
+
+  const auto other = ExecutionPlan::dense(small_grid(), small_base(), 43);
+  EXPECT_THROW(queue.seed(other), PreconditionError)
+      << "a different plan must never corrupt an existing queue";
+}
+
+TEST(WorkQueue, ExpiredLeaseIsReEnqueuedAndFreshOnesAreNot) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_expiry"), /*lease_s=*/0.05);
+  queue.seed(plan);
+
+  // Worker A claims a cell and dies silently (no heartbeat, no result).
+  const auto lost = queue.try_claim("worker-a");
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(queue.recover_expired(), 0u) << "the lease is still fresh";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(queue.recover_expired(), 1u);
+  EXPECT_EQ(queue.progress().active, 0u);
+  EXPECT_EQ(queue.progress().pending, plan.size());
+
+  // The recovered cell is claimable again; worker A's late renewal fails.
+  const auto reclaimed = queue.try_claim("worker-b");
+  ASSERT_TRUE(reclaimed.has_value());
+  EXPECT_EQ(*reclaimed, *lost);
+  EXPECT_FALSE(queue.renew(*lost, "worker-a"));
+}
+
+TEST(WorkQueue, CrashAfterPublishDropsTheStaleClaimWithoutReEnqueue) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_after_publish"), 0.05);
+  queue.seed(plan);
+
+  const auto index = queue.try_claim("worker-a");
+  ASSERT_TRUE(index.has_value());
+  // Publish under a different id: worker-a's claim file survives, exactly
+  // as if it crashed between publishing and releasing.
+  sweep::TaskResult result;
+  result.task = plan.cell_by_index(*index);
+  result.metrics = synthetic_runner().fn(result.task);
+  queue.complete(result, "worker-b");
+  EXPECT_EQ(queue.progress().active, 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(queue.recover_expired(), 0u)
+      << "a published cell must not go back to pending";
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.active, 0u) << "the stale claim is dropped";
+  EXPECT_EQ(progress.done, 1u);
+}
+
+// ---- run_worker + streaming collection ------------------------------------
+
+/// The reference bytes every queue-driven run must reproduce.
+struct Reference {
+  std::string csv;
+  std::string json;
+};
+
+Reference reference_bytes(const ExecutionPlan& plan,
+                          const sweep::SweepOptions& options) {
+  std::ostringstream csv, json;
+  const auto result = execute(plan, options);
+  result.write_csv(csv);
+  result.write_json(json);
+  return {csv.str(), json.str()};
+}
+
+TEST(RunWorker, DrainsTheQueueAndCollectsByteIdentically) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+
+  WorkQueue queue(scratch_dir("wq_drain"), 60.0);
+  queue.seed(plan);
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 1;
+  const auto report =
+      run_worker(queue, plan, worker_options, "worker-a", 0, 0.01);
+  EXPECT_EQ(report.completed, plan.size());
+  EXPECT_EQ(report.failed, 0u);
+
+  std::ostringstream csv, json;
+  EXPECT_EQ(collect_csv(queue, plan, csv), 0u);
+  EXPECT_EQ(collect_json(queue, plan, json), 0u);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "queue-driven CSV must be byte-identical to the in-process run";
+  EXPECT_EQ(json.str(), reference.json);
+}
+
+TEST(RunWorker, DeadWorkerMidCellIsRecoveredAndOutputStaysByteIdentical) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+
+  // Short lease so the dead worker's cell recovers quickly.
+  WorkQueue queue(scratch_dir("wq_dead_worker"), /*lease_s=*/0.05);
+  queue.seed(plan);
+
+  // Worker A claims a cell and dies mid-simulation: no heartbeat, no
+  // result, its claim file left behind.
+  const auto abandoned = queue.try_claim("worker-a");
+  ASSERT_TRUE(abandoned.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // A surviving worker drains the whole plan, re-enqueueing the expired
+  // cell along the way.
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 2;
+  const auto report =
+      run_worker(queue, plan, worker_options, "worker-b", 0, 0.01);
+  EXPECT_EQ(report.completed, plan.size());
+
+  std::ostringstream csv, json;
+  collect_csv(queue, plan, csv);
+  collect_json(queue, plan, json);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "a crash + re-enqueue must not change a byte";
+  EXPECT_EQ(json.str(), reference.json);
+}
+
+TEST(RunWorker, ConcurrentWorkersSplitTheCellsExactlyOnce) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  std::atomic<std::size_t> calls{0};
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner(&calls);
+  const auto reference = reference_bytes(plan, options);
+  calls.store(0);
+
+  WorkQueue queue(scratch_dir("wq_concurrent"), 60.0);
+  queue.seed(plan);
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 1;
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> workers;
+  for (const char* id : {"worker-a", "worker-b", "worker-c"}) {
+    workers.emplace_back([&, id] {
+      total.fetch_add(
+          run_worker(queue, plan, worker_options, id, 0, 0.01).completed);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(total.load(), plan.size());
+  EXPECT_EQ(calls.load(), plan.size())
+      << "every cell simulates exactly once across all workers";
+  std::ostringstream csv;
+  collect_csv(queue, plan, csv);
+  EXPECT_EQ(csv.str(), reference.csv);
+}
+
+TEST(RunWorker, MaxCellsStopsEarly) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_maxcells"), 60.0);
+  queue.seed(plan);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.threads = 1;
+  const auto report =
+      run_worker(queue, plan, options, "worker-a", /*max_cells=*/3, 0.01);
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(queue.progress().done, 3u);
+}
+
+TEST(RunWorker, MaxCellsIsExactUnderConcurrentClaimLoops) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_maxcells_mt"), 60.0);
+  queue.seed(plan);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.threads = 4;  // the cap is a shared budget, not per-loop
+  const auto report =
+      run_worker(queue, plan, options, "worker-a", /*max_cells=*/3, 0.01);
+  EXPECT_EQ(report.completed, 3u)
+      << "concurrent claim loops must not overshoot --max-cells";
+  EXPECT_EQ(queue.progress().done, 3u);
+}
+
+TEST(RunWorker, ClaimLoopErrorsSurfaceInsteadOfTerminating) {
+  // A queue seeded with cells the plan does not know (a reused dir, a
+  // stray file) must fail with the loud lookup error on the caller's
+  // thread, not std::terminate inside a worker thread.
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_bad_cell"), 60.0);
+  queue.seed(plan);
+
+  std::ofstream(fs::path(queue.dir()) / "pending" / "0000000999.cell")
+      << "queued\n";
+
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.threads = 2;
+  EXPECT_THROW(run_worker(queue, plan, options, "worker-a", 0, 0.01),
+               PreconditionError)
+      << "claiming a cell the plan cannot resolve must propagate";
+}
+
+TEST(Collect, IncompleteQueueThrowsNamingTheMissingCell) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_incomplete"), 60.0);
+  queue.seed(plan);
+  std::ostringstream out;
+  EXPECT_THROW(collect_csv(queue, plan, out), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bbrmodel::orchestrator

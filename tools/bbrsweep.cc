@@ -22,7 +22,11 @@
 //   bbrsweep --adaptive --backends fluid --mixes bbrv1 --buffers 1,3,5,7
 //   bbrsweep plan --backends reduced --mixes bbrv1 --refine-depth 2
 //   bbrsweep cache gc --max-bytes 512M --cache-dir /tmp/cells
+#include <unistd.h>
+
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,16 +37,21 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "adaptive/policy.h"
 #include "adaptive/refiner.h"
+#include "common/atomic_io.h"
 #include "common/units.h"
+#include "orchestrator/execution_plan.h"
+#include "orchestrator/work_queue.h"
 #include "sweep/cell_cache.h"
 #include "sweep/merge.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
+#include "sweep/workloads.h"
 
 namespace {
 
@@ -52,14 +61,20 @@ constexpr const char* kUsage = R"(bbrsweep — parallel BBR scenario sweeps
 
 Usage: bbrsweep [options]
        bbrsweep plan [options]
-       bbrsweep merge (--csv OUT | --json OUT) FILE...
-       bbrsweep cache (stats | gc --max-bytes N[K|M|G]) [--cache-dir DIR]
+       bbrsweep coordinator --queue-dir DIR [options]
+       bbrsweep worker --queue-dir DIR [worker options]
+       bbrsweep merge (--csv OUT | --json OUT) [--plan FILE] FILE...
+       bbrsweep cache (stats | gc --max-bytes N[K|M|G] | reindex)
+                      [--cache-dir DIR]
 
 Grid axes (comma-separated lists; defaults reproduce Figs. 6-10):
-  --mixes LIST        CCA mixes: homogeneous (bbrv1, bbrv2, cubic, reno)
-                      or half/half (bbrv1/cubic, ...); default: the paper's
-                      seven (bbrv1, bbrv1/bbrv2, bbrv1/cubic, bbrv1/reno,
-                      bbrv2, bbrv2/cubic, bbrv2/reno)
+  --mixes LIST        CCA mixes: homogeneous (bbrv1, bbrv2, cubic, reno),
+                      half/half (bbrv1/cubic), leader+rest (bbrv1+reno:
+                      flow 0 vs uniform cross traffic), or cyclic patterns
+                      of 3+ CCAs (bbrv1/cubic/reno: flow i runs the i-th
+                      CCA, wrapping); default: the paper's seven (bbrv1,
+                      bbrv1/bbrv2, bbrv1/cubic, bbrv1/reno, bbrv2,
+                      bbrv2/cubic, bbrv2/reno)
   --buffers LIST      bottleneck buffers in BDP (default 1,2,3,4,5,6,7)
   --flows LIST        flow counts N (default 10)
   --rtts LIST         RTT spreads as min:max in ms (default 30:40)
@@ -75,6 +90,14 @@ Scenario constants:
   --capacity MBPS     bottleneck capacity (default 100)
   --duration S        simulated seconds per experiment (default 5)
   --step US           fluid solver step in microseconds (default 50)
+
+Workload:
+  --workload NAME     dumbbell (default; the paper's validation topology,
+                      dispatched per the --backends axis) or parking-lot
+                      (paper §8 multi-bottleneck: flow 0 of each mix is
+                      the long flow, flows 1..n-1 are the per-hop cross
+                      flows, so --flows N sweeps N-1 hops and cyclic
+                      --mixes paint the hops in CCA patterns)
 
 Adaptive refinement (--adaptive, and the `plan` subcommand):
   --adaptive          triage the grid with a cheap runner, subdivide only
@@ -118,14 +141,37 @@ Output:
 Failed tasks are reported in the CSV/JSON rows (status/error columns)
 instead of aborting the sweep; the exit code is 3 if any task failed.
 
+Distributed execution (one plan, any number of machines sharing DIR):
+  coordinator         build the execution plan (dense, or --adaptive via
+                      the triage rounds), seed the durable work queue in
+                      --queue-dir, watch progress (re-enqueueing cells
+                      whose worker lease expired), then stream the merged
+                      CSV/JSON — byte-identical to the single-process run.
+                      Re-running a crashed coordinator resumes the queue.
+  worker              drain cells from --queue-dir until the plan is done:
+                      claim (atomic rename), simulate, publish, heartbeat.
+                      Workers may join, crash, and restart at any time.
+  --queue-dir DIR     the shared queue directory
+  --lease S           claim lease: a cell whose worker misses heartbeats
+                      for S seconds is re-enqueued (default 60)
+  --poll S            progress/claim poll interval (default 0.5)
+  worker only:
+  --worker-id ID      claim-file name ([A-Za-z0-9_-]; default host-pid)
+  --max-cells N       publish at most N cells, then exit (0 = no limit)
+  --plan-wait S       wait up to S seconds for the coordinator to seed
+                      the plan (default 60)
+  (--threads, --cache-dir, --timeout, --retries apply per worker)
+
 merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
 flag) into the byte-identical unsharded file, verifying the union covers
-every task exactly once.
+every task exactly once. --plan FILE (a queue's plan.bbrplan) names the
+missing cells' spec keys and coordinates on incomplete unions.
 
 cache: maintain a --cache-dir store (defaults to $BBRM_SWEEP_CACHE).
-`stats` prints cell count and bytes; `gc --max-bytes N[K|M|G]` evicts
-oldest-modified cells first until the store fits — evicted cells are
-simply recomputed on next use.
+`stats` prints cell count and bytes from the manifest index; `gc
+--max-bytes N[K|M|G]` evicts oldest-modified cells first until the store
+fits — evicted cells are simply recomputed on next use; `reindex`
+rebuilds the manifest from the cells after manual edits or damage.
 )";
 
 [[noreturn]] void fail(const std::string& message) {
@@ -218,12 +264,29 @@ scenario::CcaKind parse_cca(const std::string& name) {
 }
 
 sweep::MixSpec parse_mix(const std::string& token) {
+  // Validate the token shape before delegating to parse_cca, so a
+  // malformed *mix* ("a+b+c", "a/b+c") gets the mix grammar in its error
+  // instead of a misleading unknown-CCA complaint.
+  if (token.find('+') != std::string::npos) {
+    // "lead+rest": flow 0 runs lead, everyone else rest (parking-lot
+    // long flow vs uniform cross traffic).
+    const auto plus = split(token, '+');
+    if (plus.size() != 2 || token.find('/') != std::string::npos) {
+      fail("bad mix (want CCA, CCA/CCA, CCA+CCA, or CCA/CCA/CCA...): " +
+           token);
+    }
+    return sweep::leader_mix(parse_cca(plus[0]), parse_cca(plus[1]));
+  }
   const auto kinds = split(token, '/');
   if (kinds.size() == 1) return sweep::homogeneous_mix(parse_cca(kinds[0]));
+  // Two kinds keep the paper's half/half split; three or more cycle
+  // per-position (flow i runs kinds[i % k]).
   if (kinds.size() == 2) {
     return sweep::half_half_mix(parse_cca(kinds[0]), parse_cca(kinds[1]));
   }
-  fail("bad mix (want CCA or CCA/CCA): " + token);
+  std::vector<scenario::CcaKind> cycle;
+  for (const auto& kind : kinds) cycle.push_back(parse_cca(kind));
+  return sweep::cyclic_mix(std::move(cycle));
 }
 
 net::Discipline parse_discipline(const std::string& name) {
@@ -235,12 +298,13 @@ net::Discipline parse_discipline(const std::string& name) {
 }
 
 sweep::Backend parse_backend(const std::string& name) {
-  return parse_choice<sweep::Backend>(
-      "backend",
-      {{"fluid", sweep::Backend::kFluid},
-       {"packet", sweep::Backend::kPacket},
-       {"reduced", sweep::Backend::kReduced}},
-      name);
+  // One shared name table (sweep::backend_from_name); only the
+  // exit-code-2 error style lives here.
+  const auto backend = sweep::backend_from_name(name);
+  if (!backend) {
+    fail("unknown backend '" + name + "' (valid: fluid, packet, reduced)");
+  }
+  return *backend;
 }
 
 sweep::RttDist parse_rtt_dist(const std::string& name) {
@@ -261,13 +325,13 @@ adaptive::RefineMetric parse_metric(const std::string& name) {
 }
 
 sweep::Runner parse_triage(const std::string& name) {
-  return parse_choice<sweep::Runner>(
-      "triage runner",
-      {{"reduced", sweep::reduced_runner()},
-       {"fluid", sweep::fluid_runner()},
-       {"packet", sweep::packet_runner()},
-       {"backend", sweep::backend_runner()}},
-      name);
+  // The registry the work queue resolves plans against also names every
+  // triage candidate — one list, one spelling.
+  std::vector<std::pair<std::string, sweep::Runner>> choices;
+  for (const auto& known : sweep::runner_names()) {
+    choices.emplace_back(known, sweep::runner_by_name(known));
+  }
+  return parse_choice<sweep::Runner>("triage runner", choices, name);
 }
 
 sweep::ShardSpec parse_shard(const std::string& token) {
@@ -305,6 +369,16 @@ struct Options {
   std::optional<std::string> csv_path = "-";
   std::optional<std::string> json_path;
   bool quiet = false;
+  /// The named runner executing (and recorded in) the plan: "backend"
+  /// (dumbbell, dispatched per the backend axis) or "parking-lot".
+  std::string runner_name = "backend";
+  std::optional<std::string> queue_dir;
+  double lease_s = 60.0;
+  double poll_s = 0.5;
+  /// Fail-fast bookkeeping: queue-only flags given to a non-queue mode
+  /// must error, not silently fall back.
+  bool lease_given = false;
+  bool poll_given = false;
 };
 
 Options parse_args(int argc, char** argv, int first) {
@@ -392,6 +466,21 @@ Options parse_args(int argc, char** argv, int first) {
       opt.json_path = next(i);
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--workload") {
+      opt.runner_name = parse_choice<std::string>(
+          "workload",
+          {{"dumbbell", "backend"}, {"parking-lot", "parking-lot"}},
+          next(i));
+    } else if (arg == "--queue-dir") {
+      opt.queue_dir = next(i);
+    } else if (arg == "--lease") {
+      opt.lease_s = parse_double(next(i), "lease");
+      if (opt.lease_s <= 0.0) fail("lease must be positive");
+      opt.lease_given = true;
+    } else if (arg == "--poll") {
+      opt.poll_s = parse_double(next(i), "poll");
+      if (opt.poll_s <= 0.0) fail("poll must be positive");
+      opt.poll_given = true;
     } else {
       fail("unknown option: " + arg);
     }
@@ -400,6 +489,9 @@ Options parse_args(int argc, char** argv, int first) {
     for (auto& range : opt.grid.rtt_ranges) range.dist = *rtt_dist;
   }
   if (opt.grid.cardinality() == 0) fail("the grid is empty");
+  if (opt.runner_name != "backend") {
+    opt.run.runner = sweep::runner_by_name(opt.runner_name);
+  }
   return opt;
 }
 
@@ -429,15 +521,24 @@ void write_text(const std::string& text, const std::string& path) {
   std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
 }
 
-/// `bbrsweep merge (--csv OUT | --json OUT) FILE...`
+std::string read_file_or_fail(const std::string& path) {
+  auto bytes = read_text_file(path);
+  if (!bytes) fail("cannot read " + path);
+  return std::move(*bytes);
+}
+
+/// `bbrsweep merge (--csv OUT | --json OUT) [--plan FILE] FILE...`
 int run_merge(int argc, char** argv) {
-  std::optional<std::string> csv_out, json_out;
+  std::optional<std::string> csv_out, json_out, plan_path;
   std::vector<std::string> input_paths;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv" || arg == "--json") {
       if (i + 1 >= argc) fail(arg + " needs a value");
       (arg == "--csv" ? csv_out : json_out) = argv[++i];
+    } else if (arg == "--plan") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      plan_path = argv[++i];
     } else if (arg == "-h" || arg == "--help") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -452,29 +553,40 @@ int run_merge(int argc, char** argv) {
   }
   if (input_paths.empty()) fail("merge needs at least one shard file");
 
+  // With a plan, an incomplete union names the missing cells by spec key
+  // and coordinates (and a missing tail shard becomes detectable).
+  sweep::MergeContext context;
+  std::optional<orchestrator::ExecutionPlan> plan;
+  if (plan_path) {
+    plan = orchestrator::ExecutionPlan::parse(read_file_or_fail(*plan_path));
+    context.expected_cells = plan->size();
+    context.describe = [&plan](std::size_t index) {
+      return plan->describe_cell(index);
+    };
+  }
+
   std::vector<std::string> inputs;
   for (const auto& path : input_paths) {
-    std::ifstream in(path);
-    if (!in) fail("cannot read " + path);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    inputs.push_back(buffer.str());
+    inputs.push_back(read_file_or_fail(path));
   }
   if (csv_out) {
-    write_text(sweep::merge_csv(inputs), *csv_out);
+    write_text(sweep::merge_csv(inputs, context), *csv_out);
   } else {
-    write_text(sweep::merge_json(inputs), *json_out);
+    write_text(sweep::merge_json(inputs, context), *json_out);
   }
   std::fprintf(stderr, "bbrsweep: merged %zu shard file(s)\n", inputs.size());
   return 0;
 }
 
-/// `bbrsweep cache (stats | gc --max-bytes N) [--cache-dir DIR]`
+/// `bbrsweep cache (stats | gc --max-bytes N | reindex) [--cache-dir DIR]`
 int run_cache(int argc, char** argv) {
-  enum class Verb { kStats, kGc };
-  if (argc < 3) fail("cache needs a command (valid: stats, gc)");
+  enum class Verb { kStats, kGc, kReindex };
+  if (argc < 3) fail("cache needs a command (valid: stats, gc, reindex)");
   const Verb verb = parse_choice<Verb>(
-      "cache command", {{"stats", Verb::kStats}, {"gc", Verb::kGc}},
+      "cache command",
+      {{"stats", Verb::kStats},
+       {"gc", Verb::kGc},
+       {"reindex", Verb::kReindex}},
       argv[2]);
 
   std::optional<std::string> dir;
@@ -506,8 +618,9 @@ int run_cache(int argc, char** argv) {
   }
 
   const sweep::CellCache cache(*dir);
-  if (verb == Verb::kStats) {
-    const auto stats = cache.stats();
+  if (verb == Verb::kStats || verb == Verb::kReindex) {
+    const auto stats =
+        verb == Verb::kReindex ? cache.reindex() : cache.stats();
     std::printf("cells %zu\nbytes %ju\ndir %s\n", stats.cells,
                 static_cast<std::uintmax_t>(stats.bytes),
                 cache.dir().c_str());
@@ -526,7 +639,14 @@ int run_cache(int argc, char** argv) {
 
 adaptive::GridRefiner make_refiner(const Options& opt) {
   adaptive::GridRefiner refiner(opt.grid, opt.base, opt.policy);
-  if (opt.run.triage) refiner.set_triage(opt.run.triage);
+  if (opt.run.triage) {
+    refiner.set_triage(opt.run.triage);
+  } else if (opt.run.runner) {
+    // A non-default --workload must steer its own refinement: the default
+    // reduced triage models the dumbbell, which would subdivide where the
+    // wrong topology's metrics move (or fail outright on mixed mixes).
+    refiner.set_triage(opt.run.runner);
+  }
   if (opt.triage_duration_s > 0.0) {
     refiner.set_triage_transform(
         [duration = opt.triage_duration_s](scenario::ExperimentSpec& spec) {
@@ -551,10 +671,226 @@ void report_plan(const adaptive::RefinementPlan& plan) {
   }
 }
 
+/// The execution plan of one CLI invocation: dense grid expansion, or the
+/// adaptive triage rounds when --adaptive is set. The runner name baked
+/// into the plan (--workload) is what detached workers resolve.
+orchestrator::ExecutionPlan build_plan(const Options& opt) {
+  if (!opt.adaptive) {
+    return orchestrator::ExecutionPlan::dense(opt.grid, opt.base,
+                                              opt.run.base_seed,
+                                              opt.runner_name);
+  }
+  const auto refined = make_refiner(opt).plan(opt.run);
+  if (!opt.quiet) report_plan(refined);
+  return orchestrator::ExecutionPlan::from_refinement(
+      refined, opt.run.base_seed, opt.runner_name);
+}
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Stream the completed queue's merged output to `path` ('-' = stdout),
+/// returning the failed-cell count.
+std::size_t collect_to(const orchestrator::WorkQueue& queue,
+                       const orchestrator::ExecutionPlan& plan,
+                       const std::string& path, bool json) {
+  const auto collect = [&](std::ostream& out) {
+    return json ? orchestrator::collect_json(queue, plan, out)
+                : orchestrator::collect_csv(queue, plan, out);
+  };
+  if (path == "-") return collect(std::cout);
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path);
+  const std::size_t failed = collect(out);
+  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+  return failed;
+}
+
+/// `bbrsweep coordinator --queue-dir DIR [options]`: plan, seed the
+/// durable queue, watch progress (recovering expired leases), then stream
+/// the merged outputs byte-identically to the single-process run.
+int run_coordinator(int argc, char** argv) {
+  Options opt = parse_args(argc, argv, /*first=*/2);
+  if (!opt.queue_dir) fail("coordinator needs --queue-dir DIR");
+  if (opt.run.shard.count != 1 || opt.run.shard.index != 0) {
+    fail("the queue assigns cells dynamically; --shard applies to plain "
+         "bbrsweep runs only");
+  }
+  std::unique_ptr<sweep::CellCache> cache;
+  if (opt.cache_dir) {
+    cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
+    opt.run.cache = cache.get();  // adaptive triage rounds can reuse cells
+  }
+
+  const auto plan = build_plan(opt);
+  orchestrator::WorkQueue queue(*opt.queue_dir, opt.lease_s);
+  queue.seed(plan);
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "bbrsweep: seeded %zu cell(s) into %s (runner %s, lease "
+                 "%g s)\n",
+                 plan.size(), queue.dir().c_str(),
+                 plan.runner_name().c_str(), opt.lease_s);
+  }
+
+  while (true) {
+    // Completion needs only the results count; the three-directory
+    // census is display detail, skipped when --quiet.
+    std::size_t done;
+    if (opt.quiet) {
+      done = queue.done_count();
+    } else {
+      const auto p = queue.progress();
+      done = p.done;
+      std::fprintf(stderr,
+                   "\rbbrsweep: %zu/%zu cell(s) done (%zu pending, %zu "
+                   "active)",
+                   p.done, plan.size(), p.pending, p.active);
+    }
+    if (done >= plan.size()) {
+      if (!opt.quiet) std::fputc('\n', stderr);
+      break;
+    }
+    queue.recover_expired();
+    sleep_s(opt.poll_s);
+  }
+
+  std::size_t failed = 0;
+  if (opt.csv_path) {
+    failed = collect_to(queue, plan, *opt.csv_path, /*json=*/false);
+  }
+  if (opt.json_path) {
+    failed = collect_to(queue, plan, *opt.json_path, /*json=*/true);
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "bbrsweep: %zu cell(s) failed (see status column)\n",
+                 failed);
+    return 3;
+  }
+  return 0;
+}
+
+/// Filesystem-safe default claim-file identity: host + pid.
+std::string default_worker_id() {
+  char host[64] = "host";
+  ::gethostname(host, sizeof host - 1);
+  host[sizeof host - 1] = '\0';
+  std::string id = std::string(host) + "-" + std::to_string(::getpid());
+  for (char& c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '_') {
+      c = '-';
+    }
+  }
+  return id;
+}
+
+/// `bbrsweep worker --queue-dir DIR [worker options]`: drain cells from a
+/// seeded queue until the plan is complete.
+int run_worker_cmd(int argc, char** argv) {
+  std::optional<std::string> queue_dir, cache_dir, worker_id;
+  sweep::SweepOptions run;
+  double lease_s = 60.0, poll_s = 0.5, plan_wait_s = 60.0;
+  bool lease_given = false;
+  std::size_t max_cells = 0;
+  bool quiet = false;
+
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--queue-dir") {
+      queue_dir = next(i);
+    } else if (arg == "--threads") {
+      run.threads = static_cast<std::size_t>(parse_count(next(i), "threads"));
+    } else if (arg == "--cache-dir") {
+      cache_dir = next(i);
+    } else if (arg == "--timeout") {
+      run.timeout_s = parse_double(next(i), "timeout");
+    } else if (arg == "--retries") {
+      run.max_attempts =
+          1 + static_cast<std::size_t>(parse_count(next(i), "retries"));
+    } else if (arg == "--lease") {
+      lease_s = parse_double(next(i), "lease");
+      if (lease_s <= 0.0) fail("lease must be positive");
+      lease_given = true;
+    } else if (arg == "--poll") {
+      poll_s = parse_double(next(i), "poll");
+      if (poll_s <= 0.0) fail("poll must be positive");
+    } else if (arg == "--plan-wait") {
+      plan_wait_s = parse_double(next(i), "plan wait");
+    } else if (arg == "--max-cells") {
+      max_cells = static_cast<std::size_t>(parse_count(next(i), "max cells"));
+    } else if (arg == "--worker-id") {
+      worker_id = next(i);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      fail("unknown worker option: " + arg);
+    }
+  }
+  if (!queue_dir) fail("worker needs --queue-dir DIR");
+
+  double waited = 0.0;
+  while (!orchestrator::WorkQueue(*queue_dir, lease_s).has_plan()) {
+    if (waited == 0.0 && !quiet) {
+      std::fprintf(stderr, "bbrsweep: waiting for a plan in %s\n",
+                   queue_dir->c_str());
+    }
+    if (waited >= plan_wait_s) {
+      fail("no plan appeared in " + *queue_dir + " (did the coordinator "
+           "start?)");
+    }
+    sleep_s(poll_s);
+    waited += poll_s;
+  }
+  // Adopt the coordinator's lease unless one was given explicitly: a
+  // worker with a shorter lease than its peers' heartbeat cadence would
+  // keep stealing their live claims.
+  if (!lease_given) {
+    lease_s = orchestrator::WorkQueue::stored_lease_s(*queue_dir)
+                  .value_or(lease_s);
+  }
+  orchestrator::WorkQueue queue(*queue_dir, lease_s);
+  const auto plan = queue.load_plan();
+
+  std::unique_ptr<sweep::CellCache> cache;
+  if (cache_dir) {
+    cache = std::make_unique<sweep::CellCache>(*cache_dir);
+    run.cache = cache.get();
+  }
+  const std::string id = worker_id ? *worker_id : default_worker_id();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "bbrsweep: worker %s draining %zu-cell plan from %s "
+                 "(runner %s)\n",
+                 id.c_str(), plan.size(), queue.dir().c_str(),
+                 plan.runner_name().c_str());
+  }
+  const auto report =
+      orchestrator::run_worker(queue, plan, run, id, max_cells, poll_s);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "bbrsweep: worker %s published %zu cell(s) (%zu failed)\n",
+                 id.c_str(), report.completed, report.failed);
+  }
+  return 0;
+}
+
 /// `bbrsweep plan [options]`: triage + refine, print the cell set, no
 /// fine simulations.
 int run_plan(int argc, char** argv) {
   Options opt = parse_args(argc, argv, /*first=*/2);
+  if (opt.queue_dir || opt.lease_given || opt.poll_given) {
+    fail("plan never touches a queue; drop --queue-dir/--lease/--poll or "
+         "use `bbrsweep coordinator`");
+  }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
     cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
@@ -587,7 +923,21 @@ int main(int argc, char** argv) try {
   if (argc > 1 && std::strcmp(argv[1], "plan") == 0) {
     return run_plan(argc, argv);
   }
+  if (argc > 1 && std::strcmp(argv[1], "coordinator") == 0) {
+    return run_coordinator(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "worker") == 0) {
+    return run_worker_cmd(argc, argv);
+  }
   Options opt = parse_args(argc, argv, /*first=*/1);
+  if (opt.queue_dir) {
+    fail("--queue-dir drives a distributed run; use `bbrsweep coordinator` "
+         "(and `bbrsweep worker`) instead");
+  }
+  if (opt.lease_given || opt.poll_given) {
+    fail("--lease/--poll only apply to the coordinator and worker "
+         "subcommands");
+  }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
     cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
