@@ -29,4 +29,15 @@ std::uint64_t parse_u64(const std::string& text, const std::string& what) {
   return *v;
 }
 
+std::optional<double> try_parse_double(const std::string& text) {
+  // strtod skips leading whitespace; full-string semantics must not.
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
 }  // namespace bbrmodel

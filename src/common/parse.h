@@ -21,4 +21,9 @@ std::optional<std::uint64_t> try_parse_u64(const std::string& text);
 /// Throwing variant: PreconditionError naming `what` on any failure.
 std::uint64_t parse_u64(const std::string& text, const std::string& what);
 
+/// Parse a full string as a floating-point number (strtod grammar —
+/// signs, exponents, inf/nan — but the whole string must convert).
+/// nullopt on empty input, leading whitespace, or trailing characters.
+std::optional<double> try_parse_double(const std::string& text);
+
 }  // namespace bbrmodel

@@ -1,0 +1,272 @@
+#include "orchestrator/fleet.h"
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/require.h"
+#include "orchestrator/work_queue.h"
+
+namespace bbrmodel::orchestrator {
+
+namespace {
+
+volatile std::sig_atomic_t g_fleet_stop = 0;
+
+void fleet_signal_handler(int) { g_fleet_stop = 1; }
+
+/// One worker slot: where it runs, what it is called, and its liveness.
+struct Slot {
+  std::string host;       // empty = local
+  std::string worker_id;
+  pid_t pid = -1;         // -1 = not running
+  std::size_t strikes = 0;
+  bool ever_spawned = false;  // distinguishes spawns from respawns
+  bool abandoned = false;
+  bool finished = false;  // exited after the plan completed
+};
+
+/// Did this slot's last worker process publish anything? Its stats file
+/// is removed before every spawn, so an entry with completed > 0 can only
+/// come from the generation that just died — per-slot progress, immune to
+/// the *other* workers moving the global done-count while a broken slot
+/// flaps. One targeted file read; workers refresh the file on a ~1 s
+/// throttle as they publish, so even a crash between heartbeat ticks
+/// keeps (all but the last second of) its credit.
+bool slot_made_progress(const WorkQueue& queue, const Slot& slot) {
+  const auto stats = queue.read_worker_stats(slot.worker_id);
+  return stats && stats->completed > 0;
+}
+
+/// Single-quote one token for the remote shell ssh hands its arguments
+/// to — without this, a --queue-dir with a space would be re-split into
+/// two arguments on the remote side.
+std::string shell_quote(const std::string& token) {
+  std::string out = "'";
+  for (char c : token) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+/// The argv of one worker process. ssh slots wrap the remote command
+/// (each remote token shell-quoted, since ssh concatenates them into one
+/// remote command line); the remote host needs only the binary and the
+/// shared queue mount.
+std::vector<std::string> worker_argv(const FleetOptions& options,
+                                     const Slot& slot) {
+  const bool remote = !slot.host.empty();
+  std::vector<std::string> argv;
+  if (remote) {
+    // -tt forces a pty so the remote worker's fate is tied to the
+    // connection: SIGTERMing the local ssh client (fleet teardown) or a
+    // dropped link closes the pty and the remote side gets SIGHUP —
+    // without it, OpenSSH forwards no signals and Ctrl-C would orphan a
+    // live worker on every host.
+    argv = {"ssh", "-tt", "-o", "BatchMode=yes", slot.host,
+            options.remote_command};
+  } else {
+    argv = {options.self_path};
+  }
+  const auto push = [&](const std::string& token) {
+    argv.push_back(remote ? shell_quote(token) : token);
+  };
+  push("worker");
+  push("--queue-dir");
+  push(options.queue_dir);
+  push("--worker-id");
+  push(slot.worker_id);
+  for (const auto& arg : options.worker_args) push(arg);
+  return argv;
+}
+
+/// fork+exec one worker; -1 on a fork failure (transient EAGAIN under
+/// pid/rlimit pressure must strike and retry on the next tick, never
+/// throw past the monitor's wind-down and orphan the live workers).
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const auto& arg : argv) raw.push_back(const_cast<char*>(arg.c_str()));
+  raw.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execvp(raw[0], raw.data());
+    std::perror("bbrsweep fleet: exec");
+    ::_exit(127);
+  }
+  if (pid < 0) std::perror("bbrsweep fleet: fork");
+  return pid;
+}
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetOptions& options) {
+  BBRM_REQUIRE_MSG(!options.queue_dir.empty(), "fleet needs a queue dir");
+  BBRM_REQUIRE_MSG(options.workers >= 1, "fleet needs at least one worker");
+  BBRM_REQUIRE_MSG(!options.self_path.empty(),
+                   "fleet needs the bbrsweep binary path to exec");
+
+  const WorkQueue queue(options.queue_dir);
+  double waited = 0.0;
+  while (!queue.has_plan()) {
+    BBRM_REQUIRE_MSG(waited < options.plan_wait_s,
+                     "no plan appeared in " + options.queue_dir +
+                         " (did the coordinator start?)");
+    if (waited == 0.0 && !options.quiet) {
+      std::fprintf(stderr, "bbrsweep: fleet waiting for a plan in %s\n",
+                   options.queue_dir.c_str());
+    }
+    sleep_s(options.poll_s);
+    waited += options.poll_s;
+  }
+  const std::size_t plan_size = queue.load_plan().size();
+
+  // Worker ids must be unique across *fleet instances*: two machines each
+  // running `bbrsweep fleet` against one shared queue dir (the manual-ssh
+  // replacement the README suggests) must not collide on identity — a
+  // shared id would cross-wire strike accounting, stats files, and
+  // coalesced-manifest names. Controller host + pid disambiguate.
+  const std::string fleet_tag = default_worker_id();
+  std::vector<Slot> slots(options.workers);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!options.ssh_hosts.empty()) {
+      slots[i].host = options.ssh_hosts[i % options.ssh_hosts.size()];
+    }
+    slots[i].worker_id = sanitize_worker_id(
+        "fleet-" + fleet_tag + "-" +
+        (slots[i].host.empty() ? "local" : slots[i].host) + "-" +
+        std::to_string(i));
+  }
+
+  // SIGINT/SIGTERM tear the whole fleet down instead of orphaning
+  // children; the previous handlers come back before returning.
+  g_fleet_stop = 0;
+  struct sigaction action = {};
+  action.sa_handler = fleet_signal_handler;
+  struct sigaction old_int = {}, old_term = {};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+
+  FleetReport report;
+  const auto launch = [&](std::size_t slot_index) {
+    Slot& slot = slots[slot_index];
+    const bool respawn = slot.ever_spawned;
+    // A fresh generation writes fresh stats; removing the old file is
+    // what makes slot_made_progress attribute `completed` correctly.
+    queue.remove_worker_stats(slot.worker_id);
+    const pid_t pid = spawn(worker_argv(options, slot));
+    if (pid < 0) {
+      ++slot.strikes;  // a fork failure is a death; retry next tick
+      return;
+    }
+    slot.ever_spawned = true;
+    slot.pid = pid;
+    ++report.spawned;
+    if (respawn) ++report.respawned;
+    if (!options.quiet) {
+      std::fprintf(stderr, "bbrsweep: fleet %s worker %s (pid %d)%s%s\n",
+                   respawn ? "respawned" : "spawned",
+                   slot.worker_id.c_str(), static_cast<int>(pid),
+                   slot.host.empty() ? "" : " on ",
+                   slot.host.c_str());
+    }
+  };
+
+  while (!g_fleet_stop) {
+    // Fill every empty slot (first pass spawns the whole fleet); slots
+    // out of strikes are abandoned instead.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (slot.pid >= 0 || slot.abandoned || slot.finished) continue;
+      if (slot.strikes >= options.max_strikes) {
+        slot.abandoned = true;
+        ++report.abandoned_slots;
+        if (!options.quiet) {
+          std::fprintf(stderr,
+                       "bbrsweep: fleet abandoned worker %s after %zu "
+                       "death(s) without progress\n",
+                       slot.worker_id.c_str(), slot.strikes);
+        }
+        continue;
+      }
+      launch(i);
+    }
+
+    // Reap every exit that is ready — per known pid, never waitpid(-1):
+    // an embedding process may have children of its own whose exit
+    // statuses are not ours to steal.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (slot.pid < 0) continue;
+      int status = 0;
+      const pid_t pid = ::waitpid(slot.pid, &status, WNOHANG);
+      if (pid == 0) continue;  // still running
+      if (pid < 0 && errno == EINTR) continue;  // try again next tick
+      // Exited — or unwaitable (ECHILD under an inherited SIG_IGN
+      // SIGCHLD auto-reaps children): either way the process is gone
+      // for us, so it must go through the respawn/strike path rather
+      // than pin the slot as alive forever.
+      slot.pid = -1;
+      if (queue.done_count() >= plan_size) {
+        slot.finished = true;
+        continue;
+      }
+      // A death after publishing cells is honest work (a crash mid-plan,
+      // or an intentional --max-cells exit): elastic means it just comes
+      // back. Deaths without *this slot's own* progress accumulate
+      // strikes so a broken binary or unreachable host cannot spin
+      // forever, even while healthy peers keep the global count moving.
+      if (slot_made_progress(queue, slot)) {
+        slot.strikes = 0;
+      } else {
+        ++slot.strikes;
+      }
+    }
+
+    if (queue.done_count() >= plan_size) {
+      report.completed = true;
+      break;
+    }
+    bool work_possible = false;
+    for (const Slot& slot : slots) {
+      work_possible |= slot.pid >= 0 || (!slot.abandoned && !slot.finished);
+    }
+    if (!work_possible) break;  // every slot abandoned, plan incomplete
+    sleep_s(options.poll_s);
+  }
+
+  // Wind down: on completion workers exit on their own; on a signal or an
+  // abandoned fleet they are told to stop.
+  if (!report.completed) {
+    for (const Slot& slot : slots) {
+      if (slot.pid >= 0) ::kill(slot.pid, SIGTERM);
+    }
+  }
+  for (const Slot& slot : slots) {
+    if (slot.pid >= 0) {
+      int status = 0;
+      ::waitpid(slot.pid, &status, 0);
+    }
+  }
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  return report;
+}
+
+}  // namespace bbrmodel::orchestrator

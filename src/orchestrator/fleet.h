@@ -1,0 +1,72 @@
+// Elastic worker fleets: spawn and monitor `bbrsweep worker` processes —
+// locally or over ssh — against one shared queue directory.
+//
+// A fleet is N worker *slots*. Each slot holds one worker process
+// (round-robined across the ssh hosts when given); the monitor loop reaps
+// exits and keeps every slot filled until the queue's plan is complete.
+// That is the whole elasticity story: a worker that crashes, is OOM-killed,
+// or exits early under --max-cells is simply respawned while cells remain,
+// and the queue's lease recovery re-enqueues whatever it was holding — the
+// fleet never tracks per-cell state itself. Slots that keep dying without
+// the queue making progress are given up after a strike budget, so a
+// broken binary or unreachable host degrades the fleet instead of spinning
+// it forever.
+//
+// The launcher is deliberately process-level (fork/exec + waitpid): ssh is
+// the only remote transport, and the remote host needs nothing but a
+// `bbrsweep` binary and the shared queue mount. Remote workers run under
+// a forced pty (ssh -tt), so killing the local ssh client — fleet
+// teardown, Ctrl-C — or losing the connection SIGHUPs the remote worker
+// rather than orphaning it. Should one survive anyway (e.g. sshd itself
+// dies), the queue's lease protocol keeps the run correct: its claims
+// expire and republish identical bytes. Production schedulers (k8s,
+// slurm) replace this file, not the queue protocol.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bbrmodel::orchestrator {
+
+struct FleetOptions {
+  /// The shared queue directory every worker drains.
+  std::string queue_dir;
+  /// Worker slots to keep filled.
+  std::size_t workers = 1;
+  /// Remote hosts (ssh): slot i runs on hosts[i % size]. Empty = all
+  /// local. Hosts must share queue_dir (e.g. an NFS mount) and have
+  /// `remote_command` on PATH.
+  std::vector<std::string> ssh_hosts;
+  /// Extra flags forwarded verbatim to every `bbrsweep worker` (e.g.
+  /// --batch 8 --threads 4 --cache-dir /shared/cells).
+  std::vector<std::string> worker_args;
+  /// Local bbrsweep binary to exec (usually /proc/self/exe).
+  std::string self_path;
+  /// Command to run on ssh hosts (default: "bbrsweep" on the remote PATH).
+  std::string remote_command = "bbrsweep";
+  /// Consecutive slot deaths *without queue progress* before the slot is
+  /// abandoned (a crash that moved the done-count resets the strikes).
+  std::size_t max_strikes = 5;
+  /// Monitor poll cadence.
+  double poll_s = 0.5;
+  /// How long to wait for a coordinator to seed the plan before failing.
+  double plan_wait_s = 60.0;
+  bool quiet = false;
+};
+
+struct FleetReport {
+  std::size_t spawned = 0;       ///< processes launched, respawns included
+  std::size_t respawned = 0;     ///< of those, restarts of a dead slot
+  std::size_t abandoned_slots = 0;  ///< slots given up after max_strikes
+  bool completed = false;        ///< the plan finished while we watched
+};
+
+/// Run a fleet to completion: wait for the plan, keep `workers` slots
+/// filled until every cell has a result, then reap the children (workers
+/// exit on their own once the plan is done). SIGINT/SIGTERM tear the
+/// fleet down (children get SIGTERM) and return with completed=false.
+/// Throws PreconditionError when no plan appears within plan_wait_s.
+FleetReport run_fleet(const FleetOptions& options);
+
+}  // namespace bbrmodel::orchestrator

@@ -1,16 +1,21 @@
 #include "orchestrator/work_queue.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -50,6 +55,13 @@ std::optional<std::size_t> parse_index_name(const std::string& name) {
   return static_cast<std::size_t>(*v);
 }
 
+bool has_extension(const std::string& name, const char* ext) {
+  const std::string suffix = ext;
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 void require_worker_id(const std::string& worker_id) {
   BBRM_REQUIRE_MSG(!worker_id.empty(), "worker id must be non-empty");
   for (char c : worker_id) {
@@ -60,33 +72,182 @@ void require_worker_id(const std::string& worker_id) {
   }
 }
 
-double seconds_since(fs::file_time_type then) {
-  return std::chrono::duration<double>(fs::file_time_type::clock::now() -
-                                       then)
-      .count();
+/// Update a file's mtime by rewriting its first byte in place. Unlike
+/// setting an explicit timestamp, the write is stamped by the filesystem's
+/// own clock — on a network mount that is the one clock every participant
+/// shares, which is what makes lease expiry immune to cross-host skew.
+/// kMissing (the file is gone — the claim was lost) must be told apart
+/// from kFailed (a transient EMFILE/EIO with the file still present):
+/// only the former means someone else owns the work now.
+enum class Touch { kOk, kMissing, kFailed };
+
+Touch touch_by_write(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return errno == ENOENT ? Touch::kMissing : Touch::kFailed;
+  }
+  char first = 0;
+  bool ok = std::fread(&first, 1, 1, file) == 1;
+  ok = ok && std::fseek(file, 0, SEEK_SET) == 0;
+  ok = ok && std::fwrite(&first, 1, 1, file) == 1;
+  ok = (std::fclose(file) == 0) && ok;
+  return ok ? Touch::kOk : Touch::kFailed;
 }
 
-/// Count the ".cell" entries of one queue state directory.
+constexpr const char* kBatchHeader = "batch";
+
+/// Batch file names carry their member count as a second token —
+/// "0000000042.b8.batch" pending, "0000000042.b8.worker.batch" active —
+/// so counting the cells of a directory never has to open the files
+/// (progress() and `bbrsweep status` poll these counts continuously).
+std::string batch_count_token(std::size_t count) {
+  return "b" + std::to_string(count);
+}
+
+/// The member count a batch file's name advertises, or nullopt when the
+/// name lacks the token (not one of ours).
+std::optional<std::size_t> batch_count_from_name(const std::string& name) {
+  const auto first = name.find('.');
+  if (first == std::string::npos) return std::nullopt;
+  const auto second = name.find('.', first + 1);
+  if (second == std::string::npos || second <= first + 2 ||
+      name[first + 1] != 'b') {
+    return std::nullopt;
+  }
+  const auto v =
+      try_parse_u64(name.substr(first + 2, second - first - 2));
+  if (!v || *v == 0) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+/// The on-disk payload of a batch entry: "batch\n" then one ascending
+/// member index per line. Shared by pending batches and active manifests.
+std::string encode_batch(const std::vector<std::size_t>& indices) {
+  std::string out = kBatchHeader;
+  out += '\n';
+  for (const std::size_t index : indices) {
+    out += std::to_string(index);
+    out += '\n';
+  }
+  return out;
+}
+
+/// nullopt on any damage — a batch whose members cannot be recovered must
+/// be loud at the call sites that need them, never silently empty.
+std::optional<std::vector<std::size_t>> decode_batch(
+    const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string line;
+  if (!std::getline(in, line) || line != kBatchHeader) return std::nullopt;
+  std::vector<std::size_t> indices;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto v = try_parse_u64(line);
+    if (!v) return std::nullopt;
+    indices.push_back(static_cast<std::size_t>(*v));
+  }
+  if (indices.empty()) return std::nullopt;
+  return indices;
+}
+
+/// The members a batch file under `path` covers — nullopt when the file
+/// vanished (a peer claimed, finished, or recovered it between a
+/// directory listing and this read; a benign race the caller skips).
+/// Bytes that exist but cannot be decoded are loud: a silently ignored
+/// damaged batch would strand its cells in no state at all.
+std::optional<std::vector<std::size_t>> read_batch_members_if_present(
+    const std::string& path) {
+  const auto bytes = read_text_file(path);
+  if (!bytes) return std::nullopt;
+  auto members = decode_batch(*bytes);
+  BBRM_REQUIRE_MSG(members.has_value(),
+                   "queue batch file " + path +
+                       " is damaged; its cells cannot be recovered "
+                       "without it");
+  return members;
+}
+
+/// Count the cells of one queue state directory: one per ".cell" entry
+/// plus every member a ".batch" entry covers — from the count token in
+/// its name, so this stays one readdir with zero file opens however
+/// often progress displays poll it.
 std::size_t count_cells(const std::string& dir) {
   std::size_t count = 0;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".cell") {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (has_extension(name, ".cell")) {
       ++count;
+    } else if (has_extension(name, ".batch")) {
+      if (const auto advertised = batch_count_from_name(name)) {
+        count += *advertised;
+        continue;
+      }
+      // Foreign name (hand-made file): fall back to reading it. An
+      // undecodable one still counts as one entry — under-reporting to
+      // zero would hide the damage the claim/recover paths report
+      // loudly.
+      const auto bytes = read_text_file(entry.path().string());
+      const auto members =
+          bytes ? decode_batch(*bytes)
+                : std::optional<std::vector<std::size_t>>{};
+      count += members ? members->size() : 1;
     }
   }
   return count;
 }
 
+std::string stats_field(const std::map<std::string, std::string>& fields,
+                        const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+double parse_stat_double(const std::string& text) {
+  return try_parse_double(text).value_or(0.0);
+}
+
 }  // namespace
 
-WorkQueue::WorkQueue(std::string dir, double lease_s)
-    : dir_(std::move(dir)), lease_s_(lease_s) {
+std::string sanitize_worker_id(std::string id) {
+  for (char& c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '_') {
+      c = '-';
+    }
+  }
+  return id;
+}
+
+std::string default_worker_id() {
+  char host[64] = "host";
+  ::gethostname(host, sizeof host - 1);
+  host[sizeof host - 1] = '\0';
+  return sanitize_worker_id(std::string(host) + "-" +
+                            std::to_string(::getpid()));
+}
+
+WorkQueue::WorkQueue(std::string dir, double lease_s, double skew_margin_s)
+    : dir_(std::move(dir)),
+      lease_s_(lease_s),
+      skew_margin_s_(skew_margin_s < 0.0 ? lease_s / 4.0 : skew_margin_s) {
   BBRM_REQUIRE_MSG(!dir_.empty(), "queue directory must be non-empty");
-  BBRM_REQUIRE_MSG(lease_s_ > 0.0, "lease must be positive");
-  fs::create_directories(pending_dir());
-  fs::create_directories(active_dir());
-  fs::create_directories(results_dir());
+  BBRM_REQUIRE_MSG(std::isfinite(lease_s_) && lease_s_ > 0.0,
+                   "lease must be positive and finite");
+  // NaN slips past every < comparison and would turn lease + margin into
+  // NaN, making recovery steal every healthy lease; inf would disable
+  // recovery entirely.
+  BBRM_REQUIRE_MSG(std::isfinite(skew_margin_s_),
+                   "skew margin must be finite");
+  // Best-effort creation: observers (`bbrsweep status` on a read-only
+  // replica) must be able to attach; writers hit the real error on their
+  // first write, with the path in the message.
+  std::error_code ec;
+  fs::create_directories(pending_dir(), ec);
+  fs::create_directories(active_dir(), ec);
+  fs::create_directories(results_dir(), ec);
+  fs::create_directories(workers_dir(), ec);
 }
 
 std::string WorkQueue::pending_dir() const {
@@ -98,11 +259,23 @@ std::string WorkQueue::active_dir() const {
 std::string WorkQueue::results_dir() const {
   return (fs::path(dir_) / "results").string();
 }
+std::string WorkQueue::workers_dir() const {
+  return (fs::path(dir_) / "workers").string();
+}
 std::string WorkQueue::plan_path() const {
   return (fs::path(dir_) / "plan.bbrplan").string();
 }
+std::string WorkQueue::probe_path() const {
+  return (fs::path(dir_) / "probe").string();
+}
 std::string WorkQueue::pending_path(std::size_t index) const {
   return (fs::path(pending_dir()) / (index_name(index) + ".cell")).string();
+}
+std::string WorkQueue::pending_batch_path(std::size_t index,
+                                          std::size_t count) const {
+  return (fs::path(pending_dir()) /
+          (index_name(index) + "." + batch_count_token(count) + ".batch"))
+      .string();
 }
 std::string WorkQueue::active_path(std::size_t index,
                                    const std::string& worker_id) const {
@@ -110,11 +283,58 @@ std::string WorkQueue::active_path(std::size_t index,
           (index_name(index) + "." + worker_id + ".cell"))
       .string();
 }
+std::string WorkQueue::active_batch_path(std::size_t index,
+                                         const std::string& worker_id,
+                                         std::size_t count) const {
+  return (fs::path(active_dir()) /
+          (index_name(index) + "." + batch_count_token(count) + "." +
+           worker_id + ".batch"))
+      .string();
+}
 std::string WorkQueue::result_path(std::size_t index) const {
   return (fs::path(results_dir()) / (index_name(index) + ".cell")).string();
 }
 
-void WorkQueue::seed(const ExecutionPlan& plan) const {
+std::optional<fs::file_time_type> WorkQueue::probe_now() const {
+  // Rate limit: within lease/4 of the last probe write, extrapolate the
+  // cached mtime by locally elapsed time instead of writing again — a
+  // coordinator watch loop and N polling workers must not turn "now" into
+  // continuous write traffic on the shared mount. The extrapolation error
+  // is only the clocks' *rate* drift over that window (microseconds, not
+  // the cross-host offset the skew margin exists for), so expiry math is
+  // unaffected even with --skew-margin 0.
+  const auto steady = std::chrono::steady_clock::now();
+  const double window_s = std::max(0.01, lease_s_ / 4.0);
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    if (probe_value_ &&
+        std::chrono::duration<double>(steady - probe_at_).count() <
+            window_s) {
+      return *probe_value_ +
+             std::chrono::duration_cast<fs::file_time_type::duration>(
+                 steady - probe_at_);
+    }
+  }
+  // Any successful write re-stamps the mtime; concurrent probers all write
+  // "now" within their own write latency, so the race is harmless.
+  {
+    std::ofstream out(probe_path(), std::ios::trunc);
+    out << "probe\n";
+    if (!out) return std::nullopt;
+  }
+  std::error_code ec;
+  const auto t = fs::last_write_time(probe_path(), ec);
+  if (ec) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_value_ = t;
+    probe_at_ = steady;
+  }
+  return t;
+}
+
+void WorkQueue::seed(const ExecutionPlan& plan, std::size_t batch) const {
+  BBRM_REQUIRE_MSG(batch >= 1, "batch size must be at least 1");
   const std::string bytes = plan.serialize();
   if (fs::exists(plan_path())) {
     BBRM_REQUIRE_MSG(read_text_file(plan_path()).value_or("") == bytes,
@@ -124,28 +344,66 @@ void WorkQueue::seed(const ExecutionPlan& plan) const {
   } else {
     write_file_atomically(plan_path(), bytes, "queue plan");
   }
-  // Record the lease so workers can adopt it instead of guessing — a
-  // participant with a shorter lease than the heartbeat cadence of the
-  // others would keep stealing live claims.
+  // Record the lease parameters so workers can adopt them instead of
+  // guessing — a participant with a shorter lease than the heartbeat
+  // cadence of the others would keep stealing live claims.
   write_file_atomically((fs::path(dir_) / "lease").string(),
-                        exact_number(lease_s_) + "\n", "queue lease");
+                        exact_number(lease_s_) + "\n" +
+                            exact_number(skew_margin_s_) + "\n",
+                        "queue lease");
 
-  // Resume-aware enqueue: skip cells that already finished or are being
-  // worked on. One scan of active/ beats N existence probes.
-  std::set<std::size_t> active;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
-    if (const auto index =
-            parse_index_name(entry.path().filename().string())) {
-      active.insert(*index);
+  // Resume-aware enqueue: skip cells that are already pending or being
+  // worked on (batch entries cover every member they list). One scan of
+  // each state dir beats N existence probes.
+  std::set<std::size_t> unavailable;
+  for (const std::string& state : {pending_dir(), active_dir()}) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(state, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      const auto index = parse_index_name(name);
+      if (!index) continue;
+      if (has_extension(name, ".cell")) {
+        unavailable.insert(*index);
+      } else if (has_extension(name, ".batch")) {
+        // A batch a peer claims or finishes mid-scan reads as absent;
+        // its members re-enqueue at worst as benign duplicates
+        // (deterministic runners republish identical bytes).
+        const auto members =
+            read_batch_members_if_present(entry.path().string());
+        if (!members) continue;
+        for (const std::size_t member : *members) {
+          unavailable.insert(member);
+        }
+      }
     }
   }
+
+  std::vector<std::size_t> todo;
   for (const auto& cell : plan.cells()) {
-    if (active.count(cell.index) != 0) continue;
-    if (fs::exists(result_path(cell.index))) continue;
-    if (fs::exists(pending_path(cell.index))) continue;
-    write_file_atomically(pending_path(cell.index), "queued\n",
-                          "queue cell");
+    if (unavailable.count(cell.index) != 0) continue;
+    const auto ok = result_ok(cell.index);
+    if (ok.has_value()) {
+      if (*ok) continue;
+      // A failed result must not be memoized forever: drop it and
+      // re-enqueue the cell so the next run re-attempts the task.
+      std::error_code ec;
+      fs::remove(result_path(cell.index), ec);
+    }
+    todo.push_back(cell.index);
+  }
+  for (std::size_t start = 0; start < todo.size(); start += batch) {
+    const std::size_t n = std::min(batch, todo.size() - start);
+    if (n == 1) {
+      write_file_atomically(pending_path(todo[start]), "queued\n",
+                            "queue cell");
+    } else {
+      const std::vector<std::size_t> members(
+          todo.begin() + static_cast<std::ptrdiff_t>(start),
+          todo.begin() + static_cast<std::ptrdiff_t>(start + n));
+      write_file_atomically(pending_batch_path(members.front(), n),
+                            encode_batch(members), "queue batch");
+    }
   }
 }
 
@@ -155,9 +413,20 @@ std::optional<double> WorkQueue::stored_lease_s(const std::string& dir) {
   std::ifstream in((fs::path(dir) / "lease").string());
   std::string line;
   if (!std::getline(in, line)) return std::nullopt;
-  char* end = nullptr;
-  const double v = std::strtod(line.c_str(), &end);
-  if (end == line.c_str() || v <= 0.0) return std::nullopt;
+  const auto v = try_parse_double(line);
+  if (!v || !std::isfinite(*v) || *v <= 0.0) return std::nullopt;
+  return v;
+}
+
+std::optional<double> WorkQueue::stored_skew_margin_s(
+    const std::string& dir) {
+  std::ifstream in((fs::path(dir) / "lease").string());
+  std::string line;
+  if (!std::getline(in, line) || !std::getline(in, line)) {
+    return std::nullopt;  // pre-skew lease files hold one line
+  }
+  const auto v = try_parse_double(line);
+  if (!v || !std::isfinite(*v) || *v < 0.0) return std::nullopt;
   return v;
 }
 
@@ -168,14 +437,31 @@ ExecutionPlan WorkQueue::load_plan() const {
 
 std::optional<std::size_t> WorkQueue::try_claim(
     const std::string& worker_id) const {
+  auto claim = try_claim_batch(worker_id, 1);
+  if (!claim) return std::nullopt;
+  if (claim->batch) {
+    release(*claim);  // don't strand the members behind a lease
+    BBRM_REQUIRE_MSG(false,
+                     "try_claim is the single-cell API; this queue holds "
+                     "batch entries — claim them with try_claim_batch");
+  }
+  return claim->indices.front();
+}
+
+std::optional<Claim> WorkQueue::try_claim_batch(
+    const std::string& worker_id, std::size_t max_cells) const {
   require_worker_id(worker_id);
+  if (max_cells == 0) max_cells = 1;
   // Pop cached candidates first; one directory listing refills the
   // backlog when it runs dry. Stale candidates (claimed by a peer since
-  // the listing) just fail their rename and are discarded, so a full
-  // drain costs one readdir per refill, not one per cell. Two refreshes
+  // the listing) just fail their rename and are dropped individually, so
+  // a full drain costs one readdir per refill, not one per cell — and a
+  // peer's re-seed or recovery never forces a full relist. Two refreshes
   // bound the call when peers are racing us for the last cells.
   for (int refresh = 0; refresh < 2; ++refresh) {
-    while (true) {
+    Claim claim;
+    std::vector<std::string> single_paths;  // active files to coalesce
+    while (claim.indices.size() < max_cells) {
       std::string name;
       {
         std::lock_guard<std::mutex> lock(claim_mutex_);
@@ -185,19 +471,82 @@ std::optional<std::size_t> WorkQueue::try_claim(
       }
       const auto index = parse_index_name(name);
       if (!index) continue;
+      if (has_extension(name, ".batch")) {
+        if (!claim.indices.empty()) {
+          // Don't mix a pre-chunked batch into coalesced singles; put it
+          // back at its sorted position (a concurrent release/recover
+          // may have inserted lower names behind our back, so a plain
+          // push_back could break the order backlog_insert relies on)
+          // and return what we have.
+          backlog_insert({std::move(name)});
+          break;
+        }
+        // The active name keeps the pending name's stem (count token
+        // included) and inserts the worker before the extension.
+        const std::string to =
+            (fs::path(active_dir()) /
+             (name.substr(0, name.size() - 6) + "." + worker_id + ".batch"))
+                .string();
+        std::error_code ec;
+        fs::rename((fs::path(pending_dir()) / name).string(), to, ec);
+        if (ec) continue;  // stale entry: a peer won it; drop just this one
+        // rename preserves the pending file's old mtime, so a recoverer
+        // statting in this window can judge the fresh claim expired and
+        // recover it. The touch stamps the lease; if it (or the read)
+        // finds the manifest already gone, the claim was lost — the
+        // members are back in pending, so just move on. A touch that
+        // failed with the file still present keeps the claim (the next
+        // heartbeat re-stamps it); abandoning would strand the entry.
+        if (touch_by_write(to) == Touch::kMissing) continue;
+        auto members = read_batch_members_if_present(to);
+        if (!members) continue;
+        claim.indices = std::move(*members);
+        claim.active_name = fs::path(to).filename().string();
+        claim.batch = true;
+        return claim;
+      }
+      if (!has_extension(name, ".cell")) continue;
       const std::string to = active_path(*index, worker_id);
       std::error_code ec;
       fs::rename((fs::path(pending_dir()) / name).string(), to, ec);
-      if (ec) continue;  // another worker won this cell; try the next one
-      // The pending file's mtime is its enqueue time; start the lease now.
-      fs::last_write_time(to, fs::file_time_type::clock::now(), ec);
-      return index;
+      if (ec) continue;  // stale entry: a peer won it; drop just this one
+      // Stamp the lease; a *missing* file means a recoverer judged the
+      // stale pre-claim mtime expired and took the cell back in the
+      // rename→touch window — it is pending again, so let it go. A
+      // transient write failure keeps the claim (the heartbeat will
+      // re-stamp); abandoning would strand the cell in active/.
+      if (touch_by_write(to) == Touch::kMissing) continue;
+      claim.indices.push_back(*index);
+      single_paths.push_back(to);
+    }
+    if (claim.indices.size() == 1) {
+      claim.active_name = fs::path(single_paths.front()).filename().string();
+      return claim;
+    }
+    if (claim.indices.size() > 1) {
+      // Coalesce the singles into one leased unit: write the manifest
+      // first (from here on recovery sees the batch), then fold the
+      // per-cell claim files into it. A crash in between leaves both — a
+      // benign double-recovery that re-enqueues each member once.
+      const std::string manifest = active_batch_path(
+          claim.indices.front(), worker_id, claim.indices.size());
+      write_file_atomically(manifest, encode_batch(claim.indices),
+                            "queue batch claim");
+      for (const std::string& path : single_paths) {
+        std::error_code ec;
+        fs::remove(path, ec);
+      }
+      claim.active_name = fs::path(manifest).filename().string();
+      claim.batch = true;
+      return claim;
     }
     std::vector<std::string> names;
     std::error_code ec;
     for (const auto& entry : fs::directory_iterator(pending_dir(), ec)) {
-      if (entry.is_regular_file() && entry.path().extension() == ".cell") {
-        names.push_back(entry.path().filename().string());
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (has_extension(name, ".cell") || has_extension(name, ".batch")) {
+        names.push_back(name);
       }
     }
     if (names.empty()) return std::nullopt;
@@ -210,15 +559,60 @@ std::optional<std::size_t> WorkQueue::try_claim(
   return std::nullopt;
 }
 
-bool WorkQueue::renew(std::size_t index, const std::string& worker_id) const {
-  std::error_code ec;
-  fs::last_write_time(active_path(index, worker_id),
-                      fs::file_time_type::clock::now(), ec);
-  return !ec;
+void WorkQueue::trim(Claim& claim, std::size_t keep) const {
+  if (keep == 0 || claim.indices.size() <= keep) return;
+  BBRM_REQUIRE_MSG(claim.batch, "single-cell claims cannot be trimmed");
+  const std::vector<std::size_t> surplus(
+      claim.indices.begin() + static_cast<std::ptrdiff_t>(keep),
+      claim.indices.end());
+  std::vector<std::size_t> kept(
+      claim.indices.begin(),
+      claim.indices.begin() + static_cast<std::ptrdiff_t>(keep));
+  // Re-enqueue the surplus *before* shrinking the manifest: if this
+  // worker dies in between, recovery re-enqueues the surplus again from
+  // the fat manifest (benign overwrite) — the reverse order could strand
+  // cells in no state at all.
+  std::vector<std::string> requeued;
+  for (const std::size_t index : surplus) {
+    write_file_atomically(pending_path(index), "queued\n", "queue cell");
+    requeued.push_back(index_name(index) + ".cell");
+  }
+  // The manifest moves to a name advertising the kept count (progress
+  // counts cells from names alone). A crash between the write and the
+  // remove leaves both manifests — recovery re-enqueues from each, a
+  // benign duplication.
+  std::string trimmed_name = claim.active_name;
+  if (batch_count_from_name(trimmed_name)) {
+    const auto first = trimmed_name.find('.');
+    const auto second = trimmed_name.find('.', first + 1);
+    trimmed_name = trimmed_name.substr(0, first + 1) +
+                   batch_count_token(keep) + trimmed_name.substr(second);
+  }
+  write_file_atomically((fs::path(active_dir()) / trimmed_name).string(),
+                        encode_batch(kept), "queue batch claim");
+  if (trimmed_name != claim.active_name) {
+    std::error_code ec;
+    fs::remove((fs::path(active_dir()) / claim.active_name).string(), ec);
+  }
+  // Mutate the claim only now that every write landed: a throw above
+  // leaves it covering all members, so the caller's release() can still
+  // return every unpublished cell.
+  claim.active_name = std::move(trimmed_name);
+  claim.indices = std::move(kept);
+  backlog_insert(std::move(requeued));
 }
 
-void WorkQueue::complete(const sweep::TaskResult& result,
-                         const std::string& worker_id) const {
+bool WorkQueue::renew(std::size_t index, const std::string& worker_id) const {
+  return touch_by_write(active_path(index, worker_id)) == Touch::kOk;
+}
+
+bool WorkQueue::renew(const Claim& claim) const {
+  return touch_by_write(
+             (fs::path(active_dir()) / claim.active_name).string()) ==
+         Touch::kOk;
+}
+
+void WorkQueue::publish(const sweep::TaskResult& result) const {
   std::string bytes = "status=";
   bytes += result.ok ? "ok" : "failed";
   bytes += "\nerror=";
@@ -227,6 +621,11 @@ void WorkQueue::complete(const sweep::TaskResult& result,
   bytes += sweep::encode_cell_metrics(result.metrics);
   write_file_atomically(result_path(result.task.index), bytes,
                         "queue result");
+}
+
+void WorkQueue::complete(const sweep::TaskResult& result,
+                         const std::string& worker_id) const {
+  publish(result);
   // Release the claim. ENOENT is fine: an expired lease may already have
   // been re-enqueued or reclaimed — the published bytes are identical
   // either way, so the race is benign.
@@ -234,14 +633,51 @@ void WorkQueue::complete(const sweep::TaskResult& result,
   fs::remove(active_path(result.task.index, worker_id), ec);
 }
 
+void WorkQueue::finish(const Claim& claim) const {
+  std::error_code ec;
+  fs::remove((fs::path(active_dir()) / claim.active_name).string(), ec);
+}
+
 void WorkQueue::release(std::size_t index,
                         const std::string& worker_id) const {
   std::error_code ec;
   fs::rename(active_path(index, worker_id), pending_path(index), ec);
   // ENOENT: the lease already expired and was recovered — nothing to do.
-  if (!ec) {
-    std::lock_guard<std::mutex> lock(claim_mutex_);
-    claim_backlog_.clear();  // the released cell is not in the cache
+  if (!ec) backlog_insert({index_name(index) + ".cell"});
+}
+
+void WorkQueue::release(const Claim& claim) const {
+  if (!claim.batch) {
+    // Reconstruct the worker id from the claim file name
+    // ("<index>.<worker>.cell") so the single-cell path stays one rename.
+    const std::string name = claim.active_name;
+    const auto first = name.find('.');
+    const auto last = name.rfind('.');
+    BBRM_REQUIRE_MSG(first != std::string::npos && last > first + 1,
+                     "malformed claim name: " + name);
+    release(claim.indices.front(), name.substr(first + 1, last - first - 1));
+    return;
+  }
+  std::vector<std::string> requeued;
+  for (const std::size_t index : claim.indices) {
+    if (fs::exists(result_path(index))) continue;  // already published
+    write_file_atomically(pending_path(index), "queued\n", "queue cell");
+    requeued.push_back(index_name(index) + ".cell");
+  }
+  finish(claim);
+  backlog_insert(std::move(requeued));
+}
+
+void WorkQueue::backlog_insert(std::vector<std::string> names) const {
+  if (names.empty()) return;
+  std::lock_guard<std::mutex> lock(claim_mutex_);
+  for (auto& name : names) {
+    // The backlog is reverse-sorted (pop_back = lowest index first).
+    const auto it =
+        std::lower_bound(claim_backlog_.begin(), claim_backlog_.end(), name,
+                         std::greater<std::string>());
+    if (it != claim_backlog_.end() && *it == name) continue;
+    claim_backlog_.insert(it, std::move(name));
   }
 }
 
@@ -250,16 +686,54 @@ std::size_t WorkQueue::done_count() const {
 }
 
 std::size_t WorkQueue::recover_expired() const {
+  // "Now" comes from the queue filesystem's own clock (a fresh probe
+  // write), never this host's — comparing two mtimes stamped by the same
+  // authority is what makes expiry robust to cross-host clock skew. The
+  // skew margin absorbs what residual scatter remains. When the probe
+  // cannot be written (full disk, read-only queue root) recovery falls
+  // back to the local clock: degraded precision, but crashed workers'
+  // cells still re-enqueue instead of recovery silently going dead. The
+  // probe write happens lazily, on the first live claim found — idle
+  // workers polling an empty queue must not write the shared mount every
+  // tick.
+  std::optional<fs::file_time_type> now_ref;
+  const double expiry_s = lease_s_ + skew_margin_s_;
   std::size_t recovered = 0;
+  std::vector<std::string> requeued;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".cell") {
-      continue;
-    }
-    const auto index = parse_index_name(entry.path().filename().string());
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool is_batch = has_extension(name, ".batch");
+    if (!is_batch && !has_extension(name, ".cell")) continue;
+    const auto index = parse_index_name(name);
     if (!index) continue;
     const auto mtime = entry.last_write_time(ec);
-    if (ec || seconds_since(mtime) <= lease_s_) continue;
+    if (ec) continue;
+    if (!now_ref) {
+      now_ref = probe_now().value_or(fs::file_time_type::clock::now());
+    }
+    const double age_s =
+        std::chrono::duration<double>(*now_ref - mtime).count();
+    if (age_s <= expiry_s) continue;
+    if (is_batch) {
+      // Re-enqueue only the members whose result never landed; published
+      // ones are done, only the claim is stale. A manifest that vanished
+      // since the listing was finished (or recovered) by its owner —
+      // nothing left to do.
+      const auto members =
+          read_batch_members_if_present(entry.path().string());
+      if (!members) continue;
+      for (const std::size_t member : *members) {
+        if (fs::exists(result_path(member))) continue;
+        write_file_atomically(pending_path(member), "queued\n",
+                              "queue cell");
+        requeued.push_back(index_name(member) + ".cell");
+        ++recovered;
+      }
+      fs::remove(entry.path(), ec);
+      continue;
+    }
     if (fs::exists(result_path(*index))) {
       // The worker died (or lost its lease) after publishing: the work is
       // done, only the claim is stale.
@@ -267,24 +741,53 @@ std::size_t WorkQueue::recover_expired() const {
       continue;
     }
     fs::rename(entry.path(), pending_path(*index), ec);
-    if (!ec) ++recovered;  // a concurrent recoverer may have won; fine
+    if (!ec) {  // a concurrent recoverer may have won; fine
+      requeued.push_back(index_name(*index) + ".cell");
+      ++recovered;
+    }
   }
-  if (recovered > 0) {
-    // The re-enqueued cells are not in the cached claim backlog (it was
-    // listed before they came back); drop it so the next claim re-lists
-    // and picks them up immediately. Peer processes converge the slower
-    // way — their stale backlogs drain and refresh on empty.
-    std::lock_guard<std::mutex> lock(claim_mutex_);
-    claim_backlog_.clear();
-  }
+  // The re-enqueued cells were not in the cached claim backlog (it was
+  // listed before they came back); insert them at their sorted positions
+  // so the next claim picks them up without a full relist. Peer processes
+  // converge the slower way — their stale backlogs drain and refresh on
+  // empty.
+  backlog_insert(std::move(requeued));
   return recovered;
 }
 
 QueueProgress WorkQueue::progress() const {
   QueueProgress p;
   p.pending = count_cells(pending_dir());
-  p.active = count_cells(active_dir());
   p.done = count_cells(results_dir());
+  // A batch publishes per member, so its manifest keeps covering cells
+  // whose results already landed — counting those as active would push
+  // done+active+pending past the plan size for the whole life of every
+  // in-flight batch. Active entries are bounded by in-flight claims (not
+  // plan size), so reading the few manifests here stays cheap; singles
+  // still count as claimed even when published (a visible stale claim is
+  // a crash artifact recovery will drop).
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (has_extension(name, ".cell")) {
+      ++p.active;
+    } else if (has_extension(name, ".batch")) {
+      // Display path: tolerate damage like count_cells does (an
+      // undecodable manifest counts as one entry) — a status view must
+      // not crash where the claim/recover paths will report loudly.
+      const auto bytes = read_text_file(entry.path().string());
+      if (!bytes) continue;  // finished/recovered since the listing
+      const auto members = decode_batch(*bytes);
+      if (!members) {
+        ++p.active;
+        continue;
+      }
+      for (const std::size_t member : *members) {
+        if (!fs::exists(result_path(member))) ++p.active;
+      }
+    }
+  }
   return p;
 }
 
@@ -322,12 +825,101 @@ std::optional<sweep::TaskResult> WorkQueue::load_result(
   return result;
 }
 
+void WorkQueue::write_worker_stats(const WorkerStats& stats) const {
+  require_worker_id(stats.worker_id);
+  std::string bytes = "worker=" + stats.worker_id + "\n";
+  bytes += "completed=" + std::to_string(stats.completed) + "\n";
+  bytes += "failed=" + std::to_string(stats.failed) + "\n";
+  bytes += "in_flight=" + std::to_string(stats.in_flight) + "\n";
+  bytes += "elapsed_s=" + exact_number(stats.elapsed_s) + "\n";
+  bytes += "cells_per_s=" + exact_number(stats.cells_per_s) + "\n";
+  write_file_atomically(
+      (fs::path(workers_dir()) / (stats.worker_id + ".stats")).string(),
+      bytes, "worker stats");
+}
+
+namespace {
+
+/// One stats file's fields (heartbeat age is the caller's concern).
+std::optional<WorkerStats> parse_worker_stats(const std::string& path,
+                                              const std::string& fallback_id) {
+  const auto bytes = read_text_file(path);
+  if (!bytes) return std::nullopt;
+  std::map<std::string, std::string> fields;
+  std::istringstream in(*bytes);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    fields[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  WorkerStats stats;
+  stats.worker_id = stats_field(fields, "worker");
+  if (stats.worker_id.empty()) stats.worker_id = fallback_id;
+  stats.completed = static_cast<std::size_t>(
+      try_parse_u64(stats_field(fields, "completed")).value_or(0));
+  stats.failed = static_cast<std::size_t>(
+      try_parse_u64(stats_field(fields, "failed")).value_or(0));
+  stats.in_flight = static_cast<std::size_t>(
+      try_parse_u64(stats_field(fields, "in_flight")).value_or(0));
+  stats.elapsed_s = parse_stat_double(stats_field(fields, "elapsed_s"));
+  stats.cells_per_s = parse_stat_double(stats_field(fields, "cells_per_s"));
+  return stats;
+}
+
+}  // namespace
+
+std::vector<WorkerStats> WorkQueue::read_worker_stats() const {
+  // Probe-relative ages, falling back to the local clock when the probe
+  // cannot be written — an age of 0 would make long-dead workers look
+  // freshly alive in status views.
+  const auto now_ref =
+      probe_now().value_or(fs::file_time_type::clock::now());
+  std::vector<WorkerStats> all;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(workers_dir(), ec)) {
+    if (!entry.is_regular_file() ||
+        entry.path().extension() != ".stats") {
+      continue;
+    }
+    auto stats = parse_worker_stats(entry.path().string(),
+                                    entry.path().stem().string());
+    if (!stats) continue;
+    const auto mtime = entry.last_write_time(ec);
+    if (!ec) {
+      stats->heartbeat_age_s = std::max(
+          0.0, std::chrono::duration<double>(now_ref - mtime).count());
+    }
+    all.push_back(std::move(*stats));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const WorkerStats& a, const WorkerStats& b) {
+              return a.worker_id < b.worker_id;
+            });
+  return all;
+}
+
+std::optional<WorkerStats> WorkQueue::read_worker_stats(
+    const std::string& worker_id) const {
+  return parse_worker_stats(
+      (fs::path(workers_dir()) / (worker_id + ".stats")).string(),
+      worker_id);
+}
+
+void WorkQueue::remove_worker_stats(const std::string& worker_id) const {
+  std::error_code ec;
+  fs::remove((fs::path(workers_dir()) / (worker_id + ".stats")).string(),
+             ec);
+}
+
 WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
                         const sweep::SweepOptions& options,
-                        const std::string& worker_id,
-                        std::size_t max_cells, double poll_s) {
-  require_worker_id(worker_id);
-  BBRM_REQUIRE_MSG(poll_s > 0.0, "poll interval must be positive");
+                        const WorkerConfig& config) {
+  require_worker_id(config.worker_id);
+  BBRM_REQUIRE_MSG(config.poll_s > 0.0, "poll interval must be positive");
+  BBRM_REQUIRE_MSG(config.batch >= 1, "batch size must be at least 1");
+  const std::string& worker_id = config.worker_id;
+  const std::size_t max_cells = config.max_cells;
 
   // One options template per cell: a single task through the ordinary
   // engine path, so caching, timeout, and retry behave exactly as in a
@@ -342,31 +934,84 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
     cell_options.runner = sweep::runner_by_name(plan.runner_name());
   }
 
+  const auto started = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> in_flight_cells{0};
+
   // Heartbeat: one background thread renews every in-flight lease well
-  // inside the expiry window, so long cells survive short leases.
+  // inside the expiry window, so long cells survive short leases — one
+  // touch per claimed *unit*, however many cells it batches. The same
+  // cadence refreshes this worker's stats file when asked to.
   std::mutex mutex;
-  std::set<std::size_t> in_flight;
+  std::map<std::string, Claim> in_flight;  // by active_name
   bool stop = false;
   std::condition_variable cv;
+  const auto snapshot_stats = [&] {
+    WorkerStats stats;
+    stats.worker_id = worker_id;
+    stats.completed = completed.load();
+    stats.failed = failed.load();
+    stats.in_flight = in_flight_cells.load();
+    stats.elapsed_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+    stats.cells_per_s = stats.elapsed_s > 0.0
+                            ? static_cast<double>(stats.completed) /
+                                  stats.elapsed_s
+                            : 0.0;
+    return stats;
+  };
+  // Stats are advisory: a failed write (full disk, unwritable workers/)
+  // must never take the worker down — least of all from the heartbeat
+  // thread, where an uncaught exception would std::terminate with every
+  // in-flight claim still held.
+  const auto write_stats = [&] {
+    if (!config.stats) return;
+    try {
+      queue.write_worker_stats(snapshot_stats());
+    } catch (...) {
+    }
+  };
+  // Per-publish refresh, throttled to ~1/s so fast drains do not double
+  // their write traffic: the fleet's strike budget reads `completed` to
+  // tell a productive crash from a broken slot, so a kill between
+  // heartbeat ticks must still find recent credit in the stats file.
+  std::atomic<std::int64_t> last_stats_ms{0};
+  const auto write_stats_throttled = [&] {
+    if (!config.stats) return;
+    const std::int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    std::int64_t last = last_stats_ms.load();
+    if (now_ms - last < 1000) return;
+    if (!last_stats_ms.compare_exchange_strong(last, now_ms)) return;
+    write_stats();
+  };
+  // Report in before doing anything: the slot exists (for status views
+  // and the fleet's progress attribution) even if this worker dies
+  // before its first heartbeat tick.
+  write_stats();
   std::thread heartbeat([&] {
     const auto interval = std::chrono::duration<double>(
         std::max(0.01, queue.lease_s() / 4.0));
     std::unique_lock<std::mutex> lock(mutex);
     while (!cv.wait_for(lock, interval, [&] { return stop; })) {
-      const std::set<std::size_t> snapshot = in_flight;
+      const std::map<std::string, Claim> snapshot = in_flight;
       lock.unlock();
-      for (const std::size_t index : snapshot) {
-        queue.renew(index, worker_id);  // a lost lease is benign; see .h
+      for (const auto& [name, claim] : snapshot) {
+        (void)name;
+        queue.renew(claim);  // a lost lease is benign; see .h
       }
+      write_stats();
       lock.lock();
     }
   });
 
-  std::atomic<std::size_t> completed{0};
-  std::atomic<std::size_t> failed{0};
-  // max_cells is a publish *budget*: a loop reserves a slot before it
-  // claims (and returns the slot on a failed claim), so concurrent loops
-  // cannot overshoot the cap by claiming simultaneously.
+  // max_cells is a publish *budget*: a loop reserves its slots before it
+  // claims (and returns unused slots on a short or failed claim), so
+  // concurrent loops cannot overshoot the cap by claiming simultaneously.
   std::atomic<std::size_t> budget{0};
   std::atomic<bool> abort{false};
   std::exception_ptr first_error;
@@ -376,52 +1021,92 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
 
   const auto claim_loop = [&] {
     while (!abort.load()) {
+      std::size_t reserved = config.batch;
       if (max_cells != 0) {
-        if (budget.fetch_add(1) >= max_cells) {
-          budget.fetch_sub(1);
-          return;
+        std::size_t spent = budget.load();
+        while (true) {
+          if (spent >= max_cells) return;  // budget exhausted
+          const std::size_t take =
+              std::min(config.batch, max_cells - spent);
+          if (budget.compare_exchange_weak(spent, spent + take)) {
+            reserved = take;
+            break;
+          }
         }
       }
-      auto claim = queue.try_claim(worker_id);
+      auto claim = queue.try_claim_batch(worker_id, reserved);
       if (!claim) {
         // Nothing pending: a crashed peer may be holding expired leases.
         queue.recover_expired();
-        claim = queue.try_claim(worker_id);
+        claim = queue.try_claim_batch(worker_id, reserved);
       }
       if (!claim) {
-        if (max_cells != 0) budget.fetch_sub(1);  // nothing to spend it on
+        if (max_cells != 0) budget.fetch_sub(reserved);  // nothing to spend
         if (queue.done_count() >= plan.size()) return;
-        std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(config.poll_s));
         continue;
       }
-      bool ok_cell = false;
+      // `charged` tracks the budget slots this claim still holds, so the
+      // failure path can give back exactly what was never published.
+      std::size_t charged = reserved;
+      std::size_t published = 0;
+      bool registered = false;
       try {
-        const sweep::SweepTask& cell = plan.cell_by_index(*claim);
+        // A pre-chunked batch may exceed the reservation (it is claimed
+        // whole by one rename); give the surplus back so --batch and
+        // --max-cells stay exact.
+        if (claim->indices.size() > reserved) {
+          queue.trim(*claim, reserved);
+        } else if (claim->indices.size() < reserved) {
+          if (max_cells != 0) {
+            budget.fetch_sub(reserved - claim->indices.size());
+          }
+          charged = claim->indices.size();
+        }
         {
           std::lock_guard<std::mutex> lock(mutex);
-          in_flight.insert(*claim);
+          in_flight[claim->active_name] = *claim;
         }
-        const auto result = sweep::run_tasks({cell}, cell_options);
-        queue.complete(result.row(0), worker_id);
-        ok_cell = result.row(0).ok;
+        registered = true;
+        in_flight_cells.fetch_add(claim->indices.size());
+        for (const std::size_t index : claim->indices) {
+          const sweep::SweepTask& cell = plan.cell_by_index(index);
+          const auto result = sweep::run_tasks({cell}, cell_options);
+          queue.publish(result.row(0));
+          ++published;
+          in_flight_cells.fetch_sub(1);
+          completed.fetch_add(1);
+          if (!result.row(0).ok) failed.fetch_add(1);
+          // A kill mid-batch must still find this cell's credit in the
+          // stats file (throttled, so fast drains keep their write
+          // budget for results).
+          write_stats_throttled();
+        }
+        queue.finish(*claim);
+        write_stats_throttled();
       } catch (...) {
-        // Give the cell back right away (and stop heartbeating it): peers
-        // must not wait out a lease for work this worker knows it
-        // abandoned. Runner failures never land here — they are reported
-        // rows; this is lookup/publish breakage.
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          in_flight.erase(*claim);
+        // Give the unfinished members back right away (and stop
+        // heartbeating the unit): peers must not wait out a lease for
+        // work this worker knows it abandoned — including when the
+        // failure struck in trim() or the bookkeeping above, before any
+        // member ran. Runner failures never land here — they are
+        // reported rows; this is lookup/publish breakage.
+        if (registered) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            in_flight.erase(claim->active_name);
+          }
+          in_flight_cells.fetch_sub(claim->indices.size() - published);
         }
-        queue.release(*claim, worker_id);
+        if (max_cells != 0) budget.fetch_sub(charged - published);
+        queue.release(*claim);
         throw;
       }
       {
         std::lock_guard<std::mutex> lock(mutex);
-        in_flight.erase(*claim);
+        in_flight.erase(claim->active_name);
       }
-      completed.fetch_add(1);
-      if (!ok_cell) failed.fetch_add(1);
     }
   };
 
@@ -448,9 +1133,21 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
   }
   cv.notify_all();
   heartbeat.join();
+  write_stats();
   if (first_error) std::rethrow_exception(first_error);
 
   return {completed.load(), failed.load()};
+}
+
+WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
+                        const sweep::SweepOptions& options,
+                        const std::string& worker_id,
+                        std::size_t max_cells, double poll_s) {
+  WorkerConfig config;
+  config.worker_id = worker_id;
+  config.max_cells = max_cells;
+  config.poll_s = poll_s;
+  return run_worker(queue, plan, options, config);
 }
 
 namespace {

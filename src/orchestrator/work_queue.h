@@ -8,20 +8,40 @@
 //
 //   <dir>/plan.bbrplan            the serialized ExecutionPlan
 //   <dir>/pending/<index>.cell    one file per unclaimed cell
-//   <dir>/active/<index>.<worker>.cell   a claimed cell (lease)
+//   <dir>/pending/<index>.bK.batch   one file per unclaimed K-cell batch
+//                                 (first member's index; members listed
+//                                 one per line inside; K in the name so
+//                                 progress counts without opening files)
+//   <dir>/active/<index>.<worker>.cell        a claimed cell (lease)
+//   <dir>/active/<index>.bK.<worker>.batch    a claimed batch (one lease
+//                                             for all members)
 //   <dir>/results/<index>.cell    a finished cell (status + metrics)
+//   <dir>/workers/<id>.stats      per-worker progress (heartbeat mtime)
+//   <dir>/probe                   mtime reference for lease expiry
 //
-// Mutual exclusion comes from rename(2): a worker claims a cell by
-// renaming its pending file into active/ under the worker's name — the
-// filesystem guarantees exactly one renamer wins, and the loser simply
-// moves on. A lease is the active file's mtime plus the queue's lease
-// duration; workers heartbeat by touching their active files, and anyone
-// (worker or coordinator) may re-enqueue a cell whose lease expired by
-// renaming it back to pending/ — that is the whole crash story. A worker
-// that lost its lease but finishes anyway publishes bytes identical to
-// the re-run (runners are deterministic), so every race here is benign:
-// results are published by atomic rename and double-completion rewrites
-// the same bytes.
+// Mutual exclusion comes from rename(2): a worker claims a pending entry
+// by renaming it into active/ under the worker's name — the filesystem
+// guarantees exactly one renamer wins, and the loser simply moves on. A
+// pending entry is one cell or one batch of K cells; either way the claim
+// is a single rename, which is what lets fast runners (the closed-form
+// reduced theory) drain large plans without the queue itself becoming the
+// bottleneck. Batches are claimed, leased, released, and recovered as one
+// unit, but results publish per cell, so a crash mid-batch only
+// re-enqueues the unfinished members.
+//
+// A lease is the active file's mtime plus the queue's lease duration.
+// Workers heartbeat by *writing* a byte back into their active files (not
+// by setting an explicit timestamp), so on a network mount the mtime
+// comes from the filesystem's own clock. Expiry likewise never consults
+// this host's wall clock: recovery touches the queue's probe file the
+// same way and compares mtime deltas against lease + a skew margin
+// (default lease/4), so cross-host clock skew cannot expire a healthy
+// worker's lease. Anyone (worker or coordinator) may re-enqueue an
+// expired entry — that is the whole crash story. A worker that lost its
+// lease but finishes anyway publishes bytes identical to the re-run
+// (runners are deterministic), so every race here is benign: results are
+// published by atomic rename and double-completion rewrites the same
+// bytes.
 //
 // Results stream out one cell at a time — a worker holds at most its
 // in-flight cells in memory, and the collector emits the final CSV/JSON
@@ -29,7 +49,9 @@
 // so the merged output is byte-identical to `run_sweep` by construction.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -41,43 +63,102 @@
 namespace bbrmodel::orchestrator {
 
 /// Queue directory census, from one pass over the three state dirs.
+/// Counts are cells, not files: a pending batch contributes every member
+/// it lists, an active batch only the members whose result has not been
+/// published yet — so done + active + pending never exceeds the plan,
+/// except transiently while a batch is being trimmed or recovered (the
+/// crash-safe ordering re-enqueues members *before* shrinking the
+/// manifest that still lists them, so a concurrent census can briefly
+/// count those members twice).
 struct QueueProgress {
   std::size_t pending = 0;
   std::size_t active = 0;
   std::size_t done = 0;
 };
 
+/// One claimed unit of work: a single cell or a whole batch. The member
+/// indices are ascending; `active_name` is the claim file under active/
+/// that carries the unit's lease.
+struct Claim {
+  std::vector<std::size_t> indices;
+  std::string active_name;
+  bool batch = false;
+};
+
+/// One worker's progress snapshot, written to workers/<id>.stats on every
+/// heartbeat tick and read back by `bbrsweep status` / the coordinator's
+/// watch line. The stats file's mtime is the worker's last heartbeat;
+/// `heartbeat_age_s` is filled on read, probe-relative (skew-safe).
+struct WorkerStats {
+  std::string worker_id;
+  std::size_t completed = 0;   ///< cells this worker published
+  std::size_t failed = 0;      ///< of those, cells whose task failed
+  std::size_t in_flight = 0;   ///< cells currently claimed by this worker
+  double elapsed_s = 0.0;      ///< run_worker wall clock so far
+  double cells_per_s = 0.0;    ///< completed / elapsed
+  double heartbeat_age_s = 0.0;  ///< seconds since the last stats write
+};
+
 class WorkQueue {
  public:
   /// Attach to a queue directory (created on demand). `lease_s` is how
-  /// long a claimed cell may go without a heartbeat before any
+  /// long a claimed entry may go without a heartbeat before any
   /// participant may re-enqueue it; it bounds the recovery latency after
-  /// a worker crash.
-  explicit WorkQueue(std::string dir, double lease_s = 60.0);
+  /// a worker crash. `skew_margin_s` is the extra slack recovery grants
+  /// on top of the lease before declaring it expired, absorbing cross-host
+  /// clock skew in the mtimes participants stamp; negative picks the
+  /// default of lease/4.
+  explicit WorkQueue(std::string dir, double lease_s = 60.0,
+                     double skew_margin_s = -1.0);
 
   const std::string& dir() const { return dir_; }
   double lease_s() const { return lease_s_; }
+  double skew_margin_s() const { return skew_margin_s_; }
 
-  /// Coordinator: publish the plan and this queue's lease duration, then
-  /// enqueue every cell that is not already claimed or finished.
+  /// Coordinator: publish the plan and this queue's lease parameters,
+  /// then enqueue every cell that is not already claimed or finished —
+  /// as single-cell entries, or chunked into `batch`-cell batch files
+  /// claimable by one rename each. Cells whose stored result is *failed*
+  /// are re-enqueued (the result file is dropped): a transient failure
+  /// must be re-attempted on the next run, never served forever.
   /// Idempotent — re-seeding after a coordinator crash resumes the run;
   /// seeding a *different* plan into a non-empty queue throws
   /// (byte-compared against the stored plan).
-  void seed(const ExecutionPlan& plan) const;
+  void seed(const ExecutionPlan& plan, std::size_t batch = 1) const;
 
   bool has_plan() const;
   ExecutionPlan load_plan() const;
 
-  /// The lease duration the seeding coordinator recorded in `dir`, if
-  /// any. Workers adopt it unless explicitly overridden — mismatched
-  /// per-process leases would let one participant steal another's live
-  /// claims (benign for correctness, wasteful for compute).
+  /// The lease duration / skew margin the seeding coordinator recorded in
+  /// `dir`, if any. Workers adopt them unless explicitly overridden —
+  /// mismatched per-process leases would let one participant steal
+  /// another's live claims (benign for correctness, wasteful for
+  /// compute).
   static std::optional<double> stored_lease_s(const std::string& dir);
+  static std::optional<double> stored_skew_margin_s(const std::string& dir);
 
   /// Worker: claim the lowest-index pending cell by atomic rename.
   /// nullopt when nothing is pending (work may still be active
   /// elsewhere). `worker_id` must be filesystem-safe ([A-Za-z0-9_-]).
+  /// Single-cell API: throws when the queue was seeded with batches (use
+  /// try_claim_batch, which handles both).
   std::optional<std::size_t> try_claim(const std::string& worker_id) const;
+
+  /// Worker: claim up to `max_cells` cells as one leased unit with a
+  /// single heartbeat file. A pending batch entry is claimed whole by one
+  /// rename (even when it holds more than `max_cells` members — trim()
+  /// gives the surplus back); pending singles are claimed individually
+  /// and coalesced into one batch manifest. nullopt when nothing is
+  /// pending.
+  std::optional<Claim> try_claim_batch(const std::string& worker_id,
+                                       std::size_t max_cells) const;
+
+  /// Give the tail of an oversized claim back to the queue: members past
+  /// `keep` are re-enqueued as pending singles and the claim's manifest
+  /// shrinks to the kept members (the owning worker is baked into the
+  /// claim). Needed when a pre-chunked batch exceeds a worker's --batch
+  /// or its remaining --max-cells budget.
+  void trim(Claim& claim, std::size_t keep) const;
 
   /// Heartbeat: refresh the lease on a cell this worker claimed. Returns
   /// false when the lease is no longer held (expired and re-enqueued or
@@ -85,22 +166,41 @@ class WorkQueue {
   /// twice is benign.
   bool renew(std::size_t index, const std::string& worker_id) const;
 
-  /// Publish a finished cell (atomic rename) and release the claim.
+  /// Heartbeat a whole claim unit (one touch regardless of batch size).
+  bool renew(const Claim& claim) const;
+
+  /// Publish one finished cell (atomic rename) without touching the
+  /// claim — the per-cell half of batch completion, so a crash mid-batch
+  /// loses only the unpublished members.
+  void publish(const sweep::TaskResult& result) const;
+
+  /// Publish a finished cell (atomic rename) and release the claim —
+  /// single-cell convenience equal to publish() + finish().
   void complete(const sweep::TaskResult& result,
                 const std::string& worker_id) const;
+
+  /// Drop a claim whose members were all published.
+  void finish(const Claim& claim) const;
 
   /// Return a claimed cell to pending without a result — a worker
   /// abandoning work it knows it cannot finish (e.g. an exception on its
   /// way to complete()), so peers need not wait out the lease.
   void release(std::size_t index, const std::string& worker_id) const;
 
+  /// Release a whole claim: members without a published result go back to
+  /// pending (as singles), published ones are left done, and the claim
+  /// file is dropped.
+  void release(const Claim& claim) const;
+
   /// Number of finished cells (one directory count, not three) — the
   /// cheap completion check worker loops poll with.
   std::size_t done_count() const;
 
-  /// Re-enqueue every active cell whose lease expired; stale claims whose
-  /// result was already published are simply dropped. Returns how many
-  /// cells went back to pending.
+  /// Re-enqueue every active entry whose lease expired (probe-relative
+  /// mtime delta > lease + skew margin); stale claims whose result was
+  /// already published are simply dropped, and an expired batch
+  /// re-enqueues only its unpublished members. Returns how many cells
+  /// went back to pending.
   std::size_t recover_expired() const;
 
   /// Counts for progress displays and completion checks (done counts
@@ -118,25 +218,78 @@ class WorkQueue {
   /// collect_json's totals pre-pass.
   std::optional<bool> result_ok(std::size_t index) const;
 
+  /// Atomically (re)write this worker's stats file; its mtime doubles as
+  /// the worker's heartbeat for `bbrsweep status`.
+  void write_worker_stats(const WorkerStats& stats) const;
+
+  /// Every worker stats file in the queue, sorted by worker id, with
+  /// heartbeat ages measured against the probe file (skew-safe).
+  std::vector<WorkerStats> read_worker_stats() const;
+
+  /// One worker's stats file — a single open, no probe write and no
+  /// heartbeat age (left 0). nullopt when the worker never reported.
+  std::optional<WorkerStats> read_worker_stats(
+      const std::string& worker_id) const;
+
+  /// Drop one worker's stats file (no-op when absent). The fleet calls
+  /// this before each (re)spawn so a generation's `completed` count can
+  /// only come from the generation that just ran.
+  void remove_worker_stats(const std::string& worker_id) const;
+
  private:
   std::string pending_dir() const;
   std::string active_dir() const;
   std::string results_dir() const;
+  std::string workers_dir() const;
   std::string plan_path() const;
+  std::string probe_path() const;
   std::string pending_path(std::size_t index) const;
+  /// Batch file names carry their member count ("<index>.b<count>.batch")
+  /// so progress counting never opens them.
+  std::string pending_batch_path(std::size_t index,
+                                 std::size_t count) const;
   std::string active_path(std::size_t index,
                           const std::string& worker_id) const;
+  std::string active_batch_path(std::size_t index,
+                                const std::string& worker_id,
+                                std::size_t count) const;
   std::string result_path(std::size_t index) const;
+  /// Re-stamp the probe file by writing it and return its fresh mtime —
+  /// "now" according to the queue filesystem's own clock. Rate-limited:
+  /// within lease/4 of the last write the cached mtime is advanced by
+  /// locally elapsed time instead, so watch loops polling every tick do
+  /// not write the shared mount every tick.
+  std::optional<std::filesystem::file_time_type> probe_now() const;
+  /// Put re-enqueued pending names back into the cached claim backlog at
+  /// their sorted positions, so peers see them without a full relist.
+  void backlog_insert(std::vector<std::string> names) const;
 
   std::string dir_;
   double lease_s_;
+  double skew_margin_s_;
   /// Claim candidates cached from the last pending-directory listing
   /// (reverse-sorted; pop from the back = lowest index first). One
   /// listing amortizes over many claims, so draining N cells costs one
-  /// readdir per backlog refill instead of one per cell.
+  /// readdir per backlog refill instead of one per cell. A stale entry
+  /// (claimed by a peer since the listing) just fails its rename and is
+  /// dropped *individually* — never by clearing the whole backlog, which
+  /// would force O(n) relists under contention.
   mutable std::mutex claim_mutex_;
   mutable std::vector<std::string> claim_backlog_;
+  /// probe_now()'s rate-limit state: the last written probe mtime and
+  /// when (locally) it was written.
+  mutable std::mutex probe_mutex_;
+  mutable std::optional<std::filesystem::file_time_type> probe_value_;
+  mutable std::chrono::steady_clock::time_point probe_at_{};
 };
+
+/// Replace every byte outside [A-Za-z0-9_-] with '-': the one charset
+/// worker ids may use (they become queue file names). Shared by the CLI
+/// and the fleet so the rules cannot drift apart.
+std::string sanitize_worker_id(std::string id);
+
+/// Filesystem-safe default worker identity: <hostname>-<pid>.
+std::string default_worker_id();
 
 /// What one run_worker call accomplished.
 struct WorkerReport {
@@ -144,12 +297,35 @@ struct WorkerReport {
   std::size_t failed = 0;     ///< of those, cells whose task failed
 };
 
-/// Drain the queue until its plan is complete (or `max_cells` cells were
-/// published): claim, execute through the engine (runner resolution,
-/// caching, timeout, retry per `options` — options.threads claim loops run
-/// concurrently), publish, repeat. A background heartbeat renews every
-/// in-flight lease at lease/4 cadence. Returns when every cell of the
-/// plan has a result, however many workers produced them.
+/// How one run_worker call behaves (identity, budget, cadence, batching).
+struct WorkerConfig {
+  /// Claim-file identity ([A-Za-z0-9_-]); required.
+  std::string worker_id;
+  /// Publish at most this many cells, then return (0 = no limit). Exact
+  /// under concurrent claim loops and batching: oversized claims are
+  /// trimmed back to the remaining budget.
+  std::size_t max_cells = 0;
+  /// Sleep between empty claim attempts.
+  double poll_s = 0.05;
+  /// Cells per claimed unit (>= 1): pending singles are coalesced into
+  /// one leased batch, pre-chunked batches bigger than this are trimmed.
+  std::size_t batch = 1;
+  /// Write workers/<id>.stats on every heartbeat tick (live dashboards).
+  bool stats = false;
+};
+
+/// Drain the queue until its plan is complete (or the cell budget is
+/// spent): claim (singly or in batches), execute through the engine
+/// (runner resolution, caching, timeout, retry per `options` —
+/// options.threads claim loops run concurrently), publish per cell,
+/// repeat. A background heartbeat renews every in-flight lease at lease/4
+/// cadence. Returns when every cell of the plan has a result, however
+/// many workers produced them.
+WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
+                        const sweep::SweepOptions& options,
+                        const WorkerConfig& config);
+
+/// Single-cell convenience overload (tests, simple embedders).
 WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
                         const sweep::SweepOptions& options,
                         const std::string& worker_id,

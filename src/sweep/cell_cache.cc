@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -69,6 +70,16 @@ std::map<std::string, std::uintmax_t> read_manifest(const std::string& path) {
     entries[line.substr(0, space)] = *bytes;
   }
   return entries;
+}
+
+/// The failed-task metric signature (sweep's failed_metrics(): every
+/// scalar NaN). Failed cells must never be memoized — a task that timed
+/// out once would otherwise be served NaN metrics forever on warm reruns,
+/// so the transient failure would never be re-attempted.
+bool failed_cell_payload(const metrics::AggregateMetrics& m) {
+  return std::isnan(m.jain) && std::isnan(m.loss_pct) &&
+         std::isnan(m.occupancy_pct) && std::isnan(m.utilization_pct) &&
+         std::isnan(m.jitter_ms);
 }
 
 std::string manifest_bytes(
@@ -146,6 +157,10 @@ std::optional<metrics::AggregateMetrics> CellCache::load(
   const auto bytes = read_text_file(cell_path(key));
   auto decoded = bytes ? decode_cell_metrics(*bytes)
                        : std::optional<metrics::AggregateMetrics>{};
+  // A failed cell (all-NaN scalars — planted by hand or by a pre-fix
+  // store) reads as a miss so the task is re-attempted, never served its
+  // old failure forever.
+  if (decoded && failed_cell_payload(*decoded)) decoded.reset();
   if (!decoded) {
     misses_.fetch_add(1);
     return std::nullopt;
@@ -158,6 +173,10 @@ void CellCache::store(const std::string& key,
                       const metrics::AggregateMetrics& m) const {
   BBRM_REQUIRE_MSG(key.find_first_of(" \t\r\n") == std::string::npos,
                    "cell keys must not contain whitespace (manifest lines)");
+  // Never memoize a failure: the engine only stores ok results, but this
+  // is the contract's last line of defense for any embedder calling
+  // store() directly.
+  if (failed_cell_payload(m)) return;
   // Index any pre-manifest store *before* the append below creates the
   // file — otherwise a legacy directory would get a manifest holding only
   // the new cells, permanently hiding the old ones from stats/gc.

@@ -62,13 +62,16 @@ class CellCache {
 
   const std::string& dir() const { return dir_; }
 
-  /// Look a cell up. Counts a hit or a miss; unreadable or stale-format
-  /// cells count as misses.
+  /// Look a cell up. Counts a hit or a miss; unreadable, stale-format,
+  /// or failed (all-NaN scalars) cells count as misses — a transient
+  /// failure must be re-attempted on the next run, never served forever.
   std::optional<metrics::AggregateMetrics> load(const std::string& key) const;
 
-  /// Persist a finished cell and record it in the manifest. Last writer
-  /// wins; concurrent writers of the same key write identical bytes
-  /// (determinism), so the race is benign.
+  /// Persist a finished cell and record it in the manifest. Failed
+  /// metrics (the all-NaN signature of a failed task) are silently
+  /// skipped — only successes memoize. Last writer wins; concurrent
+  /// writers of the same key write identical bytes (determinism), so the
+  /// race is benign.
   void store(const std::string& key, const metrics::AggregateMetrics& m) const;
 
   std::size_t hits() const { return hits_.load(); }

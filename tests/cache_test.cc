@@ -12,6 +12,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -311,6 +312,76 @@ TEST(CellCache, WarmRerunDoesZeroSimulationWork) {
         << "cache state must never change the bytes";
     EXPECT_EQ(warm_json.str(), cold_json.str());
   }
+}
+
+TEST(CellCache, TransientFailureIsReAttemptedOnTheNextCachedRun) {
+  // Regression: a task that fails once must not be memoized — serving the
+  // old NaN metrics forever would mean retries never happen on warm
+  // reruns sharing the cache directory.
+  const std::string dir = scratch_dir("cellcache_transient");
+  std::atomic<std::size_t> calls{0};
+  Runner flaky = {"synthetic", [&calls](const SweepTask& task) {
+                    // First invocation fails (a timeout stand-in); every
+                    // later one succeeds.
+                    if (calls.fetch_add(1) == 0) {
+                      throw std::runtime_error("transient backend outage");
+                    }
+                    metrics::AggregateMetrics m;
+                    m.jain = 1.0;
+                    m.loss_pct = task.spec.buffer_bdp;
+                    m.utilization_pct = 100.0;
+                    return m;
+                  }};
+  const std::vector<SweepTask> tasks = {make_task(
+      0, Backend::kFluid,
+      scenario::ExperimentSpec{}, 42)};
+
+  CellCache cache(dir);
+  SweepOptions options;
+  options.runner = flaky;
+  options.cache = &cache;
+  const auto first = run_tasks(tasks, options);
+  EXPECT_FALSE(first.row(0).ok);
+  EXPECT_EQ(cache.stores(), 0u) << "failures must never be stored";
+
+  const auto second = run_tasks(tasks, options);
+  EXPECT_TRUE(second.row(0).ok)
+      << "the cached rerun must re-attempt the task, not serve the "
+         "failure";
+  EXPECT_FALSE(second.row(0).cached);
+  EXPECT_EQ(calls.load(), 2u);
+
+  const auto third = run_tasks(tasks, options);
+  EXPECT_TRUE(third.row(0).cached) << "the success memoizes as usual";
+  EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(CellCache, FailedCellPayloadsReadAsMissesNotHits) {
+  // A failed cell planted by hand (or by a pre-fix store) carries the
+  // all-NaN scalar signature; load must refuse to serve it.
+  const std::string dir = scratch_dir("cellcache_nan");
+  CellCache cache(dir);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  metrics::AggregateMetrics failed;
+  failed.jain = failed.loss_pct = failed.occupancy_pct =
+      failed.utilization_pct = failed.jitter_ms = nan;
+  std::ofstream(std::filesystem::path(dir) / "deadcell.cell")
+      << encode_cell_metrics(failed);
+  EXPECT_FALSE(cache.load("deadcell").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // store() skips the same signature outright.
+  cache.store("deadcell2", failed);
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(dir) / "deadcell2.cell"));
+
+  // A partially-NaN success (a metric a runner legitimately cannot
+  // compute) still round-trips.
+  metrics::AggregateMetrics partial;
+  partial.jain = 0.9;
+  partial.jitter_ms = nan;
+  cache.store("partial", partial);
+  EXPECT_TRUE(cache.load("partial").has_value());
 }
 
 TEST(CellCache, UnnamedRunnersAndCustomInitsBypassTheCache) {

@@ -7,6 +7,7 @@
 
 #include "common/csv.h"
 #include "common/json.h"
+#include "common/parse.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -281,6 +282,18 @@ TEST(Require, ThrowsTypedExceptions) {
     EXPECT_NE(std::string(e.what()).find("one is not two"),
               std::string::npos);
   }
+}
+
+TEST(TryParseDouble, FullStringSemantics) {
+  EXPECT_EQ(try_parse_double("2.5"), std::optional<double>(2.5));
+  EXPECT_EQ(try_parse_double("-0.75"), std::optional<double>(-0.75));
+  EXPECT_EQ(try_parse_double("1e-3"), std::optional<double>(1e-3));
+  EXPECT_FALSE(try_parse_double("").has_value());
+  EXPECT_FALSE(try_parse_double(" 1").has_value())
+      << "leading whitespace must not be skipped";
+  EXPECT_FALSE(try_parse_double("1.5s").has_value())
+      << "trailing bytes must reject";
+  EXPECT_FALSE(try_parse_double("abc").has_value());
 }
 
 }  // namespace

@@ -5,6 +5,11 @@
 // streaming collection byte-identical to the single-process run).
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -405,6 +410,220 @@ TEST(WorkQueue, CrashAfterPublishDropsTheStaleClaimWithoutReEnqueue) {
   EXPECT_EQ(progress.done, 1u);
 }
 
+// ---- batched claims + lease robustness ------------------------------------
+
+TEST(WorkQueueBatch, BatchedSeedClaimsWholeChunksAsOneUnit) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42,
+                                         "synthetic");
+  WorkQueue queue(scratch_dir("wq_batch_seed"), 60.0);
+  queue.seed(plan, /*batch=*/4);
+
+  // 12 cells chunk into 3 pending batch files, but progress counts cells.
+  EXPECT_EQ(queue.progress().pending, plan.size());
+  std::size_t entries = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(queue.dir()) / "pending")) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 3u);
+
+  // One claim takes the whole lowest chunk; the single-cell API refuses
+  // (and releases) rather than silently stranding members.
+  const auto claim = queue.try_claim_batch("worker-a", 4);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_TRUE(claim->batch);
+  EXPECT_EQ(claim->indices, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(queue.progress().active, 4u);
+  EXPECT_TRUE(queue.renew(*claim));
+
+  for (const std::size_t index : claim->indices) {
+    sweep::TaskResult result;
+    result.task = plan.cell_by_index(index);
+    result.metrics = synthetic_runner().fn(result.task);
+    queue.publish(result);
+  }
+  queue.finish(*claim);
+  auto progress = queue.progress();
+  EXPECT_EQ(progress.done, 4u);
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_FALSE(queue.renew(*claim)) << "a finished batch has no lease";
+
+  EXPECT_THROW(queue.try_claim("worker-a"), PreconditionError);
+  EXPECT_EQ(queue.progress().active, 0u)
+      << "the refused batch claim must be released, not stranded";
+}
+
+TEST(WorkQueueBatch, CoalescedSinglesClaimAsOneUnitAndTrimReturnsTheTail) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_batch_coalesce"), 60.0);
+  queue.seed(plan);  // singles
+
+  auto claim = queue.try_claim_batch("worker-a", 3);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_TRUE(claim->batch);
+  EXPECT_EQ(claim->indices, (std::vector<std::size_t>{0, 1, 2}));
+  // The three cells fold into exactly one leased claim file.
+  std::size_t active_entries = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(queue.dir()) / "active")) {
+    (void)entry;
+    ++active_entries;
+  }
+  EXPECT_EQ(active_entries, 1u);
+  EXPECT_EQ(queue.progress().active, 3u);
+
+  // Trimming hands the tail back as claimable singles.
+  queue.trim(*claim, 2);
+  EXPECT_EQ(claim->indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(queue.progress().active, 2u);
+  EXPECT_EQ(queue.progress().pending, plan.size() - 2);
+
+  // Releasing the claim re-enqueues only the unpublished member.
+  sweep::TaskResult result;
+  result.task = plan.cell_by_index(0);
+  result.metrics = synthetic_runner().fn(result.task);
+  queue.publish(result);
+  queue.release(*claim);
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.done, 1u);
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_EQ(progress.pending, plan.size() - 1);
+}
+
+TEST(WorkQueueBatch, ExpiredBatchReEnqueuesOnlyUnfinishedMembers) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_batch_expiry"), /*lease_s=*/0.05,
+                  /*skew_margin_s=*/0.0);
+  queue.seed(plan);
+
+  const auto claim = queue.try_claim_batch("worker-a", 4);
+  ASSERT_TRUE(claim.has_value());
+  ASSERT_EQ(claim->indices.size(), 4u);
+  for (const std::size_t index : {claim->indices[0], claim->indices[1]}) {
+    sweep::TaskResult result;
+    result.task = plan.cell_by_index(index);
+    result.metrics = synthetic_runner().fn(result.task);
+    queue.publish(result);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(queue.recover_expired(), 2u)
+      << "published members stay done; only the unfinished re-enqueue";
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.done, 2u);
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_EQ(progress.pending, plan.size() - 2);
+  EXPECT_FALSE(queue.renew(*claim));
+}
+
+TEST(WorkQueue, SkewMarginDelaysLeaseExpiry) {
+  // The same active files, two recovery policies: a margin of lease/4
+  // would have been blown by the sleep, so the wide margin must hold the
+  // lease while the zero margin recovers it.
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  const std::string dir = scratch_dir("wq_skew");
+  WorkQueue with_margin(dir, /*lease_s=*/0.05, /*skew_margin_s=*/10.0);
+  WorkQueue no_margin(dir, /*lease_s=*/0.05, /*skew_margin_s=*/0.0);
+  EXPECT_EQ(with_margin.skew_margin_s(), 10.0);
+  EXPECT_EQ(no_margin.skew_margin_s(), 0.0);
+
+  with_margin.seed(plan);
+  ASSERT_TRUE(with_margin.try_claim("worker-a").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(with_margin.recover_expired(), 0u)
+      << "a lease inside the skew margin must not be stolen";
+  EXPECT_EQ(no_margin.recover_expired(), 1u);
+
+  // The default margin derives from the lease.
+  WorkQueue defaulted(scratch_dir("wq_skew_default"), 60.0);
+  EXPECT_EQ(defaulted.skew_margin_s(), 15.0);
+}
+
+TEST(WorkQueue, FailedResultsAreReEnqueuedOnReseed) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  WorkQueue queue(scratch_dir("wq_retry_failed"), 60.0);
+  queue.seed(plan);
+
+  // Cell 0 fails (a timeout, say); cell 1 succeeds.
+  const auto failed_cell = queue.try_claim("worker-a");
+  ASSERT_TRUE(failed_cell.has_value());
+  sweep::TaskResult failed;
+  failed.task = plan.cell_by_index(*failed_cell);
+  failed.ok = false;
+  failed.error = "timeout after 1 s";
+  queue.complete(failed, "worker-a");
+  const auto ok_cell = queue.try_claim("worker-a");
+  ASSERT_TRUE(ok_cell.has_value());
+  sweep::TaskResult ok;
+  ok.task = plan.cell_by_index(*ok_cell);
+  ok.metrics = synthetic_runner().fn(ok.task);
+  queue.complete(ok, "worker-a");
+  EXPECT_EQ(queue.progress().done, 2u);
+
+  // Re-seeding (a coordinator restart) must re-attempt the transient
+  // failure instead of serving the memoized NaN row forever — and must
+  // not touch the finished cell.
+  queue.seed(plan);
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.done, 1u);
+  EXPECT_EQ(progress.pending, plan.size() - 1);
+  EXPECT_FALSE(queue.result_ok(*failed_cell).has_value())
+      << "the failed result file must be dropped";
+  EXPECT_EQ(queue.result_ok(*ok_cell), std::optional<bool>(true));
+}
+
+TEST(WorkQueue, PeerClaimedBacklogEntriesAreSkippedIndividually) {
+  // Two queue handles on one directory model two worker processes with
+  // independently cached claim backlogs. A peer's claim leaves a stale
+  // entry in ours; the failed rename must drop just that entry — and a
+  // release must come back as a claimable candidate without a relist.
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  const std::string dir = scratch_dir("wq_stale_backlog");
+  WorkQueue ours(dir, 60.0);
+  WorkQueue peer(dir, 60.0);
+  ours.seed(plan);
+
+  EXPECT_EQ(ours.try_claim("worker-a"), std::optional<std::size_t>(0));
+  EXPECT_EQ(peer.try_claim("worker-b"), std::optional<std::size_t>(1));
+  // Our backlog still lists cell 1; the stale entry is skipped and the
+  // next-lowest cell claimed.
+  EXPECT_EQ(ours.try_claim("worker-a"), std::optional<std::size_t>(2));
+
+  // The peer's release surfaces the cell to its own backlog in sorted
+  // position: the very next claim takes it, lowest-index first.
+  peer.release(1, "worker-b");
+  EXPECT_EQ(peer.try_claim("worker-b"), std::optional<std::size_t>(1));
+}
+
+TEST(WorkQueue, WorkerStatsRoundTripThroughTheQueueDir) {
+  WorkQueue queue(scratch_dir("wq_stats"), 60.0);
+  WorkerStats stats;
+  stats.worker_id = "w-1";
+  stats.completed = 7;
+  stats.failed = 2;
+  stats.in_flight = 3;
+  stats.elapsed_s = 2.0;
+  stats.cells_per_s = 3.5;
+  queue.write_worker_stats(stats);
+  WorkerStats other = stats;
+  other.worker_id = "w-2";
+  other.completed = 11;
+  queue.write_worker_stats(other);
+
+  const auto all = queue.read_worker_stats();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].worker_id, "w-1");
+  EXPECT_EQ(all[0].completed, 7u);
+  EXPECT_EQ(all[0].failed, 2u);
+  EXPECT_EQ(all[0].in_flight, 3u);
+  EXPECT_EQ(all[0].cells_per_s, 3.5);
+  EXPECT_GE(all[0].heartbeat_age_s, 0.0);
+  EXPECT_LT(all[0].heartbeat_age_s, 30.0);
+  EXPECT_EQ(all[1].worker_id, "w-2");
+  EXPECT_EQ(all[1].completed, 11u);
+}
+
 // ---- run_worker + streaming collection ------------------------------------
 
 /// The reference bytes every queue-driven run must reproduce.
@@ -559,6 +778,163 @@ TEST(Collect, IncompleteQueueThrowsNamingTheMissingCell) {
   queue.seed(plan);
   std::ostringstream out;
   EXPECT_THROW(collect_csv(queue, plan, out), PreconditionError);
+}
+
+// ---- batched run_worker ----------------------------------------------------
+
+/// A 50-cell plan: enough cells that three --batch 4 workers interleave
+/// chunk claims, trims, and the final ragged chunk.
+ExecutionPlan fifty_cell_plan() {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp.clear();
+  for (int i = 0; i < 25; ++i) {
+    grid.buffers_bdp.push_back(0.5 * (i + 1));
+  }
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                sweep::half_half_mix(scenario::CcaKind::kBbrv1,
+                                     scenario::CcaKind::kReno)};
+  return ExecutionPlan::dense(grid, small_base(), 42);
+}
+
+TEST(RunWorker, ThreeBatchedWorkersDrainFiftyCellsExactlyOnce) {
+  const auto plan = fifty_cell_plan();
+  ASSERT_EQ(plan.size(), 50u);
+  std::atomic<std::size_t> calls{0};
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner(&calls);
+  const auto reference = reference_bytes(plan, options);
+  calls.store(0);
+
+  WorkQueue queue(scratch_dir("wq_batched_trio"), 60.0);
+  queue.seed(plan);
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 1;
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> workers;
+  for (const char* id : {"worker-a", "worker-b", "worker-c"}) {
+    workers.emplace_back([&, id] {
+      WorkerConfig config;
+      config.worker_id = id;
+      config.batch = 4;
+      config.poll_s = 0.01;
+      config.stats = true;
+      total.fetch_add(
+          run_worker(queue, plan, worker_options, config).completed);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(total.load(), plan.size());
+  EXPECT_EQ(calls.load(), plan.size())
+      << "every cell simulates exactly once across the batched workers";
+  std::ostringstream csv, json;
+  collect_csv(queue, plan, csv);
+  collect_json(queue, plan, json);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "batched claims must not change a byte of the merged output";
+  EXPECT_EQ(json.str(), reference.json);
+
+  // Every worker left a stats file the status view can aggregate.
+  const auto stats = queue.read_worker_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::size_t stats_total = 0;
+  for (const auto& s : stats) stats_total += s.completed;
+  EXPECT_EQ(stats_total, plan.size());
+}
+
+TEST(RunWorker, BatchedMaxCellsStaysExact) {
+  const auto plan = fifty_cell_plan();
+  WorkQueue queue(scratch_dir("wq_batched_budget"), 60.0);
+  queue.seed(plan, /*batch=*/8);  // pre-chunked coarser than the budget
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.threads = 4;
+  WorkerConfig config;
+  config.worker_id = "worker-a";
+  config.batch = 4;
+  config.max_cells = 6;  // not a multiple of either batch size
+  config.poll_s = 0.01;
+  const auto report = run_worker(queue, plan, options, config);
+  EXPECT_EQ(report.completed, 6u)
+      << "oversized batch claims must be trimmed back to the budget";
+  EXPECT_EQ(queue.progress().done, 6u);
+  EXPECT_EQ(queue.progress().active, 0u);
+}
+
+TEST(RunWorker, SigkilledWorkerMidBatchOnlyReEnqueuesUnfinishedCells) {
+  const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
+  std::atomic<std::size_t> calls{0};
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner(&calls);
+  const auto reference = reference_bytes(plan, options);
+
+  const std::string dir = scratch_dir("wq_sigkill_batch");
+  WorkQueue queue(dir, /*lease_s=*/0.1, /*skew_margin_s=*/0.05);
+  queue.seed(plan);
+
+  // A real SIGKILL mid-batch: the child drains slowly with --batch-style
+  // claims and is killed after publishing at least one cell, so its batch
+  // is part published, part abandoned.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    try {
+      sweep::SweepOptions slow = options;
+      slow.threads = 1;
+      slow.runner = {"synthetic", [](const sweep::SweepTask& task) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(40));
+                       return synthetic_runner().fn(task);
+                     }};
+      WorkerConfig config;
+      config.worker_id = "victim";
+      config.batch = 4;
+      config.poll_s = 0.01;
+      run_worker(queue, plan, slow, config);
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  while (queue.done_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  const std::size_t done_at_kill = queue.done_count();
+  ASSERT_GE(done_at_kill, 1u);
+  ASSERT_LT(done_at_kill, plan.size());
+
+  // After the lease (+ margin) runs out, recovery re-enqueues exactly the
+  // unpublished cells — the published ones stay done.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  queue.recover_expired();
+  auto progress = queue.progress();
+  EXPECT_EQ(progress.done, done_at_kill)
+      << "published cells must never be re-enqueued";
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_EQ(progress.pending, plan.size() - done_at_kill);
+
+  // A surviving batched worker finishes the plan; the merged output is
+  // byte-identical to the single-process run.
+  WorkerConfig survivor;
+  survivor.worker_id = "survivor";
+  survivor.batch = 4;
+  survivor.poll_s = 0.01;
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 2;
+  run_worker(queue, plan, worker_options, survivor);
+  std::ostringstream csv, json;
+  collect_csv(queue, plan, csv);
+  collect_json(queue, plan, json);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "a SIGKILL mid-batch must not change a byte";
+  EXPECT_EQ(json.str(), reference.json);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,8 +45,10 @@
 #include "adaptive/policy.h"
 #include "adaptive/refiner.h"
 #include "common/atomic_io.h"
+#include "common/parse.h"
 #include "common/units.h"
 #include "orchestrator/execution_plan.h"
+#include "orchestrator/fleet.h"
 #include "orchestrator/work_queue.h"
 #include "sweep/cell_cache.h"
 #include "sweep/merge.h"
@@ -63,6 +66,8 @@ Usage: bbrsweep [options]
        bbrsweep plan [options]
        bbrsweep coordinator --queue-dir DIR [options]
        bbrsweep worker --queue-dir DIR [worker options]
+       bbrsweep fleet --queue-dir DIR --workers N [fleet options]
+       bbrsweep status --queue-dir DIR
        bbrsweep merge (--csv OUT | --json OUT) [--plan FILE] FILE...
        bbrsweep cache (stats | gc --max-bytes N[K|M|G] | reindex)
                       [--cache-dir DIR]
@@ -147,20 +152,48 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       --queue-dir, watch progress (re-enqueueing cells
                       whose worker lease expired), then stream the merged
                       CSV/JSON — byte-identical to the single-process run.
-                      Re-running a crashed coordinator resumes the queue.
+                      Re-running a crashed coordinator resumes the queue
+                      (and re-enqueues cells whose stored result failed,
+                      so transient failures are re-attempted).
   worker              drain cells from --queue-dir until the plan is done:
                       claim (atomic rename), simulate, publish, heartbeat.
                       Workers may join, crash, and restart at any time.
+  fleet               spawn and monitor --workers N worker processes
+                      against one queue dir (round-robined over --ssh
+                      hosts when given); dead workers respawn while cells
+                      remain — kill -9 any of them and the fleet heals.
+  status              one snapshot of the queue: plan size, cell counts,
+                      and a per-worker table (cells done, failures,
+                      in-flight, cells/s, last heartbeat) from the stats
+                      files workers refresh on every heartbeat tick.
   --queue-dir DIR     the shared queue directory
   --lease S           claim lease: a cell whose worker misses heartbeats
                       for S seconds is re-enqueued (default 60)
+  --skew-margin S     extra slack before an expired lease is recovered,
+                      absorbing cross-host mtime skew (default lease/4)
   --poll S            progress/claim poll interval (default 0.5)
+  --batch K           coordinator: seed K-cell batch files, each claimed
+                      by one rename; worker: claim and lease up to K
+                      cells as one unit (coalescing pending singles),
+                      publishing results per cell — a crash mid-batch
+                      only re-enqueues the unfinished members
   worker only:
   --worker-id ID      claim-file name ([A-Za-z0-9_-]; default host-pid)
-  --max-cells N       publish at most N cells, then exit (0 = no limit)
+  --max-cells N       publish at most N cells, then exit (0 = no limit;
+                      exact even with --batch — oversized claims are
+                      trimmed back to pending)
   --plan-wait S       wait up to S seconds for the coordinator to seed
                       the plan (default 60)
   (--threads, --cache-dir, --timeout, --retries apply per worker)
+  fleet only:
+  --workers N         worker slots to keep filled (default 1)
+  --ssh HOST,...      run workers over ssh on these hosts (round-robin);
+                      hosts must share --queue-dir and have bbrsweep on
+                      PATH (override with --remote-bbrsweep CMD)
+  --max-strikes N     give a slot up after N consecutive deaths without
+                      queue progress (default 5)
+  (--batch, --threads, --cache-dir, --timeout, --retries, --lease,
+   --skew-margin, --max-cells, --plan-wait forward to every worker)
 
 merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
 flag) into the byte-identical unsharded file, verifying the union covers
@@ -206,9 +239,30 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 double parse_double(const std::string& text, const std::string& what) {
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0') fail("bad " + what + ": " + text);
+  // One shared full-string spelling (common/parse); only the exit-code-2
+  // error style lives here.
+  const auto v = try_parse_double(text);
+  if (!v) fail("bad " + what + ": " + text);
+  return *v;
+}
+
+/// Durations that must be usable as waits/leases: finite and > 0.
+double parse_positive_finite(const std::string& text,
+                             const std::string& what) {
+  const double v = parse_double(text, what);
+  if (!std::isfinite(v) || v <= 0.0) {
+    fail(what + " must be positive and finite");
+  }
+  return v;
+}
+
+/// Margins and waits that may be zero: finite and >= 0.
+double parse_nonnegative_finite(const std::string& text,
+                                const std::string& what) {
+  const double v = parse_double(text, what);
+  if (!std::isfinite(v) || v < 0.0) {
+    fail(what + " must be finite and >= 0");
+  }
   return v;
 }
 
@@ -374,11 +428,17 @@ struct Options {
   std::string runner_name = "backend";
   std::optional<std::string> queue_dir;
   double lease_s = 60.0;
+  /// Negative = the queue's default (lease/4).
+  double skew_margin_s = -1.0;
   double poll_s = 0.5;
+  /// Cells per pending batch entry the coordinator seeds (1 = singles).
+  std::size_t batch = 1;
   /// Fail-fast bookkeeping: queue-only flags given to a non-queue mode
   /// must error, not silently fall back.
   bool lease_given = false;
   bool poll_given = false;
+  bool skew_given = false;
+  bool batch_given = false;
 };
 
 Options parse_args(int argc, char** argv, int first) {
@@ -474,12 +534,17 @@ Options parse_args(int argc, char** argv, int first) {
     } else if (arg == "--queue-dir") {
       opt.queue_dir = next(i);
     } else if (arg == "--lease") {
-      opt.lease_s = parse_double(next(i), "lease");
-      if (opt.lease_s <= 0.0) fail("lease must be positive");
+      opt.lease_s = parse_positive_finite(next(i), "lease");
       opt.lease_given = true;
+    } else if (arg == "--skew-margin") {
+      opt.skew_margin_s = parse_nonnegative_finite(next(i), "skew margin");
+      opt.skew_given = true;
+    } else if (arg == "--batch") {
+      opt.batch = static_cast<std::size_t>(parse_count(next(i), "batch"));
+      if (opt.batch == 0) fail("batch must be at least 1");
+      opt.batch_given = true;
     } else if (arg == "--poll") {
-      opt.poll_s = parse_double(next(i), "poll");
-      if (opt.poll_s <= 0.0) fail("poll must be positive");
+      opt.poll_s = parse_positive_finite(next(i), "poll");
       opt.poll_given = true;
     } else {
       fail("unknown option: " + arg);
@@ -724,29 +789,41 @@ int run_coordinator(int argc, char** argv) {
   }
 
   const auto plan = build_plan(opt);
-  orchestrator::WorkQueue queue(*opt.queue_dir, opt.lease_s);
-  queue.seed(plan);
+  orchestrator::WorkQueue queue(*opt.queue_dir, opt.lease_s,
+                                opt.skew_margin_s);
+  queue.seed(plan, opt.batch);
   if (!opt.quiet) {
     std::fprintf(stderr,
                  "bbrsweep: seeded %zu cell(s) into %s (runner %s, lease "
-                 "%g s)\n",
+                 "%g s, skew margin %g s%s)\n",
                  plan.size(), queue.dir().c_str(),
-                 plan.runner_name().c_str(), opt.lease_s);
+                 plan.runner_name().c_str(), opt.lease_s,
+                 queue.skew_margin_s(),
+                 opt.batch > 1 ? ", batched" : "");
   }
 
   while (true) {
     // Completion needs only the results count; the three-directory
-    // census is display detail, skipped when --quiet.
+    // census and worker stats are display detail, skipped when --quiet.
     std::size_t done;
     if (opt.quiet) {
       done = queue.done_count();
     } else {
       const auto p = queue.progress();
       done = p.done;
+      // The per-worker stats files double as a fleet dashboard: fold
+      // them into the watch line so one terminal shows the whole run.
+      std::size_t workers = 0;
+      double rate = 0.0;
+      for (const auto& w : queue.read_worker_stats()) {
+        if (w.heartbeat_age_s > 2.0 * queue.lease_s()) continue;  // gone
+        ++workers;
+        rate += w.cells_per_s;
+      }
       std::fprintf(stderr,
                    "\rbbrsweep: %zu/%zu cell(s) done (%zu pending, %zu "
-                   "active)",
-                   p.done, plan.size(), p.pending, p.active);
+                   "active; %zu worker(s), %.1f cells/s)   ",
+                   p.done, plan.size(), p.pending, p.active, workers, rate);
     }
     if (done >= plan.size()) {
       if (!opt.quiet) std::fputc('\n', stderr);
@@ -771,29 +848,15 @@ int run_coordinator(int argc, char** argv) {
   return 0;
 }
 
-/// Filesystem-safe default claim-file identity: host + pid.
-std::string default_worker_id() {
-  char host[64] = "host";
-  ::gethostname(host, sizeof host - 1);
-  host[sizeof host - 1] = '\0';
-  std::string id = std::string(host) + "-" + std::to_string(::getpid());
-  for (char& c : id) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
-        c != '_') {
-      c = '-';
-    }
-  }
-  return id;
-}
-
 /// `bbrsweep worker --queue-dir DIR [worker options]`: drain cells from a
 /// seeded queue until the plan is complete.
 int run_worker_cmd(int argc, char** argv) {
   std::optional<std::string> queue_dir, cache_dir, worker_id;
   sweep::SweepOptions run;
-  double lease_s = 60.0, poll_s = 0.5, plan_wait_s = 60.0;
-  bool lease_given = false;
-  std::size_t max_cells = 0;
+  double lease_s = 60.0, skew_margin_s = -1.0, poll_s = 0.5,
+         plan_wait_s = 60.0;
+  bool lease_given = false, skew_given = false;
+  std::size_t max_cells = 0, batch = 1;
   bool quiet = false;
 
   const auto next = [&](int& i) -> std::string {
@@ -817,14 +880,18 @@ int run_worker_cmd(int argc, char** argv) {
       run.max_attempts =
           1 + static_cast<std::size_t>(parse_count(next(i), "retries"));
     } else if (arg == "--lease") {
-      lease_s = parse_double(next(i), "lease");
-      if (lease_s <= 0.0) fail("lease must be positive");
+      lease_s = parse_positive_finite(next(i), "lease");
       lease_given = true;
+    } else if (arg == "--skew-margin") {
+      skew_margin_s = parse_nonnegative_finite(next(i), "skew margin");
+      skew_given = true;
+    } else if (arg == "--batch") {
+      batch = static_cast<std::size_t>(parse_count(next(i), "batch"));
+      if (batch == 0) fail("batch must be at least 1");
     } else if (arg == "--poll") {
-      poll_s = parse_double(next(i), "poll");
-      if (poll_s <= 0.0) fail("poll must be positive");
+      poll_s = parse_positive_finite(next(i), "poll");
     } else if (arg == "--plan-wait") {
-      plan_wait_s = parse_double(next(i), "plan wait");
+      plan_wait_s = parse_nonnegative_finite(next(i), "plan wait");
     } else if (arg == "--max-cells") {
       max_cells = static_cast<std::size_t>(parse_count(next(i), "max cells"));
     } else if (arg == "--worker-id") {
@@ -850,14 +917,19 @@ int run_worker_cmd(int argc, char** argv) {
     sleep_s(poll_s);
     waited += poll_s;
   }
-  // Adopt the coordinator's lease unless one was given explicitly: a
+  // Adopt the coordinator's lease parameters unless given explicitly: a
   // worker with a shorter lease than its peers' heartbeat cadence would
   // keep stealing their live claims.
   if (!lease_given) {
     lease_s = orchestrator::WorkQueue::stored_lease_s(*queue_dir)
                   .value_or(lease_s);
   }
-  orchestrator::WorkQueue queue(*queue_dir, lease_s);
+  if (!skew_given) {
+    skew_margin_s =
+        orchestrator::WorkQueue::stored_skew_margin_s(*queue_dir)
+            .value_or(skew_margin_s);
+  }
+  orchestrator::WorkQueue queue(*queue_dir, lease_s, skew_margin_s);
   const auto plan = queue.load_plan();
 
   std::unique_ptr<sweep::CellCache> cache;
@@ -865,16 +937,23 @@ int run_worker_cmd(int argc, char** argv) {
     cache = std::make_unique<sweep::CellCache>(*cache_dir);
     run.cache = cache.get();
   }
-  const std::string id = worker_id ? *worker_id : default_worker_id();
+  const std::string id =
+      worker_id ? *worker_id : orchestrator::default_worker_id();
   if (!quiet) {
     std::fprintf(stderr,
                  "bbrsweep: worker %s draining %zu-cell plan from %s "
-                 "(runner %s)\n",
+                 "(runner %s%s)\n",
                  id.c_str(), plan.size(), queue.dir().c_str(),
-                 plan.runner_name().c_str());
+                 plan.runner_name().c_str(),
+                 batch > 1 ? ", batched claims" : "");
   }
-  const auto report =
-      orchestrator::run_worker(queue, plan, run, id, max_cells, poll_s);
+  orchestrator::WorkerConfig config;
+  config.worker_id = id;
+  config.max_cells = max_cells;
+  config.poll_s = poll_s;
+  config.batch = batch;
+  config.stats = true;  // cheap, and `bbrsweep status` feeds on it
+  const auto report = orchestrator::run_worker(queue, plan, run, config);
   if (!quiet) {
     std::fprintf(stderr,
                  "bbrsweep: worker %s published %zu cell(s) (%zu failed)\n",
@@ -883,13 +962,147 @@ int run_worker_cmd(int argc, char** argv) {
   return 0;
 }
 
+/// `bbrsweep fleet --queue-dir DIR --workers N [fleet options]`: keep N
+/// worker processes (local or over ssh) draining one queue until its plan
+/// completes, respawning the ones that die.
+int run_fleet_cmd(int argc, char** argv) {
+  orchestrator::FleetOptions fleet;
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  // Worker flags forward verbatim: the fleet is a process launcher, not a
+  // second copy of the worker's option surface.
+  const auto forward = [&](const std::string& flag, int& i) {
+    fleet.worker_args.push_back(flag);
+    fleet.worker_args.push_back(next(i));
+  };
+  bool quiet_workers = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--queue-dir") {
+      fleet.queue_dir = next(i);
+    } else if (arg == "--workers") {
+      fleet.workers =
+          static_cast<std::size_t>(parse_count(next(i), "workers"));
+      if (fleet.workers == 0) fail("fleet needs at least one worker");
+    } else if (arg == "--ssh") {
+      fleet.ssh_hosts = split(next(i), ',');
+    } else if (arg == "--remote-bbrsweep") {
+      fleet.remote_command = next(i);
+    } else if (arg == "--max-strikes") {
+      fleet.max_strikes =
+          static_cast<std::size_t>(parse_count(next(i), "max strikes"));
+      if (fleet.max_strikes == 0) fail("max strikes must be at least 1");
+    } else if (arg == "--poll") {
+      // The fleet monitor and its workers poll at the same cadence.
+      const std::string value = next(i);
+      fleet.poll_s = parse_positive_finite(value, "poll");
+      fleet.worker_args.push_back(arg);
+      fleet.worker_args.push_back(value);
+    } else if (arg == "--plan-wait") {
+      const std::string value = next(i);
+      fleet.plan_wait_s = parse_nonnegative_finite(value, "plan wait");
+      fleet.worker_args.push_back(arg);
+      fleet.worker_args.push_back(value);
+    } else if (arg == "--batch" || arg == "--threads" ||
+               arg == "--cache-dir" || arg == "--timeout" ||
+               arg == "--retries" || arg == "--lease" ||
+               arg == "--skew-margin" || arg == "--max-cells") {
+      forward(arg, i);
+    } else if (arg == "--quiet") {
+      fleet.quiet = true;
+      quiet_workers = true;
+    } else {
+      fail("unknown fleet option: " + arg);
+    }
+  }
+  if (fleet.queue_dir.empty()) fail("fleet needs --queue-dir DIR");
+  if (quiet_workers) fleet.worker_args.push_back("--quiet");
+
+  // The binary to exec for local workers: this very binary. /proc/self/exe
+  // survives PATH-relative invocation; argv[0] is the fallback.
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  fleet.self_path = ec ? argv[0] : self.string();
+
+  const auto report = orchestrator::run_fleet(fleet);
+  if (!fleet.quiet) {
+    std::fprintf(stderr,
+                 "bbrsweep: fleet done — %zu spawn(s), %zu respawn(s), "
+                 "%zu abandoned slot(s), plan %s\n",
+                 report.spawned, report.respawned, report.abandoned_slots,
+                 report.completed ? "complete" : "incomplete");
+  }
+  return report.completed ? 0 : 1;
+}
+
+/// `bbrsweep status --queue-dir DIR`: one live snapshot of a queue — plan
+/// and cell counts plus the per-worker stats table.
+int run_status(int argc, char** argv) {
+  std::optional<std::string> queue_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--queue-dir") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      queue_dir = argv[++i];
+    } else {
+      fail("unknown status option: " + arg);
+    }
+  }
+  if (!queue_dir) fail("status needs --queue-dir DIR");
+  if (!std::filesystem::is_directory(*queue_dir)) {
+    fail("no such queue directory: " + *queue_dir);
+  }
+  const double lease_s =
+      orchestrator::WorkQueue::stored_lease_s(*queue_dir).value_or(60.0);
+  const double skew_s =
+      orchestrator::WorkQueue::stored_skew_margin_s(*queue_dir).value_or(
+          -1.0);
+  const orchestrator::WorkQueue queue(*queue_dir, lease_s, skew_s);
+  if (!queue.has_plan()) {
+    std::printf("queue %s: no plan seeded yet\n", queue.dir().c_str());
+    return 0;
+  }
+  const auto plan = queue.load_plan();
+  const auto progress = queue.progress();
+  std::printf("queue %s\n", queue.dir().c_str());
+  std::printf("plan: %zu cell(s), runner %s, lease %g s (+%g s skew "
+              "margin)\n",
+              plan.size(), plan.runner_name().c_str(), queue.lease_s(),
+              queue.skew_margin_s());
+  std::printf("cells: %zu done, %zu pending, %zu active\n", progress.done,
+              progress.pending, progress.active);
+  const auto workers = queue.read_worker_stats();
+  if (workers.empty()) {
+    std::printf("workers: none reported yet\n");
+    return 0;
+  }
+  std::printf("%-24s %8s %8s %10s %9s %12s\n", "worker", "done", "failed",
+              "in-flight", "cells/s", "heartbeat");
+  for (const auto& w : workers) {
+    std::printf("%-24s %8zu %8zu %10zu %9.2f %9.1fs ago\n",
+                w.worker_id.c_str(), w.completed, w.failed, w.in_flight,
+                w.cells_per_s, w.heartbeat_age_s);
+  }
+  return 0;
+}
+
 /// `bbrsweep plan [options]`: triage + refine, print the cell set, no
 /// fine simulations.
 int run_plan(int argc, char** argv) {
   Options opt = parse_args(argc, argv, /*first=*/2);
-  if (opt.queue_dir || opt.lease_given || opt.poll_given) {
-    fail("plan never touches a queue; drop --queue-dir/--lease/--poll or "
-         "use `bbrsweep coordinator`");
+  if (opt.queue_dir || opt.lease_given || opt.poll_given || opt.skew_given ||
+      opt.batch_given) {
+    fail("plan never touches a queue; drop "
+         "--queue-dir/--lease/--skew-margin/--batch/--poll or use "
+         "`bbrsweep coordinator`");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
@@ -929,14 +1142,21 @@ int main(int argc, char** argv) try {
   if (argc > 1 && std::strcmp(argv[1], "worker") == 0) {
     return run_worker_cmd(argc, argv);
   }
+  if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
+    return run_fleet_cmd(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "status") == 0) {
+    return run_status(argc, argv);
+  }
   Options opt = parse_args(argc, argv, /*first=*/1);
   if (opt.queue_dir) {
     fail("--queue-dir drives a distributed run; use `bbrsweep coordinator` "
          "(and `bbrsweep worker`) instead");
   }
-  if (opt.lease_given || opt.poll_given) {
-    fail("--lease/--poll only apply to the coordinator and worker "
-         "subcommands");
+  if (opt.lease_given || opt.poll_given || opt.skew_given ||
+      opt.batch_given) {
+    fail("--lease/--skew-margin/--batch/--poll only apply to the "
+         "coordinator, worker, and fleet subcommands");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
