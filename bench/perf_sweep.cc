@@ -86,6 +86,104 @@ int main() {
 
   const double speedup = serial_s / best_parallel_s;
 
+  // ---- Batched SoA fluid engine vs scalar, single core --------------------
+  // The reference grid of the speedup gate: fluid-only cells that all share
+  // duration and step, so the whole grid batches. batch_cells = 1 forces
+  // the scalar FluidSimulation path; the default groups cells through
+  // core/batch_engine.h. Same bytes, or the speedup is worthless.
+  sweep::ParameterGrid fluid_grid = grid;
+  fluid_grid.backends = {sweep::Backend::kFluid};
+  fluid_grid.disciplines = {net::Discipline::kDropTail};
+  fluid_grid.buffers_bdp = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+
+  struct RunnerGauge {
+    std::string name;
+    std::size_t cells = 0;
+    double elapsed_s = 0.0;
+    double cells_per_s = 0.0;
+    double ns_per_sim_s = 0.0;  ///< wall nanoseconds per simulated second
+  };
+  std::vector<RunnerGauge> gauges;
+  const auto gauge_of = [&](std::string name,
+                            const sweep::SweepResult& result,
+                            double sim_s_per_cell) {
+    RunnerGauge g;
+    g.name = std::move(name);
+    g.cells = result.size();
+    g.elapsed_s = result.elapsed_s();
+    g.cells_per_s = static_cast<double>(result.size()) / result.elapsed_s();
+    g.ns_per_sim_s = result.elapsed_s() * 1e9 /
+                     (static_cast<double>(result.size()) * sim_s_per_cell);
+    return g;
+  };
+
+  sweep::SweepOptions one_core;
+  one_core.threads = 1;
+  one_core.batch_cells = 1;
+  const auto fluid_scalar = sweep::run_sweep(fluid_grid, base, one_core);
+  one_core.batch_cells = 0;  // the runner's preferred batch
+  const auto fluid_batched = sweep::run_sweep(fluid_grid, base, one_core);
+
+  std::ostringstream scalar_csv, batched_csv;
+  fluid_scalar.write_csv(scalar_csv);
+  fluid_batched.write_csv(batched_csv);
+  if (scalar_csv.str() != batched_csv.str()) {
+    std::fprintf(stderr, "FAIL: batched fluid results differ from scalar\n");
+    return 1;
+  }
+  const double batch_speedup =
+      fluid_scalar.elapsed_s() / fluid_batched.elapsed_s();
+  gauges.push_back(gauge_of("fluid", fluid_scalar, base.duration_s));
+  gauges.push_back(gauge_of("fluid_batch", fluid_batched, base.duration_s));
+
+  // Reduced (closed-form) and packet gauges, for the trajectory record.
+  {
+    sweep::ParameterGrid reduced_grid = fluid_grid;
+    reduced_grid.backends = {sweep::Backend::kReduced};
+    reduced_grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                          sweep::homogeneous_mix(scenario::CcaKind::kBbrv2)};
+    const auto reduced = sweep::run_sweep(reduced_grid, base, one_core);
+    gauges.push_back(gauge_of("reduced", reduced, base.duration_s));
+
+    sweep::ParameterGrid packet_grid = fluid_grid;
+    packet_grid.backends = {sweep::Backend::kPacket};
+    packet_grid.buffers_bdp = {1.0, 4.0};
+    packet_grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+    const auto packet = sweep::run_sweep(packet_grid, base, one_core);
+    gauges.push_back(gauge_of("packet", packet, base.duration_s));
+  }
+
+  std::printf("%s", banner("Batched SoA fluid engine — " +
+                           std::to_string(fluid_grid.cardinality()) +
+                           " cells, 1 thread").c_str());
+  Table batch_table({"runner", "cells", "elapsed[s]", "cells/s",
+                     "ns/sim-s"});
+  for (const auto& g : gauges) {
+    batch_table.add_row({g.name, std::to_string(g.cells),
+                         format_double(g.elapsed_s, 2),
+                         format_double(g.cells_per_s, 2),
+                         format_double(g.ns_per_sim_s, 0)});
+  }
+  std::printf("%s\n", batch_table.to_string().c_str());
+  std::printf("fluid batch speedup vs scalar: %.2fx (single core)\n\n",
+              batch_speedup);
+
+  // Regression floor, not the typical figure: the batch engine measures
+  // ~1.6-2x on this grid (see README § Performance — the bit-identity
+  // contract pins every floating-point operation of the scalar path, so
+  // batching can only remove allocation, call, and indexing overhead, and
+  // the scalar engine's per-step math is the majority of its runtime).
+  // The floor sits below the typical range so shared-runner noise doesn't
+  // flake the gate, but a batching regression to parity still fails.
+  const double kMinBatchSpeedup = 1.3;
+  if (!(batch_speedup >= kMinBatchSpeedup)) {
+    std::fprintf(stderr,
+                 "FAIL: batched fluid engine %.2fx vs scalar, need >= "
+                 "%.1fx on the reference grid\n",
+                 batch_speedup, kMinBatchSpeedup);
+    return 1;
+  }
+
   // Cold vs. warm cell cache on the same grid: the cold run pays the
   // simulations once and fills the store; the warm run must reproduce the
   // same bytes from cache alone (zero runner invocations).
@@ -228,6 +326,21 @@ int main() {
   j.key("cache_warm_s").value(warm_s);
   j.key("cache_speedup").value(cold_s / warm_s);
   j.key("cache_warm_hits").value(static_cast<std::uint64_t>(warm_hits));
+  j.key("batch_cells").value(
+      static_cast<std::uint64_t>(fluid_grid.cardinality()));
+  j.key("batch_scalar_s").value(fluid_scalar.elapsed_s());
+  j.key("batch_batched_s").value(fluid_batched.elapsed_s());
+  j.key("batch_speedup").value(batch_speedup);
+  j.key("runners").begin_object();
+  for (const auto& g : gauges) {
+    j.key(g.name).begin_object();
+    j.key("cells").value(static_cast<std::uint64_t>(g.cells));
+    j.key("elapsed_s").value(g.elapsed_s);
+    j.key("cells_per_s").value(g.cells_per_s);
+    j.key("ns_per_sim_s").value(g.ns_per_sim_s);
+    j.end_object();
+  }
+  j.end_object();
   j.key("adaptive_dense_cells").value(
       static_cast<std::uint64_t>(dense.size()));
   j.key("adaptive_cells").value(static_cast<std::uint64_t>(refined.size()));

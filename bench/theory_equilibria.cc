@@ -43,7 +43,7 @@ int main() {
   // the RTT range, C from the capacity), so the runner is named and its
   // cells are cacheable.
   sweep::SweepOptions options = bench_sweep_options(42);
-  options.runner = {
+  options.runner = sweep::make_runner(
       "theory-equilibria", [](const sweep::SweepTask& task) {
         const std::size_t n = task.spec.mix.flows.size();
         const auto s = BottleneckScenario::uniform(
@@ -77,7 +77,7 @@ int main() {
                  100.0 * bbrv2_buffer_reduction(n),
                  residual};
         return m;
-      }};
+      });
 
   scenario::ExperimentSpec base;
   base.capacity_pps = cap;
@@ -107,7 +107,7 @@ int main() {
         sweep::make_task(i, sweep::Backend::kReduced, spec, /*base_seed=*/42));
   }
   sweep::SweepOptions probe_options = bench_sweep_options(42);
-  probe_options.runner = {
+  probe_options.runner = sweep::make_runner(
       "", [cap, d](const sweep::SweepTask& task) {
         const auto s = BottleneckScenario::uniform(10, cap, d);
         ConvergenceProbe p;
@@ -130,7 +130,7 @@ int main() {
         m.aux = {p.initial_distance, p.final_distance,
                  p.converged ? 1.0 : 0.0};
         return m;
-      }};
+      });
   const auto probed = orchestrator::execute(
       orchestrator::ExecutionPlan::from_tasks(std::move(probes)),
       probe_options);

@@ -47,7 +47,8 @@ sweep::ParameterGrid theory_grid(scenario::CcaKind kind,
 /// boundary study: aux = {spectral abscissa (QR), Eq. 49 closed form,
 /// stable}. A pure function of the spec, hence named and cacheable.
 sweep::Runner thm2_runner() {
-  return {"theory-thm2", [](const sweep::SweepTask& task) {
+  return sweep::make_runner(
+      "theory-thm2", [](const sweep::SweepTask& task) {
             const auto s = bbrmodel::analysis::BottleneckScenario::uniform(
                 task.spec.mix.flows.size(), task.spec.capacity_pps,
                 task.spec.min_rtt_s);
@@ -59,7 +60,7 @@ sweep::Runner thm2_runner() {
             m.aux = {report.spectral_abscissa, predicted,
                      report.asymptotically_stable ? 1.0 : 0.0};
             return m;
-          }};
+          });
 }
 
 /// (d, λ+) pairs of a Theorem-2 sweep, sorted by d (adaptive results come
@@ -128,17 +129,16 @@ int main() {
   // ---- Theorem 3: the BBRv1 shallow-buffer system over N ------------------
   {
     sweep::SweepOptions options = bench_sweep_options(42);
-    options.runner = {"theory-thm3", [&](const sweep::SweepTask& task) {
-                        const auto s = scenario_of(task);
-                        const auto report = analyze(bbrv1_shallow_jacobian(s));
-                        const double n =
-                            static_cast<double>(task.spec.mix.flows.size());
-                        metrics::AggregateMetrics m;
-                        m.aux = {report.spectral_abscissa,
-                                 -1.0 / (4.0 * n + 1.0),
-                                 report.asymptotically_stable ? 1.0 : 0.0};
-                        return m;
-                      }};
+    options.runner = sweep::make_runner(
+        "theory-thm3", [&](const sweep::SweepTask& task) {
+          const auto s = scenario_of(task);
+          const auto report = analyze(bbrv1_shallow_jacobian(s));
+          const double n = static_cast<double>(task.spec.mix.flows.size());
+          metrics::AggregateMetrics m;
+          m.aux = {report.spectral_abscissa, -1.0 / (4.0 * n + 1.0),
+                   report.asymptotically_stable ? 1.0 : 0.0};
+          return m;
+        });
     const auto result = sweep::run_sweep(
         theory_grid(scenario::CcaKind::kBbrv1, {2, 5, 10, 20, 50}, {0.035}),
         base, options);
@@ -158,16 +158,16 @@ int main() {
   // ---- Theorem 5: the BBRv2 (x_1..x_N, q) system over N × d ---------------
   {
     sweep::SweepOptions options = bench_sweep_options(42);
-    options.runner = {"theory-thm5", [&](const sweep::SweepTask& task) {
-                        const auto s = scenario_of(task);
-                        const auto report = analyze(bbrv2_jacobian(s));
-                        const auto predicted = bbrv2_eigenvalues(s);
-                        metrics::AggregateMetrics m;
-                        m.aux = {report.spectral_abscissa,
-                                 predicted.front().real(),
-                                 report.asymptotically_stable ? 1.0 : 0.0};
-                        return m;
-                      }};
+    options.runner = sweep::make_runner(
+        "theory-thm5", [&](const sweep::SweepTask& task) {
+          const auto s = scenario_of(task);
+          const auto report = analyze(bbrv2_jacobian(s));
+          const auto predicted = bbrv2_eigenvalues(s);
+          metrics::AggregateMetrics m;
+          m.aux = {report.spectral_abscissa, predicted.front().real(),
+                   report.asymptotically_stable ? 1.0 : 0.0};
+          return m;
+        });
     const auto result = sweep::run_sweep(
         theory_grid(scenario::CcaKind::kBbrv2, {2, 5, 10, 20},
                     {0.01, 0.035, 0.2}),

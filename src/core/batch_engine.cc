@@ -1,0 +1,669 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.h"
+#include "ode/smooth.h"
+
+namespace bbrmodel::core {
+
+namespace {
+
+// One delayed-signal ring inside a cell's shared slab. Semantically a
+// DelayHistory whose push counter is the cell's step count: the engine
+// pushes every ring exactly once per step, so one per-cell counter serves
+// them all and the per-ring state shrinks to a write cursor. Only the
+// sent-volume histories still live in rings — their lookback horizon (and
+// hence capacity) varies per agent; every fixed-horizon history lives in
+// the cell's time-major matrix instead (see Cell::hist).
+struct Ring {
+  std::uint32_t offset = 0;    ///< first slot in the cell slab
+  std::uint32_t capacity = 0;  ///< ring length (DelayHistory's capacity_)
+  std::uint32_t head = 0;      ///< next write slot, == total % capacity
+  double initial = 0.0;        ///< pre-history value
+};
+
+/// DelayHistory's capacity formula (ode/history.cc, constructor).
+std::uint32_t ring_capacity(double step, double horizon) {
+  BBRM_REQUIRE_MSG(step > 0.0, "history step must be positive");
+  BBRM_REQUIRE_MSG(horizon >= 0.0, "history horizon must be non-negative");
+  return static_cast<std::uint32_t>(
+      static_cast<std::size_t>(std::ceil(horizon / step)) + 2);
+}
+
+/// DelayHistory::push without the modulo: head tracks total % capacity.
+inline void ring_push(double* slab, Ring& r, double value) {
+  slab[r.offset + r.head] = value;
+  ++r.head;
+  if (r.head == r.capacity) r.head = 0;
+}
+
+/// DelayHistory::at, transcribed operation for operation (ode/history.cc).
+/// The floating-point expressions — pos = t / step, the floor/frac split,
+/// and the lerp — are kept verbatim so every returned double matches the
+/// scalar engine bit for bit; only the ring indexing is rewritten (the
+/// clamped sample index always lies within one lap of the write cursor, so
+/// a compare-and-add replaces the integer modulo).
+inline double ring_at(const double* slab, const Ring& r, std::uint64_t total,
+                      double step, double t) {
+  if (total == 0 || t < 0.0) return r.initial;
+  const double pos = t / step;
+  const auto lo_idx = static_cast<long long>(std::floor(pos));
+  const double frac = pos - static_cast<double>(lo_idx);
+  const long long newest = static_cast<long long>(total) - 1;
+  const long long oldest =
+      std::max<long long>(0, static_cast<long long>(total) -
+                                 static_cast<long long>(r.capacity));
+  const double* ring = slab + r.offset;
+  const auto sample = [&](long long k) -> double {
+    if (k < 0) return r.initial;
+    if (k > newest) k = newest;
+    if (k < oldest) k = oldest;
+    // ring[k % capacity]: newest sits one slot behind the write cursor and
+    // k is at most capacity - 1 entries older.
+    long long idx = static_cast<long long>(r.head) - 1 - (newest - k);
+    if (idx < 0) idx += r.capacity;
+    return ring[static_cast<std::size_t>(idx)];
+  };
+  const double a = sample(lo_idx);
+  const double b = sample(lo_idx + 1);
+  return a + (b - a) * frac;
+}
+
+/// DelayHistory::at against one column of the time-major history matrix
+/// (the general path: pre-history reads and clamped edges during warmup).
+/// Same verbatim floating-point chain as ring_at.
+inline double hist_at(const double* hist, double initial, std::uint32_t hcap,
+                      std::uint32_t n_sig, std::uint64_t total,
+                      std::uint32_t sig, double step, double t) {
+  if (total == 0 || t < 0.0) return initial;
+  const double pos = t / step;
+  const auto lo_idx = static_cast<long long>(std::floor(pos));
+  const double frac = pos - static_cast<double>(lo_idx);
+  const long long newest = static_cast<long long>(total) - 1;
+  const long long oldest =
+      std::max<long long>(0, static_cast<long long>(total) -
+                                 static_cast<long long>(hcap));
+  const auto sample = [&](long long k) -> double {
+    if (k < 0) return initial;
+    if (k > newest) k = newest;
+    if (k < oldest) k = oldest;
+    return hist[static_cast<std::size_t>(k % hcap) * n_sig + sig];
+  };
+  const double a = sample(lo_idx);
+  const double b = sample(lo_idx + 1);
+  return a + (b - a) * frac;
+}
+
+// Local transcriptions of net/queue_law.cc. At this loop's scale the
+// out-of-line calls cost more than the arithmetic inside them, and
+// inlining is an integer/codegen change only: the expressions below are
+// copied verbatim, so every returned double still matches the scalar
+// engine's. Keep in sync with net/queue_law.cc.
+
+inline double droptail_loss_inl(double arrival_pps, double capacity_pps,
+                                double queue_pkts, double buffer_pkts,
+                                const net::LossLawParams& params) {
+  if (arrival_pps <= 0.0) return 0.0;
+  const double excess = 1.0 - capacity_pps / arrival_pps;
+  if (excess <= 0.0) return 0.0;
+  double fullness = 1.0;
+  if (buffer_pkts > 0.0) {
+    const double ratio = std::clamp(queue_pkts / buffer_pkts, 0.0, 1.0);
+    fullness = std::pow(ratio, params.fullness_exponent);
+  }
+  const double gate =
+      ode::sigmoid(arrival_pps - capacity_pps, params.rate_sharpness);
+  return std::clamp(gate * excess * fullness, 0.0, 1.0);
+}
+
+inline double red_loss_inl(double queue_pkts, double buffer_pkts) {
+  if (buffer_pkts <= 0.0) return 1.0;
+  return std::clamp(queue_pkts / buffer_pkts, 0.0, 1.0);
+}
+
+inline double link_loss_inl(const net::Link& link, double arrival_pps,
+                            double queue_pkts,
+                            const net::LossLawParams& params) {
+  switch (link.discipline) {
+    case net::Discipline::kDropTail:
+      return droptail_loss_inl(arrival_pps, link.capacity_pps, queue_pkts,
+                               link.buffer_pkts, params);
+    case net::Discipline::kRed:
+      return red_loss_inl(queue_pkts, link.buffer_pkts);
+  }
+  return 0.0;
+}
+
+inline double step_queue_inl(double queue_pkts, double arrival_pps,
+                             double capacity_pps, double loss_prob,
+                             double buffer_pkts, double dt) {
+  const double next =
+      queue_pkts +
+      dt * ((1.0 - loss_prob) * arrival_pps - capacity_pps);  // queue_drift
+  const double cap = buffer_pkts > 0.0
+                         ? buffer_pkts
+                         : std::numeric_limits<double>::infinity();
+  return std::clamp(next, 0.0, cap);
+}
+
+inline double service_rate_inl(double arrival_pps, double capacity_pps,
+                               double loss_prob, double queue_pkts) {
+  if (queue_pkts > 1e-9) return capacity_pps;
+  return std::min(capacity_pps, (1.0 - loss_prob) * arrival_pps);
+}
+
+}  // namespace
+
+struct BatchFluidEngine::Cell {
+  FluidConfig config;
+  net::LossLawParams loss_params;
+  std::vector<std::unique_ptr<FluidCca>> agents;
+  std::vector<AgentContext> contexts;  // contexts[i].config == &config
+  std::size_t n_agents = 0;
+  std::size_t n_links = 0;
+  std::vector<net::Link> links;
+
+  // Flattened path structure: agent i's links/delays occupy positions
+  // [path_off[i], path_off[i + 1]) of path_links / fwd_delay / bwd_delay.
+  std::vector<std::uint32_t> path_links;
+  std::vector<std::uint32_t> path_off;
+  std::vector<double> fwd_delay;
+  std::vector<double> bwd_delay;
+  std::vector<double> rtt_prop;           // per agent
+  std::vector<std::uint32_t> bottleneck;  // per agent: bottleneck link id
+  std::vector<std::uint32_t> lb_pos;      // its (last) position on the path
+  std::vector<double> cap_rate;           // per agent: engine rate clamp
+
+  // Constant-delay taps: every history read except the inflight window
+  // uses a delay fixed at construction, and distinct delays are few (path
+  // delays repeat across agents and call sites). Each read site stores the
+  // index of its delay in tap_delay; step_cell computes the pos/floor/frac
+  // split and the matrix row offsets once per tap per step instead of once
+  // per read.
+  std::vector<double> tap_delay;        // distinct delays, bit-deduped
+  std::vector<std::uint32_t> fwd_tap;   // parallel to fwd_delay
+  std::vector<std::uint32_t> bwd_tap;   // parallel to bwd_delay
+  std::vector<std::uint32_t> rtt_tap;   // per agent: tap of rtt_prop
+  std::vector<std::uint32_t> back_tap;  // per agent: tap of the back delay
+
+  // Dynamic state.
+  std::vector<double> queue;  // per link
+  std::vector<double> sent;   // per agent
+  std::vector<double> delivered;
+  std::vector<LinkAccounting> acct;
+
+  // Fixed-horizon histories, time-major: row r holds every signal's sample
+  // for grid time r (modulo hcap rows), so one step writes one contiguous
+  // row and a delayed read addresses two rows whose offsets are shared by
+  // every signal through the tap table. Columns: rate_i at 2i, rtt_i at
+  // 2i + 1, then arrival/queue/loss of link l at link_sig_base + 3l + 0/1/2.
+  std::vector<double> hist;         // hcap rows × n_sig columns
+  std::vector<double> sig_initial;  // per-column pre-history value
+  std::uint32_t hcap = 0;
+  std::uint32_t n_sig = 0;
+  std::uint32_t link_sig_base = 0;
+  std::uint32_t head_row = 0;  // row of the next push, == total % hcap
+
+  // Sent-volume histories (variable lookback ⇒ per-agent capacity).
+  std::vector<double> slab;
+  std::vector<Ring> sent_h;  // per agent
+  std::uint64_t step_count = 0;
+
+  // Trace: the RTT samples the aggregate metrics read back.
+  std::size_t steps_per_sample = 1;
+  double sample_interval_s = 0.0;
+  std::size_t n_samples = 0;
+  std::vector<double> rtt_trace;  // n_samples × n_agents
+};
+
+BatchFluidEngine::BatchFluidEngine() = default;
+BatchFluidEngine::~BatchFluidEngine() = default;
+
+std::size_t BatchFluidEngine::add_cell(
+    net::Topology topology, std::vector<std::unique_ptr<FluidCca>> agents,
+    FluidConfig config) {
+  BBRM_REQUIRE_MSG(agents.size() == topology.num_agents(),
+                   "one CCA per topology path required");
+  BBRM_REQUIRE_MSG(config.step_s > 0.0, "step must be positive");
+  for (const auto& a : agents) BBRM_REQUIRE_MSG(a != nullptr, "null CCA");
+  if (cells_.empty()) {
+    step_s_ = config.step_s;
+  } else {
+    BBRM_REQUIRE_MSG(config.step_s == step_s_,
+                     "all cells of a batch must share one step size");
+  }
+
+  auto cell = std::make_unique<Cell>();
+  Cell& c = *cell;
+  c.config = config;
+  c.agents = std::move(agents);
+  c.n_agents = c.agents.size();
+  c.n_links = topology.num_links();
+
+  c.loss_params.rate_sharpness = c.config.k_rate;
+  c.loss_params.fullness_exponent = c.config.droptail_exponent;
+
+  c.links.reserve(c.n_links);
+  for (std::size_t l = 0; l < c.n_links; ++l) {
+    c.links.push_back(topology.link(l));
+  }
+
+  // History horizon, exactly as FluidSimulation's constructor derives it.
+  const double horizon = std::max(1e-3, 1.25 * topology.max_rtt_prop_s());
+
+  const auto tap_of = [&c](double delay) {
+    for (std::size_t j = 0; j < c.tap_delay.size(); ++j) {
+      if (c.tap_delay[j] == delay) return static_cast<std::uint32_t>(j);
+    }
+    c.tap_delay.push_back(delay);
+    return static_cast<std::uint32_t>(c.tap_delay.size() - 1);
+  };
+
+  c.contexts.resize(c.n_agents);
+  c.path_off.reserve(c.n_agents + 1);
+  c.path_off.push_back(0);
+  std::vector<std::uint32_t> sent_cap(c.n_agents);
+  c.rtt_prop.resize(c.n_agents);
+  c.bottleneck.resize(c.n_agents);
+  c.lb_pos.resize(c.n_agents);
+  c.cap_rate.resize(c.n_agents);
+  for (std::size_t i = 0; i < c.n_agents; ++i) {
+    const std::size_t lb = topology.bottleneck_of(i);
+    c.bottleneck[i] = static_cast<std::uint32_t>(lb);
+    AgentContext& ctx = c.contexts[i];
+    ctx.id = i;
+    ctx.num_agents = c.n_agents;
+    ctx.delays = topology.path_delays(i);
+    ctx.bottleneck_capacity_pps = topology.link(lb).capacity_pps;
+    ctx.config = &c.config;
+    c.agents[i]->init(ctx);
+
+    const auto& path = topology.path(i);
+    std::size_t lb_pos = 0;
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      c.path_links.push_back(static_cast<std::uint32_t>(path[k]));
+      c.fwd_delay.push_back(ctx.delays.forward_to_link_s[k]);
+      c.bwd_delay.push_back(ctx.delays.backward_from_link_s[k]);
+      c.fwd_tap.push_back(tap_of(ctx.delays.forward_to_link_s[k]));
+      c.bwd_tap.push_back(tap_of(ctx.delays.backward_from_link_s[k]));
+      if (path[k] == lb) lb_pos = k;  // last occurrence, like the engine
+    }
+    c.path_off.push_back(static_cast<std::uint32_t>(c.path_links.size()));
+    c.lb_pos[i] = static_cast<std::uint32_t>(lb_pos);
+    c.rtt_prop[i] = ctx.delays.rtt_prop_s;
+    c.rtt_tap.push_back(tap_of(ctx.delays.rtt_prop_s));
+    c.back_tap.push_back(tap_of(ctx.delays.backward_from_link_s[lb_pos]));
+    c.cap_rate[i] = c.config.max_rate_factor * ctx.bottleneck_capacity_pps;
+
+    // Sent-volume lookback covers queuing delay too, like the engine.
+    double q_horizon = horizon;
+    for (std::size_t l : path) {
+      q_horizon += topology.link(l).buffer_pkts / topology.link(l).capacity_pps;
+    }
+    sent_cap[i] = ring_capacity(c.config.step_s, q_horizon);
+  }
+
+  c.queue.assign(c.n_links, 0.0);
+  c.acct.assign(c.n_links, {});
+  c.sent.assign(c.n_agents, 0.0);
+  c.delivered.assign(c.n_agents, 0.0);
+
+  // Carve the sent-volume ring slab.
+  std::size_t slots = 0;
+  for (std::size_t i = 0; i < c.n_agents; ++i) {
+    Ring r;
+    r.offset = static_cast<std::uint32_t>(slots);
+    r.capacity = sent_cap[i];
+    r.initial = 0.0;
+    slots += sent_cap[i];
+    c.sent_h.push_back(r);
+  }
+  c.slab.assign(slots, 0.0);
+
+  // The time-major matrix of every fixed-horizon history. Pre-filled with
+  // each column's initial value, exactly like DelayHistory's constructor.
+  c.hcap = ring_capacity(c.config.step_s, horizon);
+  c.link_sig_base = static_cast<std::uint32_t>(2 * c.n_agents);
+  c.n_sig = static_cast<std::uint32_t>(2 * c.n_agents + 3 * c.n_links);
+  c.sig_initial.assign(c.n_sig, 0.0);
+  for (std::size_t i = 0; i < c.n_agents; ++i) {
+    c.sig_initial[2 * i + 1] = c.rtt_prop[i];  // rtt pre-history
+  }
+  c.hist.resize(static_cast<std::size_t>(c.hcap) * c.n_sig);
+  for (std::uint32_t r = 0; r < c.hcap; ++r) {
+    std::copy(c.sig_initial.begin(), c.sig_initial.end(),
+              c.hist.begin() + static_cast<std::size_t>(r) * c.n_sig);
+  }
+
+  c.steps_per_sample = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(c.config.record_interval_s /
+                                             c.config.step_s)));
+  c.sample_interval_s =
+      static_cast<double>(c.steps_per_sample) * c.config.step_s;
+
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+void BatchFluidEngine::run(double duration) {
+  BBRM_REQUIRE_MSG(duration >= 0.0, "duration must be non-negative");
+  if (cells_.empty()) return;
+  const auto steps =
+      static_cast<std::size_t>(std::llround(duration / step_s_));
+
+  std::size_t max_agents = 0, max_links = 0, max_taps = 0;
+  for (const auto& c : cells_) {
+    max_agents = std::max(max_agents, c->n_agents);
+    max_links = std::max(max_links, c->n_links);
+    max_taps = std::max(max_taps, c->tap_delay.size());
+  }
+  arrivals_.resize(max_links);
+  losses_.resize(max_links);
+  rates_.resize(max_agents);
+  inputs_.resize(max_agents);
+  qdelay_.resize(max_links);
+  tap_frac_.resize(max_taps);
+  tap_off_lo_.resize(max_taps);
+  tap_off_hi_.resize(max_taps);
+  tap_ok_.resize(max_taps);
+  for (auto& c : cells_) {
+    c->rtt_trace.reserve(c->rtt_trace.size() +
+                         (steps / c->steps_per_sample + 1) * c->n_agents);
+  }
+
+  // Cohorts: cells whose tap tables are interchangeable — same distinct
+  // delays, same matrix depth, same push count (so the same head row at
+  // every step). One tap computation then serves every member, which is
+  // the common case: a sweep grid varies buffers and CCA mixes far more
+  // often than RTTs, and the tap table is a pure function of (t, delays).
+  std::vector<std::vector<Cell*>> cohorts;
+  for (auto& c : cells_) {
+    auto match = std::find_if(
+        cohorts.begin(), cohorts.end(), [&](const std::vector<Cell*>& g) {
+          const Cell& f = *g.front();
+          return f.hcap == c->hcap && f.step_count == c->step_count &&
+                 f.tap_delay == c->tap_delay;
+        });
+    if (match == cohorts.end()) {
+      cohorts.push_back({c.get()});
+    } else {
+      match->push_back(c.get());
+    }
+  }
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (auto& cohort : cohorts) {
+      const Cell& front = *cohort.front();
+      const double t =
+          static_cast<double>(front.step_count) * front.config.step_s;
+      compute_taps(front, t);
+      for (Cell* c : cohort) step_cell(*c, t);
+    }
+  }
+}
+
+// (0) Tap table: the pos/floor/frac split of DelayHistory::at, computed
+// once per distinct delay instead of once per read, plus the two matrix
+// row offsets every read through this tap shares. The expressions are
+// at()'s verbatim — (t - d) first, then the division by the step — so a
+// tap read interpolates with exactly the doubles the scalar engine would.
+// A tap is "ok" exactly when none of at()'s clamps can fire for it: the
+// shifted time is non-negative and both interpolation samples lie inside
+// the retained window (2 <= lag <= hcap rows back). The table is a pure
+// function of (t, delays, matrix geometry), which is what lets one
+// computation serve a whole cohort.
+void BatchFluidEngine::compute_taps(const Cell& c, double t) const {
+  const double h = c.config.step_s;
+  const std::uint64_t total = c.step_count;
+  const std::size_t n_taps = c.tap_delay.size();
+  double* tfrac = tap_frac_.data();
+  std::uint32_t* toff_lo = tap_off_lo_.data();
+  std::uint32_t* toff_hi = tap_off_hi_.data();
+  unsigned char* tok = tap_ok_.data();
+  for (std::size_t j = 0; j < n_taps; ++j) {
+    const double td = t - c.tap_delay[j];
+    const double pos = td / h;
+    const double flo = std::floor(pos);
+    tfrac[j] = pos - flo;
+    const long long lag =
+        static_cast<long long>(total) - static_cast<long long>(flo);
+    const bool ok =
+        !(td < 0.0) && lag >= 2 && lag <= static_cast<long long>(c.hcap);
+    tok[j] = ok ? 1 : 0;
+    if (ok) {
+      long long row = static_cast<long long>(c.head_row) - lag;
+      if (row < 0) row += c.hcap;
+      std::uint32_t hi = static_cast<std::uint32_t>(row) + 1;
+      if (hi == c.hcap) hi = 0;
+      toff_lo[j] = static_cast<std::uint32_t>(row) * c.n_sig;
+      toff_hi[j] = hi * c.n_sig;
+    }
+  }
+}
+
+// One cell, one step: FluidSimulation::step transcribed onto the flattened
+// state. Every floating-point expression and accumulation order below
+// mirrors src/core/engine.cc step-for-step (the numbered phases match);
+// deviations are integer-only (flattened paths, precomputed bottleneck
+// position, the tap table, reused scratch). Change engine.cc and this must
+// follow. Requires compute_taps(c, t) — or any cohort-equivalent cell —
+// to have filled the tap scratch for this step.
+void BatchFluidEngine::step_cell(Cell& c, double t) const {
+  const double h = c.config.step_s;
+  const std::size_t n_agents = c.n_agents;
+  const std::size_t n_links = c.n_links;
+  const double* slab = c.slab.data();
+  double* mslab = c.slab.data();
+  const double* hist = c.hist.data();
+  const std::uint32_t n_sig = c.n_sig;
+  const std::uint64_t total = c.step_count;
+
+  double* arrivals = arrivals_.data();
+  double* losses = losses_.data();
+  double* rates = rates_.data();
+  AgentInputs* inputs = inputs_.data();
+
+  const double* tfrac = tap_frac_.data();
+  const std::uint32_t* toff_lo = tap_off_lo_.data();
+  const std::uint32_t* toff_hi = tap_off_hi_.data();
+  const unsigned char* tok = tap_ok_.data();
+  // One matrix read through tap j: two shared-row loads and the verbatim
+  // lerp on the fast path, the full at() transcription otherwise.
+  const auto read = [&](std::uint32_t sig, double initial, std::uint32_t j,
+                        double delay) {
+    if (tok[j]) {
+      const double a = hist[toff_lo[j] + sig];
+      const double b = hist[toff_hi[j] + sig];
+      return a + (b - a) * tfrac[j];
+    }
+    return hist_at(hist, initial, c.hcap, n_sig, total, sig, h, t - delay);
+  };
+
+  // (1) Link arrival rates y_ℓ(t) from delayed sending rates (Eq. 1).
+  std::fill_n(arrivals, n_links, 0.0);
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    const auto rate_sig = static_cast<std::uint32_t>(2 * i);
+    for (std::uint32_t k = c.path_off[i]; k < c.path_off[i + 1]; ++k) {
+      arrivals[c.path_links[k]] +=
+          read(rate_sig, 0.0, c.fwd_tap[k], c.fwd_delay[k]);
+    }
+  }
+
+  // (2) Loss probabilities p_ℓ(t) under the configured discipline. Per-link
+  // queueing delays are hoisted here too: the same q_ℓ/C_ℓ division appears
+  // in every traversing agent's RTT sum, with identical operands.
+  double* qdelay = qdelay_.data();
+  for (std::size_t l = 0; l < n_links; ++l) {
+    losses[l] =
+        link_loss_inl(c.links[l], arrivals[l], c.queue[l], c.loss_params);
+    qdelay[l] = c.queue[l] / c.links[l].capacity_pps;
+  }
+
+  // (3) Per-agent inputs and rates.
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    const std::uint32_t off = c.path_off[i];
+    const std::uint32_t end = c.path_off[i + 1];
+    AgentInputs& in = inputs[i];
+    in.t = t;
+
+    // Path RTT (Eq. 3): propagation both ways + forward queuing delay.
+    double queueing = 0.0;
+    for (std::uint32_t k = off; k < end; ++k) {
+      queueing += qdelay[c.path_links[k]];
+    }
+    in.rtt = c.rtt_prop[i] + queueing;
+    in.rtt_delayed = read(static_cast<std::uint32_t>(2 * i + 1),
+                          c.rtt_prop[i], c.rtt_tap[i], c.rtt_prop[i]);
+
+    // Delivery rate (Eq. 17) at the agent's bottleneck link.
+    const std::uint32_t lb = c.bottleneck[i];
+    const double back = c.bwd_delay[off + c.lb_pos[i]];
+    const double x_del = read(static_cast<std::uint32_t>(2 * i), 0.0,
+                              c.rtt_tap[i], c.rtt_prop[i]);
+    const double y_del =
+        read(c.link_sig_base + 3 * lb, 0.0, c.back_tap[i], back);
+    const double q_del =
+        read(c.link_sig_base + 3 * lb + 1, 0.0, c.back_tap[i], back);
+    const double cap = c.links[lb].capacity_pps;
+    if (q_del > 1e-9 && y_del > 1e-12) {
+      in.delivery_rate = x_del / y_del * cap;
+    } else {
+      in.delivery_rate = x_del;
+    }
+
+    // Path loss delayed by one RTT (Eqs. 7, 39): Σ p_ℓ(t − d^b_{i,ℓ}).
+    double loss = 0.0;
+    for (std::uint32_t k = off; k < end; ++k) {
+      loss += read(c.link_sig_base + 3 * c.path_links[k] + 2, 0.0,
+                   c.bwd_tap[k], c.bwd_delay[k]);
+    }
+    in.loss_delayed = std::min(1.0, loss);
+    in.rate_delayed = x_del;
+
+    // Trailing-RTT send integral (DESIGN.md §5.12).
+    in.inflight_window_pkts = std::max(
+        0.0, c.sent[i] - ring_at(slab, c.sent_h[i], total, h, t - in.rtt));
+
+    rates[i] =
+        std::clamp(c.agents[i]->sending_rate(in), 0.0, c.cap_rate[i]);
+  }
+
+  // Record before state advances (sample reflects time t). Only the RTTs
+  // survive into aggregate metrics, so only they are stored.
+  if (c.step_count % c.steps_per_sample == 0) {
+    for (std::size_t i = 0; i < n_agents; ++i) {
+      c.rtt_trace.push_back(inputs[i].rtt);
+    }
+    ++c.n_samples;
+  }
+
+  // (4) Advance agent states and histories. All fixed-horizon pushes land
+  // in the matrix row of grid time t.
+  double* row =
+      c.hist.data() + static_cast<std::size_t>(c.head_row) * n_sig;
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    c.agents[i]->advance(inputs[i], rates[i], h);
+    row[2 * i] = rates[i];
+    row[2 * i + 1] = inputs[i].rtt;
+    ring_push(mslab, c.sent_h[i], c.sent[i]);  // cumulative volume at time t
+    c.sent[i] += h * rates[i];
+    c.delivered[i] += h * inputs[i].delivery_rate;
+  }
+
+  // (5) Advance queues (Eq. 2) and link accounting; push link histories
+  // with time-t values.
+  for (std::size_t l = 0; l < n_links; ++l) {
+    const net::Link& link = c.links[l];
+    LinkAccounting& acct = c.acct[l];
+    acct.arrived_pkts += h * arrivals[l];
+    acct.lost_pkts += h * losses[l] * arrivals[l];
+    acct.served_pkts += h * service_rate_inl(arrivals[l], link.capacity_pps,
+                                             losses[l], c.queue[l]);
+    acct.queue_time_pkts_s += h * c.queue[l];
+
+    row[c.link_sig_base + 3 * l] = arrivals[l];
+    row[c.link_sig_base + 3 * l + 1] = c.queue[l];
+    row[c.link_sig_base + 3 * l + 2] = losses[l];
+
+    c.queue[l] = step_queue_inl(c.queue[l], arrivals[l], link.capacity_pps,
+                                losses[l], link.buffer_pkts, h);
+  }
+
+  ++c.head_row;
+  if (c.head_row == c.hcap) c.head_row = 0;
+  ++c.step_count;
+}
+
+double BatchFluidEngine::now(std::size_t cell) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  const Cell& c = *cells_[cell];
+  return static_cast<double>(c.step_count) * c.config.step_s;
+}
+
+std::size_t BatchFluidEngine::num_agents(std::size_t cell) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  return cells_[cell]->n_agents;
+}
+
+std::size_t BatchFluidEngine::num_links(std::size_t cell) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  return cells_[cell]->n_links;
+}
+
+const net::Link& BatchFluidEngine::link(std::size_t cell,
+                                        std::size_t l) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  BBRM_REQUIRE(l < cells_[cell]->n_links);
+  return cells_[cell]->links[l];
+}
+
+double BatchFluidEngine::queue_pkts(std::size_t cell, std::size_t l) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  BBRM_REQUIRE(l < cells_[cell]->n_links);
+  return cells_[cell]->queue[l];
+}
+
+double BatchFluidEngine::sent_pkts(std::size_t cell,
+                                   std::size_t agent) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  BBRM_REQUIRE(agent < cells_[cell]->n_agents);
+  return cells_[cell]->sent[agent];
+}
+
+double BatchFluidEngine::delivered_pkts(std::size_t cell,
+                                        std::size_t agent) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  BBRM_REQUIRE(agent < cells_[cell]->n_agents);
+  return cells_[cell]->delivered[agent];
+}
+
+const LinkAccounting& BatchFluidEngine::link_accounting(
+    std::size_t cell, std::size_t l) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  BBRM_REQUIRE(l < cells_[cell]->n_links);
+  return cells_[cell]->acct[l];
+}
+
+std::size_t BatchFluidEngine::num_samples(std::size_t cell) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  return cells_[cell]->n_samples;
+}
+
+double BatchFluidEngine::sample_interval_s(std::size_t cell) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  return cells_[cell]->sample_interval_s;
+}
+
+double BatchFluidEngine::rtt_sample(std::size_t cell, std::size_t sample,
+                                    std::size_t agent) const {
+  BBRM_REQUIRE(cell < cells_.size());
+  const Cell& c = *cells_[cell];
+  BBRM_REQUIRE(sample < c.n_samples);
+  BBRM_REQUIRE(agent < c.n_agents);
+  return c.rtt_trace[sample * c.n_agents + agent];
+}
+
+}  // namespace bbrmodel::core

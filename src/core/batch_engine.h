@@ -1,0 +1,95 @@
+// Lockstep structure-of-arrays integrator for batches of fluid cells.
+//
+// A sweep grid is thousands of *independent* fluid simulations that share
+// one time grid (same step, same duration). FluidSimulation integrates one
+// cell at a time through out-of-line DelayHistory/Topology/queue-law calls
+// and allocates fresh scratch vectors every step; profiling shows those
+// overheads — not the model arithmetic — dominate a cell. This engine runs
+// K cells per step in lockstep with every per-cell quantity packed into
+// contiguous arrays, histories served from one preallocated ring slab with
+// inlined push/at, and zero allocation on the stepping path.
+//
+// Determinism contract (the whole point): for every cell, the sequence of
+// floating-point operations is exactly the sequence FluidSimulation::step
+// performs for that cell — same expressions, same accumulation order, same
+// libm calls — so each cell's results are bitwise identical to a scalar
+// run. Interleaving cells is free because cells never exchange data.
+// Anything that only changes *integer* work (ring indexing, flattened path
+// lookups, hoisted invariants) is fair game; anything that would reorder or
+// re-associate a cell's floating-point math is not. The transcribed
+// arithmetic lives in batch_engine.cc with pointers back to the original
+// lines; tests/batch_engine_test.cc cross-checks the two engines cell by
+// cell, and the sweep layer's CSV byte-equality tests keep them honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fluid_cca.h"
+#include "core/fluid_config.h"
+#include "net/queue_law.h"
+#include "net/topology.h"
+
+namespace bbrmodel::core {
+
+/// Integrates K independent fluid cells over a shared lockstep time grid.
+class BatchFluidEngine {
+ public:
+  BatchFluidEngine();
+  ~BatchFluidEngine();
+  BatchFluidEngine(const BatchFluidEngine&) = delete;
+  BatchFluidEngine& operator=(const BatchFluidEngine&) = delete;
+
+  /// Add one cell (same arguments as a FluidSimulation). Every cell of a
+  /// batch must share config.step_s — the lockstep grid has one step.
+  /// Returns the cell index.
+  std::size_t add_cell(net::Topology topology,
+                       std::vector<std::unique_ptr<FluidCca>> agents,
+                       FluidConfig config = {});
+
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Advance every cell by `duration` seconds in lockstep.
+  void run(double duration);
+
+  // Per-cell accessors mirroring FluidSimulation (bit-identical values).
+  double now(std::size_t cell) const;
+  std::size_t num_agents(std::size_t cell) const;
+  std::size_t num_links(std::size_t cell) const;
+  const net::Link& link(std::size_t cell, std::size_t l) const;
+  double queue_pkts(std::size_t cell, std::size_t l) const;
+  double sent_pkts(std::size_t cell, std::size_t agent) const;
+  double delivered_pkts(std::size_t cell, std::size_t agent) const;
+  const LinkAccounting& link_accounting(std::size_t cell,
+                                        std::size_t l) const;
+
+  /// Sampled RTT trace of one cell: the value FluidSimulation's trace
+  /// stores as samples[s].agents[agent].rtt_s (all that the aggregate
+  /// metrics read back), recorded on the same sampling grid.
+  std::size_t num_samples(std::size_t cell) const;
+  double sample_interval_s(std::size_t cell) const;
+  double rtt_sample(std::size_t cell, std::size_t sample,
+                    std::size_t agent) const;
+
+ private:
+  struct Cell;
+  void compute_taps(const Cell& cell, double t) const;
+  void step_cell(Cell& cell, double t) const;
+
+  std::vector<std::unique_ptr<Cell>> cells_;  // stable: contexts point in
+  double step_s_ = 0.0;
+
+  // Shared step scratch, sized to the widest cell and reused everywhere.
+  mutable std::vector<double> arrivals_, losses_, rates_;
+  mutable std::vector<AgentInputs> inputs_;
+  // Per-step tap table (one entry per distinct constant delay of the
+  // current cell) and per-link queueing delays; see step_cell.
+  mutable std::vector<double> tap_frac_, qdelay_;
+  mutable std::vector<std::uint32_t> tap_off_lo_, tap_off_hi_;
+  mutable std::vector<unsigned char> tap_ok_;
+};
+
+}  // namespace bbrmodel::core

@@ -921,15 +921,17 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
   const std::string& worker_id = config.worker_id;
   const std::size_t max_cells = config.max_cells;
 
-  // One options template per cell: a single task through the ordinary
+  // One options template per claimed unit: tasks go through the ordinary
   // engine path, so caching, timeout, and retry behave exactly as in a
   // single-process sweep. Parallelism comes from concurrent claim loops,
-  // not from the per-cell pool.
+  // not from the per-unit pool; batch_cells decides whether the cells of
+  // a unit run one at a time or grouped through a batch-capable runner.
   sweep::SweepOptions cell_options = options;
   cell_options.threads = 1;
   cell_options.shard = {};
   cell_options.refine = nullptr;
   cell_options.progress = nullptr;
+  cell_options.batch_cells = config.batch_cells;
   if (!cell_options.runner && !plan.runner_name().empty()) {
     cell_options.runner = sweep::runner_by_name(plan.runner_name());
   }
@@ -1070,18 +1072,42 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
         }
         registered = true;
         in_flight_cells.fetch_add(claim->indices.size());
-        for (const std::size_t index : claim->indices) {
-          const sweep::SweepTask& cell = plan.cell_by_index(index);
-          const auto result = sweep::run_tasks({cell}, cell_options);
-          queue.publish(result.row(0));
-          ++published;
-          in_flight_cells.fetch_sub(1);
-          completed.fetch_add(1);
-          if (!result.row(0).ok) failed.fetch_add(1);
-          // A kill mid-batch must still find this cell's credit in the
-          // stats file (throttled, so fast drains keep their write
-          // budget for results).
-          write_stats_throttled();
+        if (cell_options.batch_cells == 1 || claim->indices.size() == 1) {
+          for (const std::size_t index : claim->indices) {
+            const sweep::SweepTask& cell = plan.cell_by_index(index);
+            const auto result = sweep::run_tasks({cell}, cell_options);
+            queue.publish(result.row(0));
+            ++published;
+            in_flight_cells.fetch_sub(1);
+            completed.fetch_add(1);
+            if (!result.row(0).ok) failed.fetch_add(1);
+            // A kill mid-batch must still find this cell's credit in the
+            // stats file (throttled, so fast drains keep their write
+            // budget for results).
+            write_stats_throttled();
+          }
+        } else {
+          // Group the unit's cells through one run_tasks call so a
+          // batch-capable runner integrates compatible cells in lockstep
+          // (bitwise identical to the cell-at-a-time path, just faster).
+          // run_tasks wants strictly increasing task indices; a claim's
+          // members may be coalesced singles in any order.
+          std::vector<std::size_t> ordered(claim->indices);
+          std::sort(ordered.begin(), ordered.end());
+          std::vector<sweep::SweepTask> unit;
+          unit.reserve(ordered.size());
+          for (const std::size_t index : ordered) {
+            unit.push_back(plan.cell_by_index(index));
+          }
+          const auto result = sweep::run_tasks(unit, cell_options);
+          for (std::size_t k = 0; k < unit.size(); ++k) {
+            queue.publish(result.row(k));
+            ++published;
+            in_flight_cells.fetch_sub(1);
+            completed.fetch_add(1);
+            if (!result.row(k).ok) failed.fetch_add(1);
+            write_stats_throttled();
+          }
         }
         queue.finish(*claim);
         write_stats_throttled();
@@ -1137,17 +1163,6 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
   if (first_error) std::rethrow_exception(first_error);
 
   return {completed.load(), failed.load()};
-}
-
-WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
-                        const sweep::SweepOptions& options,
-                        const std::string& worker_id,
-                        std::size_t max_cells, double poll_s) {
-  WorkerConfig config;
-  config.worker_id = worker_id;
-  config.max_cells = max_cells;
-  config.poll_s = poll_s;
-  return run_worker(queue, plan, options, config);
 }
 
 namespace {

@@ -310,6 +310,14 @@ struct WorkerConfig {
   /// Cells per claimed unit (>= 1): pending singles are coalesced into
   /// one leased batch, pre-chunked batches bigger than this are trimmed.
   std::size_t batch = 1;
+  /// Cells per batched runner invocation inside a claimed unit, forwarded
+  /// to sweep::SweepOptions::batch_cells. With a value > 1 (or 0 = the
+  /// runner's preferred batch) the cells of a claimed unit are executed
+  /// through one run_tasks call, so batch-capable runners integrate
+  /// compatible cells in lockstep; 1 keeps the historical cell-at-a-time
+  /// execution. Either way results are published per cell and remain
+  /// bitwise identical — batching never changes a byte, only throughput.
+  std::size_t batch_cells = 1;
   /// Write workers/<id>.stats on every heartbeat tick (live dashboards).
   bool stats = false;
 };
@@ -324,12 +332,6 @@ struct WorkerConfig {
 WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
                         const sweep::SweepOptions& options,
                         const WorkerConfig& config);
-
-/// Single-cell convenience overload (tests, simple embedders).
-WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
-                        const sweep::SweepOptions& options,
-                        const std::string& worker_id,
-                        std::size_t max_cells = 0, double poll_s = 0.05);
 
 /// Streaming collection: emit the completed plan's CSV/JSON one cell at a
 /// time, byte-identical to the single-process run_sweep output (shared

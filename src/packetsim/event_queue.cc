@@ -1,22 +1,47 @@
 #include "packetsim/event_queue.h"
 
-#include <utility>
-
 namespace bbrmodel::packetsim {
 
-void EventQueue::schedule_at(double t, Action action) {
-  BBRM_REQUIRE_MSG(t >= now_ - 1e-12, "cannot schedule into the past");
-  queue_.push(Entry{std::max(t, now_), next_seq_++, std::move(action)});
+EventQueue::~EventQueue() {
+  // Destroy captures of events that never ran (simulation stopped early).
+  while (!queue_.empty()) {
+    Node* node = queue_.top().node;
+    queue_.pop();
+    if (node->destroy != nullptr) node->destroy(node->storage);
+  }
+  // chunks_ frees the slabs themselves.
+}
+
+EventQueue::Node* EventQueue::acquire() {
+  if (free_ == nullptr) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    Node* slab = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunkNodes; ++i) {
+      slab[i].next_free = free_;
+      free_ = &slab[i];
+    }
+  }
+  Node* node = free_;
+  free_ = node->next_free;
+  return node;
+}
+
+void EventQueue::release(Node* node) {
+  if (node->destroy != nullptr) node->destroy(node->storage);
+  node->next_free = free_;
+  free_ = node;
 }
 
 void EventQueue::run_until(double t_end) {
   while (!queue_.empty() && queue_.top().time <= t_end) {
-    // Copy out before pop: the action may schedule further events.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry e = queue_.top();
     queue_.pop();
     now_ = e.time;
     ++executed_;
-    e.action();
+    e.node->invoke(e.node->storage);
+    // The closure may have scheduled further events (pulling nodes off the
+    // free list), but it cannot release its own node — recycle it now.
+    release(e.node);
   }
   now_ = std::max(now_, t_end);
 }

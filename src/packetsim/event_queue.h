@@ -3,11 +3,24 @@
 // A time-ordered queue of closures with FIFO tie-breaking for equal
 // timestamps (deterministic replay — the whole packet simulator is seeded
 // and reproducible, see DESIGN.md §4).
+//
+// Events are arena-allocated: each scheduled closure lives in a pooled
+// fixed-size node (inline storage, no std::function), nodes come from
+// chunked slabs threaded onto a free list, and executing an event returns
+// its node to the list. After the pool warms up, scheduling and running
+// events performs zero malloc/free — the event loop is the packet
+// simulator's hottest path, and per-event allocation dominated its profile.
+// Closures larger than the inline storage (none today) are boxed on the
+// heap transparently; move-only captures are fine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/require.h"
@@ -17,17 +30,24 @@ namespace bbrmodel::packetsim {
 /// Event-driven simulation clock and scheduler.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  EventQueue() = default;
+  ~EventQueue();
 
   /// Current simulation time (seconds).
   double now() const { return now_; }
 
   /// Schedule `action` at absolute time `t` (must not be in the past).
-  void schedule_at(double t, Action action);
+  template <typename F>
+  void schedule_at(double t, F&& action) {
+    BBRM_REQUIRE_MSG(t >= now_ - 1e-12, "cannot schedule into the past");
+    Node* node = make_node(std::forward<F>(action));
+    queue_.push(Entry{std::max(t, now_), next_seq_++, node});
+  }
 
   /// Schedule `action` after `delay` seconds.
-  void schedule_in(double delay, Action action) {
-    schedule_at(now_ + delay, std::move(action));
+  template <typename F>
+  void schedule_in(double delay, F&& action) {
+    schedule_at(now_ + delay, std::forward<F>(action));
   }
 
   /// Run events until the queue is empty or the clock passes `t_end`.
@@ -40,10 +60,23 @@ class EventQueue {
   bool empty() const { return queue_.empty(); }
 
  private:
+  /// Inline closure capacity. Sized for the simulator's largest capture
+  /// (this + a Packet echo and change); bigger closures fall back to a
+  /// heap box, so this is a performance knob, not a correctness limit.
+  static constexpr std::size_t kInlineEventBytes = 96;
+  static constexpr std::size_t kChunkNodes = 128;
+
+  struct Node {
+    void (*invoke)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;  ///< null for trivial captures
+    Node* next_free = nullptr;
+    alignas(alignof(std::max_align_t)) unsigned char storage[kInlineEventBytes];
+  };
+
   struct Entry {
     double time;
     std::uint64_t seq;  // insertion order for stable ties
-    Action action;
+    Node* node;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -52,7 +85,34 @@ class EventQueue {
     }
   };
 
+  Node* acquire();
+  void release(Node* node);
+
+  template <typename F>
+  Node* make_node(F&& action) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineEventBytes) {
+      Node* node = acquire();
+      ::new (static_cast<void*>(node->storage)) Fn(std::forward<F>(action));
+      node->invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+      if constexpr (std::is_trivially_destructible_v<Fn>) {
+        node->destroy = nullptr;
+      } else {
+        node->destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+      }
+      return node;
+    } else {
+      // Oversized capture: box it; the boxing closure itself is tiny.
+      return make_node(
+          [boxed = std::unique_ptr<Fn>(new Fn(std::forward<F>(action)))] {
+            (*boxed)();
+          });
+    }
+  }
+
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_ = nullptr;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

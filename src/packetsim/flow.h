@@ -26,6 +26,7 @@
 #include "packetsim/event_queue.h"
 #include "packetsim/link.h"
 #include "packetsim/packet.h"
+#include "packetsim/pool.h"
 
 namespace bbrmodel::packetsim {
 
@@ -88,6 +89,15 @@ class Flow {
     bool retransmit = false;
   };
 
+  // Per-packet bookkeeping lives in node-based containers; their tree
+  // nodes come from a per-flow pool so the steady-state send/ack path
+  // never touches malloc (the pool must be declared before them).
+  using TxMap =
+      std::map<std::int64_t, TxRecord, std::less<std::int64_t>,
+               PoolAllocator<std::pair<const std::int64_t, TxRecord>>>;
+  using SeqSet = std::set<std::int64_t, std::less<std::int64_t>,
+                          PoolAllocator<std::int64_t>>;
+
   void try_send();
   void send_one();
   void handle_ack(std::int64_t cum, Packet echo);
@@ -96,6 +106,7 @@ class Flow {
   void fire_rto(std::uint64_t epoch);
 
   EventQueue& events_;
+  NodePool pool_;  ///< backs outstanding_/retx_queue_/rcv_out_of_order_
   int id_;
   double access_delay_s_;
   Egress egress_;
@@ -107,8 +118,8 @@ class Flow {
   std::int64_t next_seq_ = 0;
   std::int64_t cum_acked_ = 0;          ///< receiver's next expected seq
   std::int64_t highest_sacked_ = -1;
-  std::map<std::int64_t, TxRecord> outstanding_;
-  std::set<std::int64_t> retx_queue_;   ///< ordered, deduplicated
+  TxMap outstanding_{TxMap::allocator_type(&pool_)};
+  SeqSet retx_queue_{SeqSet::allocator_type(&pool_)};  ///< ordered, dedup'd
   double delivered_ = 0.0;
   double delivered_time_ = 0.0;
   double first_tx_mstamp_ = 0.0;  ///< start of the send-side sample window
@@ -125,7 +136,7 @@ class Flow {
 
   // Receiver state.
   std::int64_t rcv_next_ = 0;
-  std::set<std::int64_t> rcv_out_of_order_;
+  SeqSet rcv_out_of_order_{SeqSet::allocator_type(&pool_)};
   double last_delay_s_ = 0.0;
   bool has_last_delay_ = false;
   RunningStats jitter_abs_delta_s_;

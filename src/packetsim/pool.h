@@ -1,0 +1,130 @@
+// Fixed-size node pool for the packet simulator's per-packet containers.
+//
+// Flow tracks every in-flight packet in a std::map and two std::sets; the
+// default allocator pays one malloc/free per tree node, i.e. per packet.
+// NodePool hands out nodes from chunked slabs with a per-size free list, so
+// after warm-up the send path allocates nothing. PoolAllocator adapts the
+// pool to the std allocator interface for container use; node-based
+// containers only ever allocate one node at a time, which is exactly the
+// case the pool serves — bulk (n > 1) requests fall through to operator
+// new, keeping the adapter correct for any container.
+//
+// The pool is intentionally not thread-safe: each Flow owns one and the
+// simulator is single-threaded per cell (parallelism lives at the sweep
+// layer, one simulation per task).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace bbrmodel::packetsim {
+
+/// Chunked free-list allocator for fixed-size blocks. A pool serves a
+/// handful of distinct sizes (one per container node type); lookup is a
+/// short linear scan.
+class NodePool {
+ public:
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    Bucket& bucket = bucket_of(bytes);
+    if (bucket.free == nullptr) refill(bucket);
+    FreeNode* node = bucket.free;
+    bucket.free = node->next;
+    return node;
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    Bucket& bucket = bucket_of(bytes);
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = bucket.free;
+    bucket.free = node;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct Bucket {
+    std::size_t block_bytes = 0;
+    FreeNode* free = nullptr;
+    std::vector<std::unique_ptr<unsigned char[]>> chunks;
+  };
+
+  static constexpr std::size_t kChunkBlocks = 64;
+
+  static std::size_t rounded(std::size_t bytes) {
+    // Keep every block aligned for any node type and big enough to hold
+    // the free-list link.
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    if (bytes < sizeof(FreeNode)) bytes = sizeof(FreeNode);
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  Bucket& bucket_of(std::size_t bytes) {
+    const std::size_t want = rounded(bytes);
+    for (auto& bucket : buckets_) {
+      if (bucket.block_bytes == want) return bucket;
+    }
+    buckets_.push_back(Bucket{want, nullptr, {}});
+    return buckets_.back();
+  }
+
+  void refill(Bucket& bucket) {
+    // operator new[] storage is aligned for std::max_align_t, and
+    // block_bytes is a multiple of that alignment, so every block is
+    // suitably aligned.
+    bucket.chunks.push_back(
+        std::make_unique<unsigned char[]>(bucket.block_bytes * kChunkBlocks));
+    unsigned char* base = bucket.chunks.back().get();
+    for (std::size_t i = 0; i < kChunkBlocks; ++i) {
+      auto* node = reinterpret_cast<FreeNode*>(base + i * bucket.block_bytes);
+      node->next = bucket.free;
+      bucket.free = node;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+};
+
+/// std allocator adapter over a NodePool. The pool must outlive every
+/// container using it (declare the pool before the containers).
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(NodePool* pool) : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) return static_cast<T*>(pool_->allocate(sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1) {
+      pool_->deallocate(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  NodePool* pool() const { return pool_; }
+
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator& b) {
+    return a.pool_ == b.pool_;
+  }
+  friend bool operator!=(const PoolAllocator& a, const PoolAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  NodePool* pool_;
+};
+
+}  // namespace bbrmodel::packetsim

@@ -9,6 +9,15 @@
 // the content-addressed cell cache, shard-invariant CSV/JSON — works for
 // any of them.
 //
+// PR 6 makes runners batch-aware. A runner still always provides a scalar
+// `run_one`; it may additionally provide `run_batch`, which integrates K
+// compatible cells in lockstep (see core/batch_engine.h) and must return
+// results bitwise identical to calling `run_one` per cell. The scheduler
+// treats batching purely as an optimization: per-cell cache lookups,
+// retries, timeouts and statuses are decided cell by cell, and a failing
+// batch degrades to scalar runs. Runners built with make_runner (benches,
+// tests) are scalar-only and behave exactly as before.
+//
 // A runner's `name` doubles as its cache namespace: cells are addressed by
 // (runner name, backend, canonical spec bytes), so only named runners
 // participate in caching. Leave the name empty for runners whose results
@@ -16,8 +25,10 @@
 // from the task index) — an unnamed runner is never cached.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "metrics/aggregate.h"
 #include "sweep/parameter_grid.h"
@@ -29,16 +40,51 @@ namespace bbrmodel::sweep {
 /// task (the byte-reproducibility contract extends through runners).
 using RunnerFn = std::function<metrics::AggregateMetrics(const SweepTask&)>;
 
+/// Maps a batch of tasks to one metrics entry per task, in order. The
+/// results must be bitwise identical to applying the scalar RunnerFn to
+/// each task — batching is an optimization, never a semantic change. May
+/// throw; the scheduler then retries every cell through the scalar path.
+using BatchRunnerFn = std::function<std::vector<metrics::AggregateMetrics>(
+    const std::vector<const SweepTask*>&)>;
+
 /// A named runner. The name keys the cell cache; empty = uncacheable.
+///
+/// Build scalar-only runners with make_runner below — `{name, fn}`
+/// aggregate initialization still compiles but trips
+/// -Wmissing-field-initializers under the CI's -Werror.
 struct Runner {
   std::string name;
-  RunnerFn fn;
+  /// Scalar path: always present on a usable runner.
+  RunnerFn run_one;
+  /// Optional batch path (see BatchRunnerFn). Null = scalar-only.
+  BatchRunnerFn run_batch;
+  /// Optional per-task eligibility for the batch path (e.g. the backend
+  /// dispatcher batches only fluid cells). Null = every task is eligible
+  /// whenever run_batch exists.
+  std::function<bool(const SweepTask&)> batchable;
+  /// Preferred cells per batch when the caller does not specify one.
+  std::size_t preferred_batch = 1;
 
-  explicit operator bool() const { return static_cast<bool>(fn); }
+  explicit operator bool() const { return static_cast<bool>(run_one); }
+
+  /// True if `task` may go through run_batch.
+  bool can_batch(const SweepTask& task) const {
+    return run_batch && (!batchable || batchable(task));
+  }
 };
 
+/// Scalar-only runner from a name and a function — the compatibility
+/// factory for benches and tests; equivalent to the pre-batch Runner.
+inline Runner make_runner(std::string name, RunnerFn fn) {
+  Runner r;
+  r.name = std::move(name);
+  r.run_one = std::move(fn);
+  return r;
+}
+
 /// Fluid-model ("Model") runner: scenario::run_fluid on the task's spec,
-/// regardless of task.backend.
+/// regardless of task.backend. Batch-capable: compatible cells integrate in
+/// lockstep through the SoA engine with bitwise-identical results.
 Runner fluid_runner();
 
 /// Packet-simulator ("Experiment") runner: scenario::run_packet.
@@ -52,7 +98,8 @@ Runner packet_runner();
 Runner reduced_runner();
 
 /// The default: dispatch on task.backend (kFluid → fluid_runner,
-/// kPacket → packet_runner, kReduced → reduced_runner).
+/// kPacket → packet_runner, kReduced → reduced_runner). Batch-capable for
+/// fluid-backend tasks only.
 Runner backend_runner();
 
 }  // namespace bbrmodel::sweep

@@ -1,8 +1,10 @@
 #include "sweep/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <limits>
 #include <thread>
@@ -108,7 +110,7 @@ TaskResult run_one_task(const SweepTask& task, const Runner& runner,
   AttemptOutcome outcome;
   while (result.attempts < options.max_attempts) {
     ++result.attempts;
-    outcome = run_attempt(runner.fn, task, options.timeout_s);
+    outcome = run_attempt(runner.run_one, task, options.timeout_s);
     if (outcome.ok) break;
     // A timed-out attempt is terminal: its abandoned thread may still be
     // executing this task, and runners are only promised concurrency
@@ -120,6 +122,158 @@ TaskResult run_one_task(const SweepTask& task, const Runner& runner,
   result.error = std::move(outcome.error);
   if (result.ok && !key.empty()) options.cache->store(key, result.metrics);
   return result;
+}
+
+/// The cell-cache key of a task under `runner`, or "" when the task does
+/// not participate in caching (no cache, unnamed runner, uncacheable spec).
+std::string task_cache_key(const SweepTask& task, const Runner& runner,
+                           const SweepOptions& options) {
+  if (options.cache == nullptr || runner.name.empty() ||
+      !scenario::spec_cacheable(task.spec)) {
+    return "";
+  }
+  return cell_key(runner.name, task);
+}
+
+/// A unit of scheduling: either one task (scalar path) or several
+/// batch-compatible tasks destined for one Runner::run_batch call.
+struct WorkUnit {
+  std::vector<std::size_t> members;  ///< positions into the tasks vector
+  bool batched = false;
+};
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+/// Group tasks into work units. Batch-eligible tasks (runner.can_batch,
+/// batching enabled) group by exact (duration_s, step_s) bits — the batch
+/// engine integrates one shared time grid — and split into units of at
+/// most `unit_cells`, sized so small grids still fan out across all
+/// workers instead of collapsing into one big batch. Everything else is a
+/// singleton unit. Unit layout never affects output bytes (see sweep.h).
+std::vector<WorkUnit> plan_units(const std::vector<SweepTask>& tasks,
+                                 const Runner& runner,
+                                 const SweepOptions& options,
+                                 std::size_t workers) {
+  const std::size_t requested = options.batch_cells == 0
+                                    ? runner.preferred_batch
+                                    : options.batch_cells;
+  // A per-attempt timeout fences each cell on its own thread; lockstep
+  // batches cannot honor that, so the scalar path takes over.
+  const bool batching =
+      runner.run_batch && requested > 1 && options.timeout_s <= 0.0;
+
+  std::vector<WorkUnit> units;
+  units.reserve(tasks.size());
+
+  struct Group {
+    std::uint64_t duration_bits;
+    std::uint64_t step_bits;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Group> groups;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!batching || !runner.can_batch(tasks[i])) {
+      units.push_back({{i}, false});
+      continue;
+    }
+    const std::uint64_t dur = double_bits(tasks[i].spec.duration_s);
+    const std::uint64_t step = double_bits(tasks[i].spec.fluid.step_s);
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
+      return g.duration_bits == dur && g.step_bits == step;
+    });
+    if (it == groups.end()) {
+      groups.push_back({dur, step, {}});
+      it = groups.end() - 1;
+    }
+    it->members.push_back(i);
+  }
+
+  for (const auto& group : groups) {
+    const std::size_t n = group.members.size();
+    // Keep every worker busy: never batch so coarsely that a small grid
+    // serializes onto fewer threads than the pool has.
+    const std::size_t lanes = std::max<std::size_t>(1, std::min(n, workers));
+    const std::size_t unit_cells =
+        std::min(requested, (n + lanes - 1) / lanes);
+    for (std::size_t at = 0; at < n; at += unit_cells) {
+      WorkUnit unit;
+      const std::size_t end = std::min(n, at + unit_cells);
+      unit.members.assign(group.members.begin() + at,
+                          group.members.begin() + end);
+      unit.batched = unit.members.size() > 1;
+      units.push_back(std::move(unit));
+    }
+  }
+  return units;
+}
+
+/// Execute one batched unit: peel cache hits per cell, run the misses
+/// through Runner::run_batch, and fill the per-cell rows. Any batch
+/// failure degrades every miss to the scalar run_one_task path, so one
+/// poisoned cell never fails its siblings and per-cell retry semantics
+/// are preserved exactly.
+void run_batch_unit(const std::vector<SweepTask>& tasks, const WorkUnit& unit,
+                    const Runner& runner, const SweepOptions& options,
+                    std::vector<TaskResult>& rows) {
+  std::vector<std::size_t> miss;
+  std::vector<std::string> miss_keys;
+  miss.reserve(unit.members.size());
+
+  for (const std::size_t i : unit.members) {
+    std::string key = task_cache_key(tasks[i], runner, options);
+    if (!key.empty()) {
+      if (auto cached = options.cache->load(key)) {
+        rows[i].task = tasks[i];
+        rows[i].metrics = std::move(*cached);
+        rows[i].cached = true;
+        continue;
+      }
+    }
+    miss.push_back(i);
+    miss_keys.push_back(std::move(key));
+  }
+  if (miss.empty()) return;
+
+  std::vector<const SweepTask*> batch;
+  batch.reserve(miss.size());
+  for (const std::size_t i : miss) batch.push_back(&tasks[i]);
+
+  bool degraded = false;
+  const double start = now_s();
+  try {
+    auto metrics = runner.run_batch(batch);
+    BBRM_REQUIRE_MSG(metrics.size() == batch.size(),
+                     "batch runner returned a wrong-sized result");
+    const double per_cell_s = (now_s() - start) /
+                              static_cast<double>(miss.size());
+    for (std::size_t k = 0; k < miss.size(); ++k) {
+      TaskResult& r = rows[miss[k]];
+      r.task = tasks[miss[k]];
+      r.metrics = std::move(metrics[k]);
+      r.ok = true;
+      r.attempts = 1;
+      r.wall_s = per_cell_s;
+      if (!miss_keys[k].empty()) {
+        options.cache->store(miss_keys[k], r.metrics);
+      }
+    }
+  } catch (...) {
+    degraded = true;
+  }
+  if (degraded) {
+    // Scalar fallback carries the full per-cell attempt budget, so a batch
+    // brought down by one bad cell still completes every healthy sibling.
+    for (const std::size_t i : miss) {
+      const double cell_start = now_s();
+      rows[i] = run_one_task(tasks[i], runner, options);
+      rows[i].wall_s = now_s() - cell_start;
+    }
+  }
 }
 
 }  // namespace
@@ -236,12 +390,20 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
 
   const double sweep_start = now_s();
   ThreadPool pool(options.threads);
-  pool.parallel_for(tasks.size(), [&](std::size_t i) {
-    const double task_start = now_s();
-    TaskResult result = run_one_task(tasks[i], runner, options);
-    result.wall_s = now_s() - task_start;
-    rows[i] = std::move(result);
-    const std::size_t done = completed.fetch_add(1) + 1;
+  const auto units = plan_units(tasks, runner, options, pool.size());
+  pool.parallel_for(units.size(), [&](std::size_t u) {
+    const WorkUnit& unit = units[u];
+    if (unit.batched) {
+      run_batch_unit(tasks, unit, runner, options, rows);
+    } else {
+      const std::size_t i = unit.members.front();
+      const double task_start = now_s();
+      TaskResult result = run_one_task(tasks[i], runner, options);
+      result.wall_s = now_s() - task_start;
+      rows[i] = std::move(result);
+    }
+    const std::size_t done =
+        completed.fetch_add(unit.members.size()) + unit.members.size();
     if (options.progress) options.progress(done, tasks.size());
   });
 

@@ -4,11 +4,13 @@
 //
 // Determinism contract: a sweep's SweepResult — including its CSV and JSON
 // serializations — depends only on the tasks (grid + base spec + base
-// seed) and the runner. Thread count, scheduling, shard layout, and cache
-// state never change a byte, because every task's randomness comes from
-// derive_seed(base_seed, task.index), all results land in index-addressed
-// slots, and rows carry their task index. (Wall-clock and cache/attempt
-// bookkeeping are the exceptions and are excluded from both emitters.)
+// seed) and the runner. Thread count, scheduling, shard layout, cache
+// state, and batch grouping (batch_cells) never change a byte, because
+// every task's randomness comes from derive_seed(base_seed, task.index),
+// all results land in index-addressed slots, rows carry their task index,
+// and batch runners are bitwise-identical to their scalar path by
+// contract. (Wall-clock and cache/attempt bookkeeping are the exceptions
+// and are excluded from both emitters.)
 // Consequently the union of shard outputs is byte-identical to one full
 // run, and a warm-cache rerun reproduces a cold run exactly.
 #pragma once
@@ -66,6 +68,14 @@ struct SweepOptions {
   /// Runner invocations per task before reporting failure (>= 1).
   /// Retries cover thrown failures, not timeouts (see timeout_s).
   std::size_t max_attempts = 1;
+  /// Cells per batched runner invocation when the runner supports batching
+  /// (Runner::run_batch): 0 = the runner's preferred_batch, 1 = disable
+  /// batching, K = group up to K compatible cells per call. Batching is an
+  /// optimization only — results are bitwise identical to scalar runs, a
+  /// failing batch degrades to per-cell scalar retries, cache lookups stay
+  /// per cell, and a per-attempt timeout (timeout_s > 0) forces the scalar
+  /// path so each cell keeps its own wall-clock fence.
+  std::size_t batch_cells = 0;
   /// Memoize (runner, backend, spec) cells here; nullptr disables. Only
   /// named runners and cacheable specs participate.
   CellCache* cache = nullptr;

@@ -1,6 +1,7 @@
 #include "sweep/workloads.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 #include <utility>
 
@@ -95,19 +96,33 @@ metrics::AggregateMetrics run_parking_lot(const SweepTask& task) {
   return m;
 }
 
+/// The runner registry: one row per resolvable runner name. Adding a
+/// backend = adding one row here; runner_by_name and runner_names both
+/// iterate this table, so they can never drift apart.
+struct RunnerEntry {
+  const char* name;
+  Runner (*make)();
+};
+
+constexpr RunnerEntry kRunnerRegistry[] = {
+    {"fluid", fluid_runner},
+    {"packet", packet_runner},
+    {"reduced", reduced_runner},
+    {"backend", backend_runner},
+    {"parking-lot", parking_lot_runner},
+};
+
 }  // namespace
 
 Runner parking_lot_runner() {
-  return {"parking-lot",
-          [](const SweepTask& task) { return run_parking_lot(task); }};
+  return make_runner("parking-lot",
+                     [](const SweepTask& task) { return run_parking_lot(task); });
 }
 
 Runner runner_by_name(const std::string& name) {
-  if (name == "fluid") return fluid_runner();
-  if (name == "packet") return packet_runner();
-  if (name == "reduced") return reduced_runner();
-  if (name == "backend") return backend_runner();
-  if (name == "parking-lot") return parking_lot_runner();
+  for (const auto& entry : kRunnerRegistry) {
+    if (name == entry.name) return entry.make();
+  }
   std::string valid;
   for (const auto& known : runner_names()) {
     if (!valid.empty()) valid += ", ";
@@ -119,7 +134,10 @@ Runner runner_by_name(const std::string& name) {
 }
 
 std::vector<std::string> runner_names() {
-  return {"fluid", "packet", "reduced", "backend", "parking-lot"};
+  std::vector<std::string> names;
+  names.reserve(std::size(kRunnerRegistry));
+  for (const auto& entry : kRunnerRegistry) names.emplace_back(entry.name);
+  return names;
 }
 
 }  // namespace bbrmodel::sweep

@@ -92,12 +92,12 @@ TEST(RefinementPolicy, MetricValuesReadTheAggregateStruct) {
 /// A deterministic runner with a sharp fairness knee at buffer = 3.2 BDP:
 /// the refinement should concentrate there and nowhere else.
 sweep::Runner knee_runner() {
-  return {"knee", [](const sweep::SweepTask& task) {
-            metrics::AggregateMetrics m;
-            m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
-            m.utilization_pct = 100.0;
-            return m;
-          }};
+  return sweep::make_runner("knee", [](const sweep::SweepTask& task) {
+    metrics::AggregateMetrics m;
+    m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
+    m.utilization_pct = 100.0;
+    return m;
+  });
 }
 
 sweep::ParameterGrid knee_grid() {
@@ -219,12 +219,13 @@ TEST(GridRefiner, DepthZeroAndBudgetClampDisableRefinement) {
 TEST(GridRefiner, BudgetAcceptsHighestVariationFirst) {
   // Two knees of different magnitude: jain jumps by 0.5 at 3.2 and by
   // 0.2 at 5.5. With room for one refined cell, the bigger jump wins.
-  sweep::Runner two_knees{"two-knees", [](const sweep::SweepTask& task) {
-                            metrics::AggregateMetrics m;
-                            const double b = task.spec.buffer_bdp;
-                            m.jain = b < 3.2 ? 0.3 : (b < 5.5 ? 0.8 : 1.0);
-                            return m;
-                          }};
+  sweep::Runner two_knees =
+      sweep::make_runner("two-knees", [](const sweep::SweepTask& task) {
+        metrics::AggregateMetrics m;
+        const double b = task.spec.buffer_bdp;
+        m.jain = b < 3.2 ? 0.3 : (b < 5.5 ? 0.8 : 1.0);
+        return m;
+      });
   RefinementPolicy policy = knee_policy();
   policy.max_depth = 1;
   policy.max_cells = 5;  // coarse 4 + exactly one refined cell
@@ -240,15 +241,15 @@ TEST(GridRefiner, BudgetAcceptsHighestVariationFirst) {
 }
 
 TEST(GridRefiner, FailedTriageCellsAreReportedAndNotRefined) {
-  sweep::Runner flaky{"flaky", [](const sweep::SweepTask& task)
-                                   -> metrics::AggregateMetrics {
-                        if (task.spec.buffer_bdp < 4.0) {
-                          throw std::runtime_error("unsupported cell");
-                        }
-                        metrics::AggregateMetrics m;
-                        m.jain = task.spec.buffer_bdp < 6.0 ? 0.5 : 1.0;
-                        return m;
-                      }};
+  sweep::Runner flaky = sweep::make_runner(
+      "flaky", [](const sweep::SweepTask& task) -> metrics::AggregateMetrics {
+        if (task.spec.buffer_bdp < 4.0) {
+          throw std::runtime_error("unsupported cell");
+        }
+        metrics::AggregateMetrics m;
+        m.jain = task.spec.buffer_bdp < 6.0 ? 0.5 : 1.0;
+        return m;
+      });
   GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
                       knee_policy());
   refiner.set_triage(flaky);
@@ -268,12 +269,12 @@ TEST(GridRefiner, IntegerFlowAxisRefinesToMidpoints) {
   sweep::ParameterGrid grid = knee_grid();
   grid.buffers_bdp = {1.0};
   grid.flow_counts = {2, 4, 8};
-  sweep::Runner by_flows{"by-flows", [](const sweep::SweepTask& task) {
-                           metrics::AggregateMetrics m;
-                           m.jain =
-                               task.spec.mix.flows.size() < 5 ? 0.5 : 1.0;
-                           return m;
-                         }};
+  sweep::Runner by_flows =
+      sweep::make_runner("by-flows", [](const sweep::SweepTask& task) {
+        metrics::AggregateMetrics m;
+        m.jain = task.spec.mix.flows.size() < 5 ? 0.5 : 1.0;
+        return m;
+      });
   RefinementPolicy policy = knee_policy();
   policy.max_depth = 3;
   GridRefiner refiner(grid, scenario::ExperimentSpec{}, policy);
@@ -344,14 +345,15 @@ TEST(AdaptiveSweep, ShardedFinePassesMergeByteIdentically) {
 
 TEST(AdaptiveSweep, TriageTransformOnlyAffectsTriageCopies) {
   std::atomic<int> short_triage_runs{0};
-  sweep::Runner probe{"", [&](const sweep::SweepTask& task) {
-                        if (task.spec.duration_s == 0.25) {
-                          short_triage_runs.fetch_add(1);
-                        }
-                        metrics::AggregateMetrics m;
-                        m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
-                        return m;
-                      }};
+  sweep::Runner probe =
+      sweep::make_runner("", [&](const sweep::SweepTask& task) {
+        if (task.spec.duration_s == 0.25) {
+          short_triage_runs.fetch_add(1);
+        }
+        metrics::AggregateMetrics m;
+        m.jain = task.spec.buffer_bdp < 3.2 ? 0.5 : 1.0;
+        return m;
+      });
   GridRefiner refiner(knee_grid(), scenario::ExperimentSpec{},
                       knee_policy());
   refiner.set_triage(probe);

@@ -245,7 +245,7 @@ TEST(CellCache, DamagedCellsReadAsMisses) {
 /// A deterministic pure-function-of-the-spec runner that counts
 /// invocations — the stand-in for an expensive simulation.
 Runner counting_runner(std::atomic<std::size_t>& calls) {
-  return {"synthetic", [&calls](const SweepTask& task) {
+  return make_runner("synthetic", [&calls](const SweepTask& task) {
             calls.fetch_add(1);
             metrics::AggregateMetrics m;
             m.jain = 1.0;
@@ -254,7 +254,7 @@ Runner counting_runner(std::atomic<std::size_t>& calls) {
             m.utilization_pct = 100.0;
             m.mean_rate_pps = {task.spec.capacity_pps};
             return m;
-          }};
+          });
 }
 
 ParameterGrid synthetic_grid() {
@@ -320,7 +320,7 @@ TEST(CellCache, TransientFailureIsReAttemptedOnTheNextCachedRun) {
   // reruns sharing the cache directory.
   const std::string dir = scratch_dir("cellcache_transient");
   std::atomic<std::size_t> calls{0};
-  Runner flaky = {"synthetic", [&calls](const SweepTask& task) {
+  Runner flaky = make_runner("synthetic", [&calls](const SweepTask& task) {
                     // First invocation fails (a timeout stand-in); every
                     // later one succeeds.
                     if (calls.fetch_add(1) == 0) {
@@ -331,7 +331,7 @@ TEST(CellCache, TransientFailureIsReAttemptedOnTheNextCachedRun) {
                     m.loss_pct = task.spec.buffer_bdp;
                     m.utilization_pct = 100.0;
                     return m;
-                  }};
+                  });
   const std::vector<SweepTask> tasks = {make_task(
       0, Backend::kFluid,
       scenario::ExperimentSpec{}, 42)};

@@ -44,7 +44,8 @@ std::string scratch_dir(const std::string& name) {
 /// A fast, deterministic, pure-function-of-the-spec runner (named so it
 /// could cache) standing in for an expensive simulation.
 sweep::Runner synthetic_runner(std::atomic<std::size_t>* calls = nullptr) {
-  return {"synthetic", [calls](const sweep::SweepTask& task) {
+  return sweep::make_runner("synthetic",
+                            [calls](const sweep::SweepTask& task) {
             if (calls != nullptr) calls->fetch_add(1);
             metrics::AggregateMetrics m;
             m.jain = 1.0;
@@ -55,7 +56,7 @@ sweep::Runner synthetic_runner(std::atomic<std::size_t>* calls = nullptr) {
             m.mean_rate_pps = {task.spec.capacity_pps, 1.0 / 3.0};
             m.aux = {static_cast<double>(task.index)};
             return m;
-          }};
+          });
 }
 
 sweep::ParameterGrid small_grid() {
@@ -287,7 +288,7 @@ TEST(WorkQueue, SeedClaimCompleteLifecycle) {
   // Complete publishes the result and releases the claim.
   sweep::TaskResult result;
   result.task = plan.cell_by_index(*first);
-  result.metrics = synthetic_runner().fn(result.task);
+  result.metrics = synthetic_runner().run_one(result.task);
   queue.complete(result, "worker-a");
   progress = queue.progress();
   EXPECT_EQ(progress.active, 1u);
@@ -351,7 +352,7 @@ TEST(WorkQueue, SeedIsIdempotentAndRejectsDifferentPlans) {
   ASSERT_TRUE(finished.has_value());
   sweep::TaskResult done;
   done.task = plan.cell_by_index(*finished);
-  done.metrics = synthetic_runner().fn(done.task);
+  done.metrics = synthetic_runner().run_one(done.task);
   queue.complete(done, "worker-b");
 
   queue.seed(plan);
@@ -398,7 +399,7 @@ TEST(WorkQueue, CrashAfterPublishDropsTheStaleClaimWithoutReEnqueue) {
   // as if it crashed between publishing and releasing.
   sweep::TaskResult result;
   result.task = plan.cell_by_index(*index);
-  result.metrics = synthetic_runner().fn(result.task);
+  result.metrics = synthetic_runner().run_one(result.task);
   queue.complete(result, "worker-b");
   EXPECT_EQ(queue.progress().active, 1u);
 
@@ -440,7 +441,7 @@ TEST(WorkQueueBatch, BatchedSeedClaimsWholeChunksAsOneUnit) {
   for (const std::size_t index : claim->indices) {
     sweep::TaskResult result;
     result.task = plan.cell_by_index(index);
-    result.metrics = synthetic_runner().fn(result.task);
+    result.metrics = synthetic_runner().run_one(result.task);
     queue.publish(result);
   }
   queue.finish(*claim);
@@ -482,7 +483,7 @@ TEST(WorkQueueBatch, CoalescedSinglesClaimAsOneUnitAndTrimReturnsTheTail) {
   // Releasing the claim re-enqueues only the unpublished member.
   sweep::TaskResult result;
   result.task = plan.cell_by_index(0);
-  result.metrics = synthetic_runner().fn(result.task);
+  result.metrics = synthetic_runner().run_one(result.task);
   queue.publish(result);
   queue.release(*claim);
   const auto progress = queue.progress();
@@ -503,7 +504,7 @@ TEST(WorkQueueBatch, ExpiredBatchReEnqueuesOnlyUnfinishedMembers) {
   for (const std::size_t index : {claim->indices[0], claim->indices[1]}) {
     sweep::TaskResult result;
     result.task = plan.cell_by_index(index);
-    result.metrics = synthetic_runner().fn(result.task);
+    result.metrics = synthetic_runner().run_one(result.task);
     queue.publish(result);
   }
 
@@ -557,7 +558,7 @@ TEST(WorkQueue, FailedResultsAreReEnqueuedOnReseed) {
   ASSERT_TRUE(ok_cell.has_value());
   sweep::TaskResult ok;
   ok.task = plan.cell_by_index(*ok_cell);
-  ok.metrics = synthetic_runner().fn(ok.task);
+  ok.metrics = synthetic_runner().run_one(ok.task);
   queue.complete(ok, "worker-a");
   EXPECT_EQ(queue.progress().done, 2u);
 
@@ -641,6 +642,16 @@ Reference reference_bytes(const ExecutionPlan& plan,
   return {csv.str(), json.str()};
 }
 
+/// Single-cell worker shorthand: claim one cell at a time, fast polls.
+WorkerConfig worker_config(const std::string& id, std::size_t max_cells = 0,
+                           double poll_s = 0.01) {
+  WorkerConfig config;
+  config.worker_id = id;
+  config.max_cells = max_cells;
+  config.poll_s = poll_s;
+  return config;
+}
+
 TEST(RunWorker, DrainsTheQueueAndCollectsByteIdentically) {
   const auto plan = ExecutionPlan::dense(small_grid(), small_base(), 42);
   sweep::SweepOptions options;
@@ -652,7 +663,7 @@ TEST(RunWorker, DrainsTheQueueAndCollectsByteIdentically) {
   sweep::SweepOptions worker_options = options;
   worker_options.threads = 1;
   const auto report =
-      run_worker(queue, plan, worker_options, "worker-a", 0, 0.01);
+      run_worker(queue, plan, worker_options, worker_config("worker-a"));
   EXPECT_EQ(report.completed, plan.size());
   EXPECT_EQ(report.failed, 0u);
 
@@ -685,7 +696,7 @@ TEST(RunWorker, DeadWorkerMidCellIsRecoveredAndOutputStaysByteIdentical) {
   sweep::SweepOptions worker_options = options;
   worker_options.threads = 2;
   const auto report =
-      run_worker(queue, plan, worker_options, "worker-b", 0, 0.01);
+      run_worker(queue, plan, worker_options, worker_config("worker-b"));
   EXPECT_EQ(report.completed, plan.size());
 
   std::ostringstream csv, json;
@@ -713,7 +724,7 @@ TEST(RunWorker, ConcurrentWorkersSplitTheCellsExactlyOnce) {
   for (const char* id : {"worker-a", "worker-b", "worker-c"}) {
     workers.emplace_back([&, id] {
       total.fetch_add(
-          run_worker(queue, plan, worker_options, id, 0, 0.01).completed);
+          run_worker(queue, plan, worker_options, worker_config(id)).completed);
     });
   }
   for (auto& w : workers) w.join();
@@ -734,7 +745,7 @@ TEST(RunWorker, MaxCellsStopsEarly) {
   options.runner = synthetic_runner();
   options.threads = 1;
   const auto report =
-      run_worker(queue, plan, options, "worker-a", /*max_cells=*/3, 0.01);
+      run_worker(queue, plan, options, worker_config("worker-a", /*max_cells=*/3));
   EXPECT_EQ(report.completed, 3u);
   EXPECT_EQ(queue.progress().done, 3u);
 }
@@ -747,7 +758,7 @@ TEST(RunWorker, MaxCellsIsExactUnderConcurrentClaimLoops) {
   options.runner = synthetic_runner();
   options.threads = 4;  // the cap is a shared budget, not per-loop
   const auto report =
-      run_worker(queue, plan, options, "worker-a", /*max_cells=*/3, 0.01);
+      run_worker(queue, plan, options, worker_config("worker-a", /*max_cells=*/3));
   EXPECT_EQ(report.completed, 3u)
       << "concurrent claim loops must not overshoot --max-cells";
   EXPECT_EQ(queue.progress().done, 3u);
@@ -767,7 +778,7 @@ TEST(RunWorker, ClaimLoopErrorsSurfaceInsteadOfTerminating) {
   sweep::SweepOptions options;
   options.runner = synthetic_runner();
   options.threads = 2;
-  EXPECT_THROW(run_worker(queue, plan, options, "worker-a", 0, 0.01),
+  EXPECT_THROW(run_worker(queue, plan, options, worker_config("worker-a")),
                PreconditionError)
       << "claiming a cell the plan cannot resolve must propagate";
 }
@@ -885,11 +896,11 @@ TEST(RunWorker, SigkilledWorkerMidBatchOnlyReEnqueuesUnfinishedCells) {
     try {
       sweep::SweepOptions slow = options;
       slow.threads = 1;
-      slow.runner = {"synthetic", [](const sweep::SweepTask& task) {
-                       std::this_thread::sleep_for(
-                           std::chrono::milliseconds(40));
-                       return synthetic_runner().fn(task);
-                     }};
+      slow.runner =
+          sweep::make_runner("synthetic", [](const sweep::SweepTask& task) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+            return synthetic_runner().run_one(task);
+          });
       WorkerConfig config;
       config.worker_id = "victim";
       config.batch = 4;

@@ -7,6 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <initializer_list>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +20,7 @@
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sweep/cell_cache.h"
 #include "sweep/merge.h"
 #include "sweep/parameter_grid.h"
 #include "sweep/runner.h"
@@ -310,14 +314,14 @@ TEST(Shard, SpecSelectsResidueClasses) {
 /// A fast deterministic runner so the sharding/timeout/retry tests don't
 /// pay for real simulations.
 Runner synthetic_runner() {
-  return {"", [](const SweepTask& task) {
+  return make_runner("", [](const SweepTask& task) {
             metrics::AggregateMetrics m;
             m.jain = 1.0;
             m.loss_pct = static_cast<double>(task.spec.seed % 97);
             m.occupancy_pct = task.spec.buffer_bdp;
             m.utilization_pct = 100.0;
             return m;
-          }};
+          });
 }
 
 TEST(Shard, UnionOfShardOutputsIsByteIdenticalToFullRun) {
@@ -360,15 +364,14 @@ TEST(Sweep, TimedOutTasksAreReportedNotFatal) {
   // hung task sleeps 8x the budget, the healthy ones return instantly.
   options.timeout_s = 0.25;
   options.max_attempts = 3;  // timeouts are terminal: must NOT retry
-  options.runner = {"", [](const SweepTask& task) {
-                      if (task.index == 1) {
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(2000));
-                      }
-                      metrics::AggregateMetrics m;
-                      m.jain = 1.0;
-                      return m;
-                    }};
+  options.runner = make_runner("", [](const SweepTask& task) {
+    if (task.index == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    }
+    metrics::AggregateMetrics m;
+    m.jain = 1.0;
+    return m;
+  });
   const auto result = run_tasks(tasks, options);
   EXPECT_EQ(result.failed(), 1u);
   EXPECT_FALSE(result.row(1).ok);
@@ -391,12 +394,12 @@ TEST(Sweep, RetriesRecoverTransientFailures) {
   std::vector<std::atomic<int>> attempts_per_task(tasks.size());
   SweepOptions options;
   options.max_attempts = 3;
-  options.runner = {"", [&](const SweepTask& task) {
-                      if (attempts_per_task[task.index].fetch_add(1) < 2) {
-                        throw std::runtime_error("flaky");
-                      }
-                      return metrics::AggregateMetrics{};
-                    }};
+  options.runner = make_runner("", [&](const SweepTask& task) {
+    if (attempts_per_task[task.index].fetch_add(1) < 2) {
+      throw std::runtime_error("flaky");
+    }
+    return metrics::AggregateMetrics{};
+  });
   const auto result = run_tasks(tasks, options);
   EXPECT_EQ(result.failed(), 0u);
   for (const auto& row : result.rows()) EXPECT_EQ(row.attempts, 3u);
@@ -406,9 +409,10 @@ TEST(Sweep, ExhaustedRetriesReportTheError) {
   const auto tasks = tiny_grid().expand(tiny_base(), 42);
   SweepOptions options;
   options.max_attempts = 2;
-  options.runner = {"", [](const SweepTask&) -> metrics::AggregateMetrics {
-                      throw std::runtime_error("boom\nwith detail");
-                    }};
+  options.runner =
+      make_runner("", [](const SweepTask&) -> metrics::AggregateMetrics {
+        throw std::runtime_error("boom\nwith detail");
+      });
   const auto result = run_tasks(tasks, options);  // must not throw
   EXPECT_EQ(result.failed(), tasks.size());
   for (const auto& row : result.rows()) {
@@ -459,6 +463,176 @@ TEST(Sweep, TaskIndicesMustStrictlyIncrease) {
   auto tasks = tiny_grid().expand(tiny_base(), 42);
   std::swap(tasks[0], tasks[1]);
   EXPECT_THROW(run_tasks(tasks, SweepOptions{}), PreconditionError);
+}
+
+// ---- batched execution -----------------------------------------------------
+
+/// A batch-capable synthetic runner whose run_batch agrees bitwise with
+/// run_one by construction; the test can observe which cells actually
+/// went through the batch path.
+Runner counting_batch_runner(std::vector<std::vector<std::size_t>>* batches,
+                             std::mutex* mutex) {
+  Runner r;
+  r.name = "counting-batch";
+  r.run_one = [](const SweepTask& task) {
+    metrics::AggregateMetrics m;
+    m.jain = 1.0;
+    m.loss_pct = static_cast<double>(task.spec.seed % 97);
+    m.occupancy_pct = task.spec.buffer_bdp;
+    m.utilization_pct = 100.0;
+    return m;
+  };
+  r.run_batch = [batches, mutex, scalar = r.run_one](
+                    const std::vector<const SweepTask*>& members) {
+    std::vector<metrics::AggregateMetrics> out;
+    std::vector<std::size_t> indices;
+    for (const SweepTask* task : members) {
+      out.push_back(scalar(*task));
+      indices.push_back(task->index);
+    }
+    if (batches != nullptr) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      batches->push_back(std::move(indices));
+    }
+    return out;
+  };
+  r.preferred_batch = 4;
+  return r;
+}
+
+TEST(Batch, FluidBatchingIsByteInvariantAcrossThreadsAndShards) {
+  // The real SoA engine under the real dispatcher: any grouping of the
+  // fluid cells must reproduce the scalar run's bytes exactly.
+  ParameterGrid grid = tiny_grid();
+  grid.backends = {Backend::kFluid};
+  const auto base = tiny_base();
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  scalar.batch_cells = 1;
+  std::ostringstream ref_csv, ref_json;
+  const auto reference = run_sweep(grid, base, scalar);
+  reference.write_csv(ref_csv);
+  reference.write_json(ref_json);
+
+  for (const std::size_t batch_cells :
+       std::initializer_list<std::size_t>{0, 3}) {
+    for (const std::size_t threads :
+         std::initializer_list<std::size_t>{1, 4}) {
+      SweepOptions batched;
+      batched.threads = threads;
+      batched.batch_cells = batch_cells;
+      std::ostringstream csv, json;
+      const auto result = run_sweep(grid, base, batched);
+      result.write_csv(csv);
+      result.write_json(json);
+      EXPECT_EQ(csv.str(), ref_csv.str())
+          << "batch_cells=" << batch_cells << " threads=" << threads;
+      EXPECT_EQ(json.str(), ref_json.str())
+          << "batch_cells=" << batch_cells << " threads=" << threads;
+    }
+  }
+
+  // Sharded batched runs merge into the same bytes as the scalar full run.
+  std::vector<std::string> shard_csvs;
+  for (std::size_t k = 0; k < 2; ++k) {
+    SweepOptions sharded;
+    sharded.batch_cells = 2;
+    sharded.shard = {k, 2};
+    std::ostringstream csv;
+    run_sweep(grid, base, sharded).write_csv(csv);
+    shard_csvs.push_back(csv.str());
+  }
+  EXPECT_EQ(merge_csv(shard_csvs), ref_csv.str())
+      << "batched shard union must be byte-identical to the scalar run";
+}
+
+TEST(Batch, WarmCellsArePeeledFromBatches) {
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "batch_peel_cache";
+  std::filesystem::remove_all(dir);
+  CellCache cache(dir.string());
+
+  // Reference bytes: everything scalar, no cache.
+  SweepOptions scalar;
+  scalar.runner = counting_batch_runner(nullptr, nullptr);
+  scalar.batch_cells = 1;
+  std::ostringstream reference;
+  run_tasks(tasks, scalar).write_csv(reference);
+
+  // Warm the even-indexed cells through the scalar path.
+  SweepOptions warm = scalar;
+  warm.cache = &cache;
+  run_tasks(filter_shard(tasks, {0, 2}), warm);
+  const std::size_t warmed = cache.stores();
+  ASSERT_GT(warmed, 0u);
+
+  // A batched run against the warm cache: hits are served per cell and
+  // only the misses reach run_batch.
+  std::mutex mutex;
+  std::vector<std::vector<std::size_t>> batches;
+  SweepOptions batched;
+  batched.runner = counting_batch_runner(&batches, &mutex);
+  batched.batch_cells = 8;
+  batched.threads = 1;
+  batched.cache = &cache;
+  std::ostringstream out;
+  run_tasks(tasks, batched).write_csv(out);
+  EXPECT_EQ(out.str(), reference.str())
+      << "a mixed warm/cold batch must not change a byte";
+
+  std::size_t batched_cells = 0;
+  for (const auto& group : batches) {
+    for (const std::size_t index : group) {
+      EXPECT_EQ(index % 2, 1u) << "warm cell " << index
+                               << " must be peeled before the batch runs";
+      ++batched_cells;
+    }
+  }
+  EXPECT_EQ(batched_cells, tasks.size() - warmed);
+}
+
+TEST(Batch, FailingBatchDegradesToScalarWithoutPoisoningSiblings) {
+  const auto tasks = tiny_grid().expand(tiny_base(), 42);
+  std::atomic<std::size_t> batch_attempts{0};
+  Runner runner = counting_batch_runner(nullptr, nullptr);
+  const RunnerFn healthy = runner.run_one;
+  runner.run_one = [healthy](const SweepTask& task) {
+    if (task.index == 2) throw std::runtime_error("cell 2 is cursed");
+    return healthy(task);
+  };
+  runner.run_batch = [&batch_attempts](const std::vector<const SweepTask*>&)
+      -> std::vector<metrics::AggregateMetrics> {
+    batch_attempts.fetch_add(1);
+    throw std::runtime_error("batch integration exploded");
+  };
+
+  SweepOptions options;
+  options.runner = runner;
+  options.batch_cells = 8;
+  options.threads = 2;
+  const auto result = run_tasks(tasks, options);
+  EXPECT_GT(batch_attempts.load(), 0u) << "the batch path must be tried";
+  EXPECT_EQ(result.failed(), 1u);
+  for (const auto& row : result.rows()) {
+    if (row.task.index == 2) {
+      EXPECT_FALSE(row.ok);
+      EXPECT_NE(row.error.find("cursed"), std::string::npos)
+          << "the scalar retry's error must be reported, not the batch's";
+    } else {
+      EXPECT_TRUE(row.ok)
+          << "siblings of a failed batch must recover via scalar retries";
+    }
+  }
+
+  // The recovered run's bytes match a pure scalar run of the same runner.
+  SweepOptions scalar = options;
+  scalar.batch_cells = 1;
+  std::ostringstream a, b;
+  result.write_csv(a);
+  run_tasks(tasks, scalar).write_csv(b);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

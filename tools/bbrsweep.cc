@@ -126,6 +126,13 @@ Adaptive refinement (--adaptive, and the `plan` subcommand):
 
 Execution:
   --threads N         worker threads; 0 = hardware concurrency (default 0)
+  --batch-cells K     cells per batched runner invocation when the runner
+                      supports batching (fluid does: compatible cells
+                      integrate in lockstep through one SoA engine pass);
+                      0 = the runner's preferred batch, 1 = scalar
+                      (default), K = group up to K compatible cells.
+                      Output bytes never change — batching is purely a
+                      throughput knob (see README "Performance")
   --seed S            base seed; per-task seeds derive from it (default 42)
   --shard K/N         run only tasks with index ≡ K (mod N); the union of
                       all N shards' outputs merges byte-identically into
@@ -184,7 +191,9 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       trimmed back to pending)
   --plan-wait S       wait up to S seconds for the coordinator to seed
                       the plan (default 60)
-  (--threads, --cache-dir, --timeout, --retries apply per worker)
+  (--threads, --batch-cells, --cache-dir, --timeout, --retries apply per
+   worker; --batch-cells runs each claimed unit's cells through one
+   batched engine pass — results stay byte-identical)
   fleet only:
   --workers N         worker slots to keep filled (default 1)
   --ssh HOST,...      run workers over ssh on these hosts (round-robin);
@@ -192,8 +201,9 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       PATH (override with --remote-bbrsweep CMD)
   --max-strikes N     give a slot up after N consecutive deaths without
                       queue progress (default 5)
-  (--batch, --threads, --cache-dir, --timeout, --retries, --lease,
-   --skew-margin, --max-cells, --plan-wait forward to every worker)
+  (--batch, --batch-cells, --threads, --cache-dir, --timeout, --retries,
+   --lease, --skew-margin, --max-cells, --plan-wait forward to every
+   worker)
 
 merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
 flag) into the byte-identical unsharded file, verifying the union covers
@@ -509,6 +519,9 @@ Options parse_args(int argc, char** argv, int first) {
     } else if (arg == "--threads") {
       opt.run.threads =
           static_cast<std::size_t>(parse_count(next(i), "threads"));
+    } else if (arg == "--batch-cells") {
+      opt.run.batch_cells =
+          static_cast<std::size_t>(parse_count(next(i), "batch cells"));
     } else if (arg == "--seed") {
       opt.run.base_seed = parse_count(next(i), "seed");
     } else if (arg == "--shard") {
@@ -856,7 +869,7 @@ int run_worker_cmd(int argc, char** argv) {
   double lease_s = 60.0, skew_margin_s = -1.0, poll_s = 0.5,
          plan_wait_s = 60.0;
   bool lease_given = false, skew_given = false;
-  std::size_t max_cells = 0, batch = 1;
+  std::size_t max_cells = 0, batch = 1, batch_cells = 1;
   bool quiet = false;
 
   const auto next = [&](int& i) -> std::string {
@@ -888,6 +901,9 @@ int run_worker_cmd(int argc, char** argv) {
     } else if (arg == "--batch") {
       batch = static_cast<std::size_t>(parse_count(next(i), "batch"));
       if (batch == 0) fail("batch must be at least 1");
+    } else if (arg == "--batch-cells") {
+      batch_cells =
+          static_cast<std::size_t>(parse_count(next(i), "batch cells"));
     } else if (arg == "--poll") {
       poll_s = parse_positive_finite(next(i), "poll");
     } else if (arg == "--plan-wait") {
@@ -952,6 +968,7 @@ int run_worker_cmd(int argc, char** argv) {
   config.max_cells = max_cells;
   config.poll_s = poll_s;
   config.batch = batch;
+  config.batch_cells = batch_cells;
   config.stats = true;  // cheap, and `bbrsweep status` feeds on it
   const auto report = orchestrator::run_worker(queue, plan, run, config);
   if (!quiet) {
@@ -1008,10 +1025,11 @@ int run_fleet_cmd(int argc, char** argv) {
       fleet.plan_wait_s = parse_nonnegative_finite(value, "plan wait");
       fleet.worker_args.push_back(arg);
       fleet.worker_args.push_back(value);
-    } else if (arg == "--batch" || arg == "--threads" ||
-               arg == "--cache-dir" || arg == "--timeout" ||
-               arg == "--retries" || arg == "--lease" ||
-               arg == "--skew-margin" || arg == "--max-cells") {
+    } else if (arg == "--batch" || arg == "--batch-cells" ||
+               arg == "--threads" || arg == "--cache-dir" ||
+               arg == "--timeout" || arg == "--retries" ||
+               arg == "--lease" || arg == "--skew-margin" ||
+               arg == "--max-cells") {
       forward(arg, i);
     } else if (arg == "--quiet") {
       fleet.quiet = true;
