@@ -1,0 +1,273 @@
+// Work-queue micro-benchmark: the packed segment store vs the legacy
+// per-cell layout at 100k cells.
+//
+// Seeds, drains (claim → publish → finish), and collects the same plan
+// through both layouts with a synthetic (instant) runner, so every
+// second measured is queue overhead — the thing the segment store exists
+// to remove. Prints a per-layout table and emits BENCH_queue.json with
+// regression gates: segment seeding must stay well ahead of per-cell
+// seeding, the drained segment queue must hold O(cells/segment)
+// filesystem entries, and both layouts' collected CSVs must be
+// byte-identical to the in-process run (a faster queue that changes the
+// answers would be worthless).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "metrics/aggregate.h"
+#include "orchestrator/execution_plan.h"
+#include "orchestrator/work_queue.h"
+#include "sweep/sweep.h"
+#include "sweep/workloads.h"
+
+namespace fs = std::filesystem;
+
+int main() {
+  using namespace bbrmodel;
+  using namespace bbrmodel::bench;
+
+  const std::size_t cells = fast_mode() ? 10000 : 100000;
+  const std::size_t segment_cells = 512;
+
+  // The plan: one synthetic cell per buffer point, two mixes. The runner
+  // is a pure function of the spec, so draining is pure queue work.
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp.clear();
+  for (std::size_t i = 0; i < cells / 2; ++i) {
+    grid.buffers_bdp.push_back(0.001 * static_cast<double>(i + 1));
+  }
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                sweep::half_half_mix(scenario::CcaKind::kBbrv1,
+                                     scenario::CcaKind::kReno)};
+  scenario::ExperimentSpec base = validation_spec();
+  base.duration_s = 0.5;
+
+  const auto runner =
+      sweep::make_runner("synthetic", [](const sweep::SweepTask& task) {
+        metrics::AggregateMetrics m;
+        m.jain = 1.0;
+        m.loss_pct = task.spec.buffer_bdp;
+        m.occupancy_pct = static_cast<double>(task.spec.seed % 1000);
+        m.utilization_pct = 100.0;
+        m.jitter_ms = 0.25;
+        m.mean_rate_pps = {task.spec.capacity_pps, 1.0 / 3.0};
+        m.aux = {static_cast<double>(task.index)};
+        return m;
+      });
+
+  const auto plan = orchestrator::ExecutionPlan::dense(grid, base, 42);
+  std::printf("%s", banner("Work-queue layouts — " +
+                           std::to_string(plan.size()) + " cells").c_str());
+
+  sweep::SweepOptions reference_options;
+  reference_options.runner = runner;
+  std::ostringstream reference_csv;
+  execute(plan, reference_options).write_csv(reference_csv);
+
+  const auto wall_now = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const auto count_files = [](const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file()) ++n;
+    }
+    return n;
+  };
+
+  struct LayoutGauge {
+    std::string name;
+    double seed_s = 0.0;
+    double drain_s = 0.0;
+    double status_s = 0.0;   ///< one status snapshot mid-drain state
+    double collect_s = 0.0;
+    std::size_t files_seeded = 0;
+    std::size_t files_drained = 0;
+    std::string csv;
+  };
+
+  const auto run_layout = [&](const std::string& name,
+                              std::size_t seed_segment_cells) {
+    LayoutGauge g;
+    g.name = name;
+    const std::string dir = "BENCH_queue_" + name;
+    fs::remove_all(dir);
+    orchestrator::WorkQueue queue(dir, 60.0);
+
+    double t0 = wall_now();
+    queue.seed(plan, /*batch=*/1, seed_segment_cells);
+    g.seed_s = wall_now() - t0;
+    g.files_seeded = count_files(dir);
+
+    // Drain the queue the way a worker does: claim a unit, publish each
+    // member, drop the claim. Segment claims move whole 512-cell files;
+    // per-cell claims rename one file per cell.
+    t0 = wall_now();
+    if (seed_segment_cells > 0) {
+      while (auto claim =
+                 queue.try_claim_batch("bench-w", seed_segment_cells)) {
+        for (const std::size_t index : claim->indices) {
+          sweep::TaskResult result;
+          result.task = plan.cell(index);
+          result.metrics = runner.run_one(result.task);
+          queue.publish(result, "bench-w");
+        }
+        queue.finish(*claim);
+      }
+    } else {
+      while (auto index = queue.try_claim("bench-w")) {
+        sweep::TaskResult result;
+        result.task = plan.cell(*index);
+        result.metrics = runner.run_one(result.task);
+        queue.complete(result, "bench-w");
+      }
+    }
+    g.drain_s = wall_now() - t0;
+
+    t0 = wall_now();
+    const auto counters = queue.counters();
+    g.status_s = wall_now() - t0;
+    if (counters.done < plan.size()) {
+      std::fprintf(stderr, "FAIL: %s drained %zu of %zu cells\n",
+                   name.c_str(), counters.done, plan.size());
+      std::exit(1);
+    }
+
+    std::ostringstream csv;
+    t0 = wall_now();
+    collect_csv(queue, plan, csv);
+    g.collect_s = wall_now() - t0;
+    g.csv = csv.str();
+    g.files_drained = count_files(dir);
+    fs::remove_all(dir);
+    return g;
+  };
+
+  const LayoutGauge segment = run_layout("segment", segment_cells);
+  const LayoutGauge legacy = run_layout("per_cell", 0);
+
+  const double n = static_cast<double>(plan.size());
+  Table table({"layout", "seed[s]", "drain[s]", "drain cells/s",
+               "status[ms]", "collect[s]", "files@seed", "files@drained"});
+  for (const LayoutGauge* g : {&segment, &legacy}) {
+    table.add_row({g->name, format_double(g->seed_s, 3),
+                   format_double(g->drain_s, 3),
+                   format_double(n / g->drain_s, 0),
+                   format_double(g->status_s * 1e3, 3),
+                   format_double(g->collect_s, 3),
+                   std::to_string(g->files_seeded),
+                   std::to_string(g->files_drained)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // ---- gates ---------------------------------------------------------------
+  if (segment.csv != reference_csv.str() ||
+      legacy.csv != reference_csv.str()) {
+    std::fprintf(stderr,
+                 "FAIL: a queue layout's collected CSV drifted from the "
+                 "in-process run\n");
+    return 1;
+  }
+
+  // Seed wall-time is dominated by plan serialization, which both
+  // layouts pay identically, so the layout's own win (hundreds of
+  // segment files vs one file per cell) shows up as a moderate total
+  // ratio — the floor guards the store from regressing back to
+  // per-cell cost, not the serializer.
+  const double seed_speedup = legacy.seed_s / segment.seed_s;
+  const double kMinSeedSpeedup = 1.5;
+  if (!(seed_speedup >= kMinSeedSpeedup)) {
+    std::fprintf(stderr,
+                 "FAIL: segment seeding only %.2fx faster than per-cell "
+                 "(need >= %.1fx at %zu cells)\n",
+                 seed_speedup, kMinSeedSpeedup, plan.size());
+    return 1;
+  }
+  // The drain is pure queue work (the runner is instant): claims by
+  // whole segments and log appends must stay well ahead of per-cell
+  // renames and atomic result writes.
+  const double drain_speedup = legacy.drain_s / segment.drain_s;
+  const double kMinDrainSpeedup = 3.0;  // typically ~10x; floor vs noise
+  if (!(drain_speedup >= kMinDrainSpeedup)) {
+    std::fprintf(stderr,
+                 "FAIL: segment drain only %.2fx faster than per-cell "
+                 "(need >= %.1fx at %zu cells)\n",
+                 drain_speedup, kMinDrainSpeedup, plan.size());
+    return 1;
+  }
+
+  // O(cells/segment) filesystem entries: the seeded segments plus a
+  // constant-size spine (plan, lease, probe, counters, result log, stats,
+  // checkpoint).
+  const std::size_t file_budget =
+      (plan.size() + segment_cells - 1) / segment_cells + 16;
+  if (segment.files_seeded > file_budget ||
+      segment.files_drained > file_budget) {
+    std::fprintf(stderr,
+                 "FAIL: segment layout holds %zu/%zu files (seed/drained), "
+                 "budget %zu for %zu cells at %zu cells/segment\n",
+                 segment.files_seeded, segment.files_drained, file_budget,
+                 plan.size(), segment_cells);
+    return 1;
+  }
+  if (segment.files_drained * 10 > legacy.files_drained) {
+    std::fprintf(stderr,
+                 "FAIL: segment layout holds %zu files, not 10x under the "
+                 "per-cell layout's %zu\n",
+                 segment.files_drained, legacy.files_drained);
+    return 1;
+  }
+
+  std::ofstream json_out("BENCH_queue.json");
+  JsonWriter j(json_out);
+  j.begin_object();
+  j.key("bench").value("work_queue");
+  j.key("cells").value(static_cast<std::uint64_t>(plan.size()));
+  j.key("segment_cells").value(static_cast<std::uint64_t>(segment_cells));
+  j.key("layouts").begin_object();
+  for (const LayoutGauge* g : {&segment, &legacy}) {
+    j.key(g->name).begin_object();
+    j.key("seed_s").value(g->seed_s);
+    j.key("drain_s").value(g->drain_s);
+    j.key("drain_cells_per_s").value(n / g->drain_s);
+    j.key("status_s").value(g->status_s);
+    j.key("collect_s").value(g->collect_s);
+    j.key("files_seeded").value(
+        static_cast<std::uint64_t>(g->files_seeded));
+    j.key("files_drained").value(
+        static_cast<std::uint64_t>(g->files_drained));
+    j.end_object();
+  }
+  j.end_object();
+  j.key("seed_speedup").value(seed_speedup);
+  j.key("drain_speedup").value(drain_speedup);
+  j.key("file_budget").value(static_cast<std::uint64_t>(file_budget));
+  j.key("deterministic").value(true);
+  j.end_object();
+  json_out << '\n';
+  std::printf(
+      "wrote BENCH_queue.json (seed %.1fx faster, %zu vs %zu files, "
+      "status %.2f ms vs %.2f ms)\n",
+      seed_speedup, segment.files_drained, legacy.files_drained,
+      segment.status_s * 1e3, legacy.status_s * 1e3);
+
+  shape("Packing pending work into claimable segments and appending "
+        "results to per-worker logs turns the queue's O(cells) file "
+        "creates and readdirs into O(cells/segment), so million-cell "
+        "plans drain at engine speed with an O(1) status line.");
+  return 0;
+}

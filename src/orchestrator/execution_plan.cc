@@ -177,6 +177,18 @@ ExecutionPlan ExecutionPlan::parse(const std::string& bytes) {
   return ExecutionPlan(std::move(cells), std::move(runner_name));
 }
 
+ExecutionPlan::Header ExecutionPlan::peek_header(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string line;
+  BBRM_REQUIRE_MSG(std::getline(in, line) && line == kVersionLine,
+                   "execution plan: expected version line '" +
+                       std::string(kVersionLine) + "'");
+  Header header;
+  header.runner = expect_field(in, "runner");
+  header.cells = parse_size(expect_field(in, "cells"), "count");
+  return header;
+}
+
 sweep::SweepResult execute(const ExecutionPlan& plan,
                            const sweep::SweepOptions& options) {
   sweep::SweepOptions exec = options;

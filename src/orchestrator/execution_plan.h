@@ -106,6 +106,18 @@ class ExecutionPlan {
   /// Inverse of serialize(). Throws PreconditionError on malformed input.
   static ExecutionPlan parse(const std::string& bytes);
 
+  /// The header fields of a serialized plan, parsed from its first lines
+  /// alone — a million-cell plan's size and runner cost three getlines,
+  /// not a full parse of every spec. `bytes` may be any prefix of the
+  /// document that covers the three header lines (callers read the first
+  /// few hundred bytes of a plan file, never the whole thing). Throws
+  /// PreconditionError on malformed input.
+  struct Header {
+    std::string runner;
+    std::size_t cells = 0;
+  };
+  static Header peek_header(const std::string& bytes);
+
  private:
   ExecutionPlan(std::vector<sweep::SweepTask> cells, std::string runner_name);
 

@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -31,6 +32,8 @@ struct Slot {
   bool ever_spawned = false;  // distinguishes spawns from respawns
   bool abandoned = false;
   bool finished = false;  // exited after the plan completed
+  bool scaling_down = false;  // SIGTERMed by the autoscaler: its exit is a
+                              // planned drain, never a strike
 };
 
 /// Did this slot's last worker process publish anything? Its stats file
@@ -116,6 +119,54 @@ void sleep_s(double seconds) {
 
 }  // namespace
 
+ScaleInputs gather_scale_inputs(const WorkQueue& queue) {
+  ScaleInputs inputs;
+  const QueueCounters counters = queue.counters();
+  inputs.pending = counters.pending;
+  inputs.active = counters.active;
+  for (const WorkerStats& stats : queue.read_worker_stats()) {
+    // Only live workers' rates count: a stats file whose heartbeat went
+    // stale past the lease belongs to a dead process, and a dead
+    // denominator would report a healthy drain rate for a stalled queue.
+    if (stats.heartbeat_age_s < queue.lease_s() &&
+        stats.cells_per_s > 0.0) {
+      inputs.cells_per_s += stats.cells_per_s;
+    }
+  }
+  return inputs;
+}
+
+std::size_t desired_fleet_size(const AutoscalePolicy& policy,
+                               const ScaleInputs& inputs,
+                               std::size_t current) {
+  const std::size_t min_workers = policy.min_workers > 0
+                                      ? policy.min_workers
+                                      : std::size_t{1};
+  const std::size_t max_workers =
+      std::max(policy.max_workers, min_workers);
+  const auto clamp = [&](std::size_t n) {
+    return std::min(max_workers, std::max(min_workers, n));
+  };
+  if (current < min_workers) return clamp(current + 1);
+  if (current > max_workers) return clamp(current - 1);
+  if (inputs.pending == 0) {
+    // Nothing left to claim: drain toward the floor. Active cells still
+    // finish under their current workers; shrinking only removes claim
+    // capacity nobody needs.
+    return clamp(current > min_workers ? current - 1 : current);
+  }
+  if (inputs.cells_per_s <= 0.0) {
+    // A backlog with no measured rate yet (workers warming up, or none
+    // spawned): grow — staying put would deadlock a min=0-rate fleet.
+    return clamp(current + 1);
+  }
+  const double drain_s =
+      static_cast<double>(inputs.pending) / inputs.cells_per_s;
+  if (drain_s > policy.scale_up_backlog_s) return clamp(current + 1);
+  if (drain_s < policy.scale_down_backlog_s) return clamp(current - 1);
+  return current;
+}
+
 FleetReport run_fleet(const FleetOptions& options) {
   BBRM_REQUIRE_MSG(!options.queue_dir.empty(), "fleet needs a queue dir");
   BBRM_REQUIRE_MSG(options.workers >= 1, "fleet needs at least one worker");
@@ -135,7 +186,24 @@ FleetReport run_fleet(const FleetOptions& options) {
     sleep_s(options.poll_s);
     waited += options.poll_s;
   }
-  const std::size_t plan_size = queue.load_plan().size();
+  // The header lines alone give the size — a million-cell plan is never
+  // parsed just to know when the fleet may stand down.
+  const std::size_t plan_size =
+      queue.plan_size_hint().value_or(queue.load_plan().size());
+
+  const bool autoscaling = options.autoscale.has_value();
+  const AutoscalePolicy policy =
+      options.autoscale.value_or(AutoscalePolicy{});
+  const std::size_t max_slots =
+      autoscaling ? std::max(policy.max_workers, std::size_t{1})
+                  : options.workers;
+  // The fleet's size target this tick: fixed fleets keep every slot
+  // filled; autoscaling ones start at the floor and let the backlog
+  // decide. Slots at index >= target are parked, not abandoned.
+  std::size_t target =
+      autoscaling ? std::min(std::max(policy.min_workers, std::size_t{1}),
+                             max_slots)
+                  : options.workers;
 
   // Worker ids must be unique across *fleet instances*: two machines each
   // running `bbrsweep fleet` against one shared queue dir (the manual-ssh
@@ -143,7 +211,7 @@ FleetReport run_fleet(const FleetOptions& options) {
   // shared id would cross-wire strike accounting, stats files, and
   // coalesced-manifest names. Controller host + pid disambiguate.
   const std::string fleet_tag = default_worker_id();
-  std::vector<Slot> slots(options.workers);
+  std::vector<Slot> slots(max_slots);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (!options.ssh_hosts.empty()) {
       slots[i].host = options.ssh_hosts[i % options.ssh_hosts.size()];
@@ -189,9 +257,9 @@ FleetReport run_fleet(const FleetOptions& options) {
   };
 
   while (!g_fleet_stop) {
-    // Fill every empty slot (first pass spawns the whole fleet); slots
-    // out of strikes are abandoned instead.
-    for (std::size_t i = 0; i < slots.size(); ++i) {
+    // Fill every empty slot up to the current target (first pass spawns
+    // the initial fleet); slots out of strikes are abandoned instead.
+    for (std::size_t i = 0; i < target; ++i) {
       Slot& slot = slots[i];
       if (slot.pid >= 0 || slot.abandoned || slot.finished) continue;
       if (slot.strikes >= options.max_strikes) {
@@ -223,6 +291,12 @@ FleetReport run_fleet(const FleetOptions& options) {
       // for us, so it must go through the respawn/strike path rather
       // than pin the slot as alive forever.
       slot.pid = -1;
+      if (slot.scaling_down) {
+        // A planned drain, not a death: no strike either way, and the
+        // slot only refills if the target grows back over it.
+        slot.scaling_down = false;
+        continue;
+      }
       if (queue.done_count() >= plan_size) {
         slot.finished = true;
         continue;
@@ -243,9 +317,49 @@ FleetReport run_fleet(const FleetOptions& options) {
       report.completed = true;
       break;
     }
+
+    if (autoscaling) {
+      const ScaleInputs inputs = gather_scale_inputs(queue);
+      const std::size_t desired =
+          desired_fleet_size(policy, inputs, target);
+      if (desired > target) {
+        target = desired;
+        ++report.scale_ups;
+        if (!options.quiet) {
+          std::fprintf(stderr,
+                       "bbrsweep: fleet scaled up to %zu workers "
+                       "(backlog %zu cells at %.1f cells/s)\n",
+                       target, inputs.pending, inputs.cells_per_s);
+        }
+      } else if (desired < target) {
+        target = desired;
+        ++report.scale_downs;
+        // Drain from the top: SIGTERM the highest slots first so the
+        // surviving fleet stays a prefix and slot indices keep meaning
+        // "spawn order". The worker finishes its in-flight cells'
+        // publishes or dies mid-claim — either way the queue's lease
+        // recovery keeps every cell exactly-once.
+        for (std::size_t i = slots.size(); i-- > target;) {
+          if (slots[i].pid >= 0 && !slots[i].scaling_down) {
+            slots[i].scaling_down = true;
+            ::kill(slots[i].pid, SIGTERM);
+          }
+        }
+        if (!options.quiet) {
+          std::fprintf(stderr,
+                       "bbrsweep: fleet scaled down to %zu workers "
+                       "(backlog %zu cells at %.1f cells/s)\n",
+                       target, inputs.pending, inputs.cells_per_s);
+        }
+      }
+    }
+
     bool work_possible = false;
-    for (const Slot& slot : slots) {
-      work_possible |= slot.pid >= 0 || (!slot.abandoned && !slot.finished);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      work_possible |=
+          slot.pid >= 0 ||
+          (i < target && !slot.abandoned && !slot.finished);
     }
     if (!work_possible) break;  // every slot abandoned, plan incomplete
     sleep_s(options.poll_s);

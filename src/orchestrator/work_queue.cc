@@ -208,6 +208,257 @@ double parse_stat_double(const std::string& text) {
   return try_parse_double(text).value_or(0.0);
 }
 
+/// Segment-layout stamp: the first line of plan.bbrplan when the queue
+/// stores results in per-worker logs. Its absence means the legacy
+/// per-cell layout, so pre-stamp queue directories keep draining; its
+/// presence makes a legacy binary's plan parse fail loudly instead of
+/// misreading the document. Seeding byte-compares the whole plan file, so
+/// mixing layouts in one directory is rejected for free.
+constexpr const char* kLayoutStamp = "bbrm-queue-layout=2\n";
+
+bool has_layout_stamp(const std::string& bytes) {
+  return bytes.rfind(kLayoutStamp, 0) == 0;
+}
+
+/// Result-log record framing. One record is
+///
+///   u32 magic  u32 error_len  u32 payload_len  u32 flags(bit0=ok)
+///   u64 index  error bytes  payload bytes  u64 fnv1a64
+///
+/// all little-endian, hashed over everything after the magic — a crash
+/// mid-append leaves a torn tail that fails the hash (or the length) and
+/// is simply not consumed: the claim was never finished, so the cell
+/// re-enqueues and the record is re-appended. The payload is the same
+/// exact-number CSV encode_cell_metrics emits for per-cell result files
+/// and the cell cache, so every layout decodes through one codec.
+constexpr std::uint32_t kLogMagic = 0x32515242u;  // "BQR2"
+constexpr std::size_t kLogHeaderBytes = 24;
+constexpr std::uint32_t kMaxLogField = 16u << 20;
+/// Rewrite the publish checkpoint after this many unflushed records (and
+/// at every claim-unit boundary): the checkpoint is an accelerator for
+/// O(1) status, so the only cost of staleness is a slightly longer tail
+/// scan, never a wrong count.
+constexpr std::uint64_t kCheckpointEvery = 256;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::string encode_log_record(std::size_t index, bool ok,
+                              const std::string& error,
+                              const std::string& payload) {
+  std::string out;
+  out.reserve(kLogHeaderBytes + error.size() + payload.size() + 8);
+  put_u32(out, kLogMagic);
+  put_u32(out, static_cast<std::uint32_t>(error.size()));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, ok ? 1u : 0u);
+  put_u64(out, static_cast<std::uint64_t>(index));
+  out += error;
+  out += payload;
+  put_u64(out, fnv1a64_bytes(out.data() + 4, out.size() - 4));
+  return out;
+}
+
+struct LogRecord {
+  std::size_t index = 0;
+  bool ok = true;
+  std::string error;
+  std::string payload;
+};
+
+/// Decode one record from the front of `data`. nullopt = incomplete or
+/// damaged bytes (a torn tail); the caller stops consuming there. The
+/// second member is the record's total length.
+std::optional<std::pair<LogRecord, std::size_t>> decode_log_record(
+    const char* data, std::size_t size) {
+  if (size < kLogHeaderBytes + 8) return std::nullopt;
+  if (get_u32(data) != kLogMagic) return std::nullopt;
+  const std::uint32_t error_len = get_u32(data + 4);
+  const std::uint32_t payload_len = get_u32(data + 8);
+  const std::uint32_t flags = get_u32(data + 12);
+  if (error_len > kMaxLogField || payload_len > kMaxLogField) {
+    return std::nullopt;
+  }
+  const std::size_t total = kLogHeaderBytes + error_len + payload_len + 8;
+  if (size < total) return std::nullopt;
+  const std::uint64_t hash =
+      fnv1a64_bytes(data + 4, kLogHeaderBytes - 4 + error_len + payload_len);
+  if (hash != get_u64(data + total - 8)) return std::nullopt;
+  LogRecord record;
+  record.index = static_cast<std::size_t>(get_u64(data + 16));
+  record.ok = (flags & 1u) != 0;
+  record.error.assign(data + kLogHeaderBytes, error_len);
+  record.payload.assign(data + kLogHeaderBytes + error_len, payload_len);
+  return std::make_pair(std::move(record), total);
+}
+
+/// Count the valid records of a log from byte `from` on. `valid_end` is
+/// where the last complete record ends — the writer truncates torn bytes
+/// past it before re-appending, readers just stop there. Used by the
+/// cheap counters path (tails past checkpoints are bounded by
+/// kCheckpointEvery records) and by writer reopen.
+struct LogScan {
+  std::uint64_t records = 0;
+  std::uint64_t valid_end = 0;
+};
+
+LogScan scan_log_records(const std::string& path, std::uint64_t from) {
+  LogScan scan;
+  scan.valid_end = from;
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size <= from) return scan;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return scan;
+  std::string bytes;
+  if (std::fseek(file, static_cast<long>(from), SEEK_SET) == 0) {
+    bytes.resize(static_cast<std::size_t>(size - from));
+    bytes.resize(std::fread(bytes.data(), 1, bytes.size(), file));
+  }
+  std::fclose(file);
+  std::size_t off = 0;
+  while (auto record = decode_log_record(bytes.data() + off,
+                                         bytes.size() - off)) {
+    ++scan.records;
+    off += record->second;
+  }
+  scan.valid_end = from + off;
+  return scan;
+}
+
+/// workers/<id>.pub: "records=N\nbytes=B\n". Advisory — a reader always
+/// tail-scans the log past `bytes`, so a missing or stale checkpoint only
+/// costs read time.
+std::optional<std::pair<std::uint64_t, std::uint64_t>> read_checkpoint(
+    const std::string& path) {
+  const auto bytes = read_text_file(path);
+  if (!bytes) return std::nullopt;
+  std::istringstream in(*bytes);
+  std::string line;
+  std::optional<std::uint64_t> records, covered;
+  while (std::getline(in, line)) {
+    if (line.rfind("records=", 0) == 0) {
+      records = try_parse_u64(line.substr(8));
+    } else if (line.rfind("bytes=", 0) == 0) {
+      covered = try_parse_u64(line.substr(6));
+    }
+  }
+  if (!records || !covered) return std::nullopt;
+  return std::make_pair(*records, *covered);
+}
+
+/// <dir>/counters: the seed-time totals that make status O(1) —
+/// "format=2\ntotal=N\nsegment-cells=K\n".
+struct StoredCounters {
+  std::size_t total = 0;
+  std::size_t segment_cells = 0;
+};
+
+std::optional<StoredCounters> read_stored_counters(const std::string& path) {
+  const auto bytes = read_text_file(path);
+  if (!bytes) return std::nullopt;
+  std::istringstream in(*bytes);
+  std::string line;
+  StoredCounters counters;
+  bool have_total = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("total=", 0) == 0) {
+      if (const auto v = try_parse_u64(line.substr(6))) {
+        counters.total = static_cast<std::size_t>(*v);
+        have_total = true;
+      }
+    } else if (line.rfind("segment-cells=", 0) == 0) {
+      counters.segment_cells = static_cast<std::size_t>(
+          try_parse_u64(line.substr(14)).value_or(0));
+    }
+  }
+  if (!have_total) return std::nullopt;
+  return counters;
+}
+
+/// The text body of a per-cell result file (layout 1 results/, layout 2
+/// failed/): status and error lines, then the shared metrics codec.
+std::string encode_result_file(const sweep::TaskResult& result) {
+  std::string bytes = "status=";
+  bytes += result.ok ? "ok" : "failed";
+  bytes += "\nerror=";
+  bytes += result.error;  // single-line by the engine's contract
+  bytes += '\n';
+  bytes += sweep::encode_cell_metrics(result.metrics);
+  return bytes;
+}
+
+/// Parse a per-cell result file back into a TaskResult. nullopt when the
+/// file is absent or damaged.
+std::optional<sweep::TaskResult> load_result_file(
+    const std::string& path, const sweep::SweepTask& task) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string status, error;
+  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, error) || error.rfind("error=", 0) != 0) {
+    return std::nullopt;
+  }
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  auto metrics = sweep::decode_cell_metrics(rest.str());
+  if (!metrics) return std::nullopt;
+
+  sweep::TaskResult result;
+  result.task = task;
+  result.metrics = std::move(*metrics);
+  result.ok = status.substr(7) == "ok";
+  result.error = error.substr(6);
+  return result;
+}
+
+/// Status-only peek at a per-cell result file.
+std::optional<bool> result_file_ok(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string status;
+  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
+    return std::nullopt;
+  }
+  return status.substr(7) == "ok";
+}
+
+/// The first `limit` bytes of a file (enough for layout stamps and plan
+/// headers) — never the whole document.
+std::optional<std::string> read_file_prefix(const std::string& path,
+                                            std::size_t limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes(limit, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(limit));
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
+  return bytes;
+}
+
 }  // namespace
 
 std::string sanitize_worker_id(std::string id) {
@@ -248,6 +499,29 @@ WorkQueue::WorkQueue(std::string dir, double lease_s, double skew_margin_s)
   fs::create_directories(active_dir(), ec);
   fs::create_directories(results_dir(), ec);
   fs::create_directories(workers_dir(), ec);
+  fs::create_directories(failed_dir(), ec);
+}
+
+WorkQueue::~WorkQueue() {
+  // Flush publish checkpoints and close the cached log handles. Never
+  // throws: a checkpoint that cannot be written is advisory, and the log
+  // bytes themselves were flushed at every publish.
+  try {
+    flush_published();
+  } catch (...) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    for (auto& [worker, pub] : publishers_) {
+      if (pub.append != nullptr) std::fclose(pub.append);
+      pub.append = nullptr;
+    }
+  }
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  for (auto& log : logs_) {
+    if (log.read != nullptr) std::fclose(log.read);
+    log.read = nullptr;
+  }
 }
 
 std::string WorkQueue::pending_dir() const {
@@ -294,6 +568,51 @@ std::string WorkQueue::active_batch_path(std::size_t index,
 std::string WorkQueue::result_path(std::size_t index) const {
   return (fs::path(results_dir()) / (index_name(index) + ".cell")).string();
 }
+std::string WorkQueue::failed_dir() const {
+  return (fs::path(dir_) / "failed").string();
+}
+std::string WorkQueue::counters_path() const {
+  return (fs::path(dir_) / "counters").string();
+}
+std::string WorkQueue::failed_path(std::size_t index) const {
+  return (fs::path(failed_dir()) / (index_name(index) + ".cell")).string();
+}
+std::string WorkQueue::log_path(const std::string& worker_id) const {
+  return (fs::path(results_dir()) / (worker_id + ".rlog")).string();
+}
+std::string WorkQueue::checkpoint_path(const std::string& worker_id) const {
+  return (fs::path(workers_dir()) / (worker_id + ".pub")).string();
+}
+
+QueueLayout WorkQueue::layout() const {
+  std::lock_guard<std::mutex> lock(layout_mutex_);
+  if (layout_) return *layout_;
+  const auto prefix =
+      read_file_prefix(plan_path(), std::string(kLayoutStamp).size());
+  if (!prefix) {
+    // No plan yet: report (but never cache) the legacy default — the
+    // seed that eventually lands decides the real answer.
+    return QueueLayout::kPerCell;
+  }
+  layout_ = has_layout_stamp(*prefix) ? QueueLayout::kSegment
+                                      : QueueLayout::kPerCell;
+  return *layout_;
+}
+
+std::optional<std::size_t> WorkQueue::plan_size_hint() const {
+  // 4 KiB covers the stamp plus the three header lines of any plan; a
+  // million-cell document never gets read for its size.
+  auto prefix = read_file_prefix(plan_path(), 4096);
+  if (!prefix) return std::nullopt;
+  if (has_layout_stamp(*prefix)) {
+    prefix->erase(0, std::string(kLayoutStamp).size());
+  }
+  try {
+    return ExecutionPlan::peek_header(*prefix).cells;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
 
 std::optional<fs::file_time_type> WorkQueue::probe_now() const {
   // Rate limit: within lease/4 of the last probe write, extrapolate the
@@ -333,16 +652,46 @@ std::optional<fs::file_time_type> WorkQueue::probe_now() const {
   return t;
 }
 
-void WorkQueue::seed(const ExecutionPlan& plan, std::size_t batch) const {
+void WorkQueue::seed(const ExecutionPlan& plan, std::size_t batch,
+                     std::size_t segment_cells) const {
   BBRM_REQUIRE_MSG(batch >= 1, "batch size must be at least 1");
-  const std::string bytes = plan.serialize();
+  const bool segment = segment_cells > 0;
+  // A segment is a claim unit: the existing batch machinery already gives
+  // one pending file, one atomic-rename claim, and one recovery manifest
+  // per group of cells, so the segment layout reuses it wholesale and
+  // only the result side changes representation.
+  const std::size_t chunk = segment ? segment_cells : batch;
+  std::string bytes = plan.serialize();
+  if (segment) bytes.insert(0, kLayoutStamp);
   if (fs::exists(plan_path())) {
-    BBRM_REQUIRE_MSG(read_text_file(plan_path()).value_or("") == bytes,
+    const std::string stored = read_text_file(plan_path()).value_or("");
+    BBRM_REQUIRE_MSG(
+        has_layout_stamp(stored) == segment,
+        "queue directory " + dir_ + " uses the " +
+            (has_layout_stamp(stored) ? "segment" : "per-cell") +
+            " result layout; re-seed it the same way or use a fresh "
+            "directory (layouts cannot mix in one queue)");
+    BBRM_REQUIRE_MSG(stored == bytes,
                      "queue directory " + dir_ +
                          " already holds a different plan; seeding would "
                          "corrupt it (use a fresh directory)");
   } else {
     write_file_atomically(plan_path(), bytes, "queue plan");
+  }
+  {
+    std::lock_guard<std::mutex> lock(layout_mutex_);
+    layout_ = segment ? QueueLayout::kSegment : QueueLayout::kPerCell;
+  }
+  if (segment) {
+    // Seed-time totals for O(1) status: `bbrsweep status` and the
+    // coordinator watch line read this one file plus the publish
+    // checkpoints, never a readdir of pending/ or results/.
+    write_file_atomically(counters_path(),
+                          "format=2\ntotal=" +
+                              std::to_string(plan.size()) +
+                              "\nsegment-cells=" +
+                              std::to_string(segment_cells) + "\n",
+                          "queue counters");
   }
   // Record the lease parameters so workers can adopt them instead of
   // guessing — a participant with a shorter lease than the heartbeat
@@ -380,20 +729,42 @@ void WorkQueue::seed(const ExecutionPlan& plan, std::size_t batch) const {
   }
 
   std::vector<std::size_t> todo;
-  for (const auto& cell : plan.cells()) {
-    if (unavailable.count(cell.index) != 0) continue;
-    const auto ok = result_ok(cell.index);
-    if (ok.has_value()) {
-      if (*ok) continue;
-      // A failed result must not be memoized forever: drop it and
-      // re-enqueue the cell so the next run re-attempts the task.
-      std::error_code ec;
-      fs::remove(result_path(cell.index), ec);
+  if (segment) {
+    // One index refresh and one failed/ listing answer "published?" for
+    // every cell — no per-cell filesystem probes on resume.
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    refresh_result_index_locked();
+    std::set<std::size_t> failed_cells;
+    for (const std::size_t index : list_failed()) {
+      failed_cells.insert(index);
     }
-    todo.push_back(cell.index);
+    for (const auto& cell : plan.cells()) {
+      if (unavailable.count(cell.index) != 0) continue;
+      if (result_index_.count(cell.index) != 0) continue;  // done ok
+      if (failed_cells.count(cell.index) != 0) {
+        // A failed result must not be memoized forever: drop it and
+        // re-enqueue the cell so the next run re-attempts the task.
+        std::error_code ec;
+        fs::remove(failed_path(cell.index), ec);
+      }
+      todo.push_back(cell.index);
+    }
+  } else {
+    for (const auto& cell : plan.cells()) {
+      if (unavailable.count(cell.index) != 0) continue;
+      const auto ok = result_ok(cell.index);
+      if (ok.has_value()) {
+        if (*ok) continue;
+        // A failed result must not be memoized forever: drop it and
+        // re-enqueue the cell so the next run re-attempts the task.
+        std::error_code ec;
+        fs::remove(result_path(cell.index), ec);
+      }
+      todo.push_back(cell.index);
+    }
   }
-  for (std::size_t start = 0; start < todo.size(); start += batch) {
-    const std::size_t n = std::min(batch, todo.size() - start);
+  for (std::size_t start = 0; start < todo.size(); start += chunk) {
+    const std::size_t n = std::min(chunk, todo.size() - start);
     if (n == 1) {
       write_file_atomically(pending_path(todo[start]), "queued\n",
                             "queue cell");
@@ -432,7 +803,11 @@ std::optional<double> WorkQueue::stored_skew_margin_s(
 
 ExecutionPlan WorkQueue::load_plan() const {
   BBRM_REQUIRE_MSG(has_plan(), "queue " + dir_ + " has no plan yet");
-  return ExecutionPlan::parse(read_text_file(plan_path()).value_or(""));
+  std::string bytes = read_text_file(plan_path()).value_or("");
+  if (has_layout_stamp(bytes)) {
+    bytes.erase(0, std::string(kLayoutStamp).size());
+  }
+  return ExecutionPlan::parse(bytes);
 }
 
 std::optional<std::size_t> WorkQueue::try_claim(
@@ -613,19 +988,54 @@ bool WorkQueue::renew(const Claim& claim) const {
 }
 
 void WorkQueue::publish(const sweep::TaskResult& result) const {
-  std::string bytes = "status=";
-  bytes += result.ok ? "ok" : "failed";
-  bytes += "\nerror=";
-  bytes += result.error;  // single-line by the engine's contract
-  bytes += '\n';
-  bytes += sweep::encode_cell_metrics(result.metrics);
-  write_file_atomically(result_path(result.task.index), bytes,
-                        "queue result");
+  publish(result, std::string());
+}
+
+void WorkQueue::publish(const sweep::TaskResult& result,
+                        const std::string& worker_id) const {
+  if (layout() == QueueLayout::kPerCell) {
+    write_file_atomically(result_path(result.task.index),
+                          encode_result_file(result), "queue result");
+    return;
+  }
+  if (!result.ok) {
+    // Failures stay per-cell files: they are rare (O(failures), not
+    // O(cells), directory entries), and the re-seed retry contract needs
+    // to *drop* them — an append-only log cannot un-write a record.
+    write_file_atomically(failed_path(result.task.index),
+                          encode_result_file(result), "queue failed cell");
+    return;
+  }
+  const std::string id =
+      worker_id.empty() ? default_worker_id() : worker_id;
+  const std::string record =
+      encode_log_record(result.task.index, result.ok, result.error,
+                        sweep::encode_cell_metrics(result.metrics));
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  PubState& pub = open_publisher_locked(id);
+  const bool wrote =
+      std::fwrite(record.data(), 1, record.size(), pub.append) ==
+          record.size() &&
+      std::fflush(pub.append) == 0;
+  if (!wrote) {
+    // The tail may be torn. Drop the handle: the next publish re-opens,
+    // re-validates from the checkpoint, and truncates the damage before
+    // appending again.
+    std::fclose(pub.append);
+    pub.append = nullptr;
+    BBRM_REQUIRE_MSG(false, "queue result log append failed for worker " +
+                                id + " (" + log_path(id) + ")");
+  }
+  pub.records += 1;
+  pub.bytes += record.size();
+  pub.unflushed += 1;
+  if (pub.unflushed >= kCheckpointEvery) write_checkpoint_locked(id, pub);
 }
 
 void WorkQueue::complete(const sweep::TaskResult& result,
                          const std::string& worker_id) const {
-  publish(result);
+  publish(result, worker_id);
+  if (layout() == QueueLayout::kSegment) flush_published();
   // Release the claim. ENOENT is fine: an expired lease may already have
   // been re-enqueued or reclaimed — the published bytes are identical
   // either way, so the race is benign.
@@ -634,6 +1044,10 @@ void WorkQueue::complete(const sweep::TaskResult& result,
 }
 
 void WorkQueue::finish(const Claim& claim) const {
+  // Claim-unit boundary: bring the publish checkpoints current before the
+  // manifest disappears, so the cheap counters path stays one short tail
+  // scan per log.
+  if (layout() == QueueLayout::kSegment) flush_published();
   std::error_code ec;
   fs::remove((fs::path(active_dir()) / claim.active_name).string(), ec);
 }
@@ -659,13 +1073,34 @@ void WorkQueue::release(const Claim& claim) const {
     return;
   }
   std::vector<std::string> requeued;
+  std::optional<std::unique_lock<std::mutex>> result_lock;
   for (const std::size_t index : claim.indices) {
-    if (fs::exists(result_path(index))) continue;  // already published
+    if (result_published(index, result_lock)) continue;  // already landed
     write_file_atomically(pending_path(index), "queued\n", "queue cell");
     requeued.push_back(index_name(index) + ".cell");
   }
+  result_lock.reset();
   finish(claim);
   backlog_insert(std::move(requeued));
+}
+
+/// Has a result for `index` landed, in whichever representation this
+/// queue uses? `result_lock` implements refresh-once-per-sweep: the first
+/// segment-layout query takes result_mutex_ and refreshes the log index,
+/// later queries under the same optional are map lookups plus one
+/// failed-file stat. Callers reset the optional before touching any path
+/// that could publish.
+bool WorkQueue::result_published(
+    std::size_t index,
+    std::optional<std::unique_lock<std::mutex>>& result_lock) const {
+  if (layout() == QueueLayout::kPerCell) {
+    return fs::exists(result_path(index));
+  }
+  if (!result_lock) {
+    result_lock.emplace(result_mutex_);
+    refresh_result_index_locked();
+  }
+  return result_index_.count(index) != 0 || fs::exists(failed_path(index));
 }
 
 void WorkQueue::backlog_insert(std::vector<std::string> names) const {
@@ -682,7 +1117,80 @@ void WorkQueue::backlog_insert(std::vector<std::string> names) const {
 }
 
 std::size_t WorkQueue::done_count() const {
-  return count_cells(results_dir());
+  if (layout() == QueueLayout::kPerCell) {
+    return count_cells(results_dir());
+  }
+  // Exact: |distinct ok indices in the logs| + |failed cells without an
+  // ok record|. The refresh is incremental — each call stats the logs and
+  // reads only bytes appended since the last call.
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  refresh_result_index_locked();
+  std::size_t done = result_index_.size();
+  for (const std::size_t index : list_failed()) {
+    if (result_index_.count(index) == 0) ++done;
+  }
+  return done;
+}
+
+QueueCounters WorkQueue::counters() const {
+  QueueCounters c;
+  c.layout = layout();
+  if (c.layout == QueueLayout::kPerCell) {
+    // Legacy layout has no cheap path: fall back to the directory census
+    // plus the plan header for the total.
+    const QueueProgress p = progress();
+    c.pending = p.pending;
+    c.active = p.active;
+    c.done = p.done;
+    c.total = plan_size_hint().value_or(p.pending + p.active + p.done);
+    return c;
+  }
+  const auto stored = read_stored_counters(counters_path());
+  BBRM_REQUIRE_MSG(stored.has_value(),
+                   "queue " + dir_ +
+                       " uses the segment layout but its counters file is "
+                       "missing or damaged (" +
+                       counters_path() + ")");
+  c.total = stored->total;
+  c.segment_cells = stored->segment_cells;
+  // Done = checkpoints + bounded tail scans. Logs are discovered through
+  // workers/<id>.pub (written when a log opens), so no results/ readdir
+  // happens here; duplicate re-publishes after a lease loss may overcount
+  // until the next exact done_count() — callers gate completion on the
+  // exact count, never on this.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(workers_dir(), ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".pub") {
+      continue;
+    }
+    const std::string worker = entry.path().stem().string();
+    const auto checkpoint = read_checkpoint(entry.path().string());
+    const std::uint64_t records = checkpoint ? checkpoint->first : 0;
+    const std::uint64_t covered = checkpoint ? checkpoint->second : 0;
+    c.done += static_cast<std::size_t>(
+        records + scan_log_records(log_path(worker), covered).records);
+  }
+  for (const auto& entry : fs::directory_iterator(failed_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (has_extension(entry.path().filename().string(), ".cell")) {
+      ++c.failed;
+    }
+  }
+  c.done += c.failed;
+  // Active cells from claim names alone (the batch count token); members
+  // already published still count, so done + active can briefly exceed
+  // total for in-flight segments — pending clamps rather than wrap.
+  for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (has_extension(name, ".cell")) {
+      ++c.active;
+    } else if (has_extension(name, ".batch")) {
+      c.active += batch_count_from_name(name).value_or(1);
+    }
+  }
+  c.pending = c.total > c.done + c.active ? c.total - c.done - c.active : 0;
+  return c;
 }
 
 std::size_t WorkQueue::recover_expired() const {
@@ -700,6 +1208,7 @@ std::size_t WorkQueue::recover_expired() const {
   const double expiry_s = lease_s_ + skew_margin_s_;
   std::size_t recovered = 0;
   std::vector<std::string> requeued;
+  std::optional<std::unique_lock<std::mutex>> result_lock;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(active_dir(), ec)) {
     if (!entry.is_regular_file()) continue;
@@ -725,7 +1234,7 @@ std::size_t WorkQueue::recover_expired() const {
           read_batch_members_if_present(entry.path().string());
       if (!members) continue;
       for (const std::size_t member : *members) {
-        if (fs::exists(result_path(member))) continue;
+        if (result_published(member, result_lock)) continue;
         write_file_atomically(pending_path(member), "queued\n",
                               "queue cell");
         requeued.push_back(index_name(member) + ".cell");
@@ -734,7 +1243,7 @@ std::size_t WorkQueue::recover_expired() const {
       fs::remove(entry.path(), ec);
       continue;
     }
-    if (fs::exists(result_path(*index))) {
+    if (result_published(*index, result_lock)) {
       // The worker died (or lost its lease) after publishing: the work is
       // done, only the claim is stale.
       fs::remove(entry.path(), ec);
@@ -758,7 +1267,8 @@ std::size_t WorkQueue::recover_expired() const {
 QueueProgress WorkQueue::progress() const {
   QueueProgress p;
   p.pending = count_cells(pending_dir());
-  p.done = count_cells(results_dir());
+  p.done = done_count();
+  std::optional<std::unique_lock<std::mutex>> result_lock;
   // A batch publishes per member, so its manifest keeps covering cells
   // whose results already landed — counting those as active would push
   // done+active+pending past the plan size for the whole life of every
@@ -784,7 +1294,7 @@ QueueProgress WorkQueue::progress() const {
         continue;
       }
       for (const std::size_t member : *members) {
-        if (!fs::exists(result_path(member))) ++p.active;
+        if (!result_published(member, result_lock)) ++p.active;
       }
     }
   }
@@ -792,37 +1302,215 @@ QueueProgress WorkQueue::progress() const {
 }
 
 std::optional<bool> WorkQueue::result_ok(std::size_t index) const {
-  std::ifstream in(result_path(index));
-  if (!in) return std::nullopt;
-  std::string status;
-  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
-    return std::nullopt;
+  if (layout() == QueueLayout::kPerCell) {
+    return result_file_ok(result_path(index));
   }
-  return status.substr(7) == "ok";
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    refresh_result_index_locked();
+    const auto it = result_index_.find(index);
+    if (it != result_index_.end()) return it->second.ok != 0;
+  }
+  return result_file_ok(failed_path(index));
 }
 
 std::optional<sweep::TaskResult> WorkQueue::load_result(
     const sweep::SweepTask& task) const {
-  std::ifstream in(result_path(task.index));
-  if (!in) return std::nullopt;
-  std::string status, error;
-  if (!std::getline(in, status) || status.rfind("status=", 0) != 0) {
-    return std::nullopt;
+  if (layout() == QueueLayout::kPerCell) {
+    return load_result_file(result_path(task.index), task);
   }
-  if (!std::getline(in, error) || error.rfind("error=", 0) != 0) {
-    return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    refresh_result_index_locked();
+    const auto it = result_index_.find(task.index);
+    if (it != result_index_.end()) {
+      // One pread of one record through the cached handle — streaming
+      // collects hold a single record in memory, never a segment's worth
+      // of decoded results.
+      LogState& log = logs_[it->second.log];
+      if (log.read == nullptr) {
+        log.read = std::fopen(
+            (fs::path(results_dir()) / log.name).string().c_str(), "rb");
+      }
+      if (log.read != nullptr &&
+          std::fseek(log.read, static_cast<long>(it->second.offset),
+                     SEEK_SET) == 0) {
+        char header[kLogHeaderBytes];
+        if (std::fread(header, 1, sizeof header, log.read) ==
+                sizeof header &&
+            get_u32(header) == kLogMagic) {
+          const std::uint32_t error_len = get_u32(header + 4);
+          const std::uint32_t payload_len = get_u32(header + 8);
+          if (error_len <= kMaxLogField && payload_len <= kMaxLogField) {
+            std::string body(
+                static_cast<std::size_t>(error_len) + payload_len + 8,
+                '\0');
+            if (std::fread(body.data(), 1, body.size(), log.read) ==
+                body.size()) {
+              std::string record(header, sizeof header);
+              record += body;
+              if (const auto decoded = decode_log_record(record.data(),
+                                                         record.size())) {
+                auto metrics =
+                    sweep::decode_cell_metrics(decoded->first.payload);
+                if (metrics) {
+                  sweep::TaskResult result;
+                  result.task = task;
+                  result.metrics = std::move(*metrics);
+                  result.ok = decoded->first.ok;
+                  result.error = decoded->first.error;
+                  return result;
+                }
+              }
+            }
+          }
+        }
+      }
+      return std::nullopt;  // indexed but unreadable: damage stays loud
+    }
   }
-  std::ostringstream rest;
-  rest << in.rdbuf();
-  auto metrics = sweep::decode_cell_metrics(rest.str());
-  if (!metrics) return std::nullopt;
+  return load_result_file(failed_path(task.index), task);
+}
 
-  sweep::TaskResult result;
-  result.task = task;
-  result.metrics = std::move(*metrics);
-  result.ok = status.substr(7) == "ok";
-  result.error = error.substr(6);
-  return result;
+void WorkQueue::refresh_result_index_locked() const {
+  // Adopt logs that appeared since the last refresh. Discovery is one
+  // results/ readdir; per log, one stat decides whether any new bytes
+  // exist at all.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(results_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!has_extension(name, ".rlog")) continue;
+    if (log_ids_.count(name) != 0) continue;
+    log_ids_[name] = static_cast<std::uint32_t>(logs_.size());
+    LogState log;
+    log.name = name;
+    logs_.push_back(std::move(log));
+  }
+  constexpr std::size_t kChunk = std::size_t{1} << 22;  // 4 MiB window
+  for (std::uint32_t id = 0; id < logs_.size(); ++id) {
+    LogState& log = logs_[id];
+    const std::string path = (fs::path(results_dir()) / log.name).string();
+    std::error_code size_ec;
+    const auto size = fs::file_size(path, size_ec);
+    if (size_ec || size <= log.consumed) continue;
+    if (log.read == nullptr) log.read = std::fopen(path.c_str(), "rb");
+    if (log.read == nullptr) continue;
+    if (std::fseek(log.read, static_cast<long>(log.consumed), SEEK_SET) !=
+        0) {
+      continue;
+    }
+    // Bounded window: decode records chunk by chunk so a collect of a
+    // 100k-cell log never buffers the whole file (the RSS-flat contract
+    // of streaming collects). A record spanning the window boundary
+    // carries over and the window grows only until it completes.
+    std::string window;
+    while (log.consumed < size) {
+      const std::uint64_t unread = size - (log.consumed + window.size());
+      const std::size_t want =
+          static_cast<std::size_t>(std::min<std::uint64_t>(kChunk, unread));
+      if (want > 0) {
+        const std::size_t base = window.size();
+        window.resize(base + want);
+        const std::size_t got =
+            std::fread(window.data() + base, 1, want, log.read);
+        window.resize(base + got);
+        if (got == 0) break;  // I/O error or concurrent truncate
+      }
+      std::size_t off = 0;
+      while (const auto record = decode_log_record(window.data() + off,
+                                                   window.size() - off)) {
+        ResultLoc loc;
+        loc.log = id;
+        loc.ok = record->first.ok ? 1 : 0;
+        loc.offset = log.consumed + off;
+        result_index_.emplace(record->first.index, loc);  // first wins
+        off += record->second;
+      }
+      window.erase(0, off);
+      log.consumed += off;
+      if (off == 0 && want == 0) break;  // torn/damaged tail: stop here
+    }
+  }
+}
+
+std::vector<std::size_t> WorkQueue::list_failed() const {
+  std::vector<std::size_t> indices;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(failed_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!has_extension(name, ".cell")) continue;
+    if (const auto index = parse_index_name(name)) {
+      indices.push_back(*index);
+    }
+  }
+  return indices;
+}
+
+WorkQueue::PubState& WorkQueue::open_publisher_locked(
+    const std::string& worker_id) const {
+  require_worker_id(worker_id);
+  PubState& pub = publishers_[worker_id];
+  if (pub.append != nullptr) return pub;
+  const std::string path = log_path(worker_id);
+  // Validate the tail before appending: trust the checkpoint for the
+  // bytes it covers, scan what follows, and truncate anything torn by a
+  // previous crash of this worker id. A checkpoint claiming more bytes
+  // than exist (log replaced underneath it) is discarded and the whole
+  // log rescans.
+  std::uint64_t records = 0;
+  std::uint64_t covered = 0;
+  if (const auto checkpoint = read_checkpoint(checkpoint_path(worker_id))) {
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (!ec && checkpoint->second <= size) {
+      records = checkpoint->first;
+      covered = checkpoint->second;
+    }
+  }
+  const LogScan scan = scan_log_records(path, covered);
+  {
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (!ec && size > scan.valid_end) {
+      fs::resize_file(path, scan.valid_end, ec);
+    }
+  }
+  pub.append = std::fopen(path.c_str(), "ab");
+  BBRM_REQUIRE_MSG(pub.append != nullptr,
+                   "cannot open queue result log " + path);
+  pub.records = records + scan.records;
+  pub.bytes = scan.valid_end;
+  pub.unflushed = 0;
+  // Write the checkpoint at open even when empty: workers/<id>.pub is how
+  // the cheap counters path discovers logs without a results/ readdir.
+  write_checkpoint_locked(worker_id, pub);
+  return pub;
+}
+
+void WorkQueue::write_checkpoint_locked(const std::string& worker_id,
+                                        PubState& pub) const {
+  try {
+    write_file_atomically(checkpoint_path(worker_id),
+                          "records=" + std::to_string(pub.records) +
+                              "\nbytes=" + std::to_string(pub.bytes) + "\n",
+                          "queue publish checkpoint");
+    pub.unflushed = 0;
+  } catch (...) {
+    // Advisory: readers tail-scan past whatever the last good checkpoint
+    // covered, so a checkpoint that cannot land costs read time, not
+    // correctness. The log append already succeeded — don't undo it.
+  }
+}
+
+void WorkQueue::flush_published() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  for (auto& [worker, pub] : publishers_) {
+    if (pub.append != nullptr && pub.unflushed > 0) {
+      write_checkpoint_locked(worker, pub);
+    }
+  }
 }
 
 void WorkQueue::write_worker_stats(const WorkerStats& stats) const {
@@ -1076,7 +1764,7 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
           for (const std::size_t index : claim->indices) {
             const sweep::SweepTask& cell = plan.cell_by_index(index);
             const auto result = sweep::run_tasks({cell}, cell_options);
-            queue.publish(result.row(0));
+            queue.publish(result.row(0), worker_id);
             ++published;
             in_flight_cells.fetch_sub(1);
             completed.fetch_add(1);
@@ -1101,7 +1789,7 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
           }
           const auto result = sweep::run_tasks(unit, cell_options);
           for (std::size_t k = 0; k < unit.size(); ++k) {
-            queue.publish(result.row(k));
+            queue.publish(result.row(k), worker_id);
             ++published;
             in_flight_cells.fetch_sub(1);
             completed.fetch_add(1);

@@ -6,7 +6,8 @@
 // ones — rename atomicity and reasonably coherent mtimes are the only
 // requirements):
 //
-//   <dir>/plan.bbrplan            the serialized ExecutionPlan
+//   <dir>/plan.bbrplan            the serialized ExecutionPlan (layout 2
+//                                 prefixes it with "bbrm-queue-layout=2")
 //   <dir>/pending/<index>.cell    one file per unclaimed cell
 //   <dir>/pending/<index>.bK.batch   one file per unclaimed K-cell batch
 //                                 (first member's index; members listed
@@ -15,9 +16,32 @@
 //   <dir>/active/<index>.<worker>.cell        a claimed cell (lease)
 //   <dir>/active/<index>.bK.<worker>.batch    a claimed batch (one lease
 //                                             for all members)
-//   <dir>/results/<index>.cell    a finished cell (status + metrics)
+//   <dir>/results/<index>.cell    layout 1: a finished cell
+//   <dir>/results/<worker>.rlog   layout 2: one append-only binary log of
+//                                 finished cells per worker (framed
+//                                 records, hash-sealed tails)
+//   <dir>/failed/<index>.cell     layout 2: a *failed* cell (rare; kept
+//                                 per-cell so re-seeding can drop it)
+//   <dir>/counters                layout 2: total/segment size, written
+//                                 once at seed (O(1) status)
+//   <dir>/workers/<id>.pub        layout 2: per-worker publish checkpoint
+//                                 (records + log bytes covered) — an
+//                                 accelerator, not an authority: readers
+//                                 tail-scan each log past its checkpoint
 //   <dir>/workers/<id>.stats      per-worker progress (heartbeat mtime)
 //   <dir>/probe                   mtime reference for lease expiry
+//
+// Two result layouts share the claim protocol. Layout 1 (per-cell,
+// legacy) publishes one `results/<index>.cell` per finished cell — O(cells)
+// file creates and readdirs, fine up to ~10^5 cells. Layout 2 (segment)
+// seeds pending work as K-cell segment files (the existing batch entries;
+// a segment is still claimed by one rename), appends finished cells to a
+// per-worker binary log, and keeps `bbrsweep status` O(1) through the
+// counters file plus per-worker checkpoints — the filesystem holds
+// O(cells/K) entries however big the plan. The layout is stamped into
+// plan.bbrplan at seed time and detected by everyone else from the stamp,
+// so old queue directories keep draining with the per-cell code paths and
+// mixed-layout re-seeding fails the plan byte-compare loudly.
 //
 // Mutual exclusion comes from rename(2): a worker claims a pending entry
 // by renaming it into active/ under the worker's name — the filesystem
@@ -51,16 +75,45 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "orchestrator/execution_plan.h"
 
 namespace bbrmodel::orchestrator {
+
+/// How a queue directory stores results (see the layout table above).
+enum class QueueLayout {
+  kPerCell = 1,  ///< one results/<index>.cell per finished cell (legacy)
+  kSegment = 2,  ///< per-worker result logs + counters file
+};
+
+/// The O(1) status view of a segment-layout queue: totals from the
+/// seed-time counters file, done from the per-worker publish checkpoints
+/// (plus a bounded tail scan of each log past its checkpoint), active from
+/// the in-flight claim names, pending derived. `done` counts published
+/// records, so a benign double-completion (a lease steal where both
+/// workers finish) can transiently overcount — completion decisions use
+/// the exact done_count(), displays use this. On a per-cell-layout queue
+/// counters() falls back to the directory census, so callers need not
+/// branch.
+struct QueueCounters {
+  std::size_t total = 0;    ///< plan size (0 when unknown)
+  std::size_t done = 0;     ///< published cells (records + failed files)
+  std::size_t failed = 0;   ///< of done, cells whose task failed
+  std::size_t active = 0;   ///< cells covered by live claims
+  std::size_t pending = 0;  ///< total - done - active (clamped at 0)
+  std::size_t segment_cells = 0;  ///< seed-time segment size (layout 2)
+  QueueLayout layout = QueueLayout::kPerCell;
+};
 
 /// Queue directory census, from one pass over the three state dirs.
 /// Counts are cells, not files: a pending batch contributes every member
@@ -111,6 +164,13 @@ class WorkQueue {
   explicit WorkQueue(std::string dir, double lease_s = 60.0,
                      double skew_margin_s = -1.0);
 
+  /// Flushes publish checkpoints and closes cached log handles. The
+  /// destructor never throws; a checkpoint that cannot be written is
+  /// recovered by the next reader's tail scan.
+  ~WorkQueue();
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
   const std::string& dir() const { return dir_; }
   double lease_s() const { return lease_s_; }
   double skew_margin_s() const { return skew_margin_s_; }
@@ -123,11 +183,27 @@ class WorkQueue {
   /// must be re-attempted on the next run, never served forever.
   /// Idempotent — re-seeding after a coordinator crash resumes the run;
   /// seeding a *different* plan into a non-empty queue throws
-  /// (byte-compared against the stored plan).
-  void seed(const ExecutionPlan& plan, std::size_t batch = 1) const;
+  /// (byte-compared against the stored plan, which also rejects mixing
+  /// layouts in one directory — the layout stamp is part of the bytes).
+  ///
+  /// `segment_cells` > 0 selects the segment layout: pending work is
+  /// chunked into segments of that many cells (superseding `batch`),
+  /// results go to per-worker logs, and status is O(1) through the
+  /// counters file. 0 keeps the legacy per-cell layout with `batch`-cell
+  /// chunking.
+  void seed(const ExecutionPlan& plan, std::size_t batch = 1,
+            std::size_t segment_cells = 0) const;
 
   bool has_plan() const;
   ExecutionPlan load_plan() const;
+
+  /// The stored layout, detected from the plan file's stamp. kPerCell
+  /// before a plan exists (and for every pre-stamp directory).
+  QueueLayout layout() const;
+
+  /// The stored plan's cell count from its header lines alone — no full
+  /// parse of a million specs. nullopt when no plan is stored.
+  std::optional<std::size_t> plan_size_hint() const;
 
   /// The lease duration / skew margin the seeding coordinator recorded in
   /// `dir`, if any. Workers adopt them unless explicitly overridden —
@@ -169,10 +245,16 @@ class WorkQueue {
   /// Heartbeat a whole claim unit (one touch regardless of batch size).
   bool renew(const Claim& claim) const;
 
-  /// Publish one finished cell (atomic rename) without touching the
-  /// claim — the per-cell half of batch completion, so a crash mid-batch
-  /// loses only the unpublished members.
+  /// Publish one finished cell without touching the claim — the per-cell
+  /// half of batch completion, so a crash mid-batch loses only the
+  /// unpublished members. Per-cell layout: an atomic rename into
+  /// results/. Segment layout: one framed, hash-sealed append to
+  /// `worker_id`'s result log (failed cells go to per-cell files under
+  /// failed/ so a re-seed can drop and retry them); the no-worker
+  /// overload logs under this process's default worker id.
   void publish(const sweep::TaskResult& result) const;
+  void publish(const sweep::TaskResult& result,
+               const std::string& worker_id) const;
 
   /// Publish a finished cell (atomic rename) and release the claim —
   /// single-cell convenience equal to publish() + finish().
@@ -192,9 +274,19 @@ class WorkQueue {
   /// file is dropped.
   void release(const Claim& claim) const;
 
-  /// Number of finished cells (one directory count, not three) — the
-  /// cheap completion check worker loops poll with.
+  /// Number of *distinct* finished cells — the completion check worker
+  /// loops poll with. Per-cell layout: one directory count. Segment
+  /// layout: the incremental result index (each log byte is read once per
+  /// process, then only growth), exact even under benign double
+  /// completion.
   std::size_t done_count() const;
+
+  /// The O(1) status view (see QueueCounters). Segment layout: reads the
+  /// counters file, the workers/ checkpoints (+ bounded log tails), and
+  /// the in-flight claim names — never pending/ or the result logs in
+  /// full. Per-cell layout: falls back to the directory census with the
+  /// total taken from the plan header.
+  QueueCounters counters() const;
 
   /// Re-enqueue every active entry whose lease expired (probe-relative
   /// mtime delta > lease + skew margin); stale claims whose result was
@@ -240,8 +332,10 @@ class WorkQueue {
   std::string pending_dir() const;
   std::string active_dir() const;
   std::string results_dir() const;
+  std::string failed_dir() const;
   std::string workers_dir() const;
   std::string plan_path() const;
+  std::string counters_path() const;
   std::string probe_path() const;
   std::string pending_path(std::size_t index) const;
   /// Batch file names carry their member count ("<index>.b<count>.batch")
@@ -254,6 +348,9 @@ class WorkQueue {
                                 const std::string& worker_id,
                                 std::size_t count) const;
   std::string result_path(std::size_t index) const;
+  std::string failed_path(std::size_t index) const;
+  std::string log_path(const std::string& worker_id) const;
+  std::string checkpoint_path(const std::string& worker_id) const;
   /// Re-stamp the probe file by writing it and return its fresh mtime —
   /// "now" according to the queue filesystem's own clock. Rate-limited:
   /// within lease/4 of the last write the cached mtime is advanced by
@@ -263,6 +360,48 @@ class WorkQueue {
   /// Put re-enqueued pending names back into the cached claim backlog at
   /// their sorted positions, so peers see them without a full relist.
   void backlog_insert(std::vector<std::string> names) const;
+
+  /// Segment layout internals. One record of a worker's result log,
+  /// located for on-demand reads.
+  struct ResultLoc {
+    std::uint32_t log = 0;       ///< index into logs_
+    std::uint8_t ok = 1;         ///< the record's ok flag
+    std::uint64_t offset = 0;    ///< record start within the log
+  };
+  /// Reader-side state of one results/<worker>.rlog.
+  struct LogState {
+    std::string name;            ///< file name under results/
+    std::uint64_t consumed = 0;  ///< bytes parsed into the index so far
+    std::FILE* read = nullptr;   ///< cached pread handle for collect
+  };
+  /// Writer-side state of one worker's log in this process.
+  struct PubState {
+    std::FILE* append = nullptr;
+    std::uint64_t records = 0;   ///< records the log holds (checkpointed)
+    std::uint64_t bytes = 0;     ///< log size covered by `records`
+    std::uint64_t unflushed = 0; ///< records since the last .pub rewrite
+  };
+  /// Pull every log's new bytes into the result index (one stat per log,
+  /// growth read once). Caller must hold result_mutex_.
+  void refresh_result_index_locked() const;
+  /// Has `index` a published result? Per-cell layout stats the result
+  /// file. Segment layout refreshes the index into `result_lock` on first
+  /// use (refresh-once-per-sweep for callers probing many members), then
+  /// answers from the index plus one failed-file stat.
+  bool result_published(
+      std::size_t index,
+      std::optional<std::unique_lock<std::mutex>>& result_lock) const;
+  /// This process's append handle for `worker_id`'s log, opened (and the
+  /// log's tail validated/truncated from the checkpoint) on first use.
+  /// Caller must hold publish_mutex_.
+  PubState& open_publisher_locked(const std::string& worker_id) const;
+  /// Rewrite one worker's .pub checkpoint from its PubState.
+  void write_checkpoint_locked(const std::string& worker_id,
+                               PubState& pub) const;
+  /// Flush every dirty publish checkpoint (claim-unit boundaries, exit).
+  void flush_published() const;
+  /// The set of failed-cell indices (one readdir of failed/, O(failures)).
+  std::vector<std::size_t> list_failed() const;
 
   std::string dir_;
   double lease_s_;
@@ -281,6 +420,23 @@ class WorkQueue {
   mutable std::mutex probe_mutex_;
   mutable std::optional<std::filesystem::file_time_type> probe_value_;
   mutable std::chrono::steady_clock::time_point probe_at_{};
+  /// Layout stamp cache: resolved from the plan file on first use, cached
+  /// only once a plan exists (a directory may be seeded after attach).
+  mutable std::mutex layout_mutex_;
+  mutable std::optional<QueueLayout> layout_;
+  /// Segment layout, reader side: the incremental result index. Each
+  /// log's bytes are read once per process; a refresh is one stat per log
+  /// plus whatever grew. Torn tail records (a crash mid-append) stay
+  /// unconsumed until they complete or the log is truncated by its
+  /// writer's restart.
+  mutable std::mutex result_mutex_;
+  mutable std::vector<LogState> logs_;
+  mutable std::unordered_map<std::string, std::uint32_t> log_ids_;
+  mutable std::unordered_map<std::size_t, ResultLoc> result_index_;
+  /// Segment layout, writer side: per-worker append handles + checkpoint
+  /// accumulators for this process.
+  mutable std::mutex publish_mutex_;
+  mutable std::map<std::string, PubState> publishers_;
 };
 
 /// Replace every byte outside [A-Za-z0-9_-] with '-': the one charset

@@ -1,0 +1,590 @@
+// Tests of the segment queue layout (bbrm-queue-layout=2) and the
+// backlog-driven fleet autoscaler: packed pending segments claimed by one
+// rename, per-worker append-only result logs with hash-sealed records,
+// the O(1) counters view cross-checked against the exact store census,
+// crash recovery mid-segment, torn-tail truncation, byte-identity of the
+// streaming collectors with the single-process run and with the legacy
+// per-cell layout, and the pure scale-up/scale-down decision function.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/require.h"
+#include "common/units.h"
+#include "orchestrator/execution_plan.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/work_queue.h"
+#include "sweep/workloads.h"
+
+namespace bbrmodel::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// A fast, deterministic, pure-function-of-the-spec runner standing in
+/// for an expensive simulation (same shape as the orchestrator tests').
+sweep::Runner synthetic_runner(std::atomic<std::size_t>* calls = nullptr) {
+  return sweep::make_runner("synthetic",
+                            [calls](const sweep::SweepTask& task) {
+            if (calls != nullptr) calls->fetch_add(1);
+            metrics::AggregateMetrics m;
+            m.jain = 1.0;
+            m.loss_pct = task.spec.buffer_bdp;
+            m.occupancy_pct = static_cast<double>(task.spec.seed % 1000);
+            m.utilization_pct = 100.0;
+            m.jitter_ms = 0.25;
+            m.mean_rate_pps = {task.spec.capacity_pps, 1.0 / 3.0};
+            m.aux = {static_cast<double>(task.index)};
+            return m;
+          });
+}
+
+scenario::ExperimentSpec small_base() {
+  scenario::ExperimentSpec base;
+  base.capacity_pps = mbps_to_pps(20.0);
+  base.duration_s = 0.5;
+  return base;
+}
+
+/// A plan of `buffers * 2` cells (two mixes per buffer point).
+ExecutionPlan plan_of(std::size_t buffers) {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp.clear();
+  for (std::size_t i = 0; i < buffers; ++i) {
+    grid.buffers_bdp.push_back(0.25 * static_cast<double>(i + 1));
+  }
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1),
+                sweep::half_half_mix(scenario::CcaKind::kBbrv1,
+                                     scenario::CcaKind::kReno)};
+  return ExecutionPlan::dense(grid, small_base(), 42);
+}
+
+struct Reference {
+  std::string csv;
+  std::string json;
+};
+
+Reference reference_bytes(const ExecutionPlan& plan,
+                          const sweep::SweepOptions& options) {
+  std::ostringstream csv, json;
+  const auto result = execute(plan, options);
+  result.write_csv(csv);
+  result.write_json(json);
+  return {csv.str(), json.str()};
+}
+
+WorkerConfig segment_worker(const std::string& id, std::size_t batch = 4,
+                            double poll_s = 0.01) {
+  WorkerConfig config;
+  config.worker_id = id;
+  config.batch = batch;
+  config.poll_s = poll_s;
+  return config;
+}
+
+std::size_t count_files(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+// ---- segment store lifecycle ----------------------------------------------
+
+TEST(SegmentQueue, SeedPacksSegmentsAndWritesCounters) {
+  const auto plan = plan_of(6);  // 12 cells
+  WorkQueue queue(scratch_dir("sq_seed"), 60.0);
+  queue.seed(plan, /*batch=*/1, /*segment_cells=*/4);
+
+  EXPECT_EQ(queue.layout(), QueueLayout::kSegment);
+  ASSERT_TRUE(queue.plan_size_hint().has_value());
+  EXPECT_EQ(*queue.plan_size_hint(), plan.size());
+
+  // 12 cells in 4-cell segments: three pending entries, not twelve.
+  std::size_t pending_entries = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(queue.dir()) / "pending")) {
+    (void)entry;
+    ++pending_entries;
+  }
+  EXPECT_EQ(pending_entries, 3u);
+  EXPECT_TRUE(fs::exists(fs::path(queue.dir()) / "counters"));
+
+  const auto counters = queue.counters();
+  EXPECT_EQ(counters.layout, QueueLayout::kSegment);
+  EXPECT_EQ(counters.total, plan.size());
+  EXPECT_EQ(counters.segment_cells, 4u);
+  EXPECT_EQ(counters.pending, plan.size());
+  EXPECT_EQ(counters.done, 0u);
+  EXPECT_EQ(counters.active, 0u);
+}
+
+TEST(SegmentQueue, DrainCollectsByteIdenticallyWithFewFiles) {
+  const auto plan = plan_of(6);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+
+  WorkQueue queue(scratch_dir("sq_drain"), 60.0);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 2;
+  const auto report =
+      run_worker(queue, plan, worker_options, segment_worker("worker-a"));
+  EXPECT_EQ(report.completed, plan.size());
+
+  std::ostringstream csv, json;
+  EXPECT_EQ(collect_csv(queue, plan, csv), 0u);
+  EXPECT_EQ(collect_json(queue, plan, json), 0u);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "segment-store collection must be byte-identical to run_sweep";
+  EXPECT_EQ(json.str(), reference.json);
+
+  // The whole drained queue holds O(cells/segment) entries: plan, probe,
+  // counters, one result log, one stats file, one publish checkpoint —
+  // never a per-cell file.
+  EXPECT_LE(count_files(queue.dir()), 8u);
+  std::size_t result_logs = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(queue.dir()) / "results")) {
+    EXPECT_EQ(entry.path().extension(), ".rlog");
+    ++result_logs;
+  }
+  EXPECT_EQ(result_logs, 1u);
+}
+
+TEST(SegmentQueue, ConcurrentWorkersSplitSegmentsExactlyOnce) {
+  const auto plan = plan_of(25);  // 50 cells
+  std::atomic<std::size_t> calls{0};
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner(&calls);
+  const auto reference = reference_bytes(plan, options);
+  calls.store(0);
+
+  WorkQueue queue(scratch_dir("sq_trio"), 60.0);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 1;
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> workers;
+  for (const char* id : {"worker-a", "worker-b", "worker-c"}) {
+    workers.emplace_back([&, id] {
+      total.fetch_add(
+          run_worker(queue, plan, worker_options, segment_worker(id))
+              .completed);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(total.load(), plan.size());
+  EXPECT_EQ(calls.load(), plan.size())
+      << "every cell simulates exactly once across segment claims";
+  std::ostringstream csv;
+  collect_csv(queue, plan, csv);
+  EXPECT_EQ(csv.str(), reference.csv);
+  EXPECT_EQ(queue.done_count(), plan.size());
+}
+
+TEST(SegmentQueue, SigkilledWorkerMidSegmentOnlyReEnqueuesUnpublished) {
+  const auto plan = plan_of(6);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+
+  const std::string dir = scratch_dir("sq_sigkill");
+  WorkQueue queue(dir, /*lease_s=*/0.1, /*skew_margin_s=*/0.05);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+
+  // A real SIGKILL mid-segment: the child drains slowly and dies after
+  // publishing at least one record, so its segment is part published in
+  // its result log, part abandoned under the claim.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    try {
+      sweep::SweepOptions slow = options;
+      slow.threads = 1;
+      slow.runner =
+          sweep::make_runner("synthetic", [](const sweep::SweepTask& task) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+            return synthetic_runner().run_one(task);
+          });
+      run_worker(queue, plan, slow, segment_worker("victim"));
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  while (queue.done_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  const std::size_t done_at_kill = queue.done_count();
+  ASSERT_GE(done_at_kill, 1u);
+  ASSERT_LT(done_at_kill, plan.size());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  queue.recover_expired();
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.done, done_at_kill)
+      << "published log records must never be re-enqueued";
+  EXPECT_EQ(progress.active, 0u);
+  EXPECT_EQ(progress.pending, plan.size() - done_at_kill);
+
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 2;
+  run_worker(queue, plan, worker_options, segment_worker("survivor"));
+  std::ostringstream csv, json;
+  collect_csv(queue, plan, csv);
+  collect_json(queue, plan, json);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "a SIGKILL mid-segment must not change a byte";
+  EXPECT_EQ(json.str(), reference.json);
+}
+
+// ---- layout stamp + legacy compatibility ----------------------------------
+
+TEST(SegmentQueue, MixedLayoutReseedIsRejectedBothWays) {
+  const auto plan = plan_of(6);
+  {
+    WorkQueue queue(scratch_dir("sq_mix_a"), 60.0);
+    queue.seed(plan);  // per-cell
+    EXPECT_THROW(queue.seed(plan, 1, /*segment_cells=*/4),
+                 PreconditionError)
+        << "a per-cell queue must reject a segment re-seed";
+  }
+  {
+    WorkQueue queue(scratch_dir("sq_mix_b"), 60.0);
+    queue.seed(plan, 1, /*segment_cells=*/4);
+    EXPECT_THROW(queue.seed(plan), PreconditionError)
+        << "a segment queue must reject a per-cell re-seed";
+    queue.seed(plan, 1, /*segment_cells=*/4);  // same layout re-seeds fine
+  }
+}
+
+TEST(SegmentQueue, LegacyPerCellQueueStillDrainsAndMatches) {
+  const auto plan = plan_of(6);
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+
+  WorkQueue queue(scratch_dir("sq_legacy"), 60.0);
+  queue.seed(plan);  // no stamp: the pre-segment layout
+  EXPECT_EQ(queue.layout(), QueueLayout::kPerCell);
+
+  sweep::SweepOptions worker_options = options;
+  worker_options.threads = 2;
+  run_worker(queue, plan, worker_options, segment_worker("worker-a", 1));
+
+  // The census-backed counters fallback agrees with progress(), so status
+  // callers need not branch on the layout.
+  const auto counters = queue.counters();
+  const auto progress = queue.progress();
+  EXPECT_EQ(counters.layout, QueueLayout::kPerCell);
+  EXPECT_EQ(counters.done, progress.done);
+  EXPECT_EQ(counters.pending, progress.pending);
+  EXPECT_EQ(counters.total, plan.size());
+
+  std::ostringstream csv;
+  collect_csv(queue, plan, csv);
+  EXPECT_EQ(csv.str(), reference.csv)
+      << "the legacy layout must keep collecting byte-identically";
+}
+
+TEST(SegmentQueue, FailedCellsLandPerCellAndReseedRetriesThem) {
+  const auto plan = plan_of(6);
+  WorkQueue queue(scratch_dir("sq_failed"), 60.0);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+
+  // Drain one segment with its first cell failing, the way a worker
+  // would: claim, publish per cell, finish.
+  auto claim = queue.try_claim_batch("worker-a", 4);
+  ASSERT_TRUE(claim.has_value());
+  ASSERT_EQ(claim->indices.size(), 4u);
+  sweep::TaskResult failed;
+  failed.task = plan.cell(claim->indices.front());
+  failed.ok = false;
+  failed.error = "boom with detail";
+  queue.publish(failed, "worker-a");
+  for (std::size_t k = 1; k < claim->indices.size(); ++k) {
+    sweep::TaskResult result;
+    result.task = plan.cell(claim->indices[k]);
+    result.metrics = synthetic_runner().run_one(result.task);
+    queue.publish(result, "worker-a");
+  }
+  queue.finish(*claim);
+
+  ASSERT_TRUE(queue.result_ok(0).has_value());
+  EXPECT_FALSE(*queue.result_ok(0));
+  const auto loaded = queue.load_result(plan.cell(0));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->ok);
+  EXPECT_EQ(loaded->error, "boom with detail");
+  EXPECT_TRUE(fs::exists(fs::path(queue.dir()) / "failed" / "0000000000.cell"))
+      << "failed cells stay per-cell files so a re-seed can drop them";
+  EXPECT_EQ(queue.counters().failed, 1u);
+  EXPECT_EQ(queue.done_count(), 4u);
+
+  // Re-seeding drops the failure and re-enqueues only that cell for
+  // another attempt — same contract as the per-cell layout.
+  queue.seed(plan, 1, /*segment_cells=*/4);
+  EXPECT_FALSE(queue.result_ok(0).has_value());
+  const auto progress = queue.progress();
+  EXPECT_EQ(progress.done, 3u);
+  EXPECT_EQ(progress.pending, plan.size() - 3);
+}
+
+// ---- result log robustness ------------------------------------------------
+
+TEST(SegmentQueue, TornLogTailIsIgnoredByReadersAndTruncatedByTheWriter) {
+  const auto plan = plan_of(6);
+  const std::string dir = scratch_dir("sq_torn");
+  const std::size_t half = plan.size() / 2;
+  {
+    WorkQueue queue(dir, 60.0);
+    queue.seed(plan, 1, /*segment_cells=*/4);
+    for (std::size_t i = 0; i < half; ++i) {
+      sweep::TaskResult result;
+      result.task = plan.cell(i);
+      result.metrics = synthetic_runner().run_one(result.task);
+      queue.publish(result, "w1");
+    }
+  }  // dtor flushes w1's checkpoint
+
+  // A crash mid-append leaves a torn record at the log's tail.
+  const auto log = fs::path(dir) / "results" / "w1.rlog";
+  const auto sealed_bytes = fs::file_size(log);
+  {
+    std::ofstream out(log, std::ios::binary | std::ios::app);
+    out << "torn tail";
+  }
+
+  // A fresh reader must not consume the torn bytes...
+  {
+    WorkQueue reader(dir, 60.0);
+    EXPECT_EQ(reader.done_count(), half);
+  }
+
+  // ...and the writer's next attach validates from the checkpoint,
+  // truncates the tear, and appends cleanly after it.
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  const auto reference = reference_bytes(plan, options);
+  {
+    WorkQueue writer(dir, 60.0);
+    sweep::TaskResult result;
+    result.task = plan.cell(half);
+    result.metrics = synthetic_runner().run_one(result.task);
+    result.ok = true;
+    writer.publish(result, "w1");
+    EXPECT_GE(fs::file_size(log), sealed_bytes);
+    EXPECT_EQ(writer.done_count(), half + 1);
+    for (std::size_t i = half + 1; i < plan.size(); ++i) {
+      sweep::TaskResult rest;
+      rest.task = plan.cell(i);
+      rest.metrics = synthetic_runner().run_one(rest.task);
+      writer.publish(rest, "w1");
+    }
+    std::ostringstream csv;
+    collect_csv(writer, plan, csv);
+    EXPECT_EQ(csv.str(), reference.csv)
+        << "a torn tail must cost at most the unsealed record, never a "
+           "published one";
+  }
+}
+
+TEST(SegmentQueue, CountersAgreeWithTheExactCensusThroughoutADrain) {
+  const auto plan = plan_of(6);
+  WorkQueue queue(scratch_dir("sq_counters"), 60.0);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    sweep::TaskResult result;
+    result.task = plan.cell(i);
+    result.metrics = synthetic_runner().run_one(result.task);
+    queue.publish(result, "w1");
+    // The deep-verification invariant `bbrsweep status --deep` enforces:
+    // the cheap view never lags the store, and on a clean single-writer
+    // drain it is exact.
+    const auto counters = queue.counters();
+    EXPECT_EQ(counters.done, queue.done_count());
+    EXPECT_EQ(counters.total, plan.size());
+    EXPECT_EQ(counters.done + counters.pending + counters.active,
+              plan.size());
+  }
+}
+
+// ---- streaming collect memory ---------------------------------------------
+
+/// Discards everything written to it: the collectors' output sink when
+/// only their memory behavior is under test.
+struct NullBuffer : std::streambuf {
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+std::size_t vm_hwm_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoul(line.substr(6)));
+    }
+  }
+  return 0;
+}
+
+TEST(SegmentQueue, CollectPeakMemoryStaysFlatFrom1kTo100kCells) {
+  // Publish straight into the result logs (no claims — collect only reads
+  // results), then measure the peak-RSS delta the 100k-cell collect adds
+  // over the 1k one. The collectors decode logs through a bounded window
+  // and hold one row at a time, so the delta must stay far under the
+  // ~10 MB the 100k result log itself occupies times any buffering
+  // factor; a collector that accumulated decoded results would add
+  // tens of MB here.
+  const auto drain_into_null = [](const ExecutionPlan& plan,
+                                  const std::string& dir) {
+    WorkQueue queue(dir, 60.0);
+    queue.seed(plan, 1, /*segment_cells=*/1024);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      sweep::TaskResult result;
+      result.task = plan.cell(i);
+      result.metrics = synthetic_runner().run_one(result.task);
+      queue.publish(result, "bulk");
+    }
+    NullBuffer sink;
+    std::ostream out(&sink);
+    ASSERT_EQ(collect_csv(queue, plan, out), 0u);
+  };
+
+  const auto small = plan_of(500);  // 1k cells
+  ASSERT_EQ(small.size(), 1000u);
+  drain_into_null(small, scratch_dir("sq_rss_1k"));
+  const std::size_t hwm_after_small = vm_hwm_kb();
+  ASSERT_GT(hwm_after_small, 0u);
+
+  const auto big = plan_of(50000);  // 100k cells
+  ASSERT_EQ(big.size(), 100000u);
+  {
+    const std::string dir = scratch_dir("sq_rss_100k");
+    WorkQueue queue(dir, 60.0);
+    queue.seed(big, 1, /*segment_cells=*/1024);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      sweep::TaskResult result;
+      result.task = big.cell(i);
+      result.metrics = synthetic_runner().run_one(result.task);
+      queue.publish(result, "bulk");
+    }
+    // Everything above (plan expansion, seed, publishes) is in the
+    // baseline; only the collect below may raise the high-water mark.
+    const std::size_t hwm_before_collect = vm_hwm_kb();
+    NullBuffer sink;
+    std::ostream out(&sink);
+    ASSERT_EQ(collect_csv(queue, big, out), 0u);
+    const std::size_t delta_kb = vm_hwm_kb() - hwm_before_collect;
+    EXPECT_LT(delta_kb, 32u * 1024u)
+        << "a 100k-cell collect must stream, not buffer, its results";
+  }
+}
+
+// ---- fleet autoscaling ----------------------------------------------------
+
+TEST(Autoscale, DesiredSizeStepsWithinTheBandOneSlotAtATime) {
+  AutoscalePolicy policy;
+  policy.min_workers = 1;
+  policy.max_workers = 4;
+  ScaleInputs inputs;
+
+  // Below the floor always grows toward it, whatever the load says.
+  inputs.pending = 0;
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 0), 1u);
+
+  // No backlog drains toward the floor one step at a time.
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 4), 3u);
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 1), 1u);
+
+  // A backlog with no measured rate yet grows (workers warming up must
+  // not deadlock the fleet at its floor) — capped at max.
+  inputs.pending = 100;
+  inputs.cells_per_s = 0.0;
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 1), 2u);
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 4), 4u);
+
+  // A drain time over the up-threshold grows by exactly one.
+  inputs.pending = 1000;
+  inputs.cells_per_s = 10.0;  // 100 s backlog > 20 s
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 2), 3u);
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 4), 4u);
+
+  // Under the down-threshold shrinks by one, floored at min.
+  inputs.pending = 10;  // 1 s backlog < 4 s
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 3), 2u);
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 1), 1u);
+
+  // In the hysteresis band the fleet holds steady.
+  inputs.pending = 100;  // 10 s backlog within [4, 20]
+  EXPECT_EQ(desired_fleet_size(policy, inputs, 2), 2u);
+}
+
+TEST(Autoscale, GatherInputsSumsLiveRatesAndIgnoresDeadWorkers) {
+  const auto plan = plan_of(6);
+  WorkQueue queue(scratch_dir("sq_gather"), /*lease_s=*/60.0);
+  queue.seed(plan, 1, /*segment_cells=*/4);
+
+  // One claimed segment: 4 active cells, 8 pending.
+  const auto claim = queue.try_claim_batch("live-w", 4);
+  ASSERT_TRUE(claim.has_value());
+
+  WorkerStats live;
+  live.worker_id = "live-w";
+  live.completed = 4;
+  live.cells_per_s = 2.5;
+  queue.write_worker_stats(live);
+  WorkerStats dead;
+  dead.worker_id = "dead-w";
+  dead.completed = 1;
+  dead.cells_per_s = 100.0;
+  queue.write_worker_stats(dead);
+  // Age the dead worker's heartbeat past the lease.
+  const auto stats_file =
+      fs::path(queue.dir()) / "workers" / "dead-w.stats";
+  fs::last_write_time(stats_file, fs::last_write_time(stats_file) -
+                                      std::chrono::hours(1));
+
+  const auto inputs = gather_scale_inputs(queue);
+  EXPECT_EQ(inputs.active, 4u);
+  EXPECT_EQ(inputs.pending, plan.size() - 4);
+  EXPECT_DOUBLE_EQ(inputs.cells_per_s, 2.5)
+      << "a dead worker's stale rate must not suppress a scale-up";
+}
+
+}  // namespace
+}  // namespace bbrmodel::orchestrator

@@ -38,6 +38,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -67,7 +68,7 @@ Usage: bbrsweep [options]
        bbrsweep coordinator --queue-dir DIR [options]
        bbrsweep worker --queue-dir DIR [worker options]
        bbrsweep fleet --queue-dir DIR --workers N [fleet options]
-       bbrsweep status --queue-dir DIR
+       bbrsweep status --queue-dir DIR [--deep]
        bbrsweep merge (--csv OUT | --json OUT) [--plan FILE] FILE...
        bbrsweep cache (stats | gc --max-bytes N[K|M|G] | reindex)
                       [--cache-dir DIR]
@@ -173,6 +174,11 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       and a per-worker table (cells done, failures,
                       in-flight, cells/s, last heartbeat) from the stats
                       files workers refresh on every heartbeat tick.
+                      On a segment-layout queue the counts are O(1) —
+                      counters file + publish checkpoints, no readdir of
+                      pending/ or results/. --deep adds the full
+                      directory census and exits 2 if the O(1) view
+                      undercounts it (a damaged queue).
   --queue-dir DIR     the shared queue directory
   --lease S           claim lease: a cell whose worker misses heartbeats
                       for S seconds is re-enqueued (default 60)
@@ -184,6 +190,16 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       cells as one unit (coalescing pending singles),
                       publishing results per cell — a crash mid-batch
                       only re-enqueues the unfinished members
+  --segment-cells K   coordinator only: seed the *segment* queue layout —
+                      pending work in K-cell segments (one rename claims
+                      a whole segment), finished cells appended to
+                      per-worker binary result logs, O(1) status from a
+                      counters file. The filesystem holds O(cells/K)
+                      entries however big the plan; collect output stays
+                      byte-identical to the per-cell layout and to the
+                      single-process run. Queues seeded without this flag
+                      keep the per-cell layout; layouts never mix in one
+                      directory
   worker only:
   --worker-id ID      claim-file name ([A-Za-z0-9_-]; default host-pid)
   --max-cells N       publish at most N cells, then exit (0 = no limit;
@@ -201,6 +217,14 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       PATH (override with --remote-bbrsweep CMD)
   --max-strikes N     give a slot up after N consecutive deaths without
                       queue progress (default 5)
+  --autoscale MIN:MAX backlog-driven elasticity (replaces --workers): the
+                      fleet starts at MIN slots, grows one slot whenever
+                      the pending backlog would take > 20 s to drain at
+                      the live workers' aggregate cells/s, shrinks one
+                      once it falls under 4 s, never leaving [MIN, MAX].
+                      Scaled-down workers are SIGTERMed; lease recovery
+                      re-enqueues anything they held, so results are
+                      unchanged
   (--batch, --batch-cells, --threads, --cache-dir, --timeout, --retries,
    --lease, --skew-margin, --max-cells, --plan-wait forward to every
    worker)
@@ -443,12 +467,16 @@ struct Options {
   double poll_s = 0.5;
   /// Cells per pending batch entry the coordinator seeds (1 = singles).
   std::size_t batch = 1;
+  /// > 0 selects the segment queue layout with this many cells per
+  /// segment (coordinator only).
+  std::size_t segment_cells = 0;
   /// Fail-fast bookkeeping: queue-only flags given to a non-queue mode
   /// must error, not silently fall back.
   bool lease_given = false;
   bool poll_given = false;
   bool skew_given = false;
   bool batch_given = false;
+  bool segment_given = false;
 };
 
 Options parse_args(int argc, char** argv, int first) {
@@ -556,6 +584,13 @@ Options parse_args(int argc, char** argv, int first) {
       opt.batch = static_cast<std::size_t>(parse_count(next(i), "batch"));
       if (opt.batch == 0) fail("batch must be at least 1");
       opt.batch_given = true;
+    } else if (arg == "--segment-cells") {
+      opt.segment_cells =
+          static_cast<std::size_t>(parse_count(next(i), "segment cells"));
+      if (opt.segment_cells == 0) {
+        fail("segment cells must be at least 1");
+      }
+      opt.segment_given = true;
     } else if (arg == "--poll") {
       opt.poll_s = parse_positive_finite(next(i), "poll");
       opt.poll_given = true;
@@ -636,7 +671,16 @@ int run_merge(int argc, char** argv) {
   sweep::MergeContext context;
   std::optional<orchestrator::ExecutionPlan> plan;
   if (plan_path) {
-    plan = orchestrator::ExecutionPlan::parse(read_file_or_fail(*plan_path));
+    // A plan pulled out of a segment-layout queue carries the queue's
+    // layout stamp as its first line; the plan text proper follows it.
+    std::string plan_bytes = read_file_or_fail(*plan_path);
+    constexpr std::string_view kStampPrefix = "bbrm-queue-layout=";
+    if (plan_bytes.compare(0, kStampPrefix.size(), kStampPrefix) == 0) {
+      const auto eol = plan_bytes.find('\n');
+      plan_bytes.erase(0, eol == std::string::npos ? plan_bytes.size()
+                                                   : eol + 1);
+    }
+    plan = orchestrator::ExecutionPlan::parse(std::move(plan_bytes));
     context.expected_cells = plan->size();
     context.describe = [&plan](std::size_t index) {
       return plan->describe_cell(index);
@@ -804,7 +848,7 @@ int run_coordinator(int argc, char** argv) {
   const auto plan = build_plan(opt);
   orchestrator::WorkQueue queue(*opt.queue_dir, opt.lease_s,
                                 opt.skew_margin_s);
-  queue.seed(plan, opt.batch);
+  queue.seed(plan, opt.batch, opt.segment_cells);
   if (!opt.quiet) {
     std::fprintf(stderr,
                  "bbrsweep: seeded %zu cell(s) into %s (runner %s, lease "
@@ -812,18 +856,25 @@ int run_coordinator(int argc, char** argv) {
                  plan.size(), queue.dir().c_str(),
                  plan.runner_name().c_str(), opt.lease_s,
                  queue.skew_margin_s(),
-                 opt.batch > 1 ? ", batched" : "");
+                 opt.segment_cells > 0
+                     ? ", segment layout"
+                     : (opt.batch > 1 ? ", batched" : ""));
   }
 
   while (true) {
-    // Completion needs only the results count; the three-directory
-    // census and worker stats are display detail, skipped when --quiet.
+    // The watch line reads the O(1) counters view (on the segment layout:
+    // counters file + publish checkpoints, no readdir of pending/ or
+    // results/; on the per-cell layout it falls back to the census).
+    // The cheap done can overcount on benign double publishes, so
+    // completion is confirmed against the exact distinct-cell count
+    // before collecting — that cross-check is the coordinator's deep
+    // verification of the counters.
     std::size_t done;
     if (opt.quiet) {
       done = queue.done_count();
     } else {
-      const auto p = queue.progress();
-      done = p.done;
+      const auto c = queue.counters();
+      done = c.done;
       // The per-worker stats files double as a fleet dashboard: fold
       // them into the watch line so one terminal shows the whole run.
       std::size_t workers = 0;
@@ -836,9 +887,9 @@ int run_coordinator(int argc, char** argv) {
       std::fprintf(stderr,
                    "\rbbrsweep: %zu/%zu cell(s) done (%zu pending, %zu "
                    "active; %zu worker(s), %.1f cells/s)   ",
-                   p.done, plan.size(), p.pending, p.active, workers, rate);
+                   c.done, plan.size(), c.pending, c.active, workers, rate);
     }
-    if (done >= plan.size()) {
+    if (done >= plan.size() && queue.done_count() >= plan.size()) {
       if (!opt.quiet) std::fputc('\n', stderr);
       break;
     }
@@ -1014,6 +1065,24 @@ int run_fleet_cmd(int argc, char** argv) {
       fleet.max_strikes =
           static_cast<std::size_t>(parse_count(next(i), "max strikes"));
       if (fleet.max_strikes == 0) fail("max strikes must be at least 1");
+    } else if (arg == "--autoscale") {
+      const std::string value = next(i);
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        fail("--autoscale needs MIN:MAX (e.g. --autoscale 1:8)");
+      }
+      orchestrator::AutoscalePolicy policy;
+      policy.min_workers = static_cast<std::size_t>(
+          parse_count(value.substr(0, colon), "autoscale min"));
+      policy.max_workers = static_cast<std::size_t>(
+          parse_count(value.substr(colon + 1), "autoscale max"));
+      if (policy.min_workers == 0) {
+        fail("autoscale min must be at least 1");
+      }
+      if (policy.max_workers < policy.min_workers) {
+        fail("autoscale max must be at least the min");
+      }
+      fleet.autoscale = policy;
     } else if (arg == "--poll") {
       // The fleet monitor and its workers poll at the same cadence.
       const std::string value = next(i);
@@ -1051,17 +1120,25 @@ int run_fleet_cmd(int argc, char** argv) {
   if (!fleet.quiet) {
     std::fprintf(stderr,
                  "bbrsweep: fleet done — %zu spawn(s), %zu respawn(s), "
-                 "%zu abandoned slot(s), plan %s\n",
+                 "%zu abandoned slot(s), %zu scale-up(s), %zu "
+                 "scale-down(s), plan %s\n",
                  report.spawned, report.respawned, report.abandoned_slots,
+                 report.scale_ups, report.scale_downs,
                  report.completed ? "complete" : "incomplete");
   }
   return report.completed ? 0 : 1;
 }
 
-/// `bbrsweep status --queue-dir DIR`: one live snapshot of a queue — plan
-/// and cell counts plus the per-worker stats table.
+/// `bbrsweep status --queue-dir DIR [--deep]`: one live snapshot of a
+/// queue — plan and cell counts plus the per-worker stats table. The
+/// default snapshot is O(1) on the segment layout: the plan header comes
+/// from a bounded prefix read and the counts from the counters file plus
+/// publish checkpoints — no readdir of pending/ or results/. `--deep`
+/// additionally walks the store and cross-checks the cheap counters
+/// against the exact census, exiting 2 when they disagree.
 int run_status(int argc, char** argv) {
   std::optional<std::string> queue_dir;
+  bool deep = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") {
@@ -1070,6 +1147,8 @@ int run_status(int argc, char** argv) {
     } else if (arg == "--queue-dir") {
       if (i + 1 >= argc) fail(arg + " needs a value");
       queue_dir = argv[++i];
+    } else if (arg == "--deep") {
+      deep = true;
     } else {
       fail("unknown status option: " + arg);
     }
@@ -1088,15 +1167,61 @@ int run_status(int argc, char** argv) {
     std::printf("queue %s: no plan seeded yet\n", queue.dir().c_str());
     return 0;
   }
-  const auto plan = queue.load_plan();
-  const auto progress = queue.progress();
+  // Plan header from the file's first few lines (past any layout stamp):
+  // status must not deserialize a million-cell plan just to print its
+  // size and runner.
+  std::size_t plan_cells = 0;
+  std::string runner = "?";
+  {
+    std::ifstream in(queue.dir() + "/plan.bbrplan", std::ios::binary);
+    std::string prefix(4096, '\0');
+    in.read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+    prefix.resize(static_cast<std::size_t>(in.gcount()));
+    constexpr std::string_view kStampPrefix = "bbrm-queue-layout=";
+    if (prefix.compare(0, kStampPrefix.size(), kStampPrefix) == 0) {
+      const auto eol = prefix.find('\n');
+      prefix.erase(0, eol == std::string::npos ? prefix.size() : eol + 1);
+    }
+    try {
+      const auto header = orchestrator::ExecutionPlan::peek_header(prefix);
+      plan_cells = header.cells;
+      runner = header.runner;
+    } catch (const std::exception&) {
+      const auto plan = queue.load_plan();
+      plan_cells = plan.size();
+      runner = plan.runner_name();
+    }
+  }
+  const auto counters = queue.counters();
   std::printf("queue %s\n", queue.dir().c_str());
   std::printf("plan: %zu cell(s), runner %s, lease %g s (+%g s skew "
               "margin)\n",
-              plan.size(), plan.runner_name().c_str(), queue.lease_s(),
+              plan_cells, runner.c_str(), queue.lease_s(),
               queue.skew_margin_s());
-  std::printf("cells: %zu done, %zu pending, %zu active\n", progress.done,
-              progress.pending, progress.active);
+  if (counters.layout == orchestrator::QueueLayout::kSegment) {
+    std::printf("layout: segment (%zu cells/segment)\n",
+                counters.segment_cells);
+  }
+  std::printf("cells: %zu done, %zu pending, %zu active\n", counters.done,
+              counters.pending, counters.active);
+  if (deep) {
+    // The cheap view may overcount done on benign duplicate publishes
+    // but must never lag the store: a cheap count under the exact
+    // distinct-cell census means lost checkpoints or a corrupt counters
+    // file, and downstream completion gates would stall on it.
+    const auto census = queue.progress();
+    const std::size_t exact_done = queue.done_count();
+    std::printf("deep: census %zu done, %zu pending, %zu active; "
+                "%zu distinct result(s)\n",
+                census.done, census.pending, census.active, exact_done);
+    if (counters.done < exact_done) {
+      std::printf("deep: FAIL — counters report %zu done, store holds "
+                  "%zu\n",
+                  counters.done, exact_done);
+      return 2;
+    }
+    std::printf("deep: counters consistent with store\n");
+  }
   const auto workers = queue.read_worker_stats();
   if (workers.empty()) {
     std::printf("workers: none reported yet\n");
@@ -1117,10 +1242,10 @@ int run_status(int argc, char** argv) {
 int run_plan(int argc, char** argv) {
   Options opt = parse_args(argc, argv, /*first=*/2);
   if (opt.queue_dir || opt.lease_given || opt.poll_given || opt.skew_given ||
-      opt.batch_given) {
+      opt.batch_given || opt.segment_given) {
     fail("plan never touches a queue; drop "
-         "--queue-dir/--lease/--skew-margin/--batch/--poll or use "
-         "`bbrsweep coordinator`");
+         "--queue-dir/--lease/--skew-margin/--batch/--segment-cells/--poll "
+         "or use `bbrsweep coordinator`");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
@@ -1172,9 +1297,9 @@ int main(int argc, char** argv) try {
          "(and `bbrsweep worker`) instead");
   }
   if (opt.lease_given || opt.poll_given || opt.skew_given ||
-      opt.batch_given) {
-    fail("--lease/--skew-margin/--batch/--poll only apply to the "
-         "coordinator, worker, and fleet subcommands");
+      opt.batch_given || opt.segment_given) {
+    fail("--lease/--skew-margin/--batch/--segment-cells/--poll only apply "
+         "to the coordinator, worker, and fleet subcommands");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
