@@ -23,6 +23,8 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sweep/cell_cache.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
@@ -312,6 +314,68 @@ int main() {
     return 1;
   }
 
+  // ---- telemetry off-cost gate --------------------------------------------
+  // Every cell pays the instrumentation hooks even with tracing disabled:
+  // a handful of dead-Span constructions (one relaxed load + branch each)
+  // and always-on registry updates. Price the primitives in tight loops
+  // (Span's constructor lives in another TU, so the calls can't fold away
+  // without LTO; counter/histogram updates are atomics with side effects)
+  // and bound the per-cell cost against the fastest runner — the reduced
+  // closed-form cells, whose microsecond runtimes leave the least room to
+  // hide overhead in.
+  obs::Tracer::global().flush();  // make sure spans take the disabled path
+  const auto bench_ns = [&](auto&& fn) {
+    constexpr std::size_t kIters = 2'000'000;
+    const double t0 = wall_now();
+    for (std::size_t i = 0; i < kIters; ++i) fn(i);
+    return (wall_now() - t0) * 1e9 / static_cast<double>(kIters);
+  };
+  const double span_ns =
+      bench_ns([](std::size_t) { obs::Span span("bench-span", "bench"); });
+  // Price the single-writer shards the per-cell path actually uses, not
+  // the CAS-looped shared cells reserved for rare events.
+  auto& bench_counter =
+      obs::Registry::global().counter("bench.counter").shard();
+  const double counter_ns =
+      bench_ns([&](std::size_t) { bench_counter.add(); });
+  auto& bench_hist = obs::Registry::global().histogram("bench.hist").shard();
+  const double hist_ns = bench_ns(
+      [&](std::size_t i) { bench_hist.observe(static_cast<double>(i & 1023)); });
+
+  // A scalar cell's instrumentation budget: the run + cache-probe spans,
+  // the cells + cache-hit/miss counter bumps, and the wall-time histogram
+  // observation (engine-layer counters amortize over whole batches).
+  const double trace_off_cell_ns =
+      2.0 * span_ns + 2.0 * counter_ns + 1.0 * hist_ns;
+  double fastest_cell_ns = 0.0;
+  for (const auto& g : gauges) {
+    const double per_cell_ns = 1e9 / g.cells_per_s;
+    if (fastest_cell_ns == 0.0 || per_cell_ns < fastest_cell_ns) {
+      fastest_cell_ns = per_cell_ns;
+    }
+  }
+  const double trace_off_overhead_pct =
+      100.0 * trace_off_cell_ns / fastest_cell_ns;
+
+  std::printf("%s", banner("Telemetry cost with tracing off").c_str());
+  Table trace_table({"primitive", "ns/op"});
+  trace_table.add_row({"dead span", format_double(span_ns, 2)});
+  trace_table.add_row({"counter add", format_double(counter_ns, 2)});
+  trace_table.add_row({"histogram observe", format_double(hist_ns, 2)});
+  std::printf("%s\n", trace_table.to_string().c_str());
+  std::printf("per-cell instrumentation: %.0f ns = %.3f%% of the fastest "
+              "cell (%.0f ns)\n\n",
+              trace_off_cell_ns, trace_off_overhead_pct, fastest_cell_ns);
+
+  const double kMaxTraceOverheadPct = 2.0;
+  if (!(trace_off_overhead_pct <= kMaxTraceOverheadPct)) {
+    std::fprintf(stderr,
+                 "FAIL: tracing-disabled instrumentation costs %.3f%% of "
+                 "the fastest cell, need <= %.1f%%\n",
+                 trace_off_overhead_pct, kMaxTraceOverheadPct);
+    return 1;
+  }
+
   std::ofstream json_out("BENCH_sweep.json");
   JsonWriter j(json_out);
   j.begin_object();
@@ -351,6 +415,11 @@ int main() {
   j.key("adaptive_knee_dense_bdp").value(dense_knee);
   j.key("adaptive_knee_bdp").value(adaptive_knee);
   j.key("adaptive_knee_abs_err_bdp").value(knee_err);
+  j.key("trace_off_span_ns").value(span_ns);
+  j.key("trace_off_counter_ns").value(counter_ns);
+  j.key("trace_off_hist_ns").value(hist_ns);
+  j.key("trace_off_cell_ns").value(trace_off_cell_ns);
+  j.key("trace_off_overhead_pct").value(trace_off_overhead_pct);
   j.key("deterministic").value(true);
   j.end_object();
   json_out << '\n';

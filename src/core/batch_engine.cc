@@ -603,6 +603,20 @@ double BatchFluidEngine::now(std::size_t cell) const {
   return static_cast<double>(c.step_count) * c.config.step_s;
 }
 
+std::size_t BatchFluidEngine::total_steps() const {
+  std::size_t steps = 0;
+  for (const auto& c : cells_) steps += static_cast<std::size_t>(c->step_count);
+  return steps;
+}
+
+std::size_t BatchFluidEngine::total_rhs_evals() const {
+  std::size_t evals = 0;
+  for (const auto& c : cells_) {
+    evals += static_cast<std::size_t>(c->step_count) * c->n_agents;
+  }
+  return evals;
+}
+
 std::size_t BatchFluidEngine::num_agents(std::size_t cell) const {
   BBRM_REQUIRE(cell < cells_.size());
   return cells_[cell]->n_agents;

@@ -55,6 +55,11 @@ class BatchFluidEngine {
   /// Advance every cell by `duration` seconds in lockstep.
   void run(double duration);
 
+  /// Solver-work totals across every cell, mirroring FluidSimulation's
+  /// steps()/rhs_evals() (telemetry span args for batched runs).
+  std::size_t total_steps() const;
+  std::size_t total_rhs_evals() const;
+
   // Per-cell accessors mirroring FluidSimulation (bit-identical values).
   double now(std::size_t cell) const;
   std::size_t num_agents(std::size_t cell) const;

@@ -39,6 +39,12 @@ class FluidSimulation {
 
   double now() const { return static_cast<double>(step_count_) * config_.step_s; }
 
+  /// Steps taken so far; each step evaluates every agent's rate dynamics
+  /// once, so rhs_evals() = steps() × num_agents(). Telemetry spans attach
+  /// these so traces show solver work, not just wall time.
+  std::size_t steps() const { return step_count_; }
+  std::size_t rhs_evals() const { return step_count_ * agents_.size(); }
+
   const net::Topology& topology() const { return topology_; }
   const FluidConfig& config() const { return config_; }
   std::size_t num_agents() const { return agents_.size(); }

@@ -1,0 +1,98 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace bbrmodel::obs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+std::mutex& tag_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::string& tag_storage() {
+  static std::string tag;
+  return tag;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_tag(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(tag_mutex());
+  tag_storage() = tag;
+}
+
+void log(LogLevel level, const char* format, ...) {
+  std::va_list args;
+  va_start(args, format);
+  vlog(level, format, args);
+  va_end(args);
+}
+
+void vlog(LogLevel level, const char* format, std::va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed) ||
+      level == LogLevel::kOff) {
+    return;
+  }
+  std::string prefix = "bbrsweep";
+  {
+    std::lock_guard<std::mutex> lock(tag_mutex());
+    if (!tag_storage().empty()) prefix += "[" + tag_storage() + "]";
+  }
+  prefix += level == LogLevel::kInfo
+                ? ": "
+                : std::string(" ") + log_level_name(level) + ": ";
+
+  std::va_list measure;
+  va_copy(measure, args);
+  const int body_len = std::vsnprintf(nullptr, 0, format, measure);
+  va_end(measure);
+  if (body_len < 0) return;
+
+  std::vector<char> line(prefix.size() + static_cast<std::size_t>(body_len) + 2);
+  std::memcpy(line.data(), prefix.data(), prefix.size());
+  std::vsnprintf(line.data() + prefix.size(),
+                 static_cast<std::size_t>(body_len) + 1, format, args);
+  line[line.size() - 2] = '\n';
+  line[line.size() - 1] = '\0';
+  // One fwrite per line so concurrent worker processes can't interleave
+  // mid-message on a shared stderr.
+  std::fwrite(line.data(), 1, line.size() - 1, stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace bbrmodel::obs

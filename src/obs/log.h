@@ -1,0 +1,34 @@
+// Leveled stderr logging for multi-process runs. Fleet coordinators and
+// queue workers interleave on one terminal (or one captured CI log), so
+// every line carries the program name, an optional per-process tag (the
+// worker id), and the level: `bbrsweep[w1] info: claimed 64 cells`.
+// Each message is written with a single fwrite so concurrent processes
+// cannot shear each other's lines.
+#pragma once
+
+#include <cstdarg>
+#include <optional>
+#include <string>
+
+namespace bbrmodel::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Messages below `level` are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// "debug" / "info" / "warn" / "error" / "off" → level; nullopt otherwise.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+const char* log_level_name(LogLevel level);
+
+/// Tag prepended to every line in brackets (the worker id, or "fleet-..."
+/// for the fleet monitor). Empty (the default) omits the brackets.
+void set_log_tag(const std::string& tag);
+
+/// printf-style; a trailing newline is appended.
+void log(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+void vlog(LogLevel level, const char* format, std::va_list args);
+
+}  // namespace bbrmodel::obs

@@ -1,0 +1,367 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace bbrmodel::obs {
+namespace {
+
+/// Shortest exact round-trip rendering for snapshot files.
+std::string exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  if (parsed == v) {
+    // Try to shorten: most metric values are small integers or neat sums.
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  // floor(log2 v) straight from the IEEE-754 exponent field — the hot
+  // path can't afford a libm frexp call. Subnormals (biased exponent 0)
+  // are below every finite bucket floor and clamp to bucket 1 with the
+  // rest of the tiny values.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+  const int index = biased == 0 ? 0 : 32 + (biased - 1023);
+  // Positive values clamp to the edge buckets; bucket 0 stays reserved
+  // for non-positive observations.
+  if (index < 1) return 1;
+  if (index >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double Histogram::bucket_floor(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 32);
+}
+
+Counter::Shard& Counter::shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+std::uint64_t Counter::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = base_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    total += shard->value_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Shard::observe(double v) {
+  if (std::isnan(v)) return;
+  const std::size_t bucket = bucket_of(v);
+  counts_[bucket].store(counts_[bucket].load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  sum_.store(sum_.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+  if (v < min_.load(std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+  }
+  if (v > max_.load(std::memory_order_relaxed)) {
+    max_.store(v, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  base_.counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(base_.sum_, v);
+  atomic_min(base_.min_, v);
+  atomic_max(base_.max_, v);
+}
+
+Histogram::Shard& Histogram::shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    total += base_.counts_[i].load(std::memory_order_relaxed);
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      total += shard->counts_[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = base_.sum_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    total += shard->sum_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::fold(MetricValue& value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t counts[kBuckets] = {};
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  const auto fold_shard = [&](const Shard& shard) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts[i] += shard.counts_[i].load(std::memory_order_relaxed);
+    }
+    sum += shard.sum_.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min_.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max_.load(std::memory_order_relaxed));
+  };
+  fold_shard(base_);
+  for (const auto& shard : shards_) fold_shard(*shard);
+
+  value.kind = MetricKind::kHistogram;
+  value.count = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    value.count += counts[i];
+    if (counts[i] > 0) value.buckets.emplace_back(i, counts[i]);
+  }
+  value.sum = sum;
+  if (value.count > 0) {
+    value.min = min;
+    value.max = max;
+  }
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricKind::kCounter;
+    v.count = counter->value();
+    out.entries.push_back(std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricKind::kGauge;
+    v.value = gauge->value();
+    out.entries.push_back(std::move(v));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    hist->fold(v);
+    out.entries.push_back(std::move(v));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+std::string render_metrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out += "counter " + entry.name + " " + std::to_string(entry.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "gauge " + entry.name + " " + exact_double(entry.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "hist " + entry.name + " " + std::to_string(entry.count) + " " +
+               exact_double(entry.sum) + " " + exact_double(entry.min) + " " +
+               exact_double(entry.max);
+        for (const auto& [bucket, n] : entry.buckets) {
+          out += " " + std::to_string(bucket) + ":" + std::to_string(n);
+        }
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<MetricsSnapshot> parse_metrics(const std::string& text) {
+  MetricsSnapshot out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind, name;
+    if (!(fields >> kind >> name)) return std::nullopt;
+    MetricValue v;
+    v.name = name;
+    std::string extra;
+    if (kind == "counter") {
+      std::string value;
+      if (!(fields >> value) || !parse_u64(value, &v.count)) return std::nullopt;
+      if (fields >> extra) return std::nullopt;
+      v.kind = MetricKind::kCounter;
+    } else if (kind == "gauge") {
+      std::string value;
+      if (!(fields >> value) || !parse_double(value, &v.value)) return std::nullopt;
+      if (fields >> extra) return std::nullopt;
+      v.kind = MetricKind::kGauge;
+    } else if (kind == "hist") {
+      std::string count, sum, min, max;
+      if (!(fields >> count >> sum >> min >> max) ||
+          !parse_u64(count, &v.count) || !parse_double(sum, &v.sum) ||
+          !parse_double(min, &v.min) || !parse_double(max, &v.max)) {
+        return std::nullopt;
+      }
+      v.kind = MetricKind::kHistogram;
+      std::string pair;
+      while (fields >> pair) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        std::uint64_t bucket = 0;
+        std::uint64_t n = 0;
+        if (!parse_u64(pair.substr(0, colon), &bucket) ||
+            !parse_u64(pair.substr(colon + 1), &n) ||
+            bucket >= Histogram::kBuckets) {
+          return std::nullopt;
+        }
+        v.buckets.emplace_back(static_cast<std::size_t>(bucket), n);
+      }
+    } else {
+      return std::nullopt;
+    }
+    out.entries.push_back(std::move(v));
+  }
+  return out;
+}
+
+void write_metrics_json(JsonWriter& json, const MetricsSnapshot& snapshot) {
+  json.begin_object();
+  for (const auto& entry : snapshot.entries) {
+    json.key(entry.name);
+    json.begin_object();
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        json.key("kind");
+        json.value("counter");
+        json.key("value");
+        json.value(entry.count);
+        break;
+      case MetricKind::kGauge:
+        json.key("kind");
+        json.value("gauge");
+        json.key("value");
+        json.value(entry.value);
+        break;
+      case MetricKind::kHistogram:
+        json.key("kind");
+        json.value("histogram");
+        json.key("count");
+        json.value(entry.count);
+        json.key("sum");
+        json.value(entry.sum);
+        json.key("min");
+        json.value(entry.min);
+        json.key("max");
+        json.value(entry.max);
+        json.key("mean");
+        json.value(entry.mean());
+        break;
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace bbrmodel::obs

@@ -1,0 +1,178 @@
+// Named counters, gauges, and histograms with atomic snapshots.
+//
+// Metric objects live forever inside a Registry (pointers returned by
+// counter()/gauge()/histogram() are stable), so hot paths cache a
+// reference once and pay a relaxed atomic add per update. Snapshots are
+// rendered to a deterministic line-based text format that round-trips
+// without a JSON parser — workers write `workers/<id>.metrics` next to
+// their stats file, and `bbrsweep status --metrics` / `--json` read
+// them back on whatever host runs the dashboard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bbrmodel {
+class JsonWriter;
+}
+
+namespace bbrmodel::obs {
+
+struct MetricValue;
+
+class Counter {
+ public:
+  /// A single-writer cell: owned by exactly one thread, so add() is a
+  /// relaxed load + store (~2 ns) instead of an atomic RMW (~7 ns).
+  /// Readers see it through Counter::value()/Registry::snapshot() with
+  /// metric-grade freshness (relaxed loads). Obtain one per thread via
+  /// shard() and cache the reference — shards live as long as the Counter.
+  class Shard {
+   public:
+    void add(std::uint64_t n = 1) {
+      value_.store(value_.load(std::memory_order_relaxed) + n,
+                   std::memory_order_relaxed);
+    }
+
+   private:
+    friend class Counter;
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  /// Shared-cell update: safe from any thread, pays the RMW. Fine for
+  /// per-batch or rare events; per-cell hot paths use a shard.
+  void add(std::uint64_t n = 1) { base_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Register and return a cell this thread alone may add() to. Cache the
+  /// reference (e.g. in a function-local thread_local): registration takes
+  /// the lock, updates never do.
+  Shard& shard();
+
+  /// base + all shards.
+  std::uint64_t value() const;
+
+ private:
+  std::atomic<std::uint64_t> base_{0};
+  mutable std::mutex mutex_;  // guards shards_ growth vs value()
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed histogram: bucket i (1..63) holds values in
+/// [2^(i-32), 2^(i-31)); bucket 0 holds non-positive values. That spans
+/// ~2e-10 .. 4e9, wide enough for seconds-scale latencies and counts
+/// alike without any per-histogram configuration.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t bucket_of(double v);
+  /// Inclusive lower bound of bucket `i` (0 for the underflow bucket).
+  static double bucket_floor(std::size_t i);
+
+  /// One histogram's worth of single-writer cells (see Counter::Shard):
+  /// observe() is plain loads and stores — no RMW, no CAS loop — because
+  /// only the owning thread writes. The sample count is derived from the
+  /// bucket counts at snapshot time, so observe() touches exactly one
+  /// bucket, the sum, and (rarely) min/max.
+  class Shard {
+   public:
+    void observe(double v);
+
+   private:
+    friend class Histogram;
+    std::atomic<std::uint64_t> counts_[kBuckets] = {};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  };
+
+  /// Shared-cell observation: safe from any thread (CAS loops on the
+  /// aggregates). Per-cell hot paths use a shard instead.
+  void observe(double v);
+
+  /// Register and return a cell this thread alone may observe() into.
+  Shard& shard();
+
+  std::uint64_t count() const;  ///< total samples, base + shards
+  double sum() const;
+
+ private:
+  friend class Registry;
+
+  /// Aggregate base + shards into a snapshot entry (count derived from
+  /// the merged bucket totals; min/max only set when count > 0).
+  void fold(MetricValue& value) const;
+
+  Shard base_;  // the CAS-updated shared cell reuses the shard layout
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value, or histogram sample count
+  double value = 0.0;       // gauge value
+  double sum = 0.0;         // histogram aggregates
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;  // non-empty only
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> entries;  // sorted by name
+
+  const MetricValue* find(const std::string& name) const;
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry every instrumented layer records into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One metric per line, deterministic order:
+///   counter <name> <value>
+///   gauge <name> <value>
+///   hist <name> <count> <sum> <min> <max> [<bucket>:<n> ...]
+std::string render_metrics(const MetricsSnapshot& snapshot);
+/// Exact inverse of render_metrics; nullopt on any malformed line.
+std::optional<MetricsSnapshot> parse_metrics(const std::string& text);
+
+/// Emit the snapshot as a JSON object {name: {...}} into an open writer.
+void write_metrics_json(JsonWriter& json, const MetricsSnapshot& snapshot);
+
+}  // namespace bbrmodel::obs

@@ -1,0 +1,295 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/atomic_io.h"
+#include "common/json.h"
+
+namespace bbrmodel::obs {
+namespace {
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t unix_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_event_json(std::string& out, const TraceEvent& event) {
+  out += "{\"name\":";
+  out += json_quote(event.name);
+  out += ",\"cat\":";
+  out += json_quote(event.cat);
+  out += ",\"ph\":\"X\",\"pid\":0,\"tid\":";
+  out += std::to_string(event.tid);
+  out += ",\"ts\":";
+  out += std::to_string(event.ts_us);
+  out += ",\"dur\":";
+  out += std::to_string(event.dur_us);
+  if (!event.args.empty()) {
+    out += ",\"args\":{";
+    out += event.args;
+    out += "}";
+  }
+  out += "}";
+}
+
+/// Find the unsigned integer following `"key":` in `line`; returns npos
+/// when absent. `*len` receives the digit-run length.
+std::size_t find_u64_field(const std::string& line, const char* key,
+                           std::size_t* len) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  const std::size_t digits = at + needle.size();
+  std::size_t end = digits;
+  while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+  if (end == digits) return std::string::npos;
+  *len = end - digits;
+  return digits;
+}
+
+bool rewrite_u64_field(std::string& line, const char* key, std::uint64_t value) {
+  std::size_t len = 0;
+  const std::size_t at = find_u64_field(line, key, &len);
+  if (at == std::string::npos) return false;
+  line.replace(at, len, std::to_string(value));
+  return true;
+}
+
+bool read_u64_field(const std::string& line, const char* key,
+                    std::uint64_t* value) {
+  std::size_t len = 0;
+  const std::size_t at = find_u64_field(line, key, &len);
+  if (at == std::string::npos) return false;
+  *value = std::strtoull(line.substr(at, len).c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(const std::string& path, const std::string& track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = path;
+  track_ = track.empty() ? "bbrsweep" : track;
+  start_steady_us_ = steady_now_us();
+  start_unix_us_ = unix_now_us();
+  buffers_.clear();
+  next_tid_ = 1;  // tid 0 carries the process_name metadata event
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+std::uint64_t Tracer::now_us() const {
+  const std::uint64_t now = steady_now_us();
+  return now > start_steady_us_ ? now - start_steady_us_ : 0;
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  thread_local std::uint64_t local_generation = 0;
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (local == nullptr || local_generation != generation) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fresh->tid = next_tid_++;
+      buffers_.push_back(fresh);
+    }
+    local = std::move(fresh);
+    local_generation = generation;
+  }
+  return *local;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+bool Tracer::flush() {
+  if (!enabled_.exchange(false, std::memory_order_acq_rel)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    events.insert(events.end(),
+                  std::make_move_iterator(buffer->events.begin()),
+                  std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  // Per-track chronological order: merged timelines promise monotone
+  // timestamps within each (pid, tid) track.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string shard;
+  shard.reserve(events.size() * 96 + 256);
+  shard += "{\"otherData\":{\"track\":";
+  shard += json_quote(track_);
+  shard += ",\"startUnixUs\":";
+  shard += std::to_string(start_unix_us_);
+  shard += "},\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  shard += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":";
+  shard += json_quote(track_);
+  shard += "}}\n";
+  for (const TraceEvent& event : events) {
+    shard += ",";
+    append_event_json(shard, event);
+    shard += "\n";
+  }
+  shard += "]}\n";
+
+  try {
+    write_file_atomically(path_, shard, "trace shard");
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+Span::Span(const char* name, const char* cat) : name_(name), cat_(cat) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  live_ = true;
+  start_us_ = tracer.now_us();
+}
+
+Span::~Span() {
+  if (!live_) return;
+  Tracer& tracer = Tracer::global();
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.ts_us = start_us_;
+  const std::uint64_t end_us = tracer.now_us();
+  event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.args = std::move(args_);
+  tracer.record(std::move(event));
+}
+
+void Span::arg(const char* key, std::uint64_t v) {
+  if (!live_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += json_quote(key) + ":" + std::to_string(v);
+}
+
+void Span::arg(const char* key, double v) {
+  if (!live_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += json_quote(key) + ":" + json_number(v);
+}
+
+void Span::arg(const char* key, const char* v) {
+  if (!live_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += json_quote(key) + ":" + json_quote(v);
+}
+
+TraceMergeReport merge_trace_shards(const std::vector<std::string>& shard_paths,
+                                    std::ostream& out) {
+  struct Shard {
+    std::uint64_t start_unix_us = 0;
+    std::vector<std::string> events;
+  };
+  std::vector<Shard> shards;
+  std::uint64_t min_start = 0;
+  for (const std::string& path : shard_paths) {
+    const auto text = read_text_file(path);
+    if (!text.has_value()) {
+      throw std::runtime_error("cannot read trace shard: " + path);
+    }
+    Shard shard;
+    std::size_t pos = 0;
+    bool saw_header = false;
+    bool saw_footer = false;
+    while (pos < text->size()) {
+      std::size_t eol = text->find('\n', pos);
+      if (eol == std::string::npos) eol = text->size();
+      std::string line = text->substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (!saw_header) {
+        if (!read_u64_field(line, "startUnixUs", &shard.start_unix_us)) {
+          throw std::runtime_error("malformed trace shard header: " + path);
+        }
+        saw_header = true;
+        continue;
+      }
+      if (line == "]}") {
+        saw_footer = true;
+        break;
+      }
+      if (line[0] == ',') line.erase(0, 1);
+      shard.events.push_back(std::move(line));
+    }
+    if (!saw_header || !saw_footer) {
+      throw std::runtime_error("malformed (torn?) trace shard: " + path);
+    }
+    if (shards.empty() || shard.start_unix_us < min_start) {
+      min_start = shard.start_unix_us;
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  TraceMergeReport report;
+  report.shards = shards.size();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t pid = 0; pid < shards.size(); ++pid) {
+    const std::uint64_t offset = shards[pid].start_unix_us - min_start;
+    for (std::string& line : shards[pid].events) {
+      rewrite_u64_field(line, "pid", pid);
+      std::uint64_t ts = 0;
+      if (read_u64_field(line, "ts", &ts)) {
+        // Metadata ("ph":"M") events carry no ts and stay untouched.
+        rewrite_u64_field(line, "ts", ts + offset);
+      }
+      out << (first ? "" : ",") << line << "\n";
+      first = false;
+      ++report.events;
+    }
+  }
+  out << "]}\n";
+  return report;
+}
+
+bool trace_env_on() {
+  const char* value = std::getenv("BBRM_TRACE");
+  return value != nullptr && value[0] != '\0' && std::strcmp(value, "0") != 0;
+}
+
+std::string trace_env_path(const std::string& fallback) {
+  const char* value = std::getenv("BBRM_TRACE");
+  if (value != nullptr && value[0] != '\0' && std::strcmp(value, "0") != 0 &&
+      std::strcmp(value, "1") != 0) {
+    return value;
+  }
+  return fallback;
+}
+
+}  // namespace bbrmodel::obs

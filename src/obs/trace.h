@@ -1,0 +1,124 @@
+// Execution spans flushed as Chrome trace-event JSON.
+//
+// `Span` is an RAII scope recorded on the process-wide `Tracer`: each one
+// becomes a "ph":"X" complete event with microsecond ts/dur on a per-thread
+// track, buffered in thread-local vectors (one mutex-free append per span)
+// and written out by `Tracer::flush()` as a shard that loads directly in
+// Perfetto / chrome://tracing. Workers write `workers/<id>.trace` into the
+// shared queue directory; `merge_trace_shards` (the `bbrsweep trace`
+// subcommand) rebases every shard onto one wall-clock origin via the start
+// stamp recorded in its header and maps worker → Chrome pid, producing a
+// single fleet-wide timeline.
+//
+// Tracing is opt-in (`--trace` / BBRM_TRACE). While disabled, constructing
+// a Span is one relaxed atomic load and a branch — nothing is timed,
+// allocated, or buffered — and trace data only ever lands in side files,
+// so result CSV/JSON stay byte-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bbrmodel::obs {
+
+struct TraceEvent {
+  const char* name = "";  // static-storage string literals only
+  const char* cat = "";
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::string args;  // pre-rendered JSON members ("\"cells\":64"), or empty
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Start recording. `path` is where flush() writes the shard; `track`
+  /// names this process in merged timelines (the worker id; "bbrsweep"
+  /// for plain runs). Stamps the monotonic zero and the wall-clock start
+  /// used for cross-worker rebasing. Re-enabling discards buffered events.
+  void enable(const std::string& path, const std::string& track);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stop recording and write the shard (atomic rename, so a crashed
+  /// worker never leaves a torn trace). Returns false if tracing was
+  /// never enabled or the write failed. Idempotent.
+  bool flush();
+
+  /// Microseconds since enable() on the monotonic clock.
+  std::uint64_t now_us() const;
+  std::uint64_t start_unix_us() const { return start_unix_us_; }
+  const std::string& path() const { return path_; }
+
+  void record(TraceEvent event);
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  // Bumped by enable(); thread-local buffer handles re-register when they
+  // notice a newer generation, so re-enabling starts from a clean slate.
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex mutex_;  // guards path_/track_/buffers_ and flush vs enable
+  std::string path_;
+  std::string track_;
+  std::uint64_t start_steady_us_ = 0;
+  std::uint64_t start_unix_us_ = 0;
+  std::uint32_t next_tid_ = 0;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span on the global tracer. Costs one relaxed load when tracing is
+/// off; `arg()` calls on a dead span are no-ops.
+class Span {
+ public:
+  /// `name`/`cat` must be string literals (stored by pointer).
+  explicit Span(const char* name, const char* cat = "sweep");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, std::uint64_t v);
+  void arg(const char* key, double v);
+  void arg(const char* key, const char* v);
+  bool live() const { return live_; }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_us_ = 0;
+  std::string args_;
+  bool live_ = false;
+};
+
+struct TraceMergeReport {
+  std::size_t shards = 0;
+  std::size_t events = 0;
+};
+
+/// Merge per-worker shards (in the given order; callers sort by worker id)
+/// into one Chrome-trace JSON document: worker k becomes pid k, timestamps
+/// are rebased so every track shares the earliest worker's origin. Throws
+/// std::runtime_error on an unreadable or malformed shard.
+TraceMergeReport merge_trace_shards(const std::vector<std::string>& shard_paths,
+                                    std::ostream& out);
+
+/// BBRM_TRACE env: unset/""/"0" → off; anything else → on.
+bool trace_env_on();
+/// BBRM_TRACE values other than "0"/"1" name the output path; otherwise
+/// `fallback` is used.
+std::string trace_env_path(const std::string& fallback);
+
+}  // namespace bbrmodel::obs

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "common/require.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "orchestrator/work_queue.h"
 
 namespace bbrmodel::orchestrator {
@@ -128,9 +130,12 @@ ScaleInputs gather_scale_inputs(const WorkQueue& queue) {
     // Only live workers' rates count: a stats file whose heartbeat went
     // stale past the lease belongs to a dead process, and a dead
     // denominator would report a healthy drain rate for a stalled queue.
+    // The sliding-window rate (not the lifetime average) is what sizes
+    // the fleet: a worker that idled through startup or just stalled
+    // must not carry stale throughput into the drain estimate.
     if (stats.heartbeat_age_s < queue.lease_s() &&
-        stats.cells_per_s > 0.0) {
-      inputs.cells_per_s += stats.cells_per_s;
+        stats.window_cells_per_s > 0.0) {
+      inputs.cells_per_s += stats.window_cells_per_s;
     }
   }
   return inputs;
@@ -180,8 +185,8 @@ FleetReport run_fleet(const FleetOptions& options) {
                      "no plan appeared in " + options.queue_dir +
                          " (did the coordinator start?)");
     if (waited == 0.0 && !options.quiet) {
-      std::fprintf(stderr, "bbrsweep: fleet waiting for a plan in %s\n",
-                   options.queue_dir.c_str());
+      obs::log(obs::LogLevel::kInfo, "fleet waiting for a plan in %s",
+               options.queue_dir.c_str());
     }
     sleep_s(options.poll_s);
     waited += options.poll_s;
@@ -248,12 +253,12 @@ FleetReport run_fleet(const FleetOptions& options) {
     ++report.spawned;
     if (respawn) ++report.respawned;
     if (!options.quiet) {
-      std::fprintf(stderr, "bbrsweep: fleet %s worker %s (pid %d)%s%s\n",
-                   respawn ? "respawned" : "spawned",
-                   slot.worker_id.c_str(), static_cast<int>(pid),
-                   slot.host.empty() ? "" : " on ",
-                   slot.host.c_str());
+      obs::log(obs::LogLevel::kInfo, "fleet %s worker %s (pid %d)%s%s",
+               respawn ? "respawned" : "spawned", slot.worker_id.c_str(),
+               static_cast<int>(pid), slot.host.empty() ? "" : " on ",
+               slot.host.c_str());
     }
+    if (respawn) obs::Registry::global().counter("fleet.respawns").add();
   };
 
   while (!g_fleet_stop) {
@@ -266,10 +271,10 @@ FleetReport run_fleet(const FleetOptions& options) {
         slot.abandoned = true;
         ++report.abandoned_slots;
         if (!options.quiet) {
-          std::fprintf(stderr,
-                       "bbrsweep: fleet abandoned worker %s after %zu "
-                       "death(s) without progress\n",
-                       slot.worker_id.c_str(), slot.strikes);
+          obs::log(obs::LogLevel::kWarn,
+                   "fleet abandoned worker %s after %zu death(s) without "
+                   "progress",
+                   slot.worker_id.c_str(), slot.strikes);
         }
         continue;
       }
@@ -320,20 +325,33 @@ FleetReport run_fleet(const FleetOptions& options) {
 
     if (autoscaling) {
       const ScaleInputs inputs = gather_scale_inputs(queue);
+      // Every decision tick records its inputs, so a merged timeline or
+      // `status --metrics` can answer "why did the fleet (not) scale?".
+      obs::Registry::global().gauge("fleet.pending").set(
+          static_cast<double>(inputs.pending));
+      obs::Registry::global().gauge("fleet.active").set(
+          static_cast<double>(inputs.active));
+      obs::Registry::global().gauge("fleet.cells_per_s").set(
+          inputs.cells_per_s);
       const std::size_t desired =
           desired_fleet_size(policy, inputs, target);
+      bool decided = false;
       if (desired > target) {
         target = desired;
         ++report.scale_ups;
+        decided = true;
+        obs::Registry::global().counter("fleet.scale_ups").add();
         if (!options.quiet) {
-          std::fprintf(stderr,
-                       "bbrsweep: fleet scaled up to %zu workers "
-                       "(backlog %zu cells at %.1f cells/s)\n",
-                       target, inputs.pending, inputs.cells_per_s);
+          obs::log(obs::LogLevel::kInfo,
+                   "fleet scaled up to %zu workers "
+                   "(backlog %zu cells at %.1f cells/s)",
+                   target, inputs.pending, inputs.cells_per_s);
         }
       } else if (desired < target) {
         target = desired;
         ++report.scale_downs;
+        decided = true;
+        obs::Registry::global().counter("fleet.scale_downs").add();
         // Drain from the top: SIGTERM the highest slots first so the
         // surviving fleet stays a prefix and slot indices keep meaning
         // "spawn order". The worker finishes its in-flight cells'
@@ -346,10 +364,23 @@ FleetReport run_fleet(const FleetOptions& options) {
           }
         }
         if (!options.quiet) {
-          std::fprintf(stderr,
-                       "bbrsweep: fleet scaled down to %zu workers "
-                       "(backlog %zu cells at %.1f cells/s)\n",
-                       target, inputs.pending, inputs.cells_per_s);
+          obs::log(obs::LogLevel::kInfo,
+                   "fleet scaled down to %zu workers "
+                   "(backlog %zu cells at %.1f cells/s)",
+                   target, inputs.pending, inputs.cells_per_s);
+        }
+      }
+      if (decided) {
+        obs::Registry::global().gauge("fleet.target_workers").set(
+            static_cast<double>(target));
+        try {
+          // Ship the decision record home like any worker's snapshot.
+          queue.write_worker_metrics(
+              sanitize_worker_id("fleet-" + fleet_tag),
+              obs::render_metrics(obs::Registry::global().snapshot()));
+        } catch (...) {
+          // Advisory, like stats: a failed metrics write never stops the
+          // fleet.
         }
       }
     }

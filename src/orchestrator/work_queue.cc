@@ -28,6 +28,8 @@
 #include "common/json.h"
 #include "common/parse.h"
 #include "common/require.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sweep/cell_cache.h"
 #include "sweep/thread_pool.h"
 #include "sweep/workloads.h"
@@ -1521,6 +1523,8 @@ void WorkQueue::write_worker_stats(const WorkerStats& stats) const {
   bytes += "in_flight=" + std::to_string(stats.in_flight) + "\n";
   bytes += "elapsed_s=" + exact_number(stats.elapsed_s) + "\n";
   bytes += "cells_per_s=" + exact_number(stats.cells_per_s) + "\n";
+  bytes +=
+      "window_cells_per_s=" + exact_number(stats.window_cells_per_s) + "\n";
   write_file_atomically(
       (fs::path(workers_dir()) / (stats.worker_id + ".stats")).string(),
       bytes, "worker stats");
@@ -1552,6 +1556,12 @@ std::optional<WorkerStats> parse_worker_stats(const std::string& path,
       try_parse_u64(stats_field(fields, "in_flight")).value_or(0));
   stats.elapsed_s = parse_stat_double(stats_field(fields, "elapsed_s"));
   stats.cells_per_s = parse_stat_double(stats_field(fields, "cells_per_s"));
+  // Files written before the sliding window existed lack the field; the
+  // lifetime average is the best available estimate there.
+  stats.window_cells_per_s =
+      fields.count("window_cells_per_s") != 0
+          ? parse_stat_double(stats_field(fields, "window_cells_per_s"))
+          : stats.cells_per_s;
   return stats;
 }
 
@@ -1600,6 +1610,73 @@ void WorkQueue::remove_worker_stats(const std::string& worker_id) const {
              ec);
 }
 
+void WorkQueue::write_worker_metrics(const std::string& worker_id,
+                                     const std::string& rendered) const {
+  require_worker_id(worker_id);
+  write_file_atomically(
+      (fs::path(workers_dir()) / (worker_id + ".metrics")).string(),
+      rendered, "worker metrics");
+}
+
+std::vector<std::pair<std::string, std::string>>
+WorkQueue::read_worker_metrics() const {
+  std::vector<std::pair<std::string, std::string>> all;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(workers_dir(), ec)) {
+    if (!entry.is_regular_file() ||
+        entry.path().extension() != ".metrics") {
+      continue;
+    }
+    auto text = read_text_file(entry.path().string());
+    if (!text) continue;
+    all.emplace_back(entry.path().stem().string(), std::move(*text));
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+RateWindow::RateWindow(double window_s)
+    : window_s_(window_s > 0.0 ? window_s : 30.0) {}
+
+void RateWindow::sample(double t_s, std::size_t completed) {
+  samples_.emplace_back(t_s, completed);
+  // Keep exactly one sample at or beyond the window's trailing edge: it
+  // anchors the difference so rate() spans the full window, while
+  // anything older only stretches the denominator into history.
+  while (samples_.size() >= 2 &&
+         samples_[1].first <= t_s - window_s_) {
+    samples_.erase(samples_.begin());
+  }
+}
+
+double RateWindow::rate() const {
+  if (samples_.size() < 2) return 0.0;
+  const double dt = samples_.back().first - samples_.front().first;
+  if (dt <= 0.0) return 0.0;
+  const std::size_t dc = samples_.back().second - samples_.front().second;
+  return static_cast<double>(dc) / dt;
+}
+
+namespace {
+
+/// Hot-path metric handles, resolved once (registry lookups take a lock).
+struct QueueMetrics {
+  obs::Counter& claims = obs::Registry::global().counter("queue.claims");
+  obs::Counter& cells_claimed =
+      obs::Registry::global().counter("queue.cells_claimed");
+  obs::Counter& cells_published =
+      obs::Registry::global().counter("queue.cells_published");
+  obs::Histogram& claim_latency_s =
+      obs::Registry::global().histogram("queue.claim_latency_s");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
                         const sweep::SweepOptions& options,
                         const WorkerConfig& config) {
@@ -1637,6 +1714,11 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
   std::map<std::string, Claim> in_flight;  // by active_name
   bool stop = false;
   std::condition_variable cv;
+  // The rate window feeds `window_cells_per_s` (current throughput, what
+  // gather_scale_inputs sizes fleets from); sampled from the claim loops
+  // and the heartbeat thread, so it needs its own lock.
+  std::mutex rate_mutex;
+  RateWindow rate_window;
   const auto snapshot_stats = [&] {
     WorkerStats stats;
     stats.worker_id = worker_id;
@@ -1650,6 +1732,11 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
                             ? static_cast<double>(stats.completed) /
                                   stats.elapsed_s
                             : 0.0;
+    {
+      std::lock_guard<std::mutex> lock(rate_mutex);
+      rate_window.sample(stats.elapsed_s, stats.completed);
+      stats.window_cells_per_s = rate_window.rate();
+    }
     return stats;
   };
   // Stats are advisory: a failed write (full disk, unwritable workers/)
@@ -1660,6 +1747,11 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
     if (!config.stats) return;
     try {
       queue.write_worker_stats(snapshot_stats());
+      if (config.metrics) {
+        queue.write_worker_metrics(
+            worker_id,
+            obs::render_metrics(obs::Registry::global().snapshot()));
+      }
     } catch (...) {
     }
   };
@@ -1690,9 +1782,13 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
     while (!cv.wait_for(lock, interval, [&] { return stop; })) {
       const std::map<std::string, Claim> snapshot = in_flight;
       lock.unlock();
-      for (const auto& [name, claim] : snapshot) {
-        (void)name;
-        queue.renew(claim);  // a lost lease is benign; see .h
+      {
+        obs::Span span("lease-renew", "queue");
+        span.arg("claims", static_cast<std::uint64_t>(snapshot.size()));
+        for (const auto& [name, claim] : snapshot) {
+          (void)name;
+          queue.renew(claim);  // a lost lease is benign; see .h
+        }
       }
       write_stats();
       lock.lock();
@@ -1724,11 +1820,28 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
           }
         }
       }
-      auto claim = queue.try_claim_batch(worker_id, reserved);
-      if (!claim) {
-        // Nothing pending: a crashed peer may be holding expired leases.
-        queue.recover_expired();
+      const auto claim_start = std::chrono::steady_clock::now();
+      std::optional<Claim> claim;
+      {
+        obs::Span span("claim", "queue");
         claim = queue.try_claim_batch(worker_id, reserved);
+        if (!claim) {
+          // Nothing pending: a crashed peer may be holding expired leases.
+          obs::Span recover_span("recover", "queue");
+          queue.recover_expired();
+          claim = queue.try_claim_batch(worker_id, reserved);
+        }
+        if (claim) {
+          span.arg("cells", static_cast<std::uint64_t>(claim->indices.size()));
+        }
+      }
+      if (claim) {
+        queue_metrics().claims.add();
+        queue_metrics().cells_claimed.add(claim->indices.size());
+        queue_metrics().claim_latency_s.observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          claim_start)
+                .count());
       }
       if (!claim) {
         if (max_cells != 0) budget.fetch_sub(reserved);  // nothing to spend
@@ -1764,7 +1877,11 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
           for (const std::size_t index : claim->indices) {
             const sweep::SweepTask& cell = plan.cell_by_index(index);
             const auto result = sweep::run_tasks({cell}, cell_options);
-            queue.publish(result.row(0), worker_id);
+            {
+              obs::Span span("append", "queue");
+              queue.publish(result.row(0), worker_id);
+            }
+            queue_metrics().cells_published.add();
             ++published;
             in_flight_cells.fetch_sub(1);
             completed.fetch_add(1);
@@ -1788,8 +1905,11 @@ WorkerReport run_worker(const WorkQueue& queue, const ExecutionPlan& plan,
             unit.push_back(plan.cell_by_index(index));
           }
           const auto result = sweep::run_tasks(unit, cell_options);
+          obs::Span span("append", "queue");
+          span.arg("cells", static_cast<std::uint64_t>(unit.size()));
           for (std::size_t k = 0; k < unit.size(); ++k) {
             queue.publish(result.row(k), worker_id);
+            queue_metrics().cells_published.add();
             ++published;
             in_flight_cells.fetch_sub(1);
             completed.fetch_add(1);

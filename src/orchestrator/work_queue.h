@@ -84,6 +84,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "orchestrator/execution_plan.h"
@@ -148,8 +149,37 @@ struct WorkerStats {
   std::size_t failed = 0;      ///< of those, cells whose task failed
   std::size_t in_flight = 0;   ///< cells currently claimed by this worker
   double elapsed_s = 0.0;      ///< run_worker wall clock so far
-  double cells_per_s = 0.0;    ///< completed / elapsed
+  double cells_per_s = 0.0;    ///< completed / elapsed (lifetime average)
+  /// Throughput over the trailing RateWindow (current rate, the one the
+  /// dashboard and autoscaler should trust). Falls back to the lifetime
+  /// average when reading stats files written before this field existed.
+  double window_cells_per_s = 0.0;
   double heartbeat_age_s = 0.0;  ///< seconds since the last stats write
+};
+
+/// Trailing-window throughput estimator behind WorkerStats'
+/// `window_cells_per_s`. A lifetime average (`completed / elapsed`)
+/// underreports a worker that idled through a long startup or backlog
+/// gap and overreports one that just stalled — `gather_scale_inputs`
+/// sizing a fleet off it reacts minutes late. sample() records the
+/// cumulative completed count at elapsed time `t_s`; rate() differences
+/// the newest sample against the oldest retained one. One sample older
+/// than `window_s` is kept as the anchor, so the estimate always spans
+/// the full window once enough history exists (and degrades gracefully
+/// to the lifetime average before that).
+class RateWindow {
+ public:
+  explicit RateWindow(double window_s = 30.0);
+
+  /// Record cumulative `completed` at monotonically nondecreasing `t_s`.
+  void sample(double t_s, std::size_t completed);
+
+  /// Cells/s over the retained span; 0 before time has advanced.
+  double rate() const;
+
+ private:
+  double window_s_;
+  std::vector<std::pair<double, std::size_t>> samples_;
 };
 
 class WorkQueue {
@@ -328,6 +358,16 @@ class WorkQueue {
   /// only come from the generation that just ran.
   void remove_worker_stats(const std::string& worker_id) const;
 
+  /// Atomically (re)write workers/<id>.metrics — a pre-rendered
+  /// obs::render_metrics snapshot shipped home through the shared queue
+  /// directory for `bbrsweep status --metrics` / `--json`.
+  void write_worker_metrics(const std::string& worker_id,
+                            const std::string& rendered) const;
+
+  /// Every (worker id, metrics file text) pair, sorted by worker id.
+  std::vector<std::pair<std::string, std::string>> read_worker_metrics()
+      const;
+
  private:
   std::string pending_dir() const;
   std::string active_dir() const;
@@ -476,6 +516,9 @@ struct WorkerConfig {
   std::size_t batch_cells = 1;
   /// Write workers/<id>.stats on every heartbeat tick (live dashboards).
   bool stats = false;
+  /// Also snapshot the global obs::Registry to workers/<id>.metrics on
+  /// each stats write (requires `stats`).
+  bool metrics = false;
 };
 
 /// Drain the queue until its plan is complete (or the cell budget is

@@ -6,6 +6,8 @@
 #include "cca/reno.h"
 #include "common/require.h"
 #include "core/batch_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "packetsim/bbr1_cca.h"
 #include "packetsim/bbr2_cca.h"
 #include "packetsim/cubic_cca.h"
@@ -167,9 +169,30 @@ PacketSetup build_packet(const ExperimentSpec& spec) {
   return setup;
 }
 
+namespace {
+
+obs::Counter& fluid_step_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.fluid_steps");
+  return c;
+}
+
+obs::Counter& rhs_eval_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.rhs_evals");
+  return c;
+}
+
+}  // namespace
+
 metrics::AggregateMetrics run_fluid(const ExperimentSpec& spec) {
   auto setup = build_fluid(spec);
-  setup.sim->run(spec.duration_s);
+  {
+    obs::Span span("fluid-run", "engine");
+    setup.sim->run(spec.duration_s);
+    span.arg("steps", static_cast<std::uint64_t>(setup.sim->steps()));
+    span.arg("rhs_evals", static_cast<std::uint64_t>(setup.sim->rhs_evals()));
+  }
+  fluid_step_counter().add(setup.sim->steps());
+  rhs_eval_counter().add(setup.sim->rhs_evals());
   return metrics::evaluate_fluid(*setup.sim, setup.bottleneck_link);
 }
 
@@ -202,7 +225,15 @@ std::vector<metrics::AggregateMetrics> run_fluid_batch(
                     spec->fluid);
   }
 
-  engine.run(specs.front()->duration_s);
+  {
+    obs::Span span("fluid-batch-run", "engine");
+    span.arg("cells", static_cast<std::uint64_t>(specs.size()));
+    engine.run(specs.front()->duration_s);
+    span.arg("steps", static_cast<std::uint64_t>(engine.total_steps()));
+    span.arg("rhs_evals", static_cast<std::uint64_t>(engine.total_rhs_evals()));
+  }
+  fluid_step_counter().add(engine.total_steps());
+  rhs_eval_counter().add(engine.total_rhs_evals());
 
   out.reserve(specs.size());
   for (std::size_t cell = 0; cell < specs.size(); ++cell) {
@@ -245,7 +276,12 @@ std::vector<metrics::AggregateMetrics> run_fluid_batch(
 
 metrics::AggregateMetrics run_packet(const ExperimentSpec& spec) {
   auto setup = build_packet(spec);
-  setup.net->run(spec.duration_s);
+  {
+    obs::Span span("packet-run", "engine");
+    span.arg("duration_s", spec.duration_s);
+    setup.net->run(spec.duration_s);
+  }
+  obs::Registry::global().counter("engine.packet_runs").add();
   return setup.net->aggregate_metrics();
 }
 

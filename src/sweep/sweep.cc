@@ -13,6 +13,8 @@
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/require.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orchestrator/execution_plan.h"
 #include "scenario/spec_codec.h"
 #include "sweep/cell_cache.h"
@@ -90,33 +92,75 @@ AttemptOutcome run_attempt(const RunnerFn& fn, const SweepTask& task,
   }
 }
 
+/// Hot-path metric handles, resolved once per thread (registry lookups
+/// and shard registration take a lock; updates never do). Per-cell
+/// metrics write through single-writer shards — plain load + store — so
+/// the instrumented path costs ~2 ns per counter even with a pool of
+/// sweep threads. Rare events (retries, failures, per-batch occupancy)
+/// stay on the shared cells.
+struct SweepMetrics {
+  obs::Counter::Shard& cells =
+      obs::Registry::global().counter("sweep.cells").shard();
+  obs::Counter::Shard& cache_hits =
+      obs::Registry::global().counter("sweep.cache_hits").shard();
+  obs::Counter::Shard& cache_misses =
+      obs::Registry::global().counter("sweep.cache_misses").shard();
+  obs::Counter& retries = obs::Registry::global().counter("sweep.retries");
+  obs::Counter& failures = obs::Registry::global().counter("sweep.failures");
+  obs::Counter::Shard& batched_cells =
+      obs::Registry::global().counter("sweep.batched_cells").shard();
+  obs::Histogram::Shard& cell_wall_s =
+      obs::Registry::global().histogram("sweep.cell_wall_s").shard();
+  obs::Histogram& batch_occupancy =
+      obs::Registry::global().histogram("sweep.batch_occupancy");
+
+  static SweepMetrics& get() {
+    static thread_local SweepMetrics metrics;
+    return metrics;
+  }
+};
+
 /// Full lifecycle of one task: cache probe, bounded attempts, cache fill.
 TaskResult run_one_task(const SweepTask& task, const Runner& runner,
                         const SweepOptions& options) {
+  SweepMetrics& counters = SweepMetrics::get();
   TaskResult result;
   result.task = task;
 
   std::string key;
   if (options.cache != nullptr && !runner.name.empty() &&
       scenario::spec_cacheable(task.spec)) {
+    obs::Span probe("cache-probe");
     key = cell_key(runner.name, task);
     if (auto cached = options.cache->load(key)) {
+      probe.arg("hit", std::uint64_t{1});
+      counters.cache_hits.add();
+      counters.cells.add();
       result.metrics = std::move(*cached);
       result.cached = true;
       return result;
     }
+    counters.cache_misses.add();
   }
 
   AttemptOutcome outcome;
-  while (result.attempts < options.max_attempts) {
-    ++result.attempts;
-    outcome = run_attempt(runner.run_one, task, options.timeout_s);
-    if (outcome.ok) break;
-    // A timed-out attempt is terminal: its abandoned thread may still be
-    // executing this task, and runners are only promised concurrency
-    // across distinct tasks — retrying would race it.
-    if (outcome.timed_out) break;
+  {
+    obs::Span span("run");
+    span.arg("task", static_cast<std::uint64_t>(task.index));
+    while (result.attempts < options.max_attempts) {
+      ++result.attempts;
+      outcome = run_attempt(runner.run_one, task, options.timeout_s);
+      if (outcome.ok) break;
+      // A timed-out attempt is terminal: its abandoned thread may still be
+      // executing this task, and runners are only promised concurrency
+      // across distinct tasks — retrying would race it.
+      if (outcome.timed_out) break;
+    }
+    span.arg("attempts", static_cast<std::uint64_t>(result.attempts));
   }
+  if (result.attempts > 1) counters.retries.add(result.attempts - 1);
+  if (!outcome.ok) counters.failures.add();
+  counters.cells.add();
   result.metrics = std::move(outcome.metrics);
   result.ok = outcome.ok;
   result.error = std::move(outcome.error);
@@ -220,22 +264,32 @@ std::vector<WorkUnit> plan_units(const std::vector<SweepTask>& tasks,
 void run_batch_unit(const std::vector<SweepTask>& tasks, const WorkUnit& unit,
                     const Runner& runner, const SweepOptions& options,
                     std::vector<TaskResult>& rows) {
+  SweepMetrics& counters = SweepMetrics::get();
   std::vector<std::size_t> miss;
   std::vector<std::string> miss_keys;
   miss.reserve(unit.members.size());
 
-  for (const std::size_t i : unit.members) {
-    std::string key = task_cache_key(tasks[i], runner, options);
-    if (!key.empty()) {
-      if (auto cached = options.cache->load(key)) {
-        rows[i].task = tasks[i];
-        rows[i].metrics = std::move(*cached);
-        rows[i].cached = true;
-        continue;
+  {
+    obs::Span probe("cache-probe");
+    probe.arg("cells", static_cast<std::uint64_t>(unit.members.size()));
+    for (const std::size_t i : unit.members) {
+      std::string key = task_cache_key(tasks[i], runner, options);
+      if (!key.empty()) {
+        if (auto cached = options.cache->load(key)) {
+          counters.cache_hits.add();
+          counters.cells.add();
+          rows[i].task = tasks[i];
+          rows[i].metrics = std::move(*cached);
+          rows[i].cached = true;
+          continue;
+        }
+        counters.cache_misses.add();
       }
+      miss.push_back(i);
+      miss_keys.push_back(std::move(key));
     }
-    miss.push_back(i);
-    miss_keys.push_back(std::move(key));
+    probe.arg("hits",
+              static_cast<std::uint64_t>(unit.members.size() - miss.size()));
   }
   if (miss.empty()) return;
 
@@ -245,7 +299,11 @@ void run_batch_unit(const std::vector<SweepTask>& tasks, const WorkUnit& unit,
 
   bool degraded = false;
   const double start = now_s();
+  counters.batch_occupancy.observe(static_cast<double>(miss.size()));
   try {
+    obs::Span span("run");
+    span.arg("cells", static_cast<std::uint64_t>(miss.size()));
+    span.arg("batched", std::uint64_t{1});
     auto metrics = runner.run_batch(batch);
     BBRM_REQUIRE_MSG(metrics.size() == batch.size(),
                      "batch runner returned a wrong-sized result");
@@ -258,6 +316,9 @@ void run_batch_unit(const std::vector<SweepTask>& tasks, const WorkUnit& unit,
       r.ok = true;
       r.attempts = 1;
       r.wall_s = per_cell_s;
+      counters.cells.add();
+      counters.batched_cells.add();
+      counters.cell_wall_s.observe(per_cell_s);
       if (!miss_keys[k].empty()) {
         options.cache->store(miss_keys[k], r.metrics);
       }
@@ -390,7 +451,13 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
 
   const double sweep_start = now_s();
   ThreadPool pool(options.threads);
-  const auto units = plan_units(tasks, runner, options, pool.size());
+  std::vector<WorkUnit> units;
+  {
+    obs::Span span("batch-form");
+    units = plan_units(tasks, runner, options, pool.size());
+    span.arg("tasks", static_cast<std::uint64_t>(tasks.size()));
+    span.arg("units", static_cast<std::uint64_t>(units.size()));
+  }
   pool.parallel_for(units.size(), [&](std::size_t u) {
     const WorkUnit& unit = units[u];
     if (unit.batched) {
@@ -400,6 +467,7 @@ SweepResult run_tasks(const std::vector<SweepTask>& tasks,
       const double task_start = now_s();
       TaskResult result = run_one_task(tasks[i], runner, options);
       result.wall_s = now_s() - task_start;
+      SweepMetrics::get().cell_wall_s.observe(result.wall_s);
       rows[i] = std::move(result);
     }
     const std::size_t done =

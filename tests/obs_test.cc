@@ -1,0 +1,513 @@
+// Tests of the obs telemetry layer: structured log levels, the metrics
+// registry (power-of-two histogram bucket math, deterministic text
+// round-trip), execution spans (RAII nesting, per-thread buffers, the
+// Chrome-trace shard format), the fleet-timeline merger, the worker
+// RateWindow, and the contract that tracing never changes a result byte.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "orchestrator/execution_plan.h"
+#include "orchestrator/work_queue.h"
+#include "sweep/sweep.h"
+#include "sweep/workloads.h"
+
+namespace bbrmodel::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string scratch_file(const std::string& name) {
+  const auto path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- log levels -----------------------------------------------------------
+
+TEST(Log, ParsesEveryLevelNameAndRejectsJunk) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("INFO").has_value());
+}
+
+TEST(Log, LevelNamesRoundTripThroughParse) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+// ---- histogram bucket math ------------------------------------------------
+
+TEST(Histogram, BucketZeroHoldsNonPositiveValues) {
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(-1e300), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(0), 0.0);
+}
+
+TEST(Histogram, PowersOfTwoLandExactlyOnTheirBucketFloor) {
+  // Bucket i (1..63) holds [2^(i-32), 2^(i-31)): 1.0 = 2^0 opens bucket 32.
+  EXPECT_EQ(Histogram::bucket_of(1.0), 32u);
+  EXPECT_EQ(Histogram::bucket_floor(32), 1.0);
+  for (int exp = -20; exp <= 20; ++exp) {
+    const double v = std::ldexp(1.0, exp);
+    const std::size_t bucket = Histogram::bucket_of(v);
+    EXPECT_EQ(bucket, static_cast<std::size_t>(32 + exp)) << "v=" << v;
+    EXPECT_EQ(Histogram::bucket_floor(bucket), v);
+    // The whole half-open range shares the bucket: the floor is inclusive,
+    // the next power of two is not.
+    EXPECT_EQ(Histogram::bucket_of(v * 1.5), bucket);
+    EXPECT_EQ(Histogram::bucket_of(std::nextafter(2.0 * v, 0.0)), bucket);
+    EXPECT_EQ(Histogram::bucket_of(2.0 * v), bucket + 1);
+  }
+}
+
+TEST(Histogram, ExtremeValuesClampToTheEdgeBuckets) {
+  EXPECT_EQ(Histogram::bucket_of(1e-300), 1u);
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveTracksCountSumMinMax) {
+  Registry registry;
+  auto& h = registry.histogram("t");
+  h.observe(0.25);
+  h.observe(4.0);
+  h.observe(1.0);
+  const auto snapshot = registry.snapshot();
+  const auto* value = snapshot.find("t");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->kind, MetricKind::kHistogram);
+  EXPECT_EQ(value->count, 3u);
+  EXPECT_DOUBLE_EQ(value->sum, 5.25);
+  EXPECT_DOUBLE_EQ(value->min, 0.25);
+  EXPECT_DOUBLE_EQ(value->max, 4.0);
+  EXPECT_DOUBLE_EQ(value->mean(), 1.75);
+  // Three distinct powers of two → three distinct non-empty buckets.
+  EXPECT_EQ(value->buckets.size(), 3u);
+}
+
+TEST(Histogram, EmptySnapshotReportsZeroMinMax) {
+  Registry registry;
+  registry.histogram("empty");
+  const auto snapshot = registry.snapshot();
+  const auto* value = snapshot.find("empty");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 0u);
+  EXPECT_EQ(value->min, 0.0);
+  EXPECT_EQ(value->max, 0.0);
+}
+
+// ---- single-writer shards -------------------------------------------------
+
+TEST(Counter, ShardsAggregateWithTheSharedCell) {
+  Registry registry;
+  auto& c = registry.counter("sharded");
+  c.add(5);  // shared cell
+  std::thread a([&] {
+    auto& shard = c.shard();
+    for (int i = 0; i < 100; ++i) shard.add();
+  });
+  std::thread b([&] {
+    auto& shard = c.shard();
+    shard.add(1000);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(c.value(), 1105u);
+  const auto snapshot = registry.snapshot();
+  const auto* value = snapshot.find("sharded");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 1105u);
+}
+
+TEST(Histogram, ShardObservationsFoldIntoTheSnapshot) {
+  Registry registry;
+  auto& h = registry.histogram("sharded");
+  h.observe(2.0);  // shared cell
+  std::thread a([&] {
+    auto& shard = h.shard();
+    shard.observe(0.25);
+    shard.observe(0.375);  // same bucket as 0.25
+  });
+  std::thread b([&] {
+    auto& shard = h.shard();
+    shard.observe(64.0);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 66.625);
+  const auto snapshot = registry.snapshot();
+  const auto* value = snapshot.find("sharded");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 4u);
+  EXPECT_DOUBLE_EQ(value->sum, 66.625);
+  EXPECT_DOUBLE_EQ(value->min, 0.25);
+  EXPECT_DOUBLE_EQ(value->max, 64.0);
+  // 0.25/0.375 share a bucket; 2.0 and 64.0 get their own.
+  ASSERT_EQ(value->buckets.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& [bucket, n] : value->buckets) total += n;
+  EXPECT_EQ(total, 4u) << "snapshot count must equal the bucket sums";
+}
+
+// ---- registry text round-trip ---------------------------------------------
+
+TEST(Registry, SnapshotRendersAndParsesBackByteIdentically) {
+  Registry registry;
+  registry.counter("queue.claims").add(17);
+  registry.counter("zero");
+  registry.gauge("fleet.target").set(3.0);
+  registry.gauge("negative").set(-2.125);
+  registry.gauge("tiny").set(1.0 / 3.0);
+  auto& h = registry.histogram("sweep.cell_wall_s");
+  h.observe(0.001953125);
+  h.observe(0.125);
+  h.observe(7.5);
+  registry.histogram("sweep.untouched");
+
+  const std::string rendered = render_metrics(registry.snapshot());
+  const auto parsed = parse_metrics(rendered);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(render_metrics(*parsed), rendered)
+      << "render → parse → render must be the identity";
+
+  const auto* claims = parsed->find("queue.claims");
+  ASSERT_NE(claims, nullptr);
+  EXPECT_EQ(claims->count, 17u);
+  const auto* tiny = parsed->find("tiny");
+  ASSERT_NE(tiny, nullptr);
+  EXPECT_EQ(tiny->value, 1.0 / 3.0) << "doubles must survive exactly";
+}
+
+TEST(Registry, EntriesAreSortedByName) {
+  Registry registry;
+  registry.counter("zebra");
+  registry.gauge("apple");
+  registry.histogram("mango");
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  EXPECT_EQ(snapshot.entries[0].name, "apple");
+  EXPECT_EQ(snapshot.entries[1].name, "mango");
+  EXPECT_EQ(snapshot.entries[2].name, "zebra");
+}
+
+TEST(Registry, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_metrics("counter only_a_name\n").has_value());
+  EXPECT_FALSE(parse_metrics("widget x 1\n").has_value());
+  EXPECT_FALSE(parse_metrics("gauge x not_a_number\n").has_value());
+  EXPECT_FALSE(parse_metrics("hist x 1 2 3\n").has_value());
+  EXPECT_FALSE(parse_metrics("counter x 1 trailing\n").has_value());
+  EXPECT_TRUE(parse_metrics("").has_value()) << "no metrics is fine";
+}
+
+// ---- spans and shards -----------------------------------------------------
+
+/// Split a flushed shard into its event lines (header and footer dropped,
+/// leading commas stripped), asserting the frame is well-formed.
+std::vector<std::string> shard_events(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  EXPECT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines.front().find("{\"otherData\":{\"track\":"), 0u);
+  EXPECT_NE(lines.front().find("\"startUnixUs\":"), std::string::npos);
+  EXPECT_EQ(lines.back(), "]}");
+  std::vector<std::string> events(lines.begin() + 1, lines.end() - 1);
+  for (auto& event : events) {
+    if (!event.empty() && event[0] == ',') event.erase(0, 1);
+  }
+  return events;
+}
+
+TEST(Span, DisabledSpansAreDeadAndRecordNothing) {
+  Tracer::global().flush();  // ensure off whatever ran before us
+  ASSERT_FALSE(Tracer::global().enabled());
+  Span span("never-recorded", "test");
+  EXPECT_FALSE(span.live());
+  span.arg("ignored", std::uint64_t{1});  // must be a no-op, not a crash
+  EXPECT_FALSE(Tracer::global().flush())
+      << "flush without enable has nothing to write";
+}
+
+TEST(Span, NestedAndCrossThreadSpansFlushToOneShard) {
+  const std::string path = scratch_file("span_nesting.trace");
+  Tracer::global().enable(path, "unit-test");
+  {
+    Span outer("outer", "test");
+    outer.arg("cells", std::uint64_t{64});
+    {
+      Span inner("inner", "test");
+      inner.arg("hit", std::uint64_t{1});
+    }
+  }
+  std::thread worker([] { Span span("worker-side", "test"); });
+  worker.join();
+  ASSERT_TRUE(Tracer::global().flush());
+
+  const std::string text = slurp(path);
+  const auto events = shard_events(text);
+  // process_name metadata + outer + inner + worker-side.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_NE(events[0].find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"worker-side\""), std::string::npos);
+  EXPECT_NE(text.find("\"cells\":64"), std::string::npos);
+
+  // The two threads get distinct tids; the metadata event owns tid 0.
+  std::set<std::string> tids;
+  for (const auto& event : events) {
+    const auto at = event.find("\"tid\":");
+    ASSERT_NE(at, std::string::npos) << event;
+    tids.insert(event.substr(at + 6, event.find_first_of(",}", at + 6) -
+                                         (at + 6)));
+  }
+  EXPECT_EQ(tids.size(), 3u) << "metadata, main thread, spawned thread";
+
+  EXPECT_FALSE(Tracer::global().flush()) << "flush is one-shot";
+}
+
+TEST(Span, ReenableDiscardsBufferedEventsFromThePreviousRun) {
+  const std::string first = scratch_file("reenable_a.trace");
+  const std::string second = scratch_file("reenable_b.trace");
+  Tracer::global().enable(first, "first");
+  { Span span("stale", "test"); }
+  Tracer::global().enable(second, "second");  // no flush: discard "stale"
+  { Span span("fresh", "test"); }
+  ASSERT_TRUE(Tracer::global().flush());
+  const std::string text = slurp(second);
+  EXPECT_EQ(text.find("stale"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"fresh\""), std::string::npos);
+}
+
+// ---- merged fleet timelines -----------------------------------------------
+
+TEST(MergeTraceShards, BuildsOneTimelineWithPerWorkerPidsAndMonotoneTs) {
+  const std::string shard_a = scratch_file("merge_a.trace");
+  const std::string shard_b = scratch_file("merge_b.trace");
+  Tracer::global().enable(shard_a, "w-a");
+  { Span span("claim", "queue"); }
+  { Span span("run", "sweep"); }
+  ASSERT_TRUE(Tracer::global().flush());
+  Tracer::global().enable(shard_b, "w-b");
+  { Span span("append", "queue"); }
+  ASSERT_TRUE(Tracer::global().flush());
+
+  std::ostringstream merged;
+  const auto report = merge_trace_shards({shard_a, shard_b}, merged);
+  EXPECT_EQ(report.shards, 2u);
+  // Each shard carries its process_name metadata event plus its spans.
+  EXPECT_EQ(report.events, 5u);
+
+  const std::string text = merged.str();
+  EXPECT_EQ(text.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"), 0u);
+  EXPECT_EQ(text.rfind("]}\n"), text.size() - 3);
+  EXPECT_NE(text.find("\"name\":\"w-a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"w-b\""), std::string::npos);
+
+  // Walk the merged events: both pids appear, and timestamps never move
+  // backwards within one (pid, tid) track.
+  std::set<std::uint64_t> pids;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> last_ts;
+  std::size_t counted = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] != ',') {
+      if (line.find("\"process_name\"") == std::string::npos &&
+          line.find("\"ph\":\"X\"") == std::string::npos) {
+        continue;  // header/footer
+      }
+    }
+    if (!line.empty() && line[0] == ',') line.erase(0, 1);
+    ++counted;
+    const auto extract = [&](const char* key) -> std::uint64_t {
+      const std::string needle = std::string("\"") + key + "\":";
+      const auto at = line.find(needle);
+      if (at == std::string::npos) return UINT64_MAX;
+      return std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+    };
+    const std::uint64_t pid = extract("pid");
+    ASSERT_NE(pid, UINT64_MAX) << line;
+    pids.insert(pid);
+    const std::uint64_t ts = extract("ts");
+    if (ts == UINT64_MAX) continue;  // metadata events carry no ts
+    const auto track = std::make_pair(pid, extract("tid"));
+    if (last_ts.count(track) != 0) {
+      EXPECT_GE(ts, last_ts[track]) << line;
+    }
+    last_ts[track] = ts;
+  }
+  EXPECT_EQ(counted, report.events);
+  EXPECT_EQ(pids, (std::set<std::uint64_t>{0, 1}));
+}
+
+TEST(MergeTraceShards, ThrowsOnMissingAndTornShards) {
+  std::ostringstream out;
+  EXPECT_THROW(merge_trace_shards({"/nonexistent/shard.trace"}, out),
+               std::runtime_error);
+
+  const std::string torn = scratch_file("torn.trace");
+  {
+    std::ofstream file(torn, std::ios::binary);
+    file << "{\"otherData\":{\"track\":\"w\",\"startUnixUs\":12},"
+            "\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    // no footer: a crashed writer (which we prevent via atomic rename)
+  }
+  EXPECT_THROW(merge_trace_shards({torn}, out), std::runtime_error);
+}
+
+// ---- tracing never changes a result byte ----------------------------------
+
+sweep::Runner synthetic_runner() {
+  return sweep::make_runner("synthetic", [](const sweep::SweepTask& task) {
+    metrics::AggregateMetrics m;
+    m.jain = 1.0;
+    m.loss_pct = task.spec.buffer_bdp;
+    m.occupancy_pct = static_cast<double>(task.spec.seed % 1000);
+    m.utilization_pct = 100.0;
+    m.mean_rate_pps = {task.spec.capacity_pps, 0.5};
+    return m;
+  });
+}
+
+orchestrator::ExecutionPlan tiny_plan() {
+  sweep::ParameterGrid grid;
+  grid.backends = {sweep::Backend::kFluid};
+  grid.disciplines = {net::Discipline::kDropTail};
+  grid.buffers_bdp = {1.0, 2.0, 3.0, 4.0};
+  grid.flow_counts = {4};
+  grid.rtt_ranges = {{0.030, 0.040}};
+  grid.mixes = {sweep::homogeneous_mix(scenario::CcaKind::kBbrv1)};
+  scenario::ExperimentSpec base;
+  base.capacity_pps = mbps_to_pps(20.0);
+  base.duration_s = 0.5;
+  return orchestrator::ExecutionPlan::dense(grid, base, 42);
+}
+
+TEST(Tracing, QueueDrainWithTracingIsByteIdenticalToUntraced) {
+  const auto plan = tiny_plan();
+  sweep::SweepOptions options;
+  options.runner = synthetic_runner();
+  options.threads = 1;
+  orchestrator::WorkerConfig config;
+  config.worker_id = "w-traced";
+  config.poll_s = 0.01;
+
+  const auto drain = [&](const std::string& dir) {
+    orchestrator::WorkQueue queue(scratch_dir(dir), 60.0);
+    queue.seed(plan);
+    const auto report = orchestrator::run_worker(queue, plan, options, config);
+    EXPECT_EQ(report.completed, plan.size());
+    std::ostringstream csv;
+    EXPECT_EQ(orchestrator::collect_csv(queue, plan, csv), 0u);
+    return csv.str();
+  };
+
+  Tracer::global().flush();  // untraced baseline
+  const std::string untraced = drain("obs_drain_plain");
+
+  const std::string shard = scratch_file("obs_drain.trace");
+  Tracer::global().enable(shard, "w-traced");
+  const std::string traced = drain("obs_drain_traced");
+  ASSERT_TRUE(Tracer::global().flush());
+
+  EXPECT_EQ(traced, untraced)
+      << "span instrumentation must never reach the result bytes";
+  const std::string text = slurp(shard);
+  EXPECT_NE(text.find("\"name\":\"claim\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"run\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"append\""), std::string::npos);
+}
+
+// ---- the worker rate window -----------------------------------------------
+
+TEST(RateWindow, NeedsTwoSamplesForARate) {
+  orchestrator::RateWindow window(30.0);
+  EXPECT_EQ(window.rate(), 0.0);
+  window.sample(0.0, 0);
+  EXPECT_EQ(window.rate(), 0.0);
+  window.sample(10.0, 50);
+  EXPECT_DOUBLE_EQ(window.rate(), 5.0);
+}
+
+TEST(RateWindow, ReportsLifetimeAverageUntilTheWindowFills) {
+  orchestrator::RateWindow window(30.0);
+  window.sample(0.0, 0);
+  window.sample(5.0, 10);
+  window.sample(10.0, 30);
+  // All samples inside the 30 s window → rate over the whole run so far.
+  EXPECT_DOUBLE_EQ(window.rate(), 3.0);
+}
+
+TEST(RateWindow, SlidesPastOldSamplesOnceTheWindowFills) {
+  orchestrator::RateWindow window(30.0);
+  window.sample(0.0, 0);
+  window.sample(10.0, 1000);  // a hot start...
+  window.sample(40.0, 1030);  // ...then a 1 cell/s crawl for 30 s
+  // Lifetime average says 25.75 cells/s; the trailing window must report
+  // the crawl. The oldest in-window anchor is t=10 s.
+  EXPECT_DOUBLE_EQ(window.rate(), 1.0);
+
+  window.sample(70.0, 1030);  // fully stalled for another 30 s
+  EXPECT_DOUBLE_EQ(window.rate(), 0.0);
+}
+
+TEST(RateWindow, KeepsOneAnchorAtTheTrailingEdge) {
+  orchestrator::RateWindow window(10.0);
+  window.sample(0.0, 0);
+  window.sample(4.0, 40);
+  window.sample(8.0, 80);
+  window.sample(12.0, 120);
+  // t=0 survives as the anchor: dropping it would leave the oldest
+  // in-window sample (t=4) covering only 8 s of the 10 s window.
+  EXPECT_DOUBLE_EQ(window.rate(), 10.0);
+  window.sample(16.0, 160);
+  // Now t=4 is itself at/past the trailing edge (t=6), so t=0 goes.
+  EXPECT_DOUBLE_EQ(window.rate(), 10.0);
+
+  // Identical timestamps must not divide by zero.
+  orchestrator::RateWindow degenerate(10.0);
+  degenerate.sample(1.0, 5);
+  degenerate.sample(1.0, 9);
+  EXPECT_EQ(degenerate.rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace bbrmodel::obs

@@ -566,12 +566,14 @@ TEST(Autoscale, GatherInputsSumsLiveRatesAndIgnoresDeadWorkers) {
   WorkerStats live;
   live.worker_id = "live-w";
   live.completed = 4;
-  live.cells_per_s = 2.5;
+  live.cells_per_s = 2.5;  // lifetime average, dragged down by startup
+  live.window_cells_per_s = 4.0;  // current throughput
   queue.write_worker_stats(live);
   WorkerStats dead;
   dead.worker_id = "dead-w";
   dead.completed = 1;
   dead.cells_per_s = 100.0;
+  dead.window_cells_per_s = 100.0;
   queue.write_worker_stats(dead);
   // Age the dead worker's heartbeat past the lease.
   const auto stats_file =
@@ -582,8 +584,10 @@ TEST(Autoscale, GatherInputsSumsLiveRatesAndIgnoresDeadWorkers) {
   const auto inputs = gather_scale_inputs(queue);
   EXPECT_EQ(inputs.active, 4u);
   EXPECT_EQ(inputs.pending, plan.size() - 4);
-  EXPECT_DOUBLE_EQ(inputs.cells_per_s, 2.5)
-      << "a dead worker's stale rate must not suppress a scale-up";
+  EXPECT_DOUBLE_EQ(inputs.cells_per_s, 4.0)
+      << "the sliding-window rate (not the lifetime average) sizes the "
+         "fleet, and a dead worker's stale rate must not suppress a "
+         "scale-up";
 }
 
 }  // namespace

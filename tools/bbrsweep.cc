@@ -24,6 +24,7 @@
 //   bbrsweep cache gc --max-bytes 512M --cache-dir /tmp/cells
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -46,8 +47,12 @@
 #include "adaptive/policy.h"
 #include "adaptive/refiner.h"
 #include "common/atomic_io.h"
+#include "common/json.h"
 #include "common/parse.h"
 #include "common/units.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orchestrator/execution_plan.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/work_queue.h"
@@ -68,7 +73,8 @@ Usage: bbrsweep [options]
        bbrsweep coordinator --queue-dir DIR [options]
        bbrsweep worker --queue-dir DIR [worker options]
        bbrsweep fleet --queue-dir DIR --workers N [fleet options]
-       bbrsweep status --queue-dir DIR [--deep]
+       bbrsweep status --queue-dir DIR [--deep] [--json] [--metrics]
+       bbrsweep trace --queue-dir DIR [-o OUT]
        bbrsweep merge (--csv OUT | --json OUT) [--plan FILE] FILE...
        bbrsweep cache (stats | gc --max-bytes N[K|M|G] | reindex)
                       [--cache-dir DIR]
@@ -145,6 +151,17 @@ Execution:
                       a timeout is terminal for its task (never retried)
   --retries N         re-run a task that threw up to N more times
   --quiet             suppress the progress meter
+  --trace             record execution spans (cache probes, runs, claims,
+                      engine passes) and write a Chrome-trace JSON on exit
+                      (plain run: bbrsweep.trace; worker: the queue's
+                      workers/<id>.trace). BBRM_TRACE=1 enables the same;
+                      any other non-zero value names the output path.
+                      Result CSV/JSON bytes are identical with tracing on
+                      or off — spans only ever land in side files
+  --log-level L       stderr verbosity: debug, info, warn, error, off
+                      (default info); lines are prefixed bbrsweep[tag]
+                      with the worker id as tag, so multi-worker output
+                      stays attributable
 
 Output:
   --csv PATH          write CSV rows to PATH ('-' = stdout; default '-')
@@ -172,13 +189,25 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       remain — kill -9 any of them and the fleet heals.
   status              one snapshot of the queue: plan size, cell counts,
                       and a per-worker table (cells done, failures,
-                      in-flight, cells/s, last heartbeat) from the stats
-                      files workers refresh on every heartbeat tick.
+                      in-flight, cells/s over a sliding window, last
+                      heartbeat) from the stats files workers refresh on
+                      every heartbeat tick.
                       On a segment-layout queue the counts are O(1) —
                       counters file + publish checkpoints, no readdir of
                       pending/ or results/. --deep adds the full
                       directory census and exits 2 if the O(1) view
-                      undercounts it (a damaged queue).
+                      undercounts it (a damaged queue). --json prints the
+                      same snapshot as one machine-readable JSON object
+                      (counters, workers, metrics); --metrics adds each
+                      worker's telemetry counters/histograms from its
+                      workers/<id>.metrics snapshot to the human view.
+  trace               merge the per-worker Chrome-trace shards a --trace
+                      drain left in DIR/workers/*.trace into one
+                      fleet-wide timeline (-o OUT, default
+                      run.trace.json): worker id becomes the Chrome pid
+                      and every clock is rebased onto the earliest
+                      worker's start stamp. Open the result in Perfetto
+                      or chrome://tracing.
   --queue-dir DIR     the shared queue directory
   --lease S           claim lease: a cell whose worker misses heartbeats
                       for S seconds is re-enqueued (default 60)
@@ -226,8 +255,9 @@ Distributed execution (one plan, any number of machines sharing DIR):
                       re-enqueues anything they held, so results are
                       unchanged
   (--batch, --batch-cells, --threads, --cache-dir, --timeout, --retries,
-   --lease, --skew-margin, --max-cells, --plan-wait forward to every
-   worker)
+   --lease, --skew-margin, --max-cells, --plan-wait, --trace, --log-level
+   forward to every worker; each traced worker writes its own
+   workers/<id>.trace shard for `bbrsweep trace` to merge)
 
 merge: reassemble shard outputs (all CSV or all JSON, matching the OUT
 flag) into the byte-identical unsharded file, verifying the union covers
@@ -457,6 +487,8 @@ struct Options {
   std::optional<std::string> csv_path = "-";
   std::optional<std::string> json_path;
   bool quiet = false;
+  /// Record execution spans and write a Chrome-trace shard on exit.
+  bool trace = false;
   /// The named runner executing (and recorded in) the plan: "backend"
   /// (dumbbell, dispatched per the backend axis) or "parking-lot".
   std::string runner_name = "backend";
@@ -567,6 +599,13 @@ Options parse_args(int argc, char** argv, int first) {
       opt.json_path = next(i);
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--log-level") {
+      const std::string name = next(i);
+      const auto level = obs::parse_log_level(name);
+      if (!level) fail("unknown log level: " + name);
+      obs::set_log_level(*level);
     } else if (arg == "--workload") {
       opt.runner_name = parse_choice<std::string>(
           "workload",
@@ -839,6 +878,10 @@ int run_coordinator(int argc, char** argv) {
     fail("the queue assigns cells dynamically; --shard applies to plain "
          "bbrsweep runs only");
   }
+  if (opt.trace) {
+    fail("the coordinator executes no cells; pass --trace to the workers "
+         "or fleet and merge with `bbrsweep trace`");
+  }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
     cache = std::make_unique<sweep::CellCache>(*opt.cache_dir);
@@ -882,7 +925,10 @@ int run_coordinator(int argc, char** argv) {
       for (const auto& w : queue.read_worker_stats()) {
         if (w.heartbeat_age_s > 2.0 * queue.lease_s()) continue;  // gone
         ++workers;
-        rate += w.cells_per_s;
+        // Trailing-window rate: a long-lived worker's lifetime average
+        // lags its current throughput, which made this line (and the
+        // autoscaler) mis-state a draining fleet.
+        rate += w.window_cells_per_s;
       }
       std::fprintf(stderr,
                    "\rbbrsweep: %zu/%zu cell(s) done (%zu pending, %zu "
@@ -922,6 +968,7 @@ int run_worker_cmd(int argc, char** argv) {
   bool lease_given = false, skew_given = false;
   std::size_t max_cells = 0, batch = 1, batch_cells = 1;
   bool quiet = false;
+  bool trace = obs::trace_env_on();
 
   const auto next = [&](int& i) -> std::string {
     if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
@@ -963,6 +1010,13 @@ int run_worker_cmd(int argc, char** argv) {
       max_cells = static_cast<std::size_t>(parse_count(next(i), "max cells"));
     } else if (arg == "--worker-id") {
       worker_id = next(i);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--log-level") {
+      const std::string value = next(i);
+      const auto level = obs::parse_log_level(value);
+      if (!level) fail("unknown log level: " + value);
+      obs::set_log_level(*level);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -974,8 +1028,8 @@ int run_worker_cmd(int argc, char** argv) {
   double waited = 0.0;
   while (!orchestrator::WorkQueue(*queue_dir, lease_s).has_plan()) {
     if (waited == 0.0 && !quiet) {
-      std::fprintf(stderr, "bbrsweep: waiting for a plan in %s\n",
-                   queue_dir->c_str());
+      obs::log(obs::LogLevel::kInfo, "waiting for a plan in %s",
+               queue_dir->c_str());
     }
     if (waited >= plan_wait_s) {
       fail("no plan appeared in " + *queue_dir + " (did the coordinator "
@@ -1006,13 +1060,20 @@ int run_worker_cmd(int argc, char** argv) {
   }
   const std::string id =
       worker_id ? *worker_id : orchestrator::default_worker_id();
+  obs::set_log_tag(id);
   if (!quiet) {
-    std::fprintf(stderr,
-                 "bbrsweep: worker %s draining %zu-cell plan from %s "
-                 "(runner %s%s)\n",
-                 id.c_str(), plan.size(), queue.dir().c_str(),
-                 plan.runner_name().c_str(),
-                 batch > 1 ? ", batched claims" : "");
+    obs::log(obs::LogLevel::kInfo,
+             "worker %s draining %zu-cell plan from %s (runner %s%s)",
+             id.c_str(), plan.size(), queue.dir().c_str(),
+             plan.runner_name().c_str(),
+             batch > 1 ? ", batched claims" : "");
+  }
+  if (trace) {
+    // Each worker writes its own shard next to its stats file; `bbrsweep
+    // trace` merges the shards into one fleet timeline afterwards.
+    const auto shard =
+        std::filesystem::path(queue.dir()) / "workers" / (id + ".trace");
+    obs::Tracer::global().enable(obs::trace_env_path(shard.string()), id);
   }
   orchestrator::WorkerConfig config;
   config.worker_id = id;
@@ -1021,11 +1082,15 @@ int run_worker_cmd(int argc, char** argv) {
   config.batch = batch;
   config.batch_cells = batch_cells;
   config.stats = true;  // cheap, and `bbrsweep status` feeds on it
+  config.metrics = true;  // snapshot the registry beside the stats file
   const auto report = orchestrator::run_worker(queue, plan, run, config);
+  if (trace && !obs::Tracer::global().flush()) {
+    obs::log(obs::LogLevel::kWarn, "failed to write trace shard");
+  }
   if (!quiet) {
-    std::fprintf(stderr,
-                 "bbrsweep: worker %s published %zu cell(s) (%zu failed)\n",
-                 id.c_str(), report.completed, report.failed);
+    obs::log(obs::LogLevel::kInfo,
+             "worker %s published %zu cell(s) (%zu failed)", id.c_str(),
+             report.completed, report.failed);
   }
   return 0;
 }
@@ -1100,6 +1165,15 @@ int run_fleet_cmd(int argc, char** argv) {
                arg == "--lease" || arg == "--skew-margin" ||
                arg == "--max-cells") {
       forward(arg, i);
+    } else if (arg == "--trace") {
+      fleet.worker_args.push_back(arg);
+    } else if (arg == "--log-level") {
+      const std::string value = next(i);
+      const auto level = obs::parse_log_level(value);
+      if (!level) fail("unknown log level: " + value);
+      obs::set_log_level(*level);
+      fleet.worker_args.push_back(arg);
+      fleet.worker_args.push_back(value);
     } else if (arg == "--quiet") {
       fleet.quiet = true;
       quiet_workers = true;
@@ -1109,6 +1183,7 @@ int run_fleet_cmd(int argc, char** argv) {
   }
   if (fleet.queue_dir.empty()) fail("fleet needs --queue-dir DIR");
   if (quiet_workers) fleet.worker_args.push_back("--quiet");
+  obs::set_log_tag("fleet");
 
   // The binary to exec for local workers: this very binary. /proc/self/exe
   // survives PATH-relative invocation; argv[0] is the fallback.
@@ -1118,13 +1193,12 @@ int run_fleet_cmd(int argc, char** argv) {
 
   const auto report = orchestrator::run_fleet(fleet);
   if (!fleet.quiet) {
-    std::fprintf(stderr,
-                 "bbrsweep: fleet done — %zu spawn(s), %zu respawn(s), "
-                 "%zu abandoned slot(s), %zu scale-up(s), %zu "
-                 "scale-down(s), plan %s\n",
-                 report.spawned, report.respawned, report.abandoned_slots,
-                 report.scale_ups, report.scale_downs,
-                 report.completed ? "complete" : "incomplete");
+    obs::log(obs::LogLevel::kInfo,
+             "fleet done — %zu spawn(s), %zu respawn(s), %zu abandoned "
+             "slot(s), %zu scale-up(s), %zu scale-down(s), plan %s",
+             report.spawned, report.respawned, report.abandoned_slots,
+             report.scale_ups, report.scale_downs,
+             report.completed ? "complete" : "incomplete");
   }
   return report.completed ? 0 : 1;
 }
@@ -1138,7 +1212,7 @@ int run_fleet_cmd(int argc, char** argv) {
 /// against the exact census, exiting 2 when they disagree.
 int run_status(int argc, char** argv) {
   std::optional<std::string> queue_dir;
-  bool deep = false;
+  bool deep = false, json = false, metrics = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") {
@@ -1149,6 +1223,10 @@ int run_status(int argc, char** argv) {
       queue_dir = argv[++i];
     } else if (arg == "--deep") {
       deep = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else {
       fail("unknown status option: " + arg);
     }
@@ -1164,7 +1242,16 @@ int run_status(int argc, char** argv) {
           -1.0);
   const orchestrator::WorkQueue queue(*queue_dir, lease_s, skew_s);
   if (!queue.has_plan()) {
-    std::printf("queue %s: no plan seeded yet\n", queue.dir().c_str());
+    if (json) {
+      JsonWriter j(std::cout);
+      j.begin_object();
+      j.key("queue").value(queue.dir());
+      j.key("has_plan").value(false);
+      j.end_object();
+      std::cout << '\n';
+    } else {
+      std::printf("queue %s: no plan seeded yet\n", queue.dir().c_str());
+    }
     return 0;
   }
   // Plan header from the file's first few lines (past any layout stamp):
@@ -1193,6 +1280,87 @@ int run_status(int argc, char** argv) {
     }
   }
   const auto counters = queue.counters();
+  const auto workers = queue.read_worker_stats();
+  // Deep cross-check first: both output formats report it, and its verdict
+  // decides the exit code. The cheap view may overcount done on benign
+  // duplicate publishes but must never lag the store: a cheap count under
+  // the exact distinct-cell census means lost checkpoints or a corrupt
+  // counters file, and downstream completion gates would stall on it.
+  std::optional<orchestrator::QueueProgress> census;
+  std::size_t exact_done = 0;
+  bool deep_ok = true;
+  if (deep) {
+    census = queue.progress();
+    exact_done = queue.done_count();
+    deep_ok = counters.done >= exact_done;
+  }
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> worker_metrics;
+  if (metrics) {
+    for (const auto& [id, rendered] : queue.read_worker_metrics()) {
+      if (auto snap = obs::parse_metrics(rendered)) {
+        worker_metrics.emplace_back(id, std::move(*snap));
+      }
+    }
+  }
+
+  if (json) {
+    JsonWriter j(std::cout);
+    j.begin_object();
+    j.key("queue").value(queue.dir());
+    j.key("has_plan").value(true);
+    j.key("plan").begin_object();
+    j.key("cells").value(static_cast<std::uint64_t>(plan_cells));
+    j.key("runner").value(runner);
+    j.key("lease_s").value(queue.lease_s());
+    j.key("skew_margin_s").value(queue.skew_margin_s());
+    j.end_object();
+    j.key("layout").value(
+        counters.layout == orchestrator::QueueLayout::kSegment ? "segment"
+                                                               : "per-cell");
+    if (counters.layout == orchestrator::QueueLayout::kSegment) {
+      j.key("segment_cells")
+          .value(static_cast<std::uint64_t>(counters.segment_cells));
+    }
+    j.key("cells").begin_object();
+    j.key("done").value(static_cast<std::uint64_t>(counters.done));
+    j.key("pending").value(static_cast<std::uint64_t>(counters.pending));
+    j.key("active").value(static_cast<std::uint64_t>(counters.active));
+    j.end_object();
+    if (census) {
+      j.key("deep").begin_object();
+      j.key("done").value(static_cast<std::uint64_t>(census->done));
+      j.key("pending").value(static_cast<std::uint64_t>(census->pending));
+      j.key("active").value(static_cast<std::uint64_t>(census->active));
+      j.key("distinct_results").value(static_cast<std::uint64_t>(exact_done));
+      j.key("consistent").value(deep_ok);
+      j.end_object();
+    }
+    j.key("workers").begin_array();
+    for (const auto& w : workers) {
+      j.begin_object();
+      j.key("id").value(w.worker_id);
+      j.key("completed").value(static_cast<std::uint64_t>(w.completed));
+      j.key("failed").value(static_cast<std::uint64_t>(w.failed));
+      j.key("in_flight").value(static_cast<std::uint64_t>(w.in_flight));
+      j.key("cells_per_s").value(w.window_cells_per_s);
+      j.key("lifetime_cells_per_s").value(w.cells_per_s);
+      j.key("heartbeat_age_s").value(w.heartbeat_age_s);
+      j.end_object();
+    }
+    j.end_array();
+    if (metrics) {
+      j.key("metrics").begin_object();
+      for (const auto& [id, snap] : worker_metrics) {
+        j.key(id);
+        obs::write_metrics_json(j, snap);
+      }
+      j.end_object();
+    }
+    j.end_object();
+    std::cout << '\n';
+    return deep_ok ? 0 : 2;
+  }
+
   std::printf("queue %s\n", queue.dir().c_str());
   std::printf("plan: %zu cell(s), runner %s, lease %g s (+%g s skew "
               "margin)\n",
@@ -1204,17 +1372,11 @@ int run_status(int argc, char** argv) {
   }
   std::printf("cells: %zu done, %zu pending, %zu active\n", counters.done,
               counters.pending, counters.active);
-  if (deep) {
-    // The cheap view may overcount done on benign duplicate publishes
-    // but must never lag the store: a cheap count under the exact
-    // distinct-cell census means lost checkpoints or a corrupt counters
-    // file, and downstream completion gates would stall on it.
-    const auto census = queue.progress();
-    const std::size_t exact_done = queue.done_count();
+  if (census) {
     std::printf("deep: census %zu done, %zu pending, %zu active; "
                 "%zu distinct result(s)\n",
-                census.done, census.pending, census.active, exact_done);
-    if (counters.done < exact_done) {
+                census->done, census->pending, census->active, exact_done);
+    if (!deep_ok) {
       std::printf("deep: FAIL — counters report %zu done, store holds "
                   "%zu\n",
                   counters.done, exact_done);
@@ -1222,18 +1384,75 @@ int run_status(int argc, char** argv) {
     }
     std::printf("deep: counters consistent with store\n");
   }
-  const auto workers = queue.read_worker_stats();
   if (workers.empty()) {
     std::printf("workers: none reported yet\n");
     return 0;
   }
-  std::printf("%-24s %8s %8s %10s %9s %12s\n", "worker", "done", "failed",
-              "in-flight", "cells/s", "heartbeat");
+  // cells/s is the trailing-window rate (current throughput); lifetime is
+  // the whole-run average the window falls back to before it fills.
+  std::printf("%-24s %8s %8s %10s %9s %9s %12s\n", "worker", "done",
+              "failed", "in-flight", "cells/s", "lifetime", "heartbeat");
   for (const auto& w : workers) {
-    std::printf("%-24s %8zu %8zu %10zu %9.2f %9.1fs ago\n",
+    std::printf("%-24s %8zu %8zu %10zu %9.2f %9.2f %9.1fs ago\n",
                 w.worker_id.c_str(), w.completed, w.failed, w.in_flight,
-                w.cells_per_s, w.heartbeat_age_s);
+                w.window_cells_per_s, w.cells_per_s, w.heartbeat_age_s);
   }
+  if (metrics) {
+    for (const auto& [id, snap] : worker_metrics) {
+      std::printf("metrics %s:\n", id.c_str());
+      std::istringstream lines(obs::render_metrics(snap));
+      for (std::string line; std::getline(lines, line);) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+/// `bbrsweep trace --queue-dir DIR [-o OUT]`: merge the per-worker trace
+/// shards under DIR/workers/ into one Chrome-trace timeline. Each shard
+/// becomes its own process track (pid = shard index) and timestamps are
+/// rebased onto the earliest worker's start stamp, so the merged file
+/// shows the whole fleet on one clock in Perfetto / chrome://tracing.
+int run_trace(int argc, char** argv) {
+  std::optional<std::string> queue_dir;
+  std::string out = "run.trace.json";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--queue-dir") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      queue_dir = argv[++i];
+    } else if (arg == "-o" || arg == "--out") {
+      if (i + 1 >= argc) fail(arg + " needs a value");
+      out = argv[++i];
+    } else {
+      fail("unknown trace option: " + arg);
+    }
+  }
+  if (!queue_dir) fail("trace needs --queue-dir DIR");
+  const auto workers_dir = std::filesystem::path(*queue_dir) / "workers";
+  std::vector<std::string> shards;
+  if (std::filesystem::is_directory(workers_dir)) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(workers_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".trace") {
+        shards.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(shards.begin(), shards.end());  // stable pid assignment
+  if (shards.empty()) {
+    fail("no trace shards under " + workers_dir.string() +
+         " (run the workers or fleet with --trace)");
+  }
+  std::ostringstream merged;
+  const auto report = obs::merge_trace_shards(shards, merged);
+  write_text(merged.str(), out);
+  std::fprintf(stderr, "bbrsweep: merged %zu shard(s), %zu event(s) into %s\n",
+               report.shards, report.events, out.c_str());
   return 0;
 }
 
@@ -1246,6 +1465,10 @@ int run_plan(int argc, char** argv) {
     fail("plan never touches a queue; drop "
          "--queue-dir/--lease/--skew-margin/--batch/--segment-cells/--poll "
          "or use `bbrsweep coordinator`");
+  }
+  if (opt.trace) {
+    fail("plan runs no fine simulations; --trace applies to sweep, worker, "
+         "and fleet runs");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
@@ -1291,6 +1514,9 @@ int main(int argc, char** argv) try {
   if (argc > 1 && std::strcmp(argv[1], "status") == 0) {
     return run_status(argc, argv);
   }
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return run_trace(argc, argv);
+  }
   Options opt = parse_args(argc, argv, /*first=*/1);
   if (opt.queue_dir) {
     fail("--queue-dir drives a distributed run; use `bbrsweep coordinator` "
@@ -1300,6 +1526,12 @@ int main(int argc, char** argv) try {
       opt.batch_given || opt.segment_given) {
     fail("--lease/--skew-margin/--batch/--segment-cells/--poll only apply "
          "to the coordinator, worker, and fleet subcommands");
+  }
+  if (opt.trace || obs::trace_env_on()) {
+    // Timestamps live only in the side file: the CSV/JSON outputs stay
+    // byte-identical with tracing on or off.
+    obs::Tracer::global().enable(obs::trace_env_path("bbrsweep.trace"),
+                                 "sweep");
   }
   std::unique_ptr<sweep::CellCache> cache;
   if (opt.cache_dir) {
@@ -1344,6 +1576,9 @@ int main(int argc, char** argv) try {
   if (opt.csv_path) write_output(result, *opt.csv_path, /*json=*/false);
   if (opt.json_path) write_output(result, *opt.json_path, /*json=*/true);
 
+  if (obs::Tracer::global().enabled() && !obs::Tracer::global().flush()) {
+    std::fprintf(stderr, "bbrsweep: failed to write trace file\n");
+  }
   if (!opt.quiet) {
     std::fprintf(stderr, "bbrsweep: %zu experiments in %.2f s (%.2f/s)\n",
                  result.size(), result.elapsed_s(),
