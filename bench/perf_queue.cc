@@ -23,6 +23,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "metrics/aggregate.h"
+#include "obs/log.h"
 #include "orchestrator/execution_plan.h"
 #include "orchestrator/work_queue.h"
 #include "sweep/sweep.h"
@@ -33,6 +34,7 @@ namespace fs = std::filesystem;
 int main() {
   using namespace bbrmodel;
   using namespace bbrmodel::bench;
+  obs::set_log_program("perf_queue");
 
   const std::size_t cells = fast_mode() ? 10000 : 100000;
   const std::size_t segment_cells = 512;
@@ -142,8 +144,8 @@ int main() {
     const auto counters = queue.counters();
     g.status_s = wall_now() - t0;
     if (counters.done < plan.size()) {
-      std::fprintf(stderr, "FAIL: %s drained %zu of %zu cells\n",
-                   name.c_str(), counters.done, plan.size());
+      obs::log(obs::LogLevel::kError, "FAIL: %s drained %zu of %zu cells",
+               name.c_str(), counters.done, plan.size());
       std::exit(1);
     }
 
@@ -177,9 +179,9 @@ int main() {
   // ---- gates ---------------------------------------------------------------
   if (segment.csv != reference_csv.str() ||
       legacy.csv != reference_csv.str()) {
-    std::fprintf(stderr,
-                 "FAIL: a queue layout's collected CSV drifted from the "
-                 "in-process run\n");
+    obs::log(obs::LogLevel::kError,
+             "FAIL: a queue layout's collected CSV drifted from the "
+             "in-process run");
     return 1;
   }
 
@@ -191,10 +193,10 @@ int main() {
   const double seed_speedup = legacy.seed_s / segment.seed_s;
   const double kMinSeedSpeedup = 1.5;
   if (!(seed_speedup >= kMinSeedSpeedup)) {
-    std::fprintf(stderr,
-                 "FAIL: segment seeding only %.2fx faster than per-cell "
-                 "(need >= %.1fx at %zu cells)\n",
-                 seed_speedup, kMinSeedSpeedup, plan.size());
+    obs::log(obs::LogLevel::kError,
+             "FAIL: segment seeding only %.2fx faster than per-cell "
+             "(need >= %.1fx at %zu cells)",
+             seed_speedup, kMinSeedSpeedup, plan.size());
     return 1;
   }
   // The drain is pure queue work (the runner is instant): claims by
@@ -203,10 +205,10 @@ int main() {
   const double drain_speedup = legacy.drain_s / segment.drain_s;
   const double kMinDrainSpeedup = 3.0;  // typically ~10x; floor vs noise
   if (!(drain_speedup >= kMinDrainSpeedup)) {
-    std::fprintf(stderr,
-                 "FAIL: segment drain only %.2fx faster than per-cell "
-                 "(need >= %.1fx at %zu cells)\n",
-                 drain_speedup, kMinDrainSpeedup, plan.size());
+    obs::log(obs::LogLevel::kError,
+             "FAIL: segment drain only %.2fx faster than per-cell "
+             "(need >= %.1fx at %zu cells)",
+             drain_speedup, kMinDrainSpeedup, plan.size());
     return 1;
   }
 
@@ -217,18 +219,18 @@ int main() {
       (plan.size() + segment_cells - 1) / segment_cells + 16;
   if (segment.files_seeded > file_budget ||
       segment.files_drained > file_budget) {
-    std::fprintf(stderr,
-                 "FAIL: segment layout holds %zu/%zu files (seed/drained), "
-                 "budget %zu for %zu cells at %zu cells/segment\n",
-                 segment.files_seeded, segment.files_drained, file_budget,
-                 plan.size(), segment_cells);
+    obs::log(obs::LogLevel::kError,
+             "FAIL: segment layout holds %zu/%zu files (seed/drained), "
+             "budget %zu for %zu cells at %zu cells/segment",
+             segment.files_seeded, segment.files_drained, file_budget,
+             plan.size(), segment_cells);
     return 1;
   }
   if (segment.files_drained * 10 > legacy.files_drained) {
-    std::fprintf(stderr,
-                 "FAIL: segment layout holds %zu files, not 10x under the "
-                 "per-cell layout's %zu\n",
-                 segment.files_drained, legacy.files_drained);
+    obs::log(obs::LogLevel::kError,
+             "FAIL: segment layout holds %zu files, not 10x under the "
+             "per-cell layout's %zu",
+             segment.files_drained, legacy.files_drained);
     return 1;
   }
 

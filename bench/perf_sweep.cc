@@ -23,6 +23,7 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sweep/cell_cache.h"
@@ -32,6 +33,7 @@
 int main() {
   using namespace bbrmodel;
   using namespace bbrmodel::bench;
+  obs::set_log_program("perf_sweep");
 
   // A reduced Figs. 6–10 grid: both backends and disciplines, three
   // buffers, four mixes, shorter runs — big enough to amortize pool
@@ -71,8 +73,8 @@ int main() {
     if (reference_csv.empty()) {
       reference_csv = csv.str();
     } else if (csv.str() != reference_csv) {
-      std::fprintf(stderr, "FAIL: results changed with %zu threads\n",
-                   threads);
+      obs::log(obs::LogLevel::kError, "FAIL: results changed with %zu threads",
+               threads);
       return 1;
     }
 
@@ -130,7 +132,8 @@ int main() {
   fluid_scalar.write_csv(scalar_csv);
   fluid_batched.write_csv(batched_csv);
   if (scalar_csv.str() != batched_csv.str()) {
-    std::fprintf(stderr, "FAIL: batched fluid results differ from scalar\n");
+    obs::log(obs::LogLevel::kError,
+             "FAIL: batched fluid results differ from scalar");
     return 1;
   }
   const double batch_speedup =
@@ -179,10 +182,10 @@ int main() {
   // flake the gate, but a batching regression to parity still fails.
   const double kMinBatchSpeedup = 1.3;
   if (!(batch_speedup >= kMinBatchSpeedup)) {
-    std::fprintf(stderr,
-                 "FAIL: batched fluid engine %.2fx vs scalar, need >= "
-                 "%.1fx on the reference grid\n",
-                 batch_speedup, kMinBatchSpeedup);
+    obs::log(obs::LogLevel::kError,
+             "FAIL: batched fluid engine %.2fx vs scalar, need >= "
+             "%.1fx on the reference grid",
+             batch_speedup, kMinBatchSpeedup);
     return 1;
   }
 
@@ -207,7 +210,8 @@ int main() {
     cold.write_csv(cold_csv);
     warm.write_csv(warm_csv);
     if (cold_csv.str() != reference_csv || warm_csv.str() != reference_csv) {
-      std::fprintf(stderr, "FAIL: cached results drifted from the live run\n");
+      obs::log(obs::LogLevel::kError,
+               "FAIL: cached results drifted from the live run");
       return 1;
     }
   }
@@ -306,11 +310,10 @@ int main() {
   std::printf("%s\n", knee_table.to_string().c_str());
 
   if (!(knee_err <= kKneeTolerance) || cell_ratio > 0.40) {
-    std::fprintf(stderr,
-                 "FAIL: adaptive knee %.3f vs dense %.3f BDP (tolerance "
-                 "%.2f) at %.0f%% of the dense cells\n",
-                 adaptive_knee, dense_knee, kKneeTolerance,
-                 100.0 * cell_ratio);
+    obs::log(obs::LogLevel::kError,
+             "FAIL: adaptive knee %.3f vs dense %.3f BDP (tolerance "
+             "%.2f) at %.0f%% of the dense cells",
+             adaptive_knee, dense_knee, kKneeTolerance, 100.0 * cell_ratio);
     return 1;
   }
 
@@ -369,10 +372,10 @@ int main() {
 
   const double kMaxTraceOverheadPct = 2.0;
   if (!(trace_off_overhead_pct <= kMaxTraceOverheadPct)) {
-    std::fprintf(stderr,
-                 "FAIL: tracing-disabled instrumentation costs %.3f%% of "
-                 "the fastest cell, need <= %.1f%%\n",
-                 trace_off_overhead_pct, kMaxTraceOverheadPct);
+    obs::log(obs::LogLevel::kError,
+             "FAIL: tracing-disabled instrumentation costs %.3f%% of "
+             "the fastest cell, need <= %.1f%%",
+             trace_off_overhead_pct, kMaxTraceOverheadPct);
     return 1;
   }
 

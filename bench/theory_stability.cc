@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "obs/log.h"
 #include "orchestrator/execution_plan.h"
 
 namespace {
@@ -94,6 +95,7 @@ double boundary_crossing(const std::vector<std::pair<double, double>>& curve,
 int main() {
   using namespace bbrmodel::bench;
   using namespace bbrmodel::analysis;
+  bbrmodel::obs::set_log_program("theory_stability");
 
   const double cap = mbps_to_pps(100.0);
   scenario::ExperimentSpec base;
@@ -241,11 +243,11 @@ int main() {
     const bool within_tolerance =
         std::abs(adaptive_boundary - dense_boundary) <= kDenseStep;
     if (!within_tolerance || cell_ratio > 0.40) {
-      std::fprintf(stderr,
-                   "FAIL: adaptive boundary %.4f vs dense %.4f (tolerance "
-                   "%.3f) at %.0f%% of the dense cells\n",
-                   adaptive_boundary, dense_boundary, kDenseStep,
-                   100.0 * cell_ratio);
+      obs::log(obs::LogLevel::kError,
+               "FAIL: adaptive boundary %.4f vs dense %.4f (tolerance "
+               "%.3f) at %.0f%% of the dense cells",
+               adaptive_boundary, dense_boundary, kDenseStep,
+               100.0 * cell_ratio);
       return 1;
     }
     std::printf("adaptive sweep reproduced the boundary within %.3f s "

@@ -1,0 +1,72 @@
+// bbrlint — the project's determinism & concurrency invariant checker.
+//
+// Every guarantee the repo makes (thread-count-invariant CSV bytes,
+// shard-merge identity, exactly-once queues) rests on code-level
+// invariants that the type system cannot express: no hash-order iteration
+// feeding output, no wall clock or global RNG in result paths, atomic
+// renames for every queue-visible write, single-writer metric shards.
+// This pass enforces them as named, suppressible rules over a tokenizer
+// view of the tree — fast enough to run on every build, dependency-free,
+// and linked into the library so tests can lint fixture snippets and the
+// real tree alike.
+//
+// Suppressions: `// bbrlint:allow(RULE: JUSTIFICATION)` on the offending
+// line, or alone on the line above it. The justification is mandatory —
+// an allow without one is itself a finding — and stale allows that no
+// longer match anything are flagged too, so the suppression inventory
+// stays an honest list of argued exceptions. (RULE must be the lowercase
+// rule name; placeholders like the ones in this comment are ignored.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbrmodel::lint {
+
+struct Finding {
+  std::string file;      ///< repo-relative path, e.g. "src/sweep/sweep.cc"
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+  std::vector<std::string> layers;  ///< path prefixes the rule applies to
+};
+
+/// Every checkable rule plus the suppression meta-rules, in stable order.
+const std::vector<RuleInfo>& rules();
+
+struct Report {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_honored = 0;
+  bool clean() const { return findings.empty(); }
+};
+
+/// Lint one translation unit. `path` must be repo-relative — rules scope
+/// themselves by path prefix, so "src/obs/metrics.cc" and
+/// "bench/perf_queue.cc" see different rule sets. `paired_header` is the
+/// content of the matching .h (same stem, same dir), used to track
+/// unordered-container members declared in the header and iterated in the
+/// .cc; pass "" when there is none. When `suppressions_honored` is given
+/// it receives the number of justified allows that matched a finding.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const std::string& paired_header = "",
+                                 std::size_t* suppressions_honored = nullptr);
+
+/// Walk `roots` (relative to `base`), lint every *.cc / *.h in
+/// deterministic path order. Throws std::runtime_error on an unreadable
+/// root.
+Report lint_tree(const std::string& base, const std::vector<std::string>& roots);
+
+/// "file:line: [rule] message" lines plus a summary line.
+std::string render_text(const Report& report);
+/// Machine-readable report: {"files_scanned":N,"clean":bool,
+/// "findings":[{"file","line","rule","message"}...]}.
+std::string render_json(const Report& report);
+
+}  // namespace bbrmodel::lint

@@ -21,6 +21,11 @@ std::string& tag_storage() {
   return tag;
 }
 
+std::string& program_storage() {
+  static std::string name = "bbrsweep";
+  return name;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -56,6 +61,11 @@ void set_log_tag(const std::string& tag) {
   tag_storage() = tag;
 }
 
+void set_log_program(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tag_mutex());
+  program_storage() = name.empty() ? "bbrsweep" : name;
+}
+
 void log(LogLevel level, const char* format, ...) {
   std::va_list args;
   va_start(args, format);
@@ -68,9 +78,10 @@ void vlog(LogLevel level, const char* format, std::va_list args) {
       level == LogLevel::kOff) {
     return;
   }
-  std::string prefix = "bbrsweep";
+  std::string prefix;
   {
     std::lock_guard<std::mutex> lock(tag_mutex());
+    prefix = program_storage();
     if (!tag_storage().empty()) prefix += "[" + tag_storage() + "]";
   }
   prefix += level == LogLevel::kInfo

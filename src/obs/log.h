@@ -26,6 +26,11 @@ const char* log_level_name(LogLevel level);
 /// for the fleet monitor). Empty (the default) omits the brackets.
 void set_log_tag(const std::string& tag);
 
+/// Program name leading every line. Defaults to "bbrsweep"; bench and
+/// auxiliary binaries set their own so interleaved CI logs stay
+/// attributable. Empty restores the default.
+void set_log_program(const std::string& name);
+
 /// printf-style; a trailing newline is appended.
 void log(LogLevel level, const char* format, ...)
     __attribute__((format(printf, 2, 3)));

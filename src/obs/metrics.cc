@@ -16,12 +16,16 @@ namespace {
 /// Shortest exact round-trip rendering for snapshot files.
 std::string exact_double(double v) {
   char buf[64];
+  // bbrlint:allow(csv-number-required: this IS the designated renderer for
+  // the metrics snapshot format — render/parse are exact inverses, tested)
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   double parsed = std::strtod(buf, nullptr);
   if (parsed == v) {
     // Try to shorten: most metric values are small integers or neat sums.
     for (int precision = 1; precision < 17; ++precision) {
       char shorter[64];
+      // bbrlint:allow(csv-number-required: shortening pass of the designated
+      // snapshot renderer — every candidate must re-parse to v exactly)
       std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
       if (std::strtod(shorter, nullptr) == v) return shorter;
     }
@@ -48,22 +52,32 @@ bool parse_double(const std::string& token, double* out) {
   return true;
 }
 
+// CAS helpers for Histogram's shared base cell only: the one place where
+// multiple writers are allowed by contract (Histogram::observe without a
+// shard). Shard cells never reach these.
+
 void atomic_min(std::atomic<double>& slot, double v) {
   double cur = slot.load(std::memory_order_relaxed);
-  while (v < cur &&
-         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  // bbrlint:allow(single-writer-shard: multi-writer base cell — CAS is the
+  // documented cost of the shardless Histogram::observe path)
+  while (v < cur && !slot.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
   }
 }
 
 void atomic_max(std::atomic<double>& slot, double v) {
   double cur = slot.load(std::memory_order_relaxed);
-  while (v > cur &&
-         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  // bbrlint:allow(single-writer-shard: multi-writer base cell — CAS is the
+  // documented cost of the shardless Histogram::observe path)
+  while (v > cur && !slot.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
   }
 }
 
 void atomic_add(std::atomic<double>& slot, double v) {
   double cur = slot.load(std::memory_order_relaxed);
+  // bbrlint:allow(single-writer-shard: multi-writer base cell — CAS is the
+  // documented cost of the shardless Histogram::observe path)
   while (!slot.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
 }
@@ -124,6 +138,8 @@ void Histogram::Shard::observe(double v) {
 
 void Histogram::observe(double v) {
   if (std::isnan(v)) return;
+  // bbrlint:allow(single-writer-shard: base_ is the multi-writer fallback
+  // cell — shardless observers share it and pay the RMW by contract)
   base_.counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
   atomic_add(base_.sum_, v);
   atomic_min(base_.min_, v);

@@ -49,6 +49,8 @@ class Counter {
 
   /// Shared-cell update: safe from any thread, pays the RMW. Fine for
   /// per-batch or rare events; per-cell hot paths use a shard.
+  // bbrlint:allow(single-writer-shard: base_ is the documented multi-writer
+  // fallback cell, not a shard — callers accept the RMW cost)
   void add(std::uint64_t n = 1) { base_.fetch_add(n, std::memory_order_relaxed); }
 
   /// Register and return a cell this thread alone may add() to. Cache the

@@ -93,6 +93,8 @@ void Tracer::enable(const std::string& path, const std::string& track) {
   start_unix_us_ = unix_now_us();
   buffers_.clear();
   next_tid_ = 1;  // tid 0 carries the process_name metadata event
+  // bbrlint:allow(single-writer-shard: control-plane generation bump under
+  // mutex_, once per enable — not a metric shard, no hot-path writer)
   generation_.fetch_add(1, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
 }
@@ -128,6 +130,8 @@ void Tracer::record(TraceEvent event) {
 }
 
 bool Tracer::flush() {
+  // bbrlint:allow(single-writer-shard: flush idempotence gate, once per
+  // flush — exactly one caller may win the disable and write the shard)
   if (!enabled_.exchange(false, std::memory_order_acq_rel)) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> events;

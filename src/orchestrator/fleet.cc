@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "common/require.h"
@@ -108,10 +109,16 @@ pid_t spawn(const std::vector<std::string>& argv) {
   const pid_t pid = ::fork();
   if (pid == 0) {
     ::execvp(raw[0], raw.data());
+    // bbrlint:allow(no-raw-fprintf: post-fork child must not touch malloc —
+    // obs::log builds std::strings; perror is the only safe diagnostic
+    // before _exit)
     std::perror("bbrsweep fleet: exec");
     ::_exit(127);
   }
-  if (pid < 0) std::perror("bbrsweep fleet: fork");
+  if (pid < 0) {
+    obs::log(obs::LogLevel::kError, "fleet fork failed: %s",
+             std::strerror(errno));
+  }
   return pid;
 }
 

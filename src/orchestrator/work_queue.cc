@@ -84,6 +84,9 @@ void require_worker_id(const std::string& worker_id) {
 enum class Touch { kOk, kMissing, kFailed };
 
 Touch touch_by_write(const std::string& path) {
+  // bbrlint:allow(atomic-io-required: in-place one-byte rewrite is the
+  // mtime heartbeat touch — content never changes, so no reader can see a
+  // torn file, and a rename would break the lease's inode identity)
   std::FILE* file = std::fopen(path.c_str(), "r+b");
   if (file == nullptr) {
     return errno == ENOENT ? Touch::kMissing : Touch::kFailed;
@@ -639,6 +642,8 @@ std::optional<fs::file_time_type> WorkQueue::probe_now() const {
   // Any successful write re-stamps the mtime; concurrent probers all write
   // "now" within their own write latency, so the race is harmless.
   {
+    // bbrlint:allow(atomic-io-required: the probe file exists only for its
+    // filesystem mtime — no reader ever parses its content)
     std::ofstream out(probe_path(), std::ios::trunc);
     out << "probe\n";
     if (!out) return std::nullopt;
@@ -1479,6 +1484,9 @@ WorkQueue::PubState& WorkQueue::open_publisher_locked(
       fs::resize_file(path, scan.valid_end, ec);
     }
   }
+  // bbrlint:allow(atomic-io-required: per-worker result log is append-only
+  // by design — records are checksum-framed and readers skip torn tails, so
+  // crash-mid-append is recoverable without rename-per-record cost)
   pub.append = std::fopen(path.c_str(), "ab");
   BBRM_REQUIRE_MSG(pub.append != nullptr,
                    "cannot open queue result log " + path);

@@ -78,9 +78,8 @@ AttemptOutcome run_attempt(const RunnerFn& fn, const SweepTask& task,
   if (future.wait_for(std::chrono::duration<double>(timeout_s)) ==
       std::future_status::timeout) {
     worker.detach();
-    char message[64];
-    std::snprintf(message, sizeof message, "timeout after %g s", timeout_s);
-    return {failed_metrics(), false, true, message};
+    return {failed_metrics(), false, true,
+            "timeout after " + csv_number(timeout_s) + " s"};
   }
   worker.join();
   try {

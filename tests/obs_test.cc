@@ -317,6 +317,77 @@ TEST(Span, ReenableDiscardsBufferedEventsFromThePreviousRun) {
   EXPECT_NE(text.find("\"name\":\"fresh\""), std::string::npos);
 }
 
+TEST(Span, ConcurrentRecordersRacingTwoFlushersStayCoherent) {
+  // The flush-vs-writer audit: four threads record spans while two race
+  // to flush. Exactly one flusher may win the enabled_ exchange; writers
+  // that already passed the enabled() check land their event under the
+  // buffer mutex or lose it wholesale — never a torn shard. Run under
+  // ThreadSanitizer this exercises every cross-thread edge in the tracer.
+  const std::string path = scratch_file("concurrent_flush.trace");
+  Tracer::global().enable(path, "race-test");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Span span("tick", "race");
+        span.arg("t", std::uint64_t{1});
+      }
+    });
+  }
+  std::atomic<int> wins{0};
+  std::vector<std::thread> flushers;
+  for (int t = 0; t < 2; ++t) {
+    flushers.emplace_back([&] {
+      if (Tracer::global().flush()) wins.fetch_add(1);
+    });
+  }
+  for (auto& f : flushers) f.join();
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(wins.load(), 1) << "exactly one flusher wins the disable";
+
+  // Whatever made it into the shard is complete, well-formed JSON lines.
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.rfind("]}\n"), std::string::npos) << "footer present";
+}
+
+TEST(Registry, SnapshotsRacingShardWritersAreMonotoneAndExactAtQuiescence) {
+  // The snapshot-vs-writer audit for the metrics registry: single-writer
+  // shards are plain relaxed load + store, so a racing snapshot() may see
+  // any prefix of each writer's updates — but per-atomic read coherence
+  // makes successive snapshots monotone, and once writers join the totals
+  // must be exact.
+  Registry registry;
+  Counter& counter = registry.counter("race.cells");
+  Histogram& hist = registry.histogram("race.latency");
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kEach = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      auto& cells = counter.shard();
+      auto& latency = hist.shard();
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        cells.add();
+        latency.observe(0.001);
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snapshot = registry.snapshot();
+    const auto* value = snapshot.find("race.cells");
+    ASSERT_NE(value, nullptr);
+    EXPECT_GE(value->count, last) << "snapshots must never run backwards";
+    last = value->count;
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(counter.value(), kWriters * kEach);
+  EXPECT_EQ(hist.count(), kWriters * kEach);
+}
+
 // ---- merged fleet timelines -----------------------------------------------
 
 TEST(MergeTraceShards, BuildsOneTimelineWithPerWorkerPidsAndMonotoneTs) {

@@ -681,15 +681,32 @@ TEST(RunWorker, DeadWorkerMidCellIsRecoveredAndOutputStaysByteIdentical) {
   options.runner = synthetic_runner();
   const auto reference = reference_bytes(plan, options);
 
-  // Short lease so the dead worker's cell recovers quickly.
-  WorkQueue queue(scratch_dir("wq_dead_worker"), /*lease_s=*/0.05);
+  // A generous lease (no timing games): the dead worker's claim is
+  // expired deterministically by backdating its heartbeat mtime below.
+  WorkQueue queue(scratch_dir("wq_dead_worker"), /*lease_s=*/60.0);
   queue.seed(plan);
 
   // Worker A claims a cell and dies mid-simulation: no heartbeat, no
-  // result, its claim file left behind.
+  // result, its claim file left behind. Backdate the claim file far past
+  // the lease so recovery triggers on the next scan — a short lease plus
+  // a real sleep here was flaky, because under load worker B's own
+  // heartbeats could also fall behind a 50 ms lease.
   const auto abandoned = queue.try_claim("worker-a");
   ASSERT_TRUE(abandoned.has_value());
-  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  std::size_t backdated = 0;
+  for (const auto& entry : fs::directory_iterator(fs::path(queue.dir()) / "active")) {
+    if (entry.path().filename().string().find(".worker-a.") ==
+        std::string::npos) {
+      continue;
+    }
+    fs::last_write_time(entry.path(),
+                        fs::last_write_time(entry.path()) -
+                            std::chrono::duration_cast<
+                                fs::file_time_type::duration>(
+                                std::chrono::seconds(600)));
+    ++backdated;
+  }
+  ASSERT_EQ(backdated, 1u);
 
   // A surviving worker drains the whole plan, re-enqueueing the expired
   // cell along the way.

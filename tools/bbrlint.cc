@@ -1,0 +1,77 @@
+// bbrlint — scan the tree for determinism & concurrency invariant
+// violations. See src/lint/lint.h for the rule set and suppression
+// grammar.
+//
+//   bbrlint [--root DIR] [--json] [--list-rules] [DIR...]
+//
+// DIRs default to `src tools bench` and are relative to --root (default:
+// the current directory, expected to be the repo root). Exit status: 0
+// when clean, 1 on findings, 2 on usage or I/O errors.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: bbrlint [--root DIR] [--json] [--list-rules] [DIR...]\n"
+         "  --root DIR    repo root the scan dirs are relative to "
+         "(default: .)\n"
+         "  --json        machine-readable report on stdout\n"
+         "  --list-rules  print every rule with its scope and exit\n"
+         "  DIR...        dirs to scan, repo-relative "
+         "(default: src tools bench)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool as_json = false;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : bbrmodel::lint::rules()) {
+        std::cout << rule.name << "\n  " << rule.summary << "\n";
+        if (!rule.layers.empty()) {
+          std::cout << "  applies to:";
+          for (const auto& layer : rule.layers) std::cout << " " << layer;
+          std::cout << "\n";
+        }
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bbrlint: unknown flag " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tools", "bench"};
+
+  try {
+    const auto report = bbrmodel::lint::lint_tree(root, dirs);
+    if (as_json) {
+      std::cout << bbrmodel::lint::render_json(report);
+    } else {
+      std::cout << bbrmodel::lint::render_text(report);
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

@@ -272,7 +272,7 @@ rebuilds the manifest from the cells after manual edits or damage.
 )";
 
 [[noreturn]] void fail(const std::string& message) {
-  std::fprintf(stderr, "bbrsweep: %s (try --help)\n", message.c_str());
+  obs::log(obs::LogLevel::kError, "%s (try --help)", message.c_str());
   std::exit(2);
 }
 
@@ -659,7 +659,7 @@ void write_output(const sweep::SweepResult& result, const std::string& path,
   std::ofstream out(path);
   if (!out) fail("cannot open " + path);
   emit(out);
-  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+  obs::log(obs::LogLevel::kInfo, "wrote %s", path.c_str());
 }
 
 void write_text(const std::string& text, const std::string& path) {
@@ -670,7 +670,7 @@ void write_text(const std::string& text, const std::string& path) {
   std::ofstream out(path);
   if (!out) fail("cannot open " + path);
   out << text;
-  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+  obs::log(obs::LogLevel::kInfo, "wrote %s", path.c_str());
 }
 
 std::string read_file_or_fail(const std::string& path) {
@@ -735,7 +735,7 @@ int run_merge(int argc, char** argv) {
   } else {
     write_text(sweep::merge_json(inputs, context), *json_out);
   }
-  std::fprintf(stderr, "bbrsweep: merged %zu shard file(s)\n", inputs.size());
+  obs::log(obs::LogLevel::kInfo, "merged %zu shard file(s)", inputs.size());
   return 0;
 }
 
@@ -818,17 +818,17 @@ adaptive::GridRefiner make_refiner(const Options& opt) {
 }
 
 void report_plan(const adaptive::RefinementPlan& plan) {
-  std::fprintf(stderr,
-               "bbrsweep: plan has %zu cell(s): %zu coarse + %zu refined "
-               "over %zu round(s)%s\n",
-               plan.cells.size(), plan.coarse_cells,
-               plan.cells.size() - plan.coarse_cells, plan.rounds,
-               plan.dropped_cells > 0 ? " (budget clipped)" : "");
+  obs::log(obs::LogLevel::kInfo,
+           "plan has %zu cell(s): %zu coarse + %zu refined over %zu "
+           "round(s)%s",
+           plan.cells.size(), plan.coarse_cells,
+           plan.cells.size() - plan.coarse_cells, plan.rounds,
+           plan.dropped_cells > 0 ? " (budget clipped)" : "");
   if (plan.triage_failures > 0) {
-    std::fprintf(stderr,
-                 "bbrsweep: %zu triage cell(s) failed; their neighborhoods "
-                 "were not refined (mixed-CCA grids need --triage fluid)\n",
-                 plan.triage_failures);
+    obs::log(obs::LogLevel::kWarn,
+             "%zu triage cell(s) failed; their neighborhoods were not "
+             "refined (mixed-CCA grids need --triage fluid)",
+             plan.triage_failures);
   }
 }
 
@@ -864,7 +864,7 @@ std::size_t collect_to(const orchestrator::WorkQueue& queue,
   std::ofstream out(path);
   if (!out) fail("cannot open " + path);
   const std::size_t failed = collect(out);
-  std::fprintf(stderr, "bbrsweep: wrote %s\n", path.c_str());
+  obs::log(obs::LogLevel::kInfo, "wrote %s", path.c_str());
   return failed;
 }
 
@@ -893,15 +893,14 @@ int run_coordinator(int argc, char** argv) {
                                 opt.skew_margin_s);
   queue.seed(plan, opt.batch, opt.segment_cells);
   if (!opt.quiet) {
-    std::fprintf(stderr,
-                 "bbrsweep: seeded %zu cell(s) into %s (runner %s, lease "
-                 "%g s, skew margin %g s%s)\n",
-                 plan.size(), queue.dir().c_str(),
-                 plan.runner_name().c_str(), opt.lease_s,
-                 queue.skew_margin_s(),
-                 opt.segment_cells > 0
-                     ? ", segment layout"
-                     : (opt.batch > 1 ? ", batched" : ""));
+    obs::log(obs::LogLevel::kInfo,
+             "seeded %zu cell(s) into %s (runner %s, lease %g s, skew "
+             "margin %g s%s)",
+             plan.size(), queue.dir().c_str(), plan.runner_name().c_str(),
+             opt.lease_s, queue.skew_margin_s(),
+             opt.segment_cells > 0
+                 ? ", segment layout"
+                 : (opt.batch > 1 ? ", batched" : ""));
   }
 
   while (true) {
@@ -930,6 +929,9 @@ int run_coordinator(int argc, char** argv) {
         // autoscaler) mis-state a draining fleet.
         rate += w.window_cells_per_s;
       }
+      // bbrlint:allow(no-raw-fprintf: interactive watch line — the \r
+      // rewrite idiom needs an unterminated partial line, which the
+      // one-line-per-call obs::log contract deliberately cannot express)
       std::fprintf(stderr,
                    "\rbbrsweep: %zu/%zu cell(s) done (%zu pending, %zu "
                    "active; %zu worker(s), %.1f cells/s)   ",
@@ -951,8 +953,8 @@ int run_coordinator(int argc, char** argv) {
     failed = collect_to(queue, plan, *opt.json_path, /*json=*/true);
   }
   if (failed > 0) {
-    std::fprintf(stderr, "bbrsweep: %zu cell(s) failed (see status column)\n",
-                 failed);
+    obs::log(obs::LogLevel::kWarn, "%zu cell(s) failed (see status column)",
+             failed);
     return 3;
   }
   return 0;
@@ -1451,8 +1453,8 @@ int run_trace(int argc, char** argv) {
   std::ostringstream merged;
   const auto report = obs::merge_trace_shards(shards, merged);
   write_text(merged.str(), out);
-  std::fprintf(stderr, "bbrsweep: merged %zu shard(s), %zu event(s) into %s\n",
-               report.shards, report.events, out.c_str());
+  obs::log(obs::LogLevel::kInfo, "merged %zu shard(s), %zu event(s) into %s",
+           report.shards, report.events, out.c_str());
   return 0;
 }
 
@@ -1477,6 +1479,8 @@ int run_plan(int argc, char** argv) {
   }
   if (!opt.quiet) {
     opt.run.progress = [](std::size_t done, std::size_t total) {
+      // bbrlint:allow(no-raw-fprintf: interactive progress meter — \r
+      // partial-line rewrites are outside obs::log's one-line contract)
       std::fprintf(stderr, "\rbbrsweep: %zu/%zu triage cells", done, total);
       if (done == total) std::fputc('\n', stderr);
     };
@@ -1541,28 +1545,32 @@ int main(int argc, char** argv) try {
 
   if (!opt.quiet) {
     opt.run.progress = [](std::size_t done, std::size_t total) {
+      // bbrlint:allow(no-raw-fprintf: interactive progress meter — \r
+      // partial-line rewrites are outside obs::log's one-line contract)
       std::fprintf(stderr, "\rbbrsweep: %zu/%zu experiments", done, total);
       if (done == total) std::fputc('\n', stderr);
     };
     const std::size_t total = opt.grid.cardinality();
     if (opt.adaptive) {
-      std::fprintf(stderr,
-                   "bbrsweep: adaptive sweep over a %zu-cell coarse grid "
-                   "(depth %zu, budget %zu)\n",
-                   total, opt.policy.max_depth, opt.policy.max_cells);
+      obs::log(obs::LogLevel::kInfo,
+               "adaptive sweep over a %zu-cell coarse grid (depth %zu, "
+               "budget %zu)",
+               total, opt.policy.max_depth, opt.policy.max_cells);
     } else {
       const std::size_t mine =
           total / opt.run.shard.count +
           (opt.run.shard.index < total % opt.run.shard.count ? 1 : 0);
-      std::fprintf(stderr, "bbrsweep: %zu experiments across %zu threads",
-                   mine,
-                   opt.run.threads ? opt.run.threads
-                                   : sweep::ThreadPool::hardware_threads());
+      std::string shard_note;
       if (opt.run.shard.count > 1) {
-        std::fprintf(stderr, " (shard %zu/%zu of %zu)", opt.run.shard.index,
-                     opt.run.shard.count, total);
+        shard_note = " (shard " + std::to_string(opt.run.shard.index) + "/" +
+                     std::to_string(opt.run.shard.count) + " of " +
+                     std::to_string(total) + ")";
       }
-      std::fputc('\n', stderr);
+      obs::log(obs::LogLevel::kInfo, "%zu experiments across %zu threads%s",
+               mine,
+               opt.run.threads ? opt.run.threads
+                               : sweep::ThreadPool::hardware_threads(),
+               shard_note.c_str());
     }
   }
 
@@ -1577,25 +1585,25 @@ int main(int argc, char** argv) try {
   if (opt.json_path) write_output(result, *opt.json_path, /*json=*/true);
 
   if (obs::Tracer::global().enabled() && !obs::Tracer::global().flush()) {
-    std::fprintf(stderr, "bbrsweep: failed to write trace file\n");
+    obs::log(obs::LogLevel::kWarn, "failed to write trace file");
   }
   if (!opt.quiet) {
-    std::fprintf(stderr, "bbrsweep: %zu experiments in %.2f s (%.2f/s)\n",
-                 result.size(), result.elapsed_s(),
-                 result.elapsed_s() > 0.0 ? result.size() / result.elapsed_s()
-                                          : 0.0);
+    obs::log(obs::LogLevel::kInfo, "%zu experiments in %.2f s (%.2f/s)",
+             result.size(), result.elapsed_s(),
+             result.elapsed_s() > 0.0 ? result.size() / result.elapsed_s()
+                                      : 0.0);
     if (cache) {
-      std::fprintf(stderr, "bbrsweep: cache %zu hit(s), %zu miss(es) in %s\n",
-                   cache->hits(), cache->misses(), cache->dir().c_str());
+      obs::log(obs::LogLevel::kInfo, "cache %zu hit(s), %zu miss(es) in %s",
+               cache->hits(), cache->misses(), cache->dir().c_str());
     }
   }
   if (result.failed() > 0) {
-    std::fprintf(stderr, "bbrsweep: %zu task(s) failed (see status column)\n",
-                 result.failed());
+    obs::log(obs::LogLevel::kWarn, "%zu task(s) failed (see status column)",
+             result.failed());
     return 3;
   }
   return 0;
 } catch (const std::exception& e) {
-  std::fprintf(stderr, "bbrsweep: %s\n", e.what());
+  obs::log(obs::LogLevel::kError, "%s", e.what());
   return 1;
 }
